@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for profile matching: the PStorM multi-stage
+//! matcher's latency as the store grows, CFG extraction/matching, and the
+//! cost of GBRT training that PStorM avoids (§6.1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use datagen::corpus;
+use mlmatch::{GbrtMatcher, GbrtParams, StoredJob};
+use mrjobs::jobs;
+use mrsim::{ClusterSpec, JobConfig};
+use profiler::{collect_full_profile, collect_sample_profile, JobProfile, SampleSize};
+use pstorm::{match_profile, MatcherConfig, ProfileStore, SubmittedJob};
+use staticanalysis::{Cfg, StaticFeatures};
+
+fn cl() -> ClusterSpec {
+    ClusterSpec::ec2_c1_medium_16()
+}
+
+/// Collect a small set of distinct profiles to populate stores with.
+fn seed_profiles() -> Vec<(StaticFeatures, JobProfile)> {
+    let text = corpus::random_text_1g();
+    let mut out = Vec::new();
+    let specs = vec![
+        jobs::word_count(),
+        jobs::word_cooccurrence_pairs(2),
+        jobs::bigram_relative_frequency(),
+        jobs::grep("ba"),
+    ];
+    for spec in specs {
+        let (profile, _) =
+            collect_full_profile(&spec, &text, &cl(), &JobConfig::submitted(&spec), 5).unwrap();
+        out.push((StaticFeatures::extract(&spec), profile));
+    }
+    out
+}
+
+fn store_of(size: usize, seeds: &[(StaticFeatures, JobProfile)]) -> ProfileStore {
+    let store = ProfileStore::new().unwrap();
+    for i in 0..size {
+        let (statics, profile) = &seeds[i % seeds.len()];
+        let mut p = profile.clone();
+        p.job_id = format!("{}#{}", p.job_id, i);
+        // Perturb the dynamics slightly so rows are distinct.
+        p.map.size_selectivity *= 1.0 + (i as f64) * 1e-4;
+        store.put_profile(statics, &p).unwrap();
+    }
+    store
+}
+
+fn bench_match_latency(c: &mut Criterion) {
+    let seeds = seed_profiles();
+    let text = corpus::random_text_1g();
+    let spec = jobs::word_count();
+    let sample = collect_sample_profile(
+        &spec,
+        &text,
+        &cl(),
+        &JobConfig::submitted(&spec),
+        SampleSize::OneTask,
+        9,
+    )
+    .unwrap();
+    let q = SubmittedJob {
+        statics: StaticFeatures::extract(&spec),
+        spec,
+        sample: sample.profile,
+        input_bytes: text.logical_bytes,
+    };
+    let mut group = c.benchmark_group("matcher/match_profile");
+    for size in [16usize, 128, 1024] {
+        let store = store_of(size, &seeds);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &store, |b, store| {
+            b.iter(|| match_profile(store, &q, &MatcherConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let coocc = jobs::word_cooccurrence_pairs(2);
+    let wc = jobs::word_count();
+    c.bench_function("cfg/extract_cooccurrence", |b| {
+        b.iter(|| Cfg::from_udf(&coocc.map_udf))
+    });
+    let a = Cfg::from_udf(&coocc.map_udf);
+    let bb = Cfg::from_udf(&wc.map_udf);
+    c.bench_function("cfg/match_mismatching", |b| b.iter(|| a.matches(&bb)));
+    c.bench_function("cfg/match_self", |b| b.iter(|| a.matches(&a)));
+}
+
+fn bench_gbrt_training(c: &mut Criterion) {
+    let seeds = seed_profiles();
+    let store: Vec<StoredJob> = seeds
+        .iter()
+        .map(|(statics, profile)| StoredJob {
+            spec: jobs::word_count(), // spec only drives WIF targets
+            statics: statics.clone(),
+            profile: profile.clone(),
+        })
+        .collect();
+    let params = GbrtParams {
+        n_trees: 200,
+        cv_folds: 0,
+        train_fraction: 1.0,
+        ..GbrtParams::gbrt1()
+    };
+    c.bench_function("gbrt/train_200_trees_small_store", |b| {
+        b.iter(|| GbrtMatcher::train(&store, &cl(), &params, 8, 3))
+    });
+}
+
+criterion_group!(benches, bench_match_latency, bench_cfg, bench_gbrt_training);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the profile store: insert throughput,
+//! pushdown-filtered scans vs full scans, and the §5.2 layout comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pstorm::{OpenTsdbModel, PrefixModel, ProfileLayout, TwoTableModel};
+
+fn fill(layout: &dyn ProfileLayout, jobs: usize) {
+    for j in 0..jobs {
+        let v: Vec<f64> = (0..4).map(|k| (j * 13 + k) as f64).collect();
+        layout.insert(&format!("job{j:05}"), &v);
+    }
+}
+
+fn bench_layout_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/fetch_all_dynamic");
+    for jobs in [256usize, 2048] {
+        let prefix = PrefixModel::new(256);
+        let tsdb = OpenTsdbModel::new(256);
+        let two = TwoTableModel::new(256);
+        fill(&prefix, jobs);
+        fill(&tsdb, jobs);
+        fill(&two, jobs);
+        group.bench_with_input(BenchmarkId::new("prefix", jobs), &prefix, |b, l| {
+            b.iter(|| l.fetch_all_dynamic())
+        });
+        group.bench_with_input(BenchmarkId::new("opentsdb", jobs), &tsdb, |b, l| {
+            b.iter(|| l.fetch_all_dynamic())
+        });
+        group.bench_with_input(BenchmarkId::new("two-table", jobs), &two, |b, l| {
+            b.iter(|| l.fetch_all_dynamic())
+        });
+    }
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    c.bench_function("store/insert_1k_profile_rows", |b| {
+        b.iter(|| {
+            let layout = PrefixModel::new(256);
+            fill(&layout, 1000);
+            layout.region_count()
+        })
+    });
+}
+
+fn bench_pushdown_vs_client(c: &mut Criterion) {
+    use bytes::Bytes;
+    use cfstore::{MiniStore, PredicateFilter, Put, RowResult, Scan};
+
+    let store = MiniStore::new();
+    store.create_table_with_threshold("t", &["f"], 256).unwrap();
+    for i in 0..4096 {
+        store
+            .put(
+                "t",
+                Put::new(
+                    Bytes::from(format!("row{i:05}")),
+                    "f",
+                    "v",
+                    Bytes::from(format!("{i}")),
+                ),
+            )
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("store/selective_scan");
+    group.bench_function("filter_pushdown", |b| {
+        b.iter(|| {
+            let scan = Scan::all().with_filter(Box::new(PredicateFilter {
+                name: "mod128".to_string(),
+                pred: |r: &RowResult| r.row.ends_with(b"00"),
+            }));
+            store.scan("t", &scan).unwrap().0.len()
+        })
+    });
+    group.bench_function("client_side_filter", |b| {
+        b.iter(|| {
+            let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+            rows.iter().filter(|r| r.row.ends_with(b"00")).count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout_scans, bench_inserts, bench_pushdown_vs_client);
+criterion_main!(benches);

@@ -1,0 +1,351 @@
+//! Matching-accuracy evaluation (Figs. 6.1 and 6.2): submit every
+//! benchmark job against a store state and score per-side correctness.
+
+use datagen::SizeClass;
+use mlmatch::{
+    FeatureSample, GbrtMatcher, GbrtParams, NnMatcher, StoredJob,
+};
+use mrsim::{ClusterSpec, JobConfig};
+use profiler::{collect_sample_profile, JobProfile, SampleSize};
+use pstorm::{match_profile, MatcherConfig, ProfileStore, SubmittedJob};
+use staticanalysis::StaticFeatures;
+
+use crate::harness::{
+    self, all_submissions, collect_all_profiles, expected_dd, expected_sd, populate_dd,
+    populate_sd, ProfiledRun, Submission,
+};
+
+/// The two store content states of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentState {
+    SameData,
+    DifferentData,
+}
+
+/// Per-side accuracy of one matcher in one content state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accuracy {
+    pub map_correct: usize,
+    pub reduce_correct: usize,
+    pub submissions: usize,
+}
+
+impl Accuracy {
+    pub fn map_pct(&self) -> f64 {
+        100.0 * self.map_correct as f64 / self.submissions.max(1) as f64
+    }
+    pub fn reduce_pct(&self) -> f64 {
+        100.0 * self.reduce_correct as f64 / self.submissions.max(1) as f64
+    }
+}
+
+/// Everything precomputed once and shared by the accuracy experiments.
+pub struct AccuracyBench {
+    pub cluster: ClusterSpec,
+    pub runs: Vec<ProfiledRun>,
+    pub submissions: Vec<Submission>,
+    /// One-task sample profile + statics per submission.
+    pub samples: Vec<(StaticFeatures, JobProfile)>,
+}
+
+impl AccuracyBench {
+    /// Profile the whole corpus and pre-collect the 1-task samples.
+    pub fn prepare() -> AccuracyBench {
+        let cluster = harness::cluster();
+        let runs = collect_all_profiles(&cluster);
+        let submissions = all_submissions();
+        let samples = submissions
+            .iter()
+            .map(|sub| {
+                let run = collect_sample_profile(
+                    &sub.spec,
+                    &sub.dataset,
+                    &cluster,
+                    &JobConfig::submitted(&sub.spec),
+                    SampleSize::OneTask,
+                    harness::seed_for(&sub.spec, &sub.dataset) ^ 0x1,
+                )
+                .expect("sampling");
+                (StaticFeatures::extract(&sub.spec), run.profile)
+            })
+            .collect();
+        AccuracyBench {
+            cluster,
+            runs,
+            submissions,
+            samples,
+        }
+    }
+
+    /// The store for a content state and submission size.
+    fn store_for(&self, state: ContentState, size: SizeClass) -> ProfileStore {
+        match state {
+            ContentState::SameData => populate_sd(&self.runs),
+            ContentState::DifferentData => populate_dd(&self.runs, size),
+        }
+    }
+
+    /// The expected store id for a submission in a state.
+    fn expected(&self, state: ContentState, sub: &Submission) -> Option<String> {
+        match state {
+            ContentState::SameData => Some(expected_sd(sub)),
+            ContentState::DifferentData => expected_dd(sub, &self.runs),
+        }
+    }
+
+    /// Evaluate the PStorM multi-stage matcher with default thresholds.
+    pub fn eval_pstorm(&self, state: ContentState) -> Accuracy {
+        self.eval_pstorm_with(MatcherConfig::default(), state)
+    }
+
+    /// Evaluate the PStorM matcher under a specific configuration
+    /// (used by the ablation experiments).
+    pub fn eval_pstorm_with(&self, cfg: MatcherConfig, state: ContentState) -> Accuracy {
+        let mut acc = Accuracy::default();
+        for (sub, (statics, sample)) in self.submissions.iter().zip(&self.samples) {
+            let store = self.store_for(state, sub.size);
+            let expected = self.expected(state, sub);
+            acc.submissions += 1;
+            let q = SubmittedJob {
+                spec: sub.spec.clone(),
+                statics: statics.clone(),
+                sample: sample.clone(),
+                input_bytes: sub.dataset.logical_bytes,
+            };
+            if let Ok(Ok(result)) = match_profile(&store, &q, &cfg) {
+                if let Some(exp) = &expected {
+                    if &result.map.source_job == exp {
+                        acc.map_correct += 1;
+                    }
+                    match &result.reduce {
+                        Some(r) if &r.source_job == exp => acc.reduce_correct += 1,
+                        None if sample.reduce.is_none() => acc.reduce_correct += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Build the per-side feature samples for the P-features /
+    /// SP-features baselines from a store state. `with_static` adds the
+    /// categorical static features to the ranked pool (SP-features).
+    fn baseline_pools(
+        &self,
+        state: ContentState,
+        size: SizeClass,
+        with_static: bool,
+    ) -> (Vec<FeatureSample>, Vec<FeatureSample>, Vec<String>) {
+        let in_store = |r: &&ProfiledRun| match state {
+            ContentState::SameData => true,
+            ContentState::DifferentData => {
+                r.size != size && !harness::is_single_dataset(&r.spec.name)
+            }
+        };
+        let stored: Vec<&ProfiledRun> = self.runs.iter().filter(in_store).collect();
+        let ids: Vec<String> = stored.iter().map(|r| r.store_id().to_string()).collect();
+        let map_pool = stored
+            .iter()
+            .enumerate()
+            .map(|(class, r)| FeatureSample {
+                numeric: mlmatch::map_numeric_features(&r.profile),
+                categorical: static_strings(&r.statics, true, with_static),
+                class,
+            })
+            .collect();
+        let red_pool = stored
+            .iter()
+            .enumerate()
+            .map(|(class, r)| FeatureSample {
+                numeric: mlmatch::reduce_numeric_features(&r.profile),
+                categorical: static_strings(&r.statics, false, with_static),
+                class,
+            })
+            .collect();
+        (map_pool, red_pool, ids)
+    }
+
+    /// Evaluate an information-gain + nearest-neighbour baseline.
+    /// `with_static = false` is P-features; `true` is SP-features.
+    pub fn eval_info_gain_baseline(&self, state: ContentState, with_static: bool) -> Accuracy {
+        // F = the number of features PStorM itself uses per side
+        // (8 static + 4 dynamic on the map side).
+        let f = 12;
+        let mut acc = Accuracy::default();
+        for (sub, (statics, sample)) in self.submissions.iter().zip(&self.samples) {
+            let (map_pool, red_pool, ids) = self.baseline_pools(state, sub.size, with_static);
+            if map_pool.is_empty() {
+                acc.submissions += 1;
+                continue;
+            }
+            let expected = self.expected(state, sub);
+            acc.submissions += 1;
+            let Some(exp) = expected else { continue };
+
+            let map_sel = mlmatch::select_by_info_gain(&map_pool, f, 64);
+            let red_sel = mlmatch::select_by_info_gain(&red_pool, f, 64);
+            let map_matcher = NnMatcher::fit(map_pool, map_sel);
+            let red_matcher = NnMatcher::fit(red_pool, red_sel);
+
+            let q_map = FeatureSample {
+                numeric: mlmatch::map_numeric_features(sample),
+                categorical: static_strings(statics, true, with_static),
+                class: usize::MAX,
+            };
+            let q_red = FeatureSample {
+                numeric: mlmatch::reduce_numeric_features(sample),
+                categorical: static_strings(statics, false, with_static),
+                class: usize::MAX,
+            };
+            if ids[map_matcher.nearest(&q_map)] == exp {
+                acc.map_correct += 1;
+            }
+            if ids[red_matcher.nearest(&q_red)] == exp {
+                acc.reduce_correct += 1;
+            }
+        }
+        acc
+    }
+
+    /// Evaluate the GBRT matcher of Fig. 6.2. The matched stored profile
+    /// is scored on both sides.
+    pub fn eval_gbrt(&self, state: ContentState, params: &GbrtParams) -> Accuracy {
+        let mut acc = Accuracy::default();
+        // SD has one size-independent store; DD needs one per submission
+        // size (the store holds the *other* size's profiles).
+        let sizes: &[Option<SizeClass>] = match state {
+            ContentState::SameData => &[None],
+            ContentState::DifferentData => {
+                &[Some(SizeClass::Small), Some(SizeClass::Large)]
+            }
+        };
+        for &size_filter in sizes {
+            let stored: Vec<StoredJob> = self
+                .runs
+                .iter()
+                .filter(|r| match size_filter {
+                    None => true,
+                    Some(size) => r.size != size && !harness::is_single_dataset(&r.spec.name),
+                })
+                .map(|r| StoredJob {
+                    spec: r.spec.clone(),
+                    statics: r.statics.clone(),
+                    profile: r.profile.clone(),
+                })
+                .collect();
+            if stored.is_empty() {
+                continue;
+            }
+            let matcher = GbrtMatcher::train(&stored, &self.cluster, params, 10, 0x6b);
+            for (sub, (statics, sample)) in self
+                .submissions
+                .iter()
+                .zip(&self.samples)
+                .filter(|(s, _)| size_filter.map(|sz| s.size == sz).unwrap_or(true))
+            {
+                acc.submissions += 1;
+                let Some(exp) = self.expected(state, sub) else {
+                    continue;
+                };
+                if let Some(m) = matcher.match_profile(&stored, statics, sample) {
+                    if m.profile.job_id == exp {
+                        acc.map_correct += 1;
+                        acc.reduce_correct += 1;
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// The categorical static features of one side as plain strings (for the
+/// SP-features pool; empty when `enabled` is false).
+fn static_strings(statics: &StaticFeatures, map_side: bool, enabled: bool) -> Vec<String> {
+    if !enabled {
+        return vec![];
+    }
+    let side = if map_side {
+        &statics.map
+    } else {
+        &statics.reduce
+    };
+    side.categorical.iter().map(|(_, v)| v.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These are smoke tests on a reduced corpus; the full evaluation runs
+    // in the fig6_1/fig6_2 binaries.
+    fn mini_bench() -> AccuracyBench {
+        let cluster = harness::cluster();
+        let specs = vec![
+            mrjobs::jobs::word_count(),
+            mrjobs::jobs::sort(),
+            mrjobs::jobs::join(),
+        ];
+        let mut runs = Vec::new();
+        let mut submissions = Vec::new();
+        let mut samples = Vec::new();
+        for spec in specs {
+            for size in [SizeClass::Small, SizeClass::Large] {
+                let ds = datagen::input_for(&spec.name, size);
+                runs.push(harness::profiled_run(&spec, &ds, size, &cluster).unwrap());
+                let run = collect_sample_profile(
+                    &spec,
+                    &ds,
+                    &cluster,
+                    &JobConfig::submitted(&spec),
+                    SampleSize::OneTask,
+                    9,
+                )
+                .unwrap();
+                samples.push((StaticFeatures::extract(&spec), run.profile));
+                submissions.push(Submission {
+                    spec: spec.clone(),
+                    dataset: ds,
+                    size,
+                });
+            }
+        }
+        AccuracyBench {
+            cluster,
+            runs,
+            submissions,
+            samples,
+        }
+    }
+
+    #[test]
+    fn pstorm_is_perfect_on_sd_for_distinct_jobs() {
+        let bench = mini_bench();
+        let acc = bench.eval_pstorm(ContentState::SameData);
+        assert_eq!(acc.submissions, 6);
+        assert_eq!(acc.map_correct, 6, "map accuracy {}", acc.map_pct());
+        assert_eq!(acc.reduce_correct, 6);
+    }
+
+    #[test]
+    fn pstorm_finds_twins_on_dd() {
+        let bench = mini_bench();
+        let acc = bench.eval_pstorm(ContentState::DifferentData);
+        assert!(
+            acc.map_correct >= 4,
+            "dd map accuracy too low: {}/{}",
+            acc.map_correct,
+            acc.submissions
+        );
+    }
+
+    #[test]
+    fn baselines_run_and_report() {
+        let bench = mini_bench();
+        let p = bench.eval_info_gain_baseline(ContentState::SameData, false);
+        let sp = bench.eval_info_gain_baseline(ContentState::SameData, true);
+        assert_eq!(p.submissions, 6);
+        assert_eq!(sp.submissions, 6);
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 1.3: speedups of the word co-occurrence pairs job over the default
+//! configuration, using three tuning approaches:
+//! 1. the rule-based optimizer,
+//! 2. the Starfish CBO given the job's own complete profile,
+//! 3. the Starfish CBO given the *bigram relative frequency* job's profile
+//!    (the profile-reuse motivation of the thesis).
+//!
+//! Paper targets: (3) ≈ 2× the RBO speedup and only slightly below (2).
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{simulate, JobConfig};
+use optimizer::{optimize, recommend, CboOptions};
+use pstorm_bench::harness::{cluster, print_table, profiled_run, seed_for};
+
+fn main() {
+    let cl = cluster();
+    let spec = jobs::word_cooccurrence_pairs(2);
+    let ds = corpus::input_for(&spec.name, SizeClass::Large);
+    let seed = seed_for(&spec, &ds);
+
+    let default_cfg = JobConfig::submitted(&spec);
+    let default_ms = simulate(&spec, &ds, &cl, &default_cfg, seed)
+        .expect("default run")
+        .runtime_ms;
+
+    // 1. RBO.
+    let rbo = recommend(&spec, &cl);
+    let rbo_ms = simulate(&spec, &ds, &cl, &rbo.config, seed).expect("rbo run").runtime_ms;
+
+    // 2. CBO with the job's own complete profile.
+    let own = profiled_run(&spec, &ds, SizeClass::Large, &cl).expect("own profile");
+    let own_rec = optimize(&spec, &own.profile, ds.logical_bytes, &cl, &CboOptions::default())
+        .expect("cbo");
+    let own_ms = simulate(&spec, &ds, &cl, &own_rec.config, seed)
+        .expect("own-tuned run")
+        .runtime_ms;
+
+    // 3. CBO with the bigram relative frequency job's profile.
+    let bigram_spec = jobs::bigram_relative_frequency();
+    let bigram = profiled_run(&bigram_spec, &ds, SizeClass::Large, &cl).expect("bigram profile");
+    let donor_rec = optimize(
+        &spec,
+        &bigram.profile,
+        ds.logical_bytes,
+        &cl,
+        &CboOptions::default(),
+    )
+    .expect("cbo with donor profile");
+    let donor_ms = simulate(&spec, &ds, &cl, &donor_rec.config, seed)
+        .expect("donor-tuned run")
+        .runtime_ms;
+
+    let rows = vec![
+        vec![
+            "RBO".to_string(),
+            format!("{:.2}x", default_ms / rbo_ms),
+            describe(&rbo.config),
+        ],
+        vec![
+            "CBO + own profile".to_string(),
+            format!("{:.2}x", default_ms / own_ms),
+            describe(&own_rec.config),
+        ],
+        vec![
+            "CBO + bigram profile".to_string(),
+            format!("{:.2}x", default_ms / donor_ms),
+            describe(&donor_rec.config),
+        ],
+    ];
+    print_table(
+        "Fig 1.3 — Word Co-occurrence Pairs Speedups by Tuning Approach",
+        &["approach", "speedup vs default", "key parameters"],
+        &rows,
+    );
+    println!("\ndefault runtime: {:.1} virtual min", default_ms / 60_000.0);
+    println!("paper targets: donor-profile speedup ≈ 2x RBO, slightly below own-profile");
+}
+
+fn describe(c: &JobConfig) -> String {
+    format!(
+        "R={} sort.mb={} rec%={:.2} compress={} combiner={}",
+        c.num_reduce_tasks, c.io_sort_mb, c.io_sort_record_percent, c.compress_map_output,
+        c.use_combiner
+    )
+}

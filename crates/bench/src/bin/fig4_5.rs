@@ -1,0 +1,48 @@
+//! Fig. 4.5: the word co-occurrence and bigram relative-frequency jobs
+//! show *relatively similar* per-phase times when executed on the same
+//! 35 GB dataset — the observation motivating profile reuse between them.
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{simulate, JobConfig, MapPhase, ReducePhase};
+use pstorm_bench::harness::{cluster, print_table, seed_for};
+
+fn main() {
+    let cl = cluster();
+    let mut rows = Vec::new();
+    for spec in [
+        jobs::word_cooccurrence_pairs(2),
+        jobs::bigram_relative_frequency(),
+    ] {
+        let ds = corpus::input_for(&spec.name, SizeClass::Large);
+        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), seed_for(&spec, &ds))
+            .expect("run");
+        rows.push(vec![
+            spec.job_id(),
+            format!("{:.1}", report.avg_map_phase_ms(MapPhase::Read) / 1000.0),
+            format!("{:.1}", report.avg_map_phase_ms(MapPhase::Map) / 1000.0),
+            format!("{:.1}", report.avg_map_phase_ms(MapPhase::Spill) / 1000.0),
+            format!("{:.1}", report.avg_map_phase_ms(MapPhase::Merge) / 1000.0),
+            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Shuffle) / 1000.0),
+            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Sort) / 1000.0),
+            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Reduce) / 1000.0),
+            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Write) / 1000.0),
+        ]);
+    }
+    print_table(
+        "Fig 4.5 — Phase Times on 35 GB Wikipedia (seconds per task)",
+        &[
+            "job",
+            "m:read",
+            "m:map",
+            "m:spill",
+            "m:merge",
+            "r:shuffle",
+            "r:sort",
+            "r:reduce",
+            "r:write",
+        ],
+        &rows,
+    );
+    println!("\nper-phase times should be the same order of magnitude across the two jobs");
+}

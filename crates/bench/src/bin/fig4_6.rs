@@ -1,0 +1,45 @@
+//! Fig. 4.6: shuffle times of the word co-occurrence job across input
+//! sizes — the motivation for the matcher's tie-breaking rule ("return the
+//! profile whose input data size is closest to the submitted job's").
+
+use datagen::corpus;
+use mrjobs::jobs;
+use mrsim::{simulate, JobConfig, ReducePhase};
+use pstorm_bench::harness::{cluster, print_table, seed_for};
+
+fn main() {
+    let cl = cluster();
+    let spec = jobs::word_cooccurrence_pairs(2);
+    let mut rows = Vec::new();
+    for ds in [
+        corpus::wikipedia_1g(),
+        corpus::wikipedia_4g(),
+        corpus::wikipedia_35g(),
+    ] {
+        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), seed_for(&spec, &ds))
+            .expect("run");
+        rows.push(vec![
+            ds.name.clone(),
+            format!("{:.2} GB", ds.logical_bytes as f64 / (1u64 << 30) as f64),
+            format!("{}", report.map_tasks.len()),
+            format!(
+                "{:.0}",
+                report.avg_reduce_phase_ms(ReducePhase::Shuffle) / 1000.0
+            ),
+            format!("{:.0}", report.avg_reduce_ms() / 1000.0),
+        ]);
+    }
+    print_table(
+        "Fig 4.6 — Co-occurrence Shuffle Times Across Data Sizes",
+        &[
+            "dataset",
+            "input",
+            "map tasks",
+            "shuffle (s/task)",
+            "reduce task total (s)",
+        ],
+        &rows,
+    );
+    println!("\nshuffle time grows steeply with input size: profiles from different");
+    println!("data sizes give different reduce profiles, hence the input-size tie-break");
+}

@@ -1,0 +1,131 @@
+//! Fig. 6.3: end-to-end speedups over the default configuration for four
+//! jobs on the 35 GB-class Wikipedia data, comparing the RBO against
+//! Starfish-CBO tuning with PStorM-matched profiles in the three store
+//! content states:
+//!
+//! * **SD** — the store holds the job's own profile on the same data;
+//! * **DD** — only on different data (the twin);
+//! * **NJ** — the job was never executed: PStorM composes a profile from
+//!   other jobs' map and reduce profiles.
+//!
+//! Paper targets: co-occurrence ≈ 9× with PStorM vs ≈ half that with the
+//! RBO; inverted-index ≈ 1 (already well configured); NJ close to SD.
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{simulate, JobConfig};
+use optimizer::{optimize, recommend, CboOptions};
+use profiler::{collect_sample_profile, SampleSize};
+use pstorm::{match_profile, MatcherConfig, ProfileStore, SubmittedJob};
+use pstorm_bench::harness::{
+    cluster, collect_all_profiles, populate_dd, populate_nj, populate_sd, print_table, seed_for,
+};
+use staticanalysis::StaticFeatures;
+
+fn main() {
+    let cl = cluster();
+    eprintln!("profiling the corpus...");
+    let runs = collect_all_profiles(&cl);
+
+    let specs = vec![
+        jobs::word_count(),
+        jobs::word_cooccurrence_pairs(2),
+        jobs::inverted_index(),
+        jobs::bigram_relative_frequency(),
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let ds = corpus::input_for(&spec.name, SizeClass::Large);
+        let seed = seed_for(&spec, &ds);
+        let default_ms = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), seed)
+            .expect("default run")
+            .runtime_ms;
+
+        // RBO.
+        let rbo_cfg = recommend(&spec, &cl).config;
+        let rbo_ms = simulate(&spec, &ds, &cl, &rbo_cfg, seed).expect("rbo").runtime_ms;
+
+        // The 1-task probe used in all three PStorM states.
+        let sample = collect_sample_profile(
+            &spec,
+            &ds,
+            &cl,
+            &JobConfig::submitted(&spec),
+            SampleSize::OneTask,
+            seed ^ 1,
+        )
+        .expect("sample");
+        let q = SubmittedJob {
+            spec: spec.clone(),
+            statics: StaticFeatures::extract(&spec),
+            sample: sample.profile,
+            input_bytes: ds.logical_bytes,
+        };
+
+        let mut speedups = vec![format!("{:.2}x", default_ms / rbo_ms)];
+        let mut sources = vec!["-".to_string()];
+        for (store, _label) in [
+            (populate_sd(&runs), "SD"),
+            (populate_dd(&runs, SizeClass::Large), "DD"),
+            (populate_nj(&runs, &spec.job_id()), "NJ"),
+        ] {
+            let (speedup, source) = tuned_speedup(&store, &q, &spec, &ds, &cl, default_ms, seed);
+            speedups.push(speedup);
+            sources.push(source);
+        }
+
+        rows.push(vec![
+            spec.job_id(),
+            format!("{:.0} min", default_ms / 60_000.0),
+            speedups[0].clone(),
+            speedups[1].clone(),
+            speedups[2].clone(),
+            speedups[3].clone(),
+            sources[3].clone(),
+        ]);
+    }
+    print_table(
+        "Fig 6.3 — Speedups over the Default Configuration",
+        &[
+            "job",
+            "default",
+            "RBO",
+            "PStorM-SD",
+            "PStorM-DD",
+            "PStorM-NJ",
+            "NJ profile source",
+        ],
+        &rows,
+    );
+    println!("\npaper reference speedups (SD): word-count ~2.5x, coocc ~9.5x,");
+    println!("inverted-index ~1.1x, bigram ~5x; RBO degrades inverted-index slightly");
+}
+
+fn tuned_speedup(
+    store: &ProfileStore,
+    q: &SubmittedJob,
+    spec: &mrjobs::JobSpec,
+    ds: &mrjobs::Dataset,
+    cl: &mrsim::ClusterSpec,
+    default_ms: f64,
+    seed: u64,
+) -> (String, String) {
+    match match_profile(store, q, &MatcherConfig::default()) {
+        Ok(Ok(result)) => {
+            let rec = optimize(spec, &result.profile, ds.logical_bytes, cl, &CboOptions::default())
+                .expect("cbo");
+            let tuned_ms = simulate(spec, ds, cl, &rec.config, seed)
+                .expect("tuned run")
+                .runtime_ms;
+            let source = match &result.reduce {
+                Some(r) if r.source_job != result.map.source_job => {
+                    format!("{} ⊕ {}", result.map.source_job, r.source_job)
+                }
+                _ => result.map.source_job.clone(),
+            };
+            (format!("{:.2}x", default_ms / tuned_ms), source)
+        }
+        Ok(Err(failure)) => ("no match".to_string(), format!("{failure:?}")),
+        Err(e) => panic!("store error: {e}"),
+    }
+}

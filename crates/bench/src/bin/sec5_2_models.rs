@@ -1,0 +1,51 @@
+//! §5.2: comparison of the adopted Table 5.1 data model against the two
+//! rejected alternatives — OpenTSDB-style rows and one-table-per-feature-
+//! type — in the currency that matters to the matcher: rows/cells/regions
+//! touched to assemble all dynamic feature vectors, plus store-object
+//! overhead.
+
+use pstorm::{OpenTsdbModel, PrefixModel, ProfileLayout, TwoTableModel};
+use pstorm_bench::harness::print_table;
+
+fn main() {
+    const JOBS: usize = 2_000;
+    const SPLIT: usize = 256;
+
+    let prefix = PrefixModel::new(SPLIT);
+    let tsdb = OpenTsdbModel::new(SPLIT);
+    let two = TwoTableModel::new(SPLIT);
+    let layouts: Vec<&dyn ProfileLayout> = vec![&prefix, &tsdb, &two];
+
+    let mut rows = Vec::new();
+    for layout in &layouts {
+        for j in 0..JOBS {
+            let v: Vec<f64> = (0..4).map(|k| (j * 31 + k * 7) as f64).collect();
+            layout.insert(&format!("job{j:05}"), &v);
+        }
+        let (vectors, metrics) = layout.fetch_all_dynamic();
+        assert_eq!(vectors.len(), JOBS);
+        rows.push(vec![
+            layout.name().to_string(),
+            format!("{}", metrics.rows_scanned),
+            format!("{}", metrics.cells_scanned),
+            format!("{}", metrics.regions_visited),
+            format!("{}", layout.table_count()),
+            format!("{}", layout.region_count()),
+        ]);
+    }
+    print_table(
+        &format!("§5.2 — Store Data Models ({JOBS} stored profiles)"),
+        &[
+            "layout",
+            "rows scanned",
+            "cells scanned",
+            "regions visited",
+            "tables",
+            "total regions",
+        ],
+        &rows,
+    );
+    println!("\nthe prefix model assembles a feature vector per row; OpenTSDB-style");
+    println!("scatters each vector over one row per feature; table-per-type doubles");
+    println!("the store objects region servers must maintain (§5.2.2)");
+}

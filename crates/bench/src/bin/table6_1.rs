@@ -1,0 +1,44 @@
+//! Table 6.1: the benchmark of Hadoop MapReduce jobs — every job with its
+//! datasets, physical sample sizes, and logical scales.
+
+use datagen::{corpus, SizeClass};
+use pstorm_bench::harness::{is_single_dataset, print_table};
+
+fn gb(bytes: u64) -> String {
+    format!("{:.2} GB", bytes as f64 / (1u64 << 30) as f64)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for spec in mrjobs::jobs::standard_suite() {
+        let small = corpus::input_for(&spec.name, SizeClass::Small);
+        let datasets = if is_single_dataset(&spec.name) {
+            format!("{} (single)", small.name)
+        } else {
+            let large = corpus::input_for(&spec.name, SizeClass::Large);
+            format!("{} / {}", small.name, large.name)
+        };
+        let large_bytes = corpus::input_for(&spec.name, SizeClass::Large).logical_bytes;
+        rows.push(vec![
+            spec.job_id(),
+            datasets,
+            format!("{}", small.len()),
+            format!("{} / {}", gb(small.logical_bytes), gb(large_bytes)),
+            if spec.has_combiner() { "yes" } else { "no" }.to_string(),
+            spec.reducer_class.clone().unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print_table(
+        "Table 6.1 — Benchmark of Hadoop MapReduce Jobs",
+        &[
+            "job",
+            "dataset(s)",
+            "sample records",
+            "logical size (small/large)",
+            "combiner",
+            "reducer",
+        ],
+        &rows,
+    );
+    println!("\ntotal jobs: {}", mrjobs::jobs::standard_suite().len());
+}

@@ -1,0 +1,40 @@
+//! Table 6.2: runtimes of the four §6.2 jobs on the 35 GB-class Wikipedia
+//! data with the default (submitted) Hadoop configuration.
+//!
+//! Absolute numbers are virtual cluster-time; the paper's *ordering* and
+//! rough ratios are the reproduction target (word count fastest by far,
+//! co-occurrence pairs slowest by an order of magnitude).
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{simulate, JobConfig};
+use pstorm_bench::harness::{cluster, print_table, seed_for};
+
+fn main() {
+    let cl = cluster();
+    let specs = vec![
+        jobs::word_count(),
+        jobs::word_cooccurrence_pairs(2),
+        jobs::inverted_index(),
+        jobs::bigram_relative_frequency(),
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let ds = corpus::input_for(&spec.name, SizeClass::Large);
+        let config = JobConfig::submitted(&spec);
+        let report = simulate(&spec, &ds, &cl, &config, seed_for(&spec, &ds)).expect("simulate");
+        rows.push(vec![
+            spec.job_id(),
+            ds.name.clone(),
+            format!("{:.1}", report.runtime_ms / 60_000.0),
+            format!("{}", report.map_tasks.len()),
+            format!("{}", report.reduce_tasks.len()),
+        ]);
+    }
+    print_table(
+        "Table 6.2 — Runtimes with the Default Hadoop Configuration",
+        &["job", "dataset", "runtime (virtual min)", "map tasks", "reduce tasks"],
+        &rows,
+    );
+    println!("\npaper reference (minutes): word-count 12, coocc-pairs 824, inverted-index 100, bigram 302");
+}

@@ -1,0 +1,235 @@
+//! Shared experiment harness: the benchmark corpus (jobs × datasets of
+//! Table 6.1), profile collection, and profile-store population for the
+//! SD / DD / NJ content states of §6.
+
+use datagen::{corpus, SizeClass};
+use mrjobs::{Dataset, JobSpec};
+use mrsim::{ClusterSpec, JobConfig, SimError};
+use profiler::{collect_full_profile, JobProfile};
+use pstorm::ProfileStore;
+use staticanalysis::StaticFeatures;
+
+/// One profiled (job, dataset) run, ready to be loaded into a store.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    pub spec: JobSpec,
+    pub dataset_name: String,
+    pub size: SizeClass,
+    pub statics: StaticFeatures,
+    /// Profile with `job_id` rewritten to `<job>@<dataset>` so twins on
+    /// different datasets coexist in one store.
+    pub profile: JobProfile,
+}
+
+impl ProfiledRun {
+    /// The `<job>@<dataset>` store key.
+    pub fn store_id(&self) -> &str {
+        &self.profile.job_id
+    }
+
+    /// The bare job id (without the dataset suffix).
+    pub fn job_id(&self) -> String {
+        self.spec.job_id()
+    }
+}
+
+/// A submission to evaluate: the job, its dataset, and its size class.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub spec: JobSpec,
+    pub dataset: Dataset,
+    pub size: SizeClass,
+}
+
+/// The paper's cluster.
+pub fn cluster() -> ClusterSpec {
+    ClusterSpec::ec2_c1_medium_16()
+}
+
+/// Whether a job runs on a single dataset in Table 6.1.
+pub fn is_single_dataset(job_name: &str) -> bool {
+    let small = corpus::input_for(job_name, SizeClass::Small);
+    let large = corpus::input_for(job_name, SizeClass::Large);
+    small.name == large.name
+}
+
+/// Collect full profiles for every runnable (job, size) combo of the
+/// benchmark suite. Combos that cannot execute (co-occurrence stripes
+/// OOMs on the large dataset, exactly as in the paper) are skipped.
+/// Single-dataset jobs contribute one profile.
+pub fn collect_all_profiles(cl: &ClusterSpec) -> Vec<ProfiledRun> {
+    let mut runs = Vec::new();
+    for spec in mrjobs::jobs::standard_suite() {
+        let single = is_single_dataset(&spec.name);
+        for size in [SizeClass::Small, SizeClass::Large] {
+            if single && size == SizeClass::Large {
+                continue;
+            }
+            let ds = corpus::input_for(&spec.name, size);
+            match profiled_run(&spec, &ds, size, cl) {
+                Ok(run) => runs.push(run),
+                Err(SimError::OutOfMemory { .. }) => {
+                    // The paper: "the word co-occurrence stripes job did not
+                    // complete its execution on the Wikipedia data set".
+                }
+                Err(e) => panic!("profiling {} on {}: {e}", spec.job_id(), ds.name),
+            }
+        }
+    }
+    runs
+}
+
+/// Profile one (job, dataset) combo with the job's submitted config.
+pub fn profiled_run(
+    spec: &JobSpec,
+    ds: &Dataset,
+    size: SizeClass,
+    cl: &ClusterSpec,
+) -> Result<ProfiledRun, SimError> {
+    let (mut profile, _) =
+        collect_full_profile(spec, ds, cl, &JobConfig::submitted(spec), seed_for(spec, ds))?;
+    profile.job_id = format!("{}@{}", spec.job_id(), ds.name);
+    Ok(ProfiledRun {
+        spec: spec.clone(),
+        dataset_name: ds.name.clone(),
+        size,
+        statics: StaticFeatures::extract(spec),
+        profile,
+    })
+}
+
+/// Deterministic per-combo seed.
+pub fn seed_for(spec: &JobSpec, ds: &Dataset) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in spec.job_id().bytes().chain(ds.name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// All submissions the accuracy experiments evaluate: every runnable
+/// (job, size) combo.
+pub fn all_submissions() -> Vec<Submission> {
+    let mut subs = Vec::new();
+    for spec in mrjobs::jobs::standard_suite() {
+        let single = is_single_dataset(&spec.name);
+        for size in [SizeClass::Small, SizeClass::Large] {
+            if single && size == SizeClass::Large {
+                continue;
+            }
+            // The stripes job cannot execute on the large dataset at all.
+            if spec.name == "word-cooccurrence-stripes" && size == SizeClass::Large {
+                continue;
+            }
+            subs.push(Submission {
+                dataset: corpus::input_for(&spec.name, size),
+                spec: spec.clone(),
+                size,
+            });
+        }
+    }
+    subs
+}
+
+/// The SD (Same Data) store: every collected profile.
+pub fn populate_sd(runs: &[ProfiledRun]) -> ProfileStore {
+    let store = ProfileStore::new().expect("fresh store");
+    for r in runs {
+        store.put_profile(&r.statics, &r.profile).expect("put");
+    }
+    store
+}
+
+/// The DD (Different Data) store for submissions at `submission_size`:
+/// only profiles collected on the *other* size class. Single-dataset jobs
+/// have no twin and are absent — the source of the paper's DD
+/// false-positives.
+pub fn populate_dd(runs: &[ProfiledRun], submission_size: SizeClass) -> ProfileStore {
+    let store = ProfileStore::new().expect("fresh store");
+    for r in runs {
+        if r.size != submission_size && !is_single_dataset(&r.spec.name) {
+            store.put_profile(&r.statics, &r.profile).expect("put");
+        }
+    }
+    store
+}
+
+/// The NJ (New Job) store for a given submitted job: every profile except
+/// that job's (on any dataset).
+pub fn populate_nj(runs: &[ProfiledRun], submitted_job_id: &str) -> ProfileStore {
+    let store = ProfileStore::new().expect("fresh store");
+    for r in runs {
+        if r.job_id() != submitted_job_id {
+            store.put_profile(&r.statics, &r.profile).expect("put");
+        }
+    }
+    store
+}
+
+/// The expected (correct) store id for a submission in the SD state.
+pub fn expected_sd(sub: &Submission) -> String {
+    format!("{}@{}", sub.spec.job_id(), sub.dataset.name)
+}
+
+/// The expected store id in the DD state (`None` when the twin does not
+/// exist).
+pub fn expected_dd(sub: &Submission, runs: &[ProfiledRun]) -> Option<String> {
+    runs.iter()
+        .find(|r| r.job_id() == sub.spec.job_id() && r.size != sub.size)
+        .map(|r| r.store_id().to_string())
+}
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dataset_detection() {
+        assert!(is_single_dataset("fim-pass1"));
+        assert!(!is_single_dataset("word-count"));
+    }
+
+    #[test]
+    fn submissions_skip_stripes_large() {
+        let subs = all_submissions();
+        assert!(!subs
+            .iter()
+            .any(|s| s.spec.name == "word-cooccurrence-stripes" && s.size == SizeClass::Large));
+        assert!(subs
+            .iter()
+            .any(|s| s.spec.name == "word-cooccurrence-stripes" && s.size == SizeClass::Small));
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let wc = mrjobs::jobs::word_count();
+        let ds1 = corpus::random_text_1g();
+        let ds2 = corpus::wikipedia_35g();
+        assert_eq!(seed_for(&wc, &ds1), seed_for(&wc, &ds1));
+        assert_ne!(seed_for(&wc, &ds1), seed_for(&wc, &ds2));
+    }
+}

@@ -1,0 +1,153 @@
+//! Cell-value encoding.
+//!
+//! HBase cells are raw bytes; this module provides the small binary codec
+//! PStorM uses to serialize feature values and profiles into cells, with
+//! order-preserving encodings where sort order matters (f64 keys).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes while decoding.
+    Truncated,
+    /// A tag byte did not match any known variant.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated value"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in encoded string"),
+        }
+    }
+}
+impl std::error::Error for CodecError {}
+
+/// Encode an `f64` as 8 big-endian bytes whose bytewise order matches the
+/// numeric order (IEEE sign-flip trick). Used for normalization bounds and
+/// numeric feature cells.
+pub fn encode_f64(v: f64) -> Bytes {
+    let bits = v.to_bits();
+    let flipped = if bits >> 63 == 0 {
+        bits ^ (1 << 63)
+    } else {
+        !bits
+    };
+    let mut b = BytesMut::with_capacity(8);
+    b.put_u64(flipped);
+    b.freeze()
+}
+
+/// Decode an order-preserving `f64`.
+pub fn decode_f64(bytes: &[u8]) -> Result<f64, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut buf = bytes;
+    let flipped = buf.get_u64();
+    let bits = if flipped >> 63 == 1 {
+        flipped ^ (1 << 63)
+    } else {
+        !flipped
+    };
+    Ok(f64::from_bits(bits))
+}
+
+/// Encode a UTF-8 string with a u32 length prefix.
+pub fn encode_str(s: &str) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + s.len());
+    b.put_u32(s.len() as u32);
+    b.put_slice(s.as_bytes());
+    b.freeze()
+}
+
+/// Decode a length-prefixed string, returning the remainder.
+pub fn decode_str(bytes: &[u8]) -> Result<(String, &[u8]), CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut buf = bytes;
+    let len = buf.get_u32() as usize;
+    if buf.len() < len {
+        return Err(CodecError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| CodecError::BadUtf8)?;
+    Ok((s.to_string(), &buf[len..]))
+}
+
+/// Encode a vector of f64s with a u32 count prefix.
+pub fn encode_f64_vec(v: &[f64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + v.len() * 8);
+    b.put_u32(v.len() as u32);
+    for x in v {
+        b.put_f64(*x);
+    }
+    b.freeze()
+}
+
+/// Decode a vector of f64s.
+pub fn decode_f64_vec(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let mut buf = bytes;
+    let n = buf.get_u32() as usize;
+    if buf.len() < n * 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f64()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [-1e30, -1.5, -0.0, 0.0, 1e-300, 2.5, 7.1e18] {
+            let enc = encode_f64(v);
+            assert_eq!(decode_f64(&enc).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn f64_encoding_is_order_preserving() {
+        let vals = [-100.0, -1.0, -0.5, 0.0, 0.25, 1.0, 1e9];
+        let encs: Vec<Bytes> = vals.iter().map(|v| encode_f64(*v)).collect();
+        for w in encs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn str_roundtrip_with_remainder() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&encode_str("hello"));
+        b.extend_from_slice(b"REST");
+        let (s, rest) = decode_str(&b).unwrap();
+        assert_eq!(s, "hello");
+        assert_eq!(rest, b"REST");
+    }
+
+    #[test]
+    fn f64_vec_roundtrip() {
+        let v = vec![1.0, 2.5, -3.75];
+        assert_eq!(decode_f64_vec(&encode_f64_vec(&v)).unwrap(), v);
+        assert_eq!(decode_f64_vec(&encode_f64_vec(&[])).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        assert_eq!(decode_f64(&[1, 2, 3]).unwrap_err(), CodecError::Truncated);
+        assert_eq!(decode_str(&[0, 0, 0, 9, b'x']).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            decode_f64_vec(&[0, 0, 0, 2, 0]).unwrap_err(),
+            CodecError::Truncated
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Server-side filters (the "filter-reaching mechanism" of §5.3).
+//!
+//! Filters are shipped to region servers and evaluated during the scan,
+//! so only passing rows travel back to the client — the optimization
+//! PStorM relies on to keep matching scalable as the store grows.
+
+use bytes::Bytes;
+
+use crate::kv::RowResult;
+
+/// A predicate evaluated at the region server against a materialized row.
+pub trait Filter: Send + Sync {
+    fn matches(&self, row: &RowResult) -> bool;
+
+    /// A short description for diagnostics.
+    fn describe(&self) -> String {
+        "filter".to_string()
+    }
+}
+
+/// Pass rows whose row key starts with a prefix — the idiom for feature-
+/// type-prefixed row keys in the PStorM data model (Table 5.1).
+pub struct RowPrefixFilter {
+    pub prefix: Bytes,
+}
+
+impl Filter for RowPrefixFilter {
+    fn matches(&self, row: &RowResult) -> bool {
+        row.row.starts_with(&self.prefix)
+    }
+    fn describe(&self) -> String {
+        format!("RowPrefixFilter({:?})", self.prefix)
+    }
+}
+
+/// Comparison operators for column-value filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Equal,
+    NotEqual,
+    Less,
+    LessOrEqual,
+    Greater,
+    GreaterOrEqual,
+}
+
+/// Pass rows whose column's latest value compares against a constant
+/// (bytewise, like HBase's `SingleColumnValueFilter`). Rows missing the
+/// column are dropped.
+pub struct SingleColumnValueFilter {
+    pub family: String,
+    pub column: Bytes,
+    pub op: CompareOp,
+    pub value: Bytes,
+}
+
+impl Filter for SingleColumnValueFilter {
+    fn matches(&self, row: &RowResult) -> bool {
+        let Some(v) = row.value(&self.family, &self.column) else {
+            return false;
+        };
+        let ord = v.as_ref().cmp(self.value.as_ref());
+        match self.op {
+            CompareOp::Equal => ord.is_eq(),
+            CompareOp::NotEqual => ord.is_ne(),
+            CompareOp::Less => ord.is_lt(),
+            CompareOp::LessOrEqual => ord.is_le(),
+            CompareOp::Greater => ord.is_gt(),
+            CompareOp::GreaterOrEqual => ord.is_ge(),
+        }
+    }
+    fn describe(&self) -> String {
+        format!(
+            "SingleColumnValueFilter({}:{:?} {:?})",
+            self.family, self.column, self.op
+        )
+    }
+}
+
+/// An arbitrary predicate — what PStorM uses to push its Euclidean-
+/// distance and Jaccard filters down to the region servers.
+pub struct PredicateFilter<F: Fn(&RowResult) -> bool + Send + Sync> {
+    pub name: String,
+    pub pred: F,
+}
+
+impl<F: Fn(&RowResult) -> bool + Send + Sync> Filter for PredicateFilter<F> {
+    fn matches(&self, row: &RowResult) -> bool {
+        (self.pred)(row)
+    }
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Conjunction of filters (HBase `FilterList` with `MUST_PASS_ALL`).
+pub struct FilterList {
+    pub filters: Vec<Box<dyn Filter>>,
+}
+
+impl Filter for FilterList {
+    fn matches(&self, row: &RowResult) -> bool {
+        self.filters.iter().all(|f| f.matches(row))
+    }
+    fn describe(&self) -> String {
+        format!(
+            "FilterList[{}]",
+            self.filters
+                .iter()
+                .map(|f| f.describe())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::CellVersion;
+
+    fn row(key: &str, col_val: Option<(&str, &str)>) -> RowResult {
+        let mut r = RowResult::new(Bytes::copy_from_slice(key.as_bytes()));
+        if let Some((c, v)) = col_val {
+            r.families.entry("f".to_string()).or_default().insert(
+                Bytes::copy_from_slice(c.as_bytes()),
+                CellVersion {
+                    timestamp: 1,
+                    value: Bytes::copy_from_slice(v.as_bytes()),
+                },
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let f = RowPrefixFilter {
+            prefix: Bytes::from("Static/"),
+        };
+        assert!(f.matches(&row("Static/job1", None)));
+        assert!(!f.matches(&row("Dynamic/job1", None)));
+    }
+
+    #[test]
+    fn column_value_filter_ops() {
+        let mk = |op| SingleColumnValueFilter {
+            family: "f".to_string(),
+            column: Bytes::from("c"),
+            op,
+            value: Bytes::from("m"),
+        };
+        let lo = row("r", Some(("c", "a")));
+        let eq = row("r", Some(("c", "m")));
+        let hi = row("r", Some(("c", "z")));
+        assert!(mk(CompareOp::Less).matches(&lo));
+        assert!(!mk(CompareOp::Less).matches(&eq));
+        assert!(mk(CompareOp::Equal).matches(&eq));
+        assert!(mk(CompareOp::GreaterOrEqual).matches(&hi));
+        assert!(mk(CompareOp::NotEqual).matches(&hi));
+    }
+
+    #[test]
+    fn missing_column_never_matches() {
+        let f = SingleColumnValueFilter {
+            family: "f".to_string(),
+            column: Bytes::from("c"),
+            op: CompareOp::NotEqual,
+            value: Bytes::from("x"),
+        };
+        assert!(!f.matches(&row("r", None)));
+    }
+
+    #[test]
+    fn filter_list_is_conjunction() {
+        let list = FilterList {
+            filters: vec![
+                Box::new(RowPrefixFilter {
+                    prefix: Bytes::from("S"),
+                }),
+                Box::new(PredicateFilter {
+                    name: "nonempty".to_string(),
+                    pred: |r: &RowResult| !r.is_empty(),
+                }),
+            ],
+        };
+        assert!(list.matches(&row("S1", Some(("c", "v")))));
+        assert!(!list.matches(&row("S1", None)));
+        assert!(!list.matches(&row("D1", Some(("c", "v")))));
+    }
+}

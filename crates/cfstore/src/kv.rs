@@ -1,0 +1,115 @@
+//! The key-value data model: cells, puts, and row results.
+//!
+//! As in HBase, a data item is a key-value pair whose key is the composite
+//! `(row-key, column-family, column-name, timestamp)` (§5.1).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A write: one cell destined for a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Put {
+    pub row: Bytes,
+    pub family: String,
+    pub column: Bytes,
+    pub value: Bytes,
+}
+
+impl Put {
+    pub fn new(
+        row: impl Into<Bytes>,
+        family: impl Into<String>,
+        column: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Self {
+        Put {
+            row: row.into(),
+            family: family.into(),
+            column: column.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// A stored cell version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellVersion {
+    /// Logical timestamp assigned at write time (monotonically increasing
+    /// per store).
+    pub timestamp: u64,
+    pub value: Bytes,
+}
+
+/// A materialized row returned by gets and scans: family → column → latest
+/// cell.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowResult {
+    pub row: Bytes,
+    pub families: BTreeMap<String, BTreeMap<Bytes, CellVersion>>,
+}
+
+impl RowResult {
+    pub fn new(row: Bytes) -> Self {
+        RowResult {
+            row,
+            families: BTreeMap::new(),
+        }
+    }
+
+    /// Latest value of a column, if present.
+    pub fn value(&self, family: &str, column: &[u8]) -> Option<&Bytes> {
+        self.families
+            .get(family)
+            .and_then(|cols| cols.get(column))
+            .map(|c| &c.value)
+    }
+
+    /// All `(column, value)` pairs of one family.
+    pub fn columns(&self, family: &str) -> Vec<(&Bytes, &Bytes)> {
+        self.families
+            .get(family)
+            .map(|cols| cols.iter().map(|(c, v)| (c, &v.value)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of cells across all families.
+    pub fn cell_count(&self) -> usize {
+        self.families.values().map(BTreeMap::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_result_lookups() {
+        let mut r = RowResult::new(Bytes::from("row1"));
+        r.families
+            .entry("cf".to_string())
+            .or_default()
+            .insert(
+                Bytes::from("colA"),
+                CellVersion {
+                    timestamp: 3,
+                    value: Bytes::from("v"),
+                },
+            );
+        assert_eq!(r.value("cf", b"colA").unwrap(), &Bytes::from("v"));
+        assert!(r.value("cf", b"colB").is_none());
+        assert!(r.value("nope", b"colA").is_none());
+        assert_eq!(r.cell_count(), 1);
+        assert_eq!(r.columns("cf").len(), 1);
+    }
+
+    #[test]
+    fn put_builder() {
+        let p = Put::new("r", "cf", "c", "v");
+        assert_eq!(p.row, Bytes::from("r"));
+        assert_eq!(p.family, "cf");
+    }
+}

@@ -1,0 +1,24 @@
+//! # cfstore — a miniature HBase
+//!
+//! The storage substrate for the PStorM profile store: a column-family
+//! store with row-key-ordered regions, median-key region splits, a META
+//! catalog, multi-version cells, and — crucially for PStorM — *server-side
+//! filter pushdown* with parallel region scans (§5.3 of the paper).
+//!
+//! * [`kv`] — cells, puts, row results.
+//! * [`filter`] — pushdown predicates (`RowPrefixFilter`,
+//!   `SingleColumnValueFilter`, arbitrary predicates, conjunctions).
+//! * [`region`] — sorted row partitions with scan metrics and splits.
+//! * [`store`] — tables, META, the client API.
+//! * [`encoding`] — the binary codec for cell values.
+
+pub mod encoding;
+pub mod filter;
+pub mod kv;
+pub mod region;
+pub mod store;
+
+pub use filter::{CompareOp, Filter, FilterList, PredicateFilter, RowPrefixFilter, SingleColumnValueFilter};
+pub use kv::{CellVersion, Put, RowResult};
+pub use region::{KeyRange, Region, ScanMetrics};
+pub use store::{MetaEntry, MiniStore, Scan, StoreError};

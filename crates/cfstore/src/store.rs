@@ -1,0 +1,458 @@
+//! The store: tables, the META catalog, region assignment, and the
+//! client API (create/put/get/scan/delete) with server-side filter
+//! pushdown and parallel region scans.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::filter::Filter;
+use crate::kv::{Put, RowResult};
+use crate::region::{KeyRange, Region, ScanMetrics};
+
+/// Rows per region before a split is triggered.
+const DEFAULT_SPLIT_THRESHOLD: usize = 256;
+
+/// Store errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    TableExists(String),
+    NoSuchTable(String),
+    NoSuchColumnFamily { table: String, family: String },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            StoreError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            StoreError::NoSuchColumnFamily { table, family } => {
+                write!(
+                    f,
+                    "table `{table}` has no column family `{family}` \
+                     (families are fixed at table creation, as in HBase)"
+                )
+            }
+        }
+    }
+}
+impl std::error::Error for StoreError {}
+
+/// A scan request.
+pub struct Scan {
+    /// Inclusive start row.
+    pub start: Bytes,
+    /// Exclusive stop row; `None` scans to the end of the table.
+    pub stop: Option<Bytes>,
+    /// Server-side filter, evaluated at the regions.
+    pub filter: Option<Box<dyn Filter>>,
+}
+
+impl Scan {
+    /// Full-table scan.
+    pub fn all() -> Self {
+        Scan {
+            start: Bytes::new(),
+            stop: None,
+            filter: None,
+        }
+    }
+
+    /// Scan rows with a given prefix (start = prefix, stop = prefix+1).
+    pub fn prefix(prefix: &[u8]) -> Self {
+        let mut stop = prefix.to_vec();
+        for i in (0..stop.len()).rev() {
+            if stop[i] < 0xff {
+                stop[i] += 1;
+                stop.truncate(i + 1);
+                return Scan {
+                    start: Bytes::copy_from_slice(prefix),
+                    stop: Some(Bytes::from(stop)),
+                    filter: None,
+                };
+            }
+        }
+        Scan {
+            start: Bytes::copy_from_slice(prefix),
+            stop: None,
+            filter: None,
+        }
+    }
+
+    pub fn with_filter(mut self, filter: Box<dyn Filter>) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+}
+
+/// One table: a fixed set of column families and a list of regions sorted
+/// by start key.
+struct Table {
+    families: Vec<String>,
+    regions: RwLock<Vec<Arc<Region>>>,
+    split_threshold: usize,
+}
+
+/// An entry of the META catalog: `(table, start_key, region_id) → region
+/// server` (§5.2.2's key shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaEntry {
+    pub table: String,
+    pub start_key: Bytes,
+    pub region_id: u64,
+    pub region_server: u32,
+}
+
+/// The miniature column-family store.
+pub struct MiniStore {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    clock: AtomicU64,
+    next_region_id: AtomicU64,
+    /// Simulated region-server count for META assignment reporting.
+    region_servers: u32,
+}
+
+impl MiniStore {
+    pub fn new() -> Self {
+        MiniStore {
+            tables: RwLock::new(BTreeMap::new()),
+            clock: AtomicU64::new(1),
+            next_region_id: AtomicU64::new(1),
+            region_servers: 4,
+        }
+    }
+
+    /// Create a table with a fixed set of column families.
+    pub fn create_table(&self, name: &str, families: &[&str]) -> Result<(), StoreError> {
+        self.create_table_with_threshold(name, families, DEFAULT_SPLIT_THRESHOLD)
+    }
+
+    /// Create a table with a custom region-split threshold (used by the
+    /// store-scalability benchmarks).
+    pub fn create_table_with_threshold(
+        &self,
+        name: &str,
+        families: &[&str],
+        split_threshold: usize,
+    ) -> Result<(), StoreError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(StoreError::TableExists(name.to_string()));
+        }
+        let region = Arc::new(Region::new(
+            self.next_region_id.fetch_add(1, Ordering::Relaxed),
+            KeyRange::all(),
+        ));
+        tables.insert(
+            name.to_string(),
+            Arc::new(Table {
+                families: families.iter().map(|f| f.to_string()).collect(),
+                regions: RwLock::new(vec![region]),
+                split_threshold,
+            }),
+        );
+        Ok(())
+    }
+
+    fn table(&self, name: &str) -> Result<Arc<Table>, StoreError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    /// Write one cell.
+    pub fn put(&self, table: &str, put: Put) -> Result<(), StoreError> {
+        let t = self.table(table)?;
+        if !t.families.iter().any(|f| f == &put.family) {
+            return Err(StoreError::NoSuchColumnFamily {
+                table: table.to_string(),
+                family: put.family.clone(),
+            });
+        }
+        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        // A concurrent split can shrink the chosen region's range between
+        // lookup and write; `Region::put` detects this under its lock and
+        // we retry against the refreshed region list.
+        let region = loop {
+            let region = {
+                let regions = t.regions.read();
+                regions
+                    .iter()
+                    .find(|r| r.contains_key(&put.row))
+                    .cloned()
+                    .expect("region ranges cover the key space")
+            };
+            if region.put(put.clone(), ts) {
+                break region;
+            }
+        };
+        // Split check (amortized: only when the region grew large).
+        if region.row_count() > t.split_threshold {
+            let mut regions = t.regions.write();
+            if let Some(upper) =
+                region.split(self.next_region_id.fetch_add(1, Ordering::Relaxed))
+            {
+                let pos = regions
+                    .iter()
+                    .position(|r| r.id == region.id)
+                    .expect("region still registered");
+                regions.insert(pos + 1, Arc::new(upper));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one row.
+    pub fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
+        let t = self.table(table)?;
+        let regions = t.regions.read();
+        let region = regions.iter().find(|r| r.contains_key(row));
+        Ok(region.and_then(|r| r.get(row)))
+    }
+
+    /// Delete one row.
+    pub fn delete_row(&self, table: &str, row: &[u8]) -> Result<bool, StoreError> {
+        let t = self.table(table)?;
+        loop {
+            let region = {
+                let regions = t.regions.read();
+                regions.iter().find(|r| r.contains_key(row)).cloned()
+            };
+            let Some(region) = region else {
+                return Ok(false);
+            };
+            // `None` means a concurrent split moved the key: re-resolve.
+            if let Some(existed) = region.delete_row(row) {
+                return Ok(existed);
+            }
+        }
+    }
+
+    /// Scan with server-side filtering; regions are scanned in parallel
+    /// (one logical region server each) and results merged in key order.
+    pub fn scan(&self, table: &str, scan: &Scan) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
+        let t = self.table(table)?;
+        let regions: Vec<Arc<Region>> = {
+            let guard = t.regions.read();
+            guard
+                .iter()
+                .filter(|r| range_overlaps(&r.range(), &scan.start, scan.stop.as_deref()))
+                .cloned()
+                .collect()
+        };
+        let filter = scan.filter.as_deref();
+        let mut partials: Vec<(Vec<RowResult>, ScanMetrics)> = Vec::with_capacity(regions.len());
+        if regions.len() <= 1 {
+            for r in &regions {
+                partials.push(r.scan(&scan.start, scan.stop.as_deref(), filter));
+            }
+        } else {
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = regions
+                    .iter()
+                    .map(|r| {
+                        let start = &scan.start;
+                        let stop = scan.stop.as_deref();
+                        s.spawn(move |_| r.scan(start, stop, filter))
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("region scan panicked"));
+                }
+            })
+            .expect("scan scope");
+        }
+        let mut rows = Vec::new();
+        let mut metrics = ScanMetrics::default();
+        for (mut part, m) in partials {
+            rows.append(&mut part);
+            metrics.merge(m);
+        }
+        rows.sort_by(|a, b| a.row.cmp(&b.row));
+        Ok((rows, metrics))
+    }
+
+    /// The META catalog: one entry per region, keyed like §5.2.2 describes.
+    pub fn meta_entries(&self) -> Vec<MetaEntry> {
+        let tables = self.tables.read();
+        let mut entries = Vec::new();
+        for (name, t) in tables.iter() {
+            for r in t.regions.read().iter() {
+                entries.push(MetaEntry {
+                    table: name.clone(),
+                    start_key: r.range().start.clone(),
+                    region_id: r.id,
+                    region_server: (r.id % self.region_servers as u64) as u32,
+                });
+            }
+        }
+        entries
+    }
+
+    /// Number of regions backing a table.
+    pub fn region_count(&self, table: &str) -> Result<usize, StoreError> {
+        Ok(self.table(table)?.regions.read().len())
+    }
+}
+
+impl Default for MiniStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn range_overlaps(range: &KeyRange, start: &[u8], stop: Option<&[u8]>) -> bool {
+    let starts_before_range_end = match &range.end {
+        Some(end) => start < end.as_ref(),
+        None => true,
+    };
+    let stops_after_range_start = match stop {
+        Some(stop) => stop > range.start.as_ref(),
+        None => true,
+    };
+    starts_before_range_end && stops_after_range_start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{PredicateFilter, RowPrefixFilter};
+
+    fn bput(row: &str, col: &str, val: &str) -> Put {
+        Put::new(
+            Bytes::copy_from_slice(row.as_bytes()),
+            "f",
+            Bytes::copy_from_slice(col.as_bytes()),
+            Bytes::copy_from_slice(val.as_bytes()),
+        )
+    }
+
+    #[test]
+    fn create_put_get() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        store.put("t", bput("r1", "c", "v")).unwrap();
+        let row = store.get("t", b"r1").unwrap().unwrap();
+        assert_eq!(row.value("f", b"c").unwrap().as_ref(), b"v");
+        assert!(store.get("t", b"zz").unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_family_is_rejected() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        let err = store
+            .put("t", Put::new("r", "other", "c", "v"))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NoSuchColumnFamily { .. }));
+    }
+
+    #[test]
+    fn duplicate_table_is_rejected() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        assert!(matches!(
+            store.create_table("t", &["f"]),
+            Err(StoreError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn scan_prefix_returns_sorted_rows() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        for k in ["Static/j2", "Static/j1", "Dynamic/j1"] {
+            store.put("t", bput(k, "c", "v")).unwrap();
+        }
+        let (rows, metrics) = store.scan("t", &Scan::prefix(b"Static/")).unwrap();
+        let keys: Vec<&[u8]> = rows.iter().map(|r| r.row.as_ref()).collect();
+        assert_eq!(keys, vec![b"Static/j1".as_ref(), b"Static/j2".as_ref()]);
+        // Range-pruned scan never touched the Dynamic row.
+        assert_eq!(metrics.rows_scanned, 2);
+    }
+
+    #[test]
+    fn regions_split_as_the_table_grows() {
+        let store = MiniStore::new();
+        store
+            .create_table_with_threshold("t", &["f"], 16)
+            .unwrap();
+        for i in 0..200 {
+            store.put("t", bput(&format!("row{i:04}"), "c", "v")).unwrap();
+        }
+        assert!(store.region_count("t").unwrap() > 4);
+        // All rows still reachable.
+        let (rows, metrics) = store.scan("t", &Scan::all()).unwrap();
+        assert_eq!(rows.len(), 200);
+        assert_eq!(metrics.regions_visited as usize, store.region_count("t").unwrap());
+        // META has one entry per region.
+        assert_eq!(store.meta_entries().len(), store.region_count("t").unwrap());
+    }
+
+    #[test]
+    fn filter_pushdown_reduces_returned_rows_not_scanned_rows() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        for i in 0..50 {
+            store.put("t", bput(&format!("r{i:02}"), "c", "v")).unwrap();
+        }
+        let scan = Scan::all().with_filter(Box::new(PredicateFilter {
+            name: "even rows".to_string(),
+            pred: |r: &RowResult| r.row.last() == Some(&b'0'),
+        }));
+        let (rows, metrics) = store.scan("t", &scan).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(metrics.rows_scanned, 50);
+        assert_eq!(metrics.rows_returned, 5);
+    }
+
+    #[test]
+    fn delete_row_via_store() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        store.put("t", bput("r1", "c", "v")).unwrap();
+        assert!(store.delete_row("t", b"r1").unwrap());
+        assert!(store.get("t", b"r1").unwrap().is_none());
+    }
+
+    #[test]
+    fn prefix_scan_handles_0xff_prefix() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        let scan = Scan::prefix(&[0xff, 0xff]);
+        assert!(scan.stop.is_none());
+        let _ = store.scan("t", &scan).unwrap();
+    }
+
+    #[test]
+    fn scans_are_parallel_across_regions_and_still_ordered() {
+        let store = MiniStore::new();
+        store.create_table_with_threshold("t", &["f"], 8).unwrap();
+        for i in (0..100).rev() {
+            store.put("t", bput(&format!("k{i:03}"), "c", "v")).unwrap();
+        }
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        let keys: Vec<_> = rows.iter().map(|r| r.row.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(rows.len(), 100);
+    }
+
+    #[test]
+    fn prefix_filter_composes_with_prefix_scan() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        store.put("t", bput("Static/a", "c", "v")).unwrap();
+        let scan = Scan::prefix(b"Static/").with_filter(Box::new(RowPrefixFilter {
+            prefix: Bytes::from("Static/"),
+        }));
+        let (rows, _) = store.scan("t", &scan).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

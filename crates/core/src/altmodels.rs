@@ -1,0 +1,298 @@
+//! The alternative store data models of §5.2, for comparison benches.
+//!
+//! * [`PrefixModel`] — the adopted Table 5.1 design: one table, row keys
+//!   `<feature-type>/<job-id>`.
+//! * [`OpenTsdbModel`] — §5.2.1: row keys `<feature>/<ts>/JobID=<job>`;
+//!   data points of one *feature* are collocated but a job's feature
+//!   *vector* is scattered, so assembling vectors for matching touches
+//!   many more rows and regions.
+//! * [`TwoTableModel`] — §5.2.2: one table per feature type; equivalent
+//!   locality but more tables/regions (more region-server Store objects).
+//!
+//! All three expose the same two operations the matcher needs — insert a
+//! job's features, and assemble all dynamic feature vectors — plus the
+//! scan metrics that quantify the locality argument.
+
+use bytes::Bytes;
+
+use cfstore::encoding::{decode_f64, encode_f64};
+use cfstore::{MiniStore, Put, Scan, ScanMetrics};
+
+use crate::store::MAP_DYNAMIC_COLUMNS;
+
+/// The operations the §5.2 comparison exercises.
+pub trait ProfileLayout {
+    fn name(&self) -> &'static str;
+    /// Insert a job's map-side dynamic features.
+    fn insert(&self, job_id: &str, map_dyn: &[f64]);
+    /// Assemble every stored job's dynamic feature vector (what matching
+    /// stage 1 reads); returns vectors and the scan metrics spent.
+    fn fetch_all_dynamic(&self) -> (Vec<(String, Vec<f64>)>, ScanMetrics);
+    /// Number of backing tables (the §5.2.2 store-object argument).
+    fn table_count(&self) -> usize;
+    /// Total regions across tables.
+    fn region_count(&self) -> usize;
+}
+
+/// The adopted PStorM model.
+pub struct PrefixModel {
+    store: MiniStore,
+}
+
+impl PrefixModel {
+    pub fn new(split_threshold: usize) -> Self {
+        let store = MiniStore::new();
+        store
+            .create_table_with_threshold("Jobs", &["f"], split_threshold)
+            .unwrap();
+        PrefixModel { store }
+    }
+}
+
+impl ProfileLayout for PrefixModel {
+    fn name(&self) -> &'static str {
+        "prefix (Table 5.1)"
+    }
+
+    fn insert(&self, job_id: &str, map_dyn: &[f64]) {
+        for (col, v) in MAP_DYNAMIC_COLUMNS.iter().zip(map_dyn) {
+            self.store
+                .put(
+                    "Jobs",
+                    Put::new(
+                        Bytes::from(format!("Dynamic/{job_id}")),
+                        "f",
+                        Bytes::copy_from_slice(col.as_bytes()),
+                        encode_f64(*v),
+                    ),
+                )
+                .unwrap();
+        }
+    }
+
+    fn fetch_all_dynamic(&self) -> (Vec<(String, Vec<f64>)>, ScanMetrics) {
+        let (rows, metrics) = self.store.scan("Jobs", &Scan::prefix(b"Dynamic/")).unwrap();
+        let out = rows
+            .iter()
+            .map(|r| {
+                let id = String::from_utf8_lossy(&r.row["Dynamic/".len()..]).to_string();
+                let v = MAP_DYNAMIC_COLUMNS
+                    .iter()
+                    .map(|c| decode_f64(r.value("f", c.as_bytes()).unwrap()).unwrap())
+                    .collect();
+                (id, v)
+            })
+            .collect();
+        (out, metrics)
+    }
+
+    fn table_count(&self) -> usize {
+        1
+    }
+
+    fn region_count(&self) -> usize {
+        self.store.region_count("Jobs").unwrap()
+    }
+}
+
+/// The OpenTSDB-style model: one row per (feature, job).
+pub struct OpenTsdbModel {
+    store: MiniStore,
+}
+
+impl OpenTsdbModel {
+    pub fn new(split_threshold: usize) -> Self {
+        let store = MiniStore::new();
+        store
+            .create_table_with_threshold("tsdb", &["t"], split_threshold)
+            .unwrap();
+        OpenTsdbModel { store }
+    }
+}
+
+impl ProfileLayout for OpenTsdbModel {
+    fn name(&self) -> &'static str {
+        "OpenTSDB-style (§5.2.1)"
+    }
+
+    fn insert(&self, job_id: &str, map_dyn: &[f64]) {
+        for (col, v) in MAP_DYNAMIC_COLUMNS.iter().zip(map_dyn) {
+            // <metric>/<base-timestamp>/JobID=<job>; a fixed timestamp
+            // bucket suffices for the layout comparison.
+            self.store
+                .put(
+                    "tsdb",
+                    Put::new(
+                        Bytes::from(format!("{col}/0/JobID={job_id}")),
+                        "t",
+                        "v",
+                        encode_f64(*v),
+                    ),
+                )
+                .unwrap();
+        }
+    }
+
+    fn fetch_all_dynamic(&self) -> (Vec<(String, Vec<f64>)>, ScanMetrics) {
+        // One range scan per feature; vectors must be zipped back together
+        // on the client — the poor-locality pattern §5.2.1 describes.
+        let mut metrics = ScanMetrics::default();
+        let mut by_job: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        for col in MAP_DYNAMIC_COLUMNS {
+            let (rows, m) = self
+                .store
+                .scan("tsdb", &Scan::prefix(format!("{col}/").as_bytes()))
+                .unwrap();
+            metrics.merge(m);
+            for r in rows {
+                let key = String::from_utf8_lossy(&r.row).to_string();
+                let job = key.split("JobID=").nth(1).unwrap_or("").to_string();
+                by_job
+                    .entry(job)
+                    .or_default()
+                    .push(decode_f64(r.value("t", b"v").unwrap()).unwrap());
+            }
+        }
+        (by_job.into_iter().collect(), metrics)
+    }
+
+    fn table_count(&self) -> usize {
+        1
+    }
+
+    fn region_count(&self) -> usize {
+        self.store.region_count("tsdb").unwrap()
+    }
+}
+
+/// One table per feature type (§5.2.2).
+pub struct TwoTableModel {
+    store: MiniStore,
+}
+
+impl TwoTableModel {
+    pub fn new(split_threshold: usize) -> Self {
+        let store = MiniStore::new();
+        store
+            .create_table_with_threshold("Jobs_Static", &["f"], split_threshold)
+            .unwrap();
+        store
+            .create_table_with_threshold("Jobs_Dynamic", &["f"], split_threshold)
+            .unwrap();
+        TwoTableModel { store }
+    }
+}
+
+impl ProfileLayout for TwoTableModel {
+    fn name(&self) -> &'static str {
+        "table-per-type (§5.2.2)"
+    }
+
+    fn insert(&self, job_id: &str, map_dyn: &[f64]) {
+        for (col, v) in MAP_DYNAMIC_COLUMNS.iter().zip(map_dyn) {
+            self.store
+                .put(
+                    "Jobs_Dynamic",
+                    Put::new(
+                        Bytes::copy_from_slice(job_id.as_bytes()),
+                        "f",
+                        Bytes::copy_from_slice(col.as_bytes()),
+                        encode_f64(*v),
+                    ),
+                )
+                .unwrap();
+        }
+        // The static table exists (and costs region-server memory) even
+        // when this particular access path never reads it.
+        self.store
+            .put(
+                "Jobs_Static",
+                Put::new(
+                    Bytes::copy_from_slice(job_id.as_bytes()),
+                    "f",
+                    "MAPPER",
+                    Bytes::from(format!("{job_id}-mapper")),
+                ),
+            )
+            .unwrap();
+    }
+
+    fn fetch_all_dynamic(&self) -> (Vec<(String, Vec<f64>)>, ScanMetrics) {
+        let (rows, metrics) = self.store.scan("Jobs_Dynamic", &Scan::all()).unwrap();
+        let out = rows
+            .iter()
+            .map(|r| {
+                let id = String::from_utf8_lossy(&r.row).to_string();
+                let v = MAP_DYNAMIC_COLUMNS
+                    .iter()
+                    .map(|c| decode_f64(r.value("f", c.as_bytes()).unwrap()).unwrap())
+                    .collect();
+                (id, v)
+            })
+            .collect();
+        (out, metrics)
+    }
+
+    fn table_count(&self) -> usize {
+        2
+    }
+
+    fn region_count(&self) -> usize {
+        self.store.region_count("Jobs_Static").unwrap()
+            + self.store.region_count("Jobs_Dynamic").unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(layout: &dyn ProfileLayout, jobs: usize) {
+        for j in 0..jobs {
+            let v: Vec<f64> = (0..MAP_DYNAMIC_COLUMNS.len())
+                .map(|k| (j * 10 + k) as f64)
+                .collect();
+            layout.insert(&format!("job{j:04}"), &v);
+        }
+    }
+
+    #[test]
+    fn all_layouts_return_the_same_vectors() {
+        let prefix = PrefixModel::new(64);
+        let tsdb = OpenTsdbModel::new(64);
+        let two = TwoTableModel::new(64);
+        for layout in [&prefix as &dyn ProfileLayout, &tsdb, &two] {
+            fill(layout, 20);
+            let (rows, _) = layout.fetch_all_dynamic();
+            assert_eq!(rows.len(), 20, "{}", layout.name());
+            assert_eq!(rows[0].1.len(), MAP_DYNAMIC_COLUMNS.len());
+        }
+    }
+
+    #[test]
+    fn tsdb_layout_scans_more_rows_than_prefix() {
+        let prefix = PrefixModel::new(64);
+        let tsdb = OpenTsdbModel::new(64);
+        fill(&prefix, 50);
+        fill(&tsdb, 50);
+        let (_, mp) = prefix.fetch_all_dynamic();
+        let (_, mt) = tsdb.fetch_all_dynamic();
+        assert!(
+            mt.rows_scanned >= mp.rows_scanned * MAP_DYNAMIC_COLUMNS.len() as u64,
+            "tsdb {} vs prefix {}",
+            mt.rows_scanned,
+            mp.rows_scanned
+        );
+    }
+
+    #[test]
+    fn two_table_layout_doubles_store_objects() {
+        let prefix = PrefixModel::new(64);
+        let two = TwoTableModel::new(64);
+        fill(&prefix, 10);
+        fill(&two, 10);
+        assert_eq!(prefix.table_count(), 1);
+        assert_eq!(two.table_count(), 2);
+        assert!(two.region_count() >= prefix.region_count());
+    }
+}

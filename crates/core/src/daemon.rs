@@ -1,0 +1,219 @@
+//! The PStorM daemon: the end-to-end workflow of Chapter 3.
+//!
+//! For every submitted job:
+//! 1. run **one** sampled map task (plus reducers over its output) with the
+//!    profiler on, building the dynamic feature vector;
+//! 2. probe the profile store with the multi-stage matcher;
+//! 3. on a match, hand the profile to the Starfish CBO and run the job
+//!    with the recommended configuration, profiler **off**;
+//! 4. on *No Match Found*, run the job with its submitted configuration
+//!    and the profiler **on**, and store the collected profile for future
+//!    submissions.
+
+use mrjobs::{Dataset, JobSpec};
+use mrsim::{simulate, ClusterSpec, JobConfig, JobReport, SimError};
+use optimizer::{optimize, CboOptions};
+use profiler::{collect_full_profile, collect_sample_profile, JobProfile, SampleSize};
+use staticanalysis::StaticFeatures;
+
+use crate::matcher::{match_profile, MatchFailure, MatchResult, MatcherConfig, SubmittedJob};
+use crate::store::{ProfileStore, ProfileStoreError};
+
+/// Errors surfaced by the daemon.
+#[derive(Debug)]
+pub enum DaemonError {
+    Store(ProfileStoreError),
+    Sim(SimError),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Store(e) => write!(f, "store: {e}"),
+            DaemonError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+impl std::error::Error for DaemonError {}
+impl From<ProfileStoreError> for DaemonError {
+    fn from(e: ProfileStoreError) -> Self {
+        DaemonError::Store(e)
+    }
+}
+impl From<SimError> for DaemonError {
+    fn from(e: SimError) -> Self {
+        DaemonError::Sim(e)
+    }
+}
+
+/// How a submission was served.
+#[derive(Debug)]
+pub enum SubmissionOutcome {
+    /// A matching profile was found; the job ran with CBO-tuned settings.
+    Tuned {
+        matched: MatchResult,
+        tuned_config: JobConfig,
+        predicted_ms: f64,
+    },
+    /// No match; the job ran with its submitted configuration while being
+    /// profiled, and the collected profile was stored.
+    ProfiledAndStored { failure: MatchFailure },
+}
+
+/// The full record of one submission.
+#[derive(Debug)]
+pub struct SubmissionReport {
+    pub job_id: String,
+    pub outcome: SubmissionOutcome,
+    /// The production run of the job.
+    pub run: JobReport,
+    /// Virtual time spent collecting the 1-task sample.
+    pub sampling_ms: f64,
+}
+
+/// The PStorM daemon.
+pub struct PStorM {
+    pub store: ProfileStore,
+    pub cluster: ClusterSpec,
+    pub matcher: MatcherConfig,
+    pub cbo: CboOptions,
+}
+
+impl PStorM {
+    /// A daemon on the paper's cluster with default thresholds.
+    pub fn new() -> Result<Self, ProfileStoreError> {
+        Ok(PStorM {
+            store: ProfileStore::new()?,
+            cluster: ClusterSpec::ec2_c1_medium_16(),
+            matcher: MatcherConfig::default(),
+            cbo: CboOptions::default(),
+        })
+    }
+
+    /// Pre-load a full profile (e.g. from a prior profiling run).
+    pub fn load_profile(
+        &self,
+        statics: &StaticFeatures,
+        profile: &JobProfile,
+    ) -> Result<(), ProfileStoreError> {
+        self.store.put_profile(statics, profile)
+    }
+
+    /// Handle one job submission end to end.
+    pub fn submit(
+        &self,
+        spec: &JobSpec,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> Result<SubmissionReport, DaemonError> {
+        let submitted_config = JobConfig::submitted(spec);
+
+        // Step 1: the 1-task probe.
+        let sample = collect_sample_profile(
+            spec,
+            dataset,
+            &self.cluster,
+            &submitted_config,
+            SampleSize::OneTask,
+            seed,
+        )?;
+        let q = SubmittedJob {
+            spec: spec.clone(),
+            statics: StaticFeatures::extract(spec),
+            sample: sample.profile,
+            input_bytes: dataset.logical_bytes,
+        };
+
+        // Step 2: probe the store.
+        match match_profile(&self.store, &q, &self.matcher)? {
+            Ok(matched) => {
+                // Step 3: CBO with the matched profile; run tuned.
+                let rec = optimize(
+                    spec,
+                    &matched.profile,
+                    dataset.logical_bytes,
+                    &self.cluster,
+                    &self.cbo,
+                )?;
+                let run = simulate(spec, dataset, &self.cluster, &rec.config, seed ^ 0x47)?;
+                Ok(SubmissionReport {
+                    job_id: spec.job_id(),
+                    outcome: SubmissionOutcome::Tuned {
+                        matched,
+                        tuned_config: rec.config,
+                        predicted_ms: rec.predicted_ms,
+                    },
+                    run,
+                    sampling_ms: sample.runtime_ms,
+                })
+            }
+            Err(failure) => {
+                // Step 4: run with profiling on; store the profile.
+                let (profile, run) = collect_full_profile(
+                    spec,
+                    dataset,
+                    &self.cluster,
+                    &submitted_config,
+                    seed ^ 0x48,
+                )?;
+                self.store.put_profile(&q.statics, &profile)?;
+                Ok(SubmissionReport {
+                    job_id: spec.job_id(),
+                    outcome: SubmissionOutcome::ProfiledAndStored { failure },
+                    run,
+                    sampling_ms: sample.runtime_ms,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+
+    #[test]
+    fn first_submission_profiles_second_submission_tunes() {
+        let daemon = PStorM::new().unwrap();
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_cooccurrence_pairs(2);
+
+        let first = daemon.submit(&spec, &ds, 1).unwrap();
+        assert!(matches!(
+            first.outcome,
+            SubmissionOutcome::ProfiledAndStored { .. }
+        ));
+        assert_eq!(daemon.store.len().unwrap(), 1);
+
+        let second = daemon.submit(&spec, &ds, 2).unwrap();
+        match &second.outcome {
+            SubmissionOutcome::Tuned { matched, .. } => {
+                assert_eq!(matched.map.source_job, spec.job_id());
+            }
+            other => panic!("expected tuned run, got {other:?}"),
+        }
+        // The tuned run should be much faster than the profiled default run.
+        assert!(
+            second.run.runtime_ms < first.run.runtime_ms / 2.0,
+            "tuned {} vs default {}",
+            second.run.runtime_ms,
+            first.run.runtime_ms
+        );
+    }
+
+    #[test]
+    fn sampling_cost_is_small() {
+        let daemon = PStorM::new().unwrap();
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_count();
+        let report = daemon.submit(&spec, &ds, 1).unwrap();
+        assert!(
+            report.sampling_ms < report.run.runtime_ms / 4.0,
+            "sampling {} vs run {}",
+            report.sampling_ms,
+            report.run.runtime_ms
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! A PerfXplain-style performance explainer (§2.3.2, §7.2.4).
+//!
+//! PerfXplain answers "why did job A perform differently from job B?" by
+//! mining execution logs. The thesis argues PStorM's store makes such
+//! explanations *more precise* because it holds both the per-phase
+//! dynamic information and the static code signature of every job. This
+//! module implements that enriched explainer: it ranks the per-phase time
+//! divergences between two profiles and, where the store's static
+//! features offer a cause (different input formatters, different CFGs,
+//! a missing combiner), attaches it to the explanation.
+
+use mrsim::{MapPhase, ReducePhase};
+use profiler::JobProfile;
+use staticanalysis::StaticFeatures;
+
+/// One ranked explanation for a performance difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Where the divergence is (e.g. `"map phase MAP"`).
+    pub subject: String,
+    /// Per-task times being contrasted, ms.
+    pub a_ms: f64,
+    pub b_ms: f64,
+    /// |log-ratio| of the two times — the ranking key.
+    pub severity: f64,
+    /// The static-feature cause, when one is available ("different map
+    /// CFGs", "B has no combiner", ...).
+    pub cause: Option<String>,
+}
+
+impl Explanation {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let ratio = if self.b_ms > 0.0 { self.a_ms / self.b_ms } else { f64::INFINITY };
+        match &self.cause {
+            Some(cause) => format!(
+                "{}: {:.1}s vs {:.1}s ({ratio:.1}x) — {cause}",
+                self.subject,
+                self.a_ms / 1000.0,
+                self.b_ms / 1000.0
+            ),
+            None => format!(
+                "{}: {:.1}s vs {:.1}s ({ratio:.1}x)",
+                self.subject,
+                self.a_ms / 1000.0,
+                self.b_ms / 1000.0
+            ),
+        }
+    }
+}
+
+/// Explain the performance difference between two profiled jobs, most
+/// severe divergence first.
+pub fn explain(
+    a: (&JobProfile, &StaticFeatures),
+    b: (&JobProfile, &StaticFeatures),
+) -> Vec<Explanation> {
+    let (pa, sa) = a;
+    let (pb, sb) = b;
+    let mut out = Vec::new();
+
+    for phase in [
+        MapPhase::Read,
+        MapPhase::Map,
+        MapPhase::Collect,
+        MapPhase::Spill,
+        MapPhase::Merge,
+    ] {
+        let a_ms = phase_ms_map(pa, phase);
+        let b_ms = phase_ms_map(pb, phase);
+        if let Some(severity) = severity(a_ms, b_ms) {
+            out.push(Explanation {
+                subject: format!("map phase {phase:?}"),
+                a_ms,
+                b_ms,
+                severity,
+                cause: map_cause(phase, pa, sa, pb, sb),
+            });
+        }
+    }
+    if let (Some(ra), Some(rb)) = (&pa.reduce, &pb.reduce) {
+        for phase in [
+            ReducePhase::Shuffle,
+            ReducePhase::Sort,
+            ReducePhase::Reduce,
+            ReducePhase::Write,
+        ] {
+            let a_ms = phase_ms_reduce(ra, phase);
+            let b_ms = phase_ms_reduce(rb, phase);
+            if let Some(severity) = severity(a_ms, b_ms) {
+                out.push(Explanation {
+                    subject: format!("reduce phase {phase:?}"),
+                    a_ms,
+                    b_ms,
+                    severity,
+                    cause: reduce_cause(phase, pa, sa, pb, sb),
+                });
+            }
+        }
+    }
+    out.sort_by(|x, y| y.severity.total_cmp(&x.severity));
+    out
+}
+
+fn phase_ms_map(p: &JobProfile, phase: MapPhase) -> f64 {
+    p.map
+        .phase_ms
+        .iter()
+        .filter(|(ph, _)| *ph == phase)
+        .map(|(_, ms)| *ms)
+        .sum()
+}
+
+fn phase_ms_reduce(r: &profiler::ReduceProfile, phase: ReducePhase) -> f64 {
+    r.phase_ms
+        .iter()
+        .filter(|(ph, _)| *ph == phase)
+        .map(|(_, ms)| *ms)
+        .sum()
+}
+
+/// |ln(a/b)|, or None when the phase is negligible on both sides.
+fn severity(a_ms: f64, b_ms: f64) -> Option<f64> {
+    const NEGLIGIBLE_MS: f64 = 50.0;
+    if a_ms < NEGLIGIBLE_MS && b_ms < NEGLIGIBLE_MS {
+        return None;
+    }
+    Some((a_ms.max(1.0) / b_ms.max(1.0)).ln().abs())
+}
+
+fn map_cause(
+    phase: MapPhase,
+    pa: &JobProfile,
+    sa: &StaticFeatures,
+    pb: &JobProfile,
+    sb: &StaticFeatures,
+) -> Option<String> {
+    let static_of = |s: &StaticFeatures, name: &str| -> Option<String> {
+        s.map
+            .categorical
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.clone())
+    };
+    match phase {
+        MapPhase::Read => {
+            let fa = static_of(sa, "IN_FORMATTER")?;
+            let fb = static_of(sb, "IN_FORMATTER")?;
+            if fa != fb {
+                return Some(format!("different input formatters ({fa} vs {fb})"));
+            }
+            None
+        }
+        MapPhase::Map => {
+            if sa.map.cfg_match(&sb.map) == 0.0 {
+                let (la, lb) = (
+                    sa.map.cfg.as_ref().map(|c| c.max_loop_depth()).unwrap_or(0),
+                    sb.map.cfg.as_ref().map(|c| c.max_loop_depth()).unwrap_or(0),
+                );
+                return Some(format!(
+                    "different map CFGs (loop nesting {la} vs {lb})"
+                ));
+            }
+            None
+        }
+        MapPhase::Spill | MapPhase::Merge => {
+            let ca = pa.map.combine_pairs_selectivity;
+            let cb = pb.map.combine_pairs_selectivity;
+            match (ca, cb) {
+                (Some(_), None) => Some("only the first job runs a combiner".to_string()),
+                (None, Some(_)) => Some("only the second job runs a combiner".to_string()),
+                _ => {
+                    let sel_a = pa.map.size_selectivity;
+                    let sel_b = pb.map.size_selectivity;
+                    if (sel_a / sel_b.max(1e-9)).ln().abs() > 0.5 {
+                        Some(format!(
+                            "map size selectivities differ ({sel_a:.2} vs {sel_b:.2})"
+                        ))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+fn reduce_cause(
+    phase: ReducePhase,
+    pa: &JobProfile,
+    sa: &StaticFeatures,
+    pb: &JobProfile,
+    sb: &StaticFeatures,
+) -> Option<String> {
+    match phase {
+        ReducePhase::Shuffle | ReducePhase::Sort => {
+            let ia = pa.reduce.as_ref()?.in_bytes;
+            let ib = pb.reduce.as_ref()?.in_bytes;
+            if (ia / ib.max(1.0)).ln().abs() > 0.5 {
+                return Some(format!(
+                    "shuffle volumes differ ({:.2} GB vs {:.2} GB)",
+                    ia / (1u64 << 30) as f64,
+                    ib / (1u64 << 30) as f64
+                ));
+            }
+            None
+        }
+        ReducePhase::Reduce => {
+            if sa.reduce.cfg_match(&sb.reduce) == 0.0 {
+                return Some("different reduce CFGs".to_string());
+            }
+            None
+        }
+        ReducePhase::Write => {
+            let oa = pa.reduce.as_ref()?.out_bytes;
+            let ob = pb.reduce.as_ref()?.out_bytes;
+            if (oa / ob.max(1.0)).ln().abs() > 0.5 {
+                return Some("output sizes differ".to_string());
+            }
+            None
+        }
+        ReducePhase::Setup => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+    use mrsim::{ClusterSpec, JobConfig};
+    use profiler::collect_full_profile;
+
+    fn profiled(spec: &mrjobs::JobSpec, ds: &mrjobs::Dataset) -> (JobProfile, StaticFeatures) {
+        let (p, _) = collect_full_profile(
+            spec,
+            ds,
+            &ClusterSpec::ec2_c1_medium_16(),
+            &JobConfig::submitted(spec),
+            9,
+        )
+        .unwrap();
+        (p, StaticFeatures::extract(spec))
+    }
+
+    #[test]
+    fn cfg_difference_explains_map_phase_gap() {
+        let ds = corpus::wikipedia_35g();
+        let (pa, sa) = profiled(&jobs::word_cooccurrence_pairs(2), &ds);
+        let (pb, sb) = profiled(&jobs::word_count(), &ds);
+        let explanations = explain((&pa, &sa), (&pb, &sb));
+        assert!(!explanations.is_empty());
+        let map_exp = explanations
+            .iter()
+            .find(|e| e.subject == "map phase Map")
+            .expect("map phase divergence");
+        assert!(map_exp.a_ms > map_exp.b_ms);
+        assert!(
+            map_exp.cause.as_deref().unwrap_or("").contains("CFG"),
+            "{:?}",
+            map_exp.cause
+        );
+    }
+
+    #[test]
+    fn formatter_difference_is_surfaced_for_read_costs() {
+        let (pa, sa) = profiled(&jobs::sort(), &corpus::teragen_1g());
+        let (pb, sb) = profiled(&jobs::word_count(), &corpus::random_text_1g());
+        let explanations = explain((&pa, &sa), (&pb, &sb));
+        let read = explanations.iter().find(|e| e.subject == "map phase Read");
+        if let Some(read) = read {
+            assert!(
+                read.cause.as_deref().unwrap_or("").contains("formatter"),
+                "{:?}",
+                read.cause
+            );
+        }
+    }
+
+    #[test]
+    fn identical_jobs_produce_only_mild_explanations() {
+        let ds = corpus::random_text_1g();
+        let (pa, sa) = profiled(&jobs::word_count(), &ds);
+        let explanations = explain((&pa, &sa), (&pa, &sa));
+        for e in &explanations {
+            assert!(e.severity < 1e-9, "{}", e.render());
+            assert!(e.cause.is_none(), "{}", e.render());
+        }
+    }
+
+    #[test]
+    fn explanations_render_readably() {
+        let ds = corpus::random_text_1g();
+        let (pa, sa) = profiled(&jobs::word_cooccurrence_pairs(2), &ds);
+        let (pb, sb) = profiled(&jobs::bigram_relative_frequency(), &ds);
+        let explanations = explain((&pa, &sa), (&pb, &sb));
+        for e in explanations.iter().take(3) {
+            let s = e.render();
+            assert!(s.contains("vs"), "{s}");
+        }
+    }
+}

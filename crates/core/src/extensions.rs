@@ -1,0 +1,175 @@
+//! Future-work extensions from Chapter 7 of the thesis, implemented as
+//! optional features:
+//!
+//! * **§7.2.1 — job parameters as static features**: two submissions of
+//!   the same code with different user parameters (co-occurrence window,
+//!   grep pattern) have identical Table 4.3 features but different
+//!   dynamic behaviour. [`statics_with_params`] appends the parameters to
+//!   the static feature vector, letting the static stages distinguish
+//!   them.
+//! * **§7.2.3 — using profiles across clusters**: profiles collected on
+//!   one cluster embed that cluster's cost factors.
+//!   [`transfer_profile`] rescales the IO/CPU cost factors by the ratio
+//!   of the two clusters' base rates, the "initial step" the thesis
+//!   sketches for PStorM-as-a-service.
+
+use mrjobs::JobSpec;
+use mrsim::ClusterSpec;
+use profiler::{CostFactors, JobProfile};
+use staticanalysis::StaticFeatures;
+
+/// Extract static features with the user-provided job parameters appended
+/// to the map-side categorical vector (§7.2.1). Parameter names and
+/// values become `PARAM:<name>` features; two parameterizations of the
+/// same job then differ statically.
+pub fn statics_with_params(spec: &JobSpec) -> StaticFeatures {
+    let mut statics = StaticFeatures::extract(spec);
+    for (name, value) in &spec.params {
+        // The categorical schema must stay positionally comparable, so
+        // parameters are appended in BTreeMap (sorted) order; jobs without
+        // a parameter of that name will simply mismatch on the pair —
+        // which is the intended discrimination.
+        statics
+            .map
+            .categorical
+            .push((leak_param_name(name), value.to_string()));
+    }
+    statics
+}
+
+/// Parameter-name labels live for the process lifetime; there is a small
+/// closed set of them (one per distinct user parameter name).
+fn leak_param_name(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = set.lock().expect("intern lock");
+    let label = format!("PARAM:{name}");
+    if let Some(existing) = set.iter().find(|s| **s == label) {
+        existing
+    } else {
+        let leaked: &'static str = Box::leak(label.into_boxed_str());
+        set.insert(leaked);
+        leaked
+    }
+}
+
+/// Rescale a profile's cost factors from the cluster it was collected on
+/// to a target cluster (§7.2.3). Dataflow statistics are hardware
+/// independent and transfer unchanged; IO/network/CPU cost factors are
+/// multiplied by the ratio of the target cluster's base rates to the
+/// source cluster's.
+pub fn transfer_profile(
+    profile: &JobProfile,
+    source: &ClusterSpec,
+    target: &ClusterSpec,
+) -> JobProfile {
+    let scale = |pick: fn(&mrsim::CostRates) -> f64| -> f64 {
+        let s = pick(&source.rates);
+        if s > 0.0 {
+            pick(&target.rates) / s
+        } else {
+            1.0
+        }
+    };
+    let adjust = |cf: &CostFactors| CostFactors {
+        read_hdfs_io_cost: cf.read_hdfs_io_cost * scale(|r| r.read_hdfs_ns_per_byte),
+        write_hdfs_io_cost: cf.write_hdfs_io_cost * scale(|r| r.write_hdfs_ns_per_byte),
+        read_local_io_cost: cf.read_local_io_cost * scale(|r| r.read_local_ns_per_byte),
+        write_local_io_cost: cf.write_local_io_cost * scale(|r| r.write_local_ns_per_byte),
+        network_cost: cf.network_cost * scale(|r| r.network_ns_per_byte),
+        map_cpu_cost: cf.map_cpu_cost * scale(|r| r.cpu_ns_per_op),
+        reduce_cpu_cost: cf.reduce_cpu_cost * scale(|r| r.cpu_ns_per_op),
+        combine_cpu_cost: cf.combine_cpu_cost * scale(|r| r.cpu_ns_per_op),
+    };
+    let mut out = profile.clone();
+    out.map.cost_factors = adjust(&profile.map.cost_factors);
+    if let Some(red) = &mut out.reduce {
+        red.cost_factors = adjust(&red.cost_factors);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+    use mrsim::{CostRates, JobConfig};
+    use profiler::collect_full_profile;
+    use whatif::{predict_runtime_ms, WhatIfQuery};
+
+    #[test]
+    fn params_distinguish_window_sizes() {
+        let w2 = statics_with_params(&jobs::word_cooccurrence_pairs(2));
+        let w3 = statics_with_params(&jobs::word_cooccurrence_pairs(3));
+        assert!(w2.map.jaccard(&w3.map) < 1.0, "windows must differ statically");
+        let w2b = statics_with_params(&jobs::word_cooccurrence_pairs(2));
+        assert_eq!(w2.map.jaccard(&w2b.map), 1.0);
+    }
+
+    #[test]
+    fn params_extension_is_backward_compatible_for_paramless_jobs() {
+        let plain = StaticFeatures::extract(&jobs::word_count());
+        let with = statics_with_params(&jobs::word_count());
+        assert_eq!(plain.map.categorical, with.map.categorical);
+    }
+
+    #[test]
+    fn grep_patterns_become_distinguishable() {
+        let a = statics_with_params(&jobs::grep("foo"));
+        let b = statics_with_params(&jobs::grep("bar"));
+        // Without the extension these are statically identical (§7.2.1).
+        assert_eq!(
+            StaticFeatures::extract(&jobs::grep("foo"))
+                .map
+                .jaccard(&StaticFeatures::extract(&jobs::grep("bar")).map),
+            1.0
+        );
+        assert!(a.map.jaccard(&b.map) < 1.0);
+    }
+
+    #[test]
+    fn transferred_profiles_predict_on_the_target_cluster() {
+        let slow = ClusterSpec::ec2_c1_medium_16();
+        // A cluster with 2x faster disks and network.
+        let mut fast = ClusterSpec::ec2_c1_medium_16();
+        fast.rates = CostRates {
+            read_hdfs_ns_per_byte: slow.rates.read_hdfs_ns_per_byte / 2.0,
+            write_hdfs_ns_per_byte: slow.rates.write_hdfs_ns_per_byte / 2.0,
+            read_local_ns_per_byte: slow.rates.read_local_ns_per_byte / 2.0,
+            write_local_ns_per_byte: slow.rates.write_local_ns_per_byte / 2.0,
+            network_ns_per_byte: slow.rates.network_ns_per_byte / 2.0,
+            ..slow.rates
+        };
+        let ds = corpus::wikipedia_1g();
+        let spec = jobs::word_count();
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &slow, &JobConfig::submitted(&spec), 3).unwrap();
+        let transferred = transfer_profile(&profile, &slow, &fast);
+        // IO cost factors halved; CPU unchanged.
+        assert!(
+            (transferred.map.cost_factors.read_hdfs_io_cost
+                - profile.map.cost_factors.read_hdfs_io_cost / 2.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(
+            transferred.map.cost_factors.map_cpu_cost,
+            profile.map.cost_factors.map_cpu_cost
+        );
+        // The WIF predicts a faster run on the faster cluster.
+        let predict = |p: &JobProfile, cl: &ClusterSpec| {
+            predict_runtime_ms(&WhatIfQuery {
+                spec: &spec,
+                profile: p,
+                input_bytes: ds.logical_bytes,
+                cluster: cl,
+                config: &JobConfig::submitted(&spec),
+            })
+            .unwrap()
+        };
+        assert!(predict(&transferred, &fast) < predict(&profile, &slow));
+    }
+}

@@ -1,0 +1,34 @@
+//! # pstorm — Profile Storage and Matching for feedback-based MapReduce tuning
+//!
+//! The paper's contribution: a profile **store** that organizes execution
+//! profiles in an extensible column-family data model (Chapter 5), and a
+//! profile **matcher** that serves accurate profiles even for previously
+//! unseen jobs via multi-stage filtering and map/reduce profile
+//! composition (Chapter 4). The [`daemon`] module wires both into the
+//! Chapter-3 workflow: sample one map task → match → tune with the
+//! Starfish-style CBO, or profile-and-store on a miss.
+//!
+//! * [`store`] — the Table 5.1 HBase data model over [`cfstore`], with
+//!   pushdown filtering and min/max normalization maintenance.
+//! * [`matcher`] — the Fig. 4.4 multi-stage matching workflow.
+//! * [`daemon`] — the end-to-end PStorM daemon.
+//! * [`codec`] — cell-value encodings for profiles and CFGs.
+
+pub mod altmodels;
+pub mod codec;
+pub mod daemon;
+pub mod explain;
+pub mod extensions;
+pub mod workflow;
+pub mod matcher;
+pub mod store;
+
+pub use altmodels::{OpenTsdbModel, PrefixModel, ProfileLayout, TwoTableModel};
+pub use daemon::{DaemonError, PStorM, SubmissionOutcome, SubmissionReport};
+pub use explain::{explain, Explanation};
+pub use extensions::{statics_with_params, transfer_profile};
+pub use workflow::{ChainReport, ChainStage};
+pub use matcher::{
+    match_profile, MatchFailure, MatchResult, MatcherConfig, Side, SideMatch, SubmittedJob,
+};
+pub use store::{DynamicRow, NormalizationBounds, ProfileStore, ProfileStoreError, StoredStatics};

@@ -1,0 +1,583 @@
+//! The PStorM profile store (Chapter 5).
+//!
+//! Table 5.1's data model over the miniature HBase: one table, one column
+//! family, and row keys prefixed with the *feature type*:
+//!
+//! ```text
+//! Static/<job-id>     -> categorical static features + encoded CFGs
+//! Dynamic/<job-id>    -> dataflow-statistic features + input size
+//! CostFactor/<job-id> -> the Table 4.2 cost-factor features
+//! Profile/<job-id>    -> the full encoded Starfish profile
+//! Meta/normalization  -> min/max bounds for Euclidean normalization
+//! ```
+//!
+//! The prefix keeps all rows of one feature type contiguous, so each
+//! matching stage scans exactly one key range with a pushed-down filter —
+//! the locality argument of §5.1.
+
+use bytes::Bytes;
+
+use cfstore::encoding::{decode_f64, decode_f64_vec, encode_f64, encode_f64_vec};
+use cfstore::{MiniStore, Put, RowResult, Scan, ScanMetrics, StoreError};
+use mlmatch::MinMaxNormalizer;
+use profiler::{CostFactors, JobProfile};
+use staticanalysis::{Cfg, SideFeatures, StaticFeatures};
+
+use crate::codec::{decode_cfg, decode_profile, encode_cfg, encode_profile};
+
+/// Table and family names.
+const TABLE: &str = "Jobs";
+const FAMILY: &str = "f";
+
+/// Dynamic feature column names: the map-side Table 4.1 statistics, then
+/// the reduce-side ones.
+pub const MAP_DYNAMIC_COLUMNS: [&str; 4] = [
+    "MAP_SIZE_SEL",
+    "MAP_PAIRS_SEL",
+    "COMBINE_SIZE_SEL",
+    "COMBINE_PAIRS_SEL",
+];
+pub const RED_DYNAMIC_COLUMNS: [&str; 2] = ["RED_SIZE_SEL", "RED_PAIRS_SEL"];
+const INPUT_BYTES_COLUMN: &str = "INPUT_BYTES";
+const HAS_REDUCE_COLUMN: &str = "HAS_REDUCE";
+
+/// Errors from the profile store.
+#[derive(Debug)]
+pub enum ProfileStoreError {
+    Store(StoreError),
+    Codec(cfstore::encoding::CodecError),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ProfileStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileStoreError::Store(e) => write!(f, "{e}"),
+            ProfileStoreError::Codec(e) => write!(f, "codec: {e}"),
+            ProfileStoreError::Corrupt(s) => write!(f, "corrupt store row: {s}"),
+        }
+    }
+}
+impl std::error::Error for ProfileStoreError {}
+impl From<StoreError> for ProfileStoreError {
+    fn from(e: StoreError) -> Self {
+        ProfileStoreError::Store(e)
+    }
+}
+impl From<cfstore::encoding::CodecError> for ProfileStoreError {
+    fn from(e: cfstore::encoding::CodecError) -> Self {
+        ProfileStoreError::Codec(e)
+    }
+}
+
+/// One stored job as reconstructed from the store's rows.
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    pub job_id: String,
+    pub statics: StoredStatics,
+    pub profile: JobProfile,
+}
+
+/// Static features as stored (categorical vectors + decoded CFGs).
+#[derive(Debug, Clone)]
+pub struct StoredStatics {
+    pub map: SideFeatures,
+    pub reduce: SideFeatures,
+}
+
+/// The PStorM profile store.
+pub struct ProfileStore {
+    store: MiniStore,
+}
+
+impl ProfileStore {
+    /// Create an empty store (one `Jobs` table, one family).
+    pub fn new() -> Result<Self, ProfileStoreError> {
+        let store = MiniStore::new();
+        store.create_table(TABLE, &[FAMILY])?;
+        Ok(ProfileStore { store })
+    }
+
+    /// Insert (or replace) a job's profile and features, maintaining the
+    /// normalization bounds.
+    pub fn put_profile(
+        &self,
+        statics: &StaticFeatures,
+        profile: &JobProfile,
+    ) -> Result<(), ProfileStoreError> {
+        let job_id = &profile.job_id;
+
+        // Static/<job>: categorical features + CFG cells.
+        for (name, value) in statics.map.categorical.iter().chain(&statics.reduce.categorical) {
+            self.store.put(
+                TABLE,
+                Put::new(
+                    row_key("Static", job_id),
+                    FAMILY,
+                    Bytes::copy_from_slice(name.as_bytes()),
+                    Bytes::copy_from_slice(value.as_bytes()),
+                ),
+            )?;
+        }
+        if let Some(cfg) = &statics.map.cfg {
+            self.store.put(
+                TABLE,
+                Put::new(row_key("Static", job_id), FAMILY, "MAP_CFG", encode_cfg(cfg)),
+            )?;
+        }
+        if let Some(cfg) = &statics.reduce.cfg {
+            self.store.put(
+                TABLE,
+                Put::new(row_key("Static", job_id), FAMILY, "RED_CFG", encode_cfg(cfg)),
+            )?;
+        }
+
+        // Dynamic/<job>: dataflow statistics + input size + reduce flag.
+        let map_dyn = profile.map.dynamic_features();
+        for (name, v) in MAP_DYNAMIC_COLUMNS.iter().zip(&map_dyn) {
+            self.put_f64("Dynamic", job_id, name, *v)?;
+        }
+        if let Some(red) = &profile.reduce {
+            for (name, v) in RED_DYNAMIC_COLUMNS.iter().zip(red.dynamic_features().iter()) {
+                self.put_f64("Dynamic", job_id, name, *v)?;
+            }
+        }
+        self.put_f64("Dynamic", job_id, INPUT_BYTES_COLUMN, profile.input_bytes)?;
+        self.put_f64(
+            "Dynamic",
+            job_id,
+            HAS_REDUCE_COLUMN,
+            profile.reduce.is_some() as u8 as f64,
+        )?;
+
+        // CostFactor/<job>.
+        for (name, v) in CostFactors::names()
+            .iter()
+            .zip(profile.map.cost_factors.as_vec())
+        {
+            self.put_f64("CostFactor", job_id, name, v)?;
+        }
+
+        // Profile/<job>: the full blob.
+        self.store.put(
+            TABLE,
+            Put::new(
+                row_key("Profile", job_id),
+                FAMILY,
+                "blob",
+                encode_profile(profile),
+            ),
+        )?;
+
+        // Meta/normalization: extend min/max bounds.
+        self.update_normalization(&map_dyn, profile)?;
+        Ok(())
+    }
+
+    fn put_f64(
+        &self,
+        prefix: &str,
+        job_id: &str,
+        column: &str,
+        v: f64,
+    ) -> Result<(), ProfileStoreError> {
+        self.store.put(
+            TABLE,
+            Put::new(
+                row_key(prefix, job_id),
+                FAMILY,
+                Bytes::copy_from_slice(column.as_bytes()),
+                encode_f64(v),
+            ),
+        )?;
+        Ok(())
+    }
+
+    fn update_normalization(
+        &self,
+        map_dyn: &[f64],
+        profile: &JobProfile,
+    ) -> Result<(), ProfileStoreError> {
+        let mut bounds = self.normalization_bounds()?;
+        let red_dyn = profile
+            .reduce
+            .as_ref()
+            .map(|r| r.dynamic_features())
+            .unwrap_or_else(|| vec![1.0, 1.0]);
+        let cost = profile.map.cost_factors.as_vec();
+        bounds.map_dyn.observe(map_dyn);
+        bounds.red_dyn.observe(&red_dyn);
+        bounds.cost.observe(&cost);
+        self.store.put(
+            TABLE,
+            Put::new(
+                "Meta/normalization",
+                FAMILY,
+                "map_dyn",
+                encode_bounds(&bounds.map_dyn),
+            ),
+        )?;
+        self.store.put(
+            TABLE,
+            Put::new(
+                "Meta/normalization",
+                FAMILY,
+                "red_dyn",
+                encode_bounds(&bounds.red_dyn),
+            ),
+        )?;
+        self.store.put(
+            TABLE,
+            Put::new(
+                "Meta/normalization",
+                FAMILY,
+                "cost",
+                encode_bounds(&bounds.cost),
+            ),
+        )?;
+        Ok(())
+    }
+
+    /// The current min/max normalization bounds (identity bounds when the
+    /// store is empty).
+    pub fn normalization_bounds(&self) -> Result<NormalizationBounds, ProfileStoreError> {
+        let row = self.store.get(TABLE, b"Meta/normalization")?;
+        let decode = |row: &RowResult, col: &str, dim: usize| -> Result<MinMaxNormalizer, ProfileStoreError> {
+            match row.value(FAMILY, col.as_bytes()) {
+                Some(bytes) => decode_bounds(bytes),
+                None => Ok(identity_bounds(dim)),
+            }
+        };
+        match row {
+            Some(row) => Ok(NormalizationBounds {
+                map_dyn: decode(&row, "map_dyn", MAP_DYNAMIC_COLUMNS.len())?,
+                red_dyn: decode(&row, "red_dyn", RED_DYNAMIC_COLUMNS.len())?,
+                cost: decode(&row, "cost", CostFactors::names().len())?,
+            }),
+            None => Ok(NormalizationBounds {
+                map_dyn: identity_bounds(MAP_DYNAMIC_COLUMNS.len()),
+                red_dyn: identity_bounds(RED_DYNAMIC_COLUMNS.len()),
+                cost: identity_bounds(CostFactors::names().len()),
+            }),
+        }
+    }
+
+    /// Fetch the full profile of a job.
+    pub fn get_profile(&self, job_id: &str) -> Result<Option<JobProfile>, ProfileStoreError> {
+        let row = self.store.get(TABLE, row_key("Profile", job_id).as_ref())?;
+        match row {
+            Some(row) => {
+                let blob = row.value(FAMILY, b"blob").ok_or_else(|| {
+                    ProfileStoreError::Corrupt(format!("Profile/{job_id} has no blob"))
+                })?;
+                Ok(Some(decode_profile(blob)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Delete every row of a job (profile eviction).
+    pub fn delete_job(&self, job_id: &str) -> Result<bool, ProfileStoreError> {
+        let mut any = false;
+        for prefix in ["Static", "Dynamic", "CostFactor", "Profile"] {
+            any |= self
+                .store
+                .delete_row(TABLE, row_key(prefix, job_id).as_ref())?;
+        }
+        Ok(any)
+    }
+
+    /// All stored job ids (scans the `Profile/` prefix).
+    pub fn job_ids(&self) -> Result<Vec<String>, ProfileStoreError> {
+        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(b"Profile/"))?;
+        rows.iter()
+            .map(|r| {
+                std::str::from_utf8(&r.row["Profile/".len()..])
+                    .map(str::to_string)
+                    .map_err(|_| ProfileStoreError::Corrupt("non-UTF8 job id".to_string()))
+            })
+            .collect()
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> Result<usize, ProfileStoreError> {
+        Ok(self.job_ids()?.len())
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> Result<bool, ProfileStoreError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Scan the `Dynamic/` rows with a pushed-down predicate; returns the
+    /// surviving job ids and the scan metrics. This is how the matcher's
+    /// first filter executes at the region servers (§5.3).
+    pub fn filter_dynamic(
+        &self,
+        predicate: impl Fn(&DynamicRow) -> bool + Send + Sync + 'static,
+    ) -> Result<(Vec<DynamicRow>, ScanMetrics), ProfileStoreError> {
+        let scan = Scan::prefix(b"Dynamic/").with_filter(Box::new(cfstore::PredicateFilter {
+            name: "dynamic-feature filter".to_string(),
+            pred: move |row: &RowResult| match DynamicRow::parse(row) {
+                Some(d) => predicate(&d),
+                None => false,
+            },
+        }));
+        let (rows, metrics) = self.store.scan(TABLE, &scan)?;
+        let parsed = rows.iter().filter_map(DynamicRow::parse).collect();
+        Ok((parsed, metrics))
+    }
+
+    /// Fetch a job's stored static features.
+    pub fn get_statics(&self, job_id: &str) -> Result<Option<StoredStatics>, ProfileStoreError> {
+        let Some(row) = self.store.get(TABLE, row_key("Static", job_id).as_ref())? else {
+            return Ok(None);
+        };
+        let read_side = |names: &[&'static str], cfg_col: &str| -> Result<SideFeatures, ProfileStoreError> {
+            let mut categorical = Vec::with_capacity(names.len());
+            for name in names {
+                let v = row
+                    .value(FAMILY, name.as_bytes())
+                    .map(|b| String::from_utf8_lossy(b).to_string())
+                    .unwrap_or_else(|| "NULL".to_string());
+                categorical.push((*name, v));
+            }
+            let cfg: Option<Cfg> = match row.value(FAMILY, cfg_col.as_bytes()) {
+                Some(bytes) => Some(decode_cfg(bytes)?),
+                None => None,
+            };
+            Ok(SideFeatures { categorical, cfg })
+        };
+        Ok(Some(StoredStatics {
+            map: read_side(
+                &[
+                    "IN_FORMATTER",
+                    "MAPPER",
+                    "MAP_IN_KEY",
+                    "MAP_IN_VAL",
+                    "MAP_OUT_KEY",
+                    "MAP_OUT_VAL",
+                    "COMBINER",
+                    "PARTITIONER",
+                ],
+                "MAP_CFG",
+            )?,
+            reduce: read_side(
+                &[
+                    "REDUCER",
+                    "RED_OUT_KEY",
+                    "RED_OUT_VAL",
+                    "OUT_FORMATTER",
+                    "RED_IN_KEY",
+                    "RED_IN_VAL",
+                ],
+                "RED_CFG",
+            )?,
+        }))
+    }
+
+    /// Fetch a job's cost-factor vector.
+    pub fn get_cost_factors(&self, job_id: &str) -> Result<Option<Vec<f64>>, ProfileStoreError> {
+        let Some(row) = self.store.get(TABLE, row_key("CostFactor", job_id).as_ref())? else {
+            return Ok(None);
+        };
+        let mut v = Vec::with_capacity(CostFactors::names().len());
+        for name in CostFactors::names() {
+            let bytes = row.value(FAMILY, name.as_bytes()).ok_or_else(|| {
+                ProfileStoreError::Corrupt(format!("CostFactor/{job_id} missing {name}"))
+            })?;
+            v.push(decode_f64(bytes)?);
+        }
+        Ok(Some(v))
+    }
+
+    /// The underlying HBase (diagnostics and benches).
+    pub fn inner(&self) -> &MiniStore {
+        &self.store
+    }
+}
+
+/// A decoded `Dynamic/` row as seen by pushdown predicates.
+#[derive(Debug, Clone)]
+pub struct DynamicRow {
+    pub job_id: String,
+    pub map_dyn: Vec<f64>,
+    pub red_dyn: Option<Vec<f64>>,
+    pub input_bytes: f64,
+}
+
+impl DynamicRow {
+    fn parse(row: &RowResult) -> Option<DynamicRow> {
+        let job_id = std::str::from_utf8(row.row.get("Dynamic/".len()..)?).ok()?;
+        let mut map_dyn = Vec::with_capacity(MAP_DYNAMIC_COLUMNS.len());
+        for c in MAP_DYNAMIC_COLUMNS {
+            map_dyn.push(decode_f64(row.value(FAMILY, c.as_bytes())?).ok()?);
+        }
+        let has_reduce =
+            decode_f64(row.value(FAMILY, HAS_REDUCE_COLUMN.as_bytes())?).ok()? > 0.5;
+        let red_dyn = if has_reduce {
+            let mut v = Vec::with_capacity(RED_DYNAMIC_COLUMNS.len());
+            for c in RED_DYNAMIC_COLUMNS {
+                v.push(decode_f64(row.value(FAMILY, c.as_bytes())?).ok()?);
+            }
+            Some(v)
+        } else {
+            None
+        };
+        let input_bytes = decode_f64(row.value(FAMILY, INPUT_BYTES_COLUMN.as_bytes())?).ok()?;
+        Some(DynamicRow {
+            job_id: job_id.to_string(),
+            map_dyn,
+            red_dyn,
+            input_bytes,
+        })
+    }
+}
+
+/// The store-maintained normalization bounds for the three numeric feature
+/// spaces.
+#[derive(Debug, Clone)]
+pub struct NormalizationBounds {
+    pub map_dyn: MinMaxNormalizer,
+    pub red_dyn: MinMaxNormalizer,
+    pub cost: MinMaxNormalizer,
+}
+
+fn identity_bounds(dim: usize) -> MinMaxNormalizer {
+    MinMaxNormalizer {
+        mins: vec![f64::INFINITY; dim],
+        maxs: vec![f64::NEG_INFINITY; dim],
+    }
+}
+
+fn encode_bounds(n: &MinMaxNormalizer) -> Bytes {
+    let mut all = n.mins.clone();
+    all.extend(&n.maxs);
+    encode_f64_vec(&all)
+}
+
+fn decode_bounds(bytes: &[u8]) -> Result<MinMaxNormalizer, ProfileStoreError> {
+    let all = decode_f64_vec(bytes)?;
+    let dim = all.len() / 2;
+    Ok(MinMaxNormalizer {
+        mins: all[..dim].to_vec(),
+        maxs: all[dim..].to_vec(),
+    })
+}
+
+fn row_key(prefix: &str, job_id: &str) -> Bytes {
+    Bytes::from(format!("{prefix}/{job_id}"))
+}
+
+impl Default for ProfileStore {
+    fn default() -> Self {
+        Self::new().expect("fresh store")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+    use mrsim::{ClusterSpec, JobConfig};
+    use profiler::collect_full_profile;
+
+    fn profile_of(spec: &mrjobs::JobSpec, ds: &mrjobs::Dataset) -> (StaticFeatures, JobProfile) {
+        let (profile, _) = collect_full_profile(
+            spec,
+            ds,
+            &ClusterSpec::ec2_c1_medium_16(),
+            &JobConfig::submitted(spec),
+            7,
+        )
+        .unwrap();
+        (StaticFeatures::extract(spec), profile)
+    }
+
+    #[test]
+    fn put_and_get_roundtrip() {
+        let store = ProfileStore::new().unwrap();
+        let (statics, profile) = profile_of(&jobs::word_count(), &corpus::random_text_1g());
+        store.put_profile(&statics, &profile).unwrap();
+        let got = store.get_profile(&profile.job_id).unwrap().unwrap();
+        assert_eq!(got, profile);
+        assert_eq!(store.job_ids().unwrap(), vec![profile.job_id.clone()]);
+        assert_eq!(store.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn statics_roundtrip_preserves_cfg_matching() {
+        let store = ProfileStore::new().unwrap();
+        let spec = jobs::word_cooccurrence_pairs(2);
+        let (statics, profile) = profile_of(&spec, &corpus::random_text_1g());
+        store.put_profile(&statics, &profile).unwrap();
+        let stored = store.get_statics(&profile.job_id).unwrap().unwrap();
+        assert_eq!(stored.map.jaccard(&statics.map), 1.0);
+        assert_eq!(stored.map.cfg_match(&statics.map), 1.0);
+        assert_eq!(stored.reduce.jaccard(&statics.reduce), 1.0);
+    }
+
+    #[test]
+    fn dynamic_filter_pushdown_prunes_rows() {
+        let store = ProfileStore::new().unwrap();
+        let text = corpus::random_text_1g();
+        for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2)] {
+            let (s, p) = profile_of(&spec, &text);
+            store.put_profile(&s, &p).unwrap();
+        }
+        // Keep only profiles with large map size selectivity.
+        let (rows, metrics) = store
+            .filter_dynamic(|d| d.map_dyn[0] > 3.0)
+            .unwrap();
+        assert_eq!(metrics.rows_scanned, 2);
+        assert!(!rows.is_empty());
+        assert!(
+            rows.iter().all(|d| d.job_id.contains("cooccurrence")),
+            "{rows:?}"
+        );
+    }
+
+    #[test]
+    fn normalization_bounds_grow_with_inserts() {
+        let store = ProfileStore::new().unwrap();
+        let text = corpus::random_text_1g();
+        let (s1, p1) = profile_of(&jobs::word_count(), &text);
+        store.put_profile(&s1, &p1).unwrap();
+        let b1 = store.normalization_bounds().unwrap();
+        let (s2, p2) = profile_of(&jobs::word_cooccurrence_pairs(2), &text);
+        store.put_profile(&s2, &p2).unwrap();
+        let b2 = store.normalization_bounds().unwrap();
+        assert!(b2.map_dyn.maxs[0] >= b1.map_dyn.maxs[0]);
+        assert!(b2.map_dyn.maxs[0] > b1.map_dyn.mins[0]);
+    }
+
+    #[test]
+    fn delete_job_removes_all_rows() {
+        let store = ProfileStore::new().unwrap();
+        let (s, p) = profile_of(&jobs::word_count(), &corpus::random_text_1g());
+        store.put_profile(&s, &p).unwrap();
+        assert!(store.delete_job(&p.job_id).unwrap());
+        assert!(store.get_profile(&p.job_id).unwrap().is_none());
+        assert!(store.get_statics(&p.job_id).unwrap().is_none());
+        assert!(store.is_empty().unwrap());
+    }
+
+    #[test]
+    fn cost_factors_roundtrip() {
+        let store = ProfileStore::new().unwrap();
+        let (s, p) = profile_of(&jobs::word_count(), &corpus::random_text_1g());
+        store.put_profile(&s, &p).unwrap();
+        let cf = store.get_cost_factors(&p.job_id).unwrap().unwrap();
+        assert_eq!(cf, p.map.cost_factors.as_vec());
+    }
+
+    #[test]
+    fn missing_job_returns_none() {
+        let store = ProfileStore::new().unwrap();
+        assert!(store.get_profile("nope").unwrap().is_none());
+        assert!(store.get_statics("nope").unwrap().is_none());
+        assert!(store.get_cost_factors("nope").unwrap().is_none());
+        assert!(!store.delete_job("nope").unwrap());
+    }
+}

@@ -1,0 +1,158 @@
+//! Workflow-level tuning (§7.2.5).
+//!
+//! Big-data analyses are usually *chains* of MR jobs (the FIM chain, the
+//! CF phases, Pig/Hive plans). This module treats a chain as a unit: each
+//! stage is tuned through the normal PStorM workflow, and the chain's
+//! *plan* — the ordered list of stage job ids — is recorded in the profile
+//! store under a new `Plan/` feature-type prefix. Storing a new feature
+//! type requires nothing but a new row-key prefix, which is precisely the
+//! extensibility property the Table 5.1 data model was chosen for (§5.1).
+
+use bytes::Bytes;
+
+use mrjobs::{Dataset, JobSpec};
+
+use crate::daemon::{DaemonError, PStorM, SubmissionReport};
+use crate::store::ProfileStoreError;
+
+/// One stage of a workflow: a job and the dataset it consumes.
+pub struct ChainStage {
+    pub spec: JobSpec,
+    pub dataset: Dataset,
+}
+
+/// The result of running a workflow through PStorM.
+pub struct ChainReport {
+    pub chain_id: String,
+    /// Per-stage submission reports, in order.
+    pub stages: Vec<SubmissionReport>,
+}
+
+impl ChainReport {
+    /// Total virtual runtime of the chain (stages run back to back).
+    pub fn total_runtime_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.run.runtime_ms).sum()
+    }
+}
+
+impl PStorM {
+    /// Submit a chain of jobs. Each stage goes through the full PStorM
+    /// workflow (1-task probe → match → tune, or profile-and-store), and
+    /// the chain's plan is recorded under `Plan/<chain-id>` so future
+    /// submissions of the same plan can be recognized.
+    pub fn submit_chain(
+        &self,
+        chain_id: &str,
+        stages: &[ChainStage],
+        seed: u64,
+    ) -> Result<ChainReport, DaemonError> {
+        let mut reports = Vec::with_capacity(stages.len());
+        for (i, stage) in stages.iter().enumerate() {
+            let report = self.submit(&stage.spec, &stage.dataset, seed ^ (i as u64 + 1))?;
+            reports.push(report);
+        }
+        self.record_plan(chain_id, stages)?;
+        Ok(ChainReport {
+            chain_id: chain_id.to_string(),
+            stages: reports,
+        })
+    }
+
+    /// Store the plan row: one column per stage, value = the stage's job
+    /// id. A brand-new feature type, added with nothing but a row-key
+    /// prefix.
+    fn record_plan(&self, chain_id: &str, stages: &[ChainStage]) -> Result<(), ProfileStoreError> {
+        for (i, stage) in stages.iter().enumerate() {
+            self.store.inner().put(
+                "Jobs",
+                cfstore::Put::new(
+                    Bytes::from(format!("Plan/{chain_id}")),
+                    "f",
+                    Bytes::from(format!("stage{i:02}")),
+                    Bytes::from(stage.spec.job_id()),
+                ),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read back a stored plan: the ordered stage job ids.
+    pub fn get_plan(&self, chain_id: &str) -> Result<Option<Vec<String>>, ProfileStoreError> {
+        let row = self
+            .store
+            .inner()
+            .get("Jobs", format!("Plan/{chain_id}").as_bytes())?;
+        Ok(row.map(|r| {
+            r.columns("f")
+                .into_iter()
+                .map(|(_, v)| String::from_utf8_lossy(v).to_string())
+                .collect()
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::SubmissionOutcome;
+    use datagen::{corpus, SizeClass};
+    use mrjobs::jobs;
+
+    fn fim_chain() -> Vec<ChainStage> {
+        vec![
+            ChainStage {
+                spec: jobs::fim_pass1(4),
+                dataset: corpus::input_for("fim-pass1", SizeClass::Small),
+            },
+            ChainStage {
+                spec: jobs::fim_pass2(4),
+                dataset: corpus::input_for("fim-pass2", SizeClass::Small),
+            },
+            ChainStage {
+                spec: jobs::fim_pass3(),
+                dataset: corpus::input_for("fim-pass3", SizeClass::Small),
+            },
+        ]
+    }
+
+    #[test]
+    fn chain_runs_all_stages_and_records_the_plan() {
+        let daemon = PStorM::new().unwrap();
+        let report = daemon.submit_chain("fim-nightly", &fim_chain(), 7).unwrap();
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.total_runtime_ms() > 0.0);
+        let plan = daemon.get_plan("fim-nightly").unwrap().unwrap();
+        assert_eq!(
+            plan,
+            vec![
+                "fim-pass1[min_support=4]",
+                "fim-pass2[min_support=4]",
+                "fim-pass3"
+            ]
+        );
+        assert!(daemon.get_plan("unknown").unwrap().is_none());
+    }
+
+    #[test]
+    fn resubmitted_chain_tunes_every_stage() {
+        let daemon = PStorM::new().unwrap();
+        let first = daemon.submit_chain("fim-nightly", &fim_chain(), 7).unwrap();
+        // First pass profiles and stores every stage.
+        assert!(first
+            .stages
+            .iter()
+            .all(|s| matches!(s.outcome, SubmissionOutcome::ProfiledAndStored { .. })));
+
+        let second = daemon.submit_chain("fim-nightly", &fim_chain(), 8).unwrap();
+        assert!(second
+            .stages
+            .iter()
+            .all(|s| matches!(s.outcome, SubmissionOutcome::Tuned { .. })));
+        assert!(
+            second.total_runtime_ms() <= first.total_runtime_ms(),
+            "tuned chain {} vs default chain {}",
+            second.total_runtime_ms(),
+            first.total_runtime_ms()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! The named dataset corpus of Table 6.1.
+//!
+//! Each benchmark job runs on up to two datasets (a ~1 GB-class and a
+//! ~35 GB-class input, per the paper). [`input_for`] maps a job name and a
+//! [`SizeClass`] to the right dataset; jobs the paper ran on a single
+//! dataset (frequent itemset mining, co-occurrence stripes' large run OOMs)
+//! return the same dataset for both classes.
+
+use mrjobs::Dataset;
+
+use crate::domains::{genome_reads, ratings, rule_lines, transactions, user_item_lists};
+use crate::tables::{pigmix_rows, teragen, JoinSpec};
+use crate::text::TextCorpusSpec;
+
+const GB: u64 = 1 << 30;
+
+/// Which of the two dataset scales of Table 6.1 to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// The ~1 GB-class input (1 GB random text, 1 GB TPC-H, 1M ratings...).
+    Small,
+    /// The ~35 GB-class input (35 GB Wikipedia, 35 GB TeraGen, 10M ratings...).
+    Large,
+}
+
+/// 1 GB of uniform random text (line-keyed).
+pub fn random_text_1g() -> Dataset {
+    TextCorpusSpec::random_text("random-text-1g", 2_000, GB).generate()
+}
+
+/// 35 GB of Wikipedia-like documents (line-keyed).
+pub fn wikipedia_35g() -> Dataset {
+    TextCorpusSpec::wikipedia("wikipedia-35g", 4_000, 35 * GB).generate()
+}
+
+/// 1 GB-class Wikipedia-like documents, used for sweeps that need the same
+/// distribution at different scales (Fig. 4.6).
+pub fn wikipedia_1g() -> Dataset {
+    TextCorpusSpec::wikipedia("wikipedia-1g", 2_000, GB).generate()
+}
+
+/// 4 GB-class Wikipedia-like documents (Fig. 4.6 mid point).
+pub fn wikipedia_4g() -> Dataset {
+    TextCorpusSpec::wikipedia("wikipedia-4g", 2_500, 4 * GB).generate()
+}
+
+/// Document-keyed variants for the inverted-index job.
+pub fn random_docs_1g() -> Dataset {
+    TextCorpusSpec::random_text("random-docs-1g", 2_000, GB).generate_keyed_docs()
+}
+
+/// Document-keyed 35 GB-class Wikipedia.
+pub fn wikipedia_docs_35g() -> Dataset {
+    TextCorpusSpec::wikipedia("wikipedia-docs-35g", 4_000, 35 * GB).generate_keyed_docs()
+}
+
+/// 1 GB of TPC-H-like tagged join input.
+pub fn tpch_1g() -> Dataset {
+    JoinSpec::tpch("tpch-1g", 400, 2_400, GB).generate()
+}
+
+/// 35 GB of TPC-H-like tagged join input.
+pub fn tpch_35g() -> Dataset {
+    JoinSpec::tpch("tpch-35g", 800, 4_800, 35 * GB).generate()
+}
+
+/// 1 GB of TeraGen sort records.
+pub fn teragen_1g() -> Dataset {
+    teragen("teragen-1g", 3_000, 0x7e4a, GB)
+}
+
+/// 35 GB of TeraGen sort records.
+pub fn teragen_35g() -> Dataset {
+    teragen("teragen-35g", 5_000, 0x7e4b, 35 * GB)
+}
+
+/// The 1.5 GB webdocs market-basket dataset (single scale, as in the paper).
+pub fn webdocs() -> Dataset {
+    transactions("webdocs-1.5g", 2_500, 8, 600, 0xeb, GB * 3 / 2)
+}
+
+/// Rule lines distilled from webdocs, input of FIM pass 3 (single scale).
+pub fn webdocs_rules() -> Dataset {
+    rule_lines("webdocs-rules", 3_000, 600, 0xec, GB / 2)
+}
+
+/// The 1M-ratings MovieLens-like dataset.
+pub fn ratings_1m() -> Dataset {
+    ratings("ratings-1m", 3_000, 500, 800, 0x4a, 24 * (1 << 20))
+}
+
+/// The 10M-ratings MovieLens-like dataset.
+pub fn ratings_10m() -> Dataset {
+    ratings("ratings-10m", 5_000, 1_500, 2_000, 0x4b, 240 * (1 << 20))
+}
+
+/// Per-user item lists at the 1M-ratings scale.
+pub fn user_lists_1m() -> Dataset {
+    user_item_lists("user-lists-1m", 1_500, 7, 800, 0x4c, 12 * (1 << 20))
+}
+
+/// Per-user item lists at the 10M-ratings scale.
+pub fn user_lists_10m() -> Dataset {
+    user_item_lists("user-lists-10m", 2_500, 9, 2_000, 0x4d, 120 * (1 << 20))
+}
+
+/// The small sample genome.
+pub fn genome_sample() -> Dataset {
+    genome_reads("genome-sample", 600, 36, 0x91, 256 * (1 << 20))
+}
+
+/// The Lake-Washington-class genome.
+pub fn genome_lake_washington() -> Dataset {
+    genome_reads("genome-lakewash", 1_200, 36, 0x92, 2 * GB)
+}
+
+/// 1 GB of PigMix fact rows.
+pub fn pigmix_1g() -> Dataset {
+    pigmix_rows("pigmix-1g", 3_000, 0xa1, GB)
+}
+
+/// 35 GB of PigMix fact rows.
+pub fn pigmix_35g() -> Dataset {
+    pigmix_rows("pigmix-35g", 5_000, 0xa2, 35 * GB)
+}
+
+/// The input dataset for a benchmark job (by job *name*, not job id) at a
+/// given size class, following Table 6.1. Jobs the paper ran on a single
+/// dataset return that dataset for both classes.
+pub fn input_for(job_name: &str, size: SizeClass) -> Dataset {
+    use SizeClass::*;
+    match job_name {
+        "word-count" | "word-count-while" | "grep" | "word-cooccurrence-pairs"
+        | "word-cooccurrence-stripes" | "bigram-relative-frequency" => match size {
+            Small => random_text_1g(),
+            Large => wikipedia_35g(),
+        },
+        "inverted-index" => match size {
+            Small => random_docs_1g(),
+            Large => wikipedia_docs_35g(),
+        },
+        "sort" => match size {
+            Small => teragen_1g(),
+            Large => teragen_35g(),
+        },
+        "join" => match size {
+            Small => tpch_1g(),
+            Large => tpch_35g(),
+        },
+        "fim-pass1" | "fim-pass2" => webdocs(),
+        "fim-pass3" => webdocs_rules(),
+        "cf-user-vectors" => match size {
+            Small => ratings_1m(),
+            Large => ratings_10m(),
+        },
+        "cf-item-similarity" => match size {
+            Small => user_lists_1m(),
+            Large => user_lists_10m(),
+        },
+        "cloudburst" => match size {
+            Small => genome_sample(),
+            Large => genome_lake_washington(),
+        },
+        name if name.starts_with("pigmix-") => match size {
+            Small => pigmix_1g(),
+            Large => pigmix_35g(),
+        },
+        other => panic!("no corpus dataset defined for job `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_job_has_an_input() {
+        for spec in mrjobs::jobs::standard_suite() {
+            let small = input_for(&spec.name, SizeClass::Small);
+            let large = input_for(&spec.name, SizeClass::Large);
+            assert!(!small.is_empty(), "{}", spec.name);
+            assert!(!large.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn single_dataset_jobs_return_same_input() {
+        let a = input_for("fim-pass1", SizeClass::Small);
+        let b = input_for("fim-pass1", SizeClass::Large);
+        assert_eq!(a.name, b.name);
+    }
+
+    #[test]
+    fn two_dataset_jobs_differ_by_class() {
+        let a = input_for("word-count", SizeClass::Small);
+        let b = input_for("word-count", SizeClass::Large);
+        assert_ne!(a.name, b.name);
+        assert!(b.logical_bytes > a.logical_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "no corpus dataset")]
+    fn unknown_job_panics() {
+        let _ = input_for("nope", SizeClass::Small);
+    }
+
+    #[test]
+    fn wikipedia_scales_are_ordered() {
+        assert!(wikipedia_1g().logical_bytes < wikipedia_4g().logical_bytes);
+        assert!(wikipedia_4g().logical_bytes < wikipedia_35g().logical_bytes);
+    }
+}

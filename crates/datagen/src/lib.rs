@@ -1,0 +1,22 @@
+//! # datagen — synthetic datasets for PStorM-rs
+//!
+//! Seeded generators for every dataset in the paper's benchmark
+//! (Table 6.1): Wikipedia-like and uniform random text, TPC-H-like join
+//! inputs, TeraGen sort records, webdocs market-basket transactions,
+//! MovieLens-like ratings, genome reads, and PigMix fact rows.
+//!
+//! The real datasets are multi-gigabyte; generators materialize an
+//! MB-scale physical sample and declare the `logical_bytes` it stands for
+//! (see [`mrjobs::Dataset`]). Distributional properties that matter to
+//! profile matching — Zipfian word skew, join-key skew, basket sizes — are
+//! preserved.
+
+pub mod corpus;
+pub mod domains;
+pub mod tables;
+pub mod text;
+pub mod zipf;
+
+pub use corpus::{input_for, SizeClass};
+pub use text::TextCorpusSpec;
+pub use zipf::{Vocabulary, Zipf};

@@ -1,0 +1,170 @@
+//! Zipfian sampling and a synthetic vocabulary.
+//!
+//! Natural-language word frequencies are famously Zipfian; the text
+//! generators use this sampler so that word count / co-occurrence /
+//! inverted index dataflow statistics (combiner selectivity in particular)
+//! behave like they do on real corpora such as the paper's Wikipedia dump.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`, sampled by
+/// binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n` ranks with exponent `s` (s = 0 is
+    /// uniform; s ≈ 1 is natural language).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// A deterministic synthetic vocabulary: pronounceable word shapes built
+/// from syllables, so generated text looks plausible in logs and profiles.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+}
+
+const ONSETS: [&str; 12] = [
+    "b", "d", "f", "k", "l", "m", "n", "p", "r", "s", "t", "v",
+];
+const NUCLEI: [&str; 6] = ["a", "e", "i", "o", "u", "ai"];
+const CODAS: [&str; 6] = ["", "n", "r", "s", "t", "l"];
+
+impl Vocabulary {
+    /// Generate `n` distinct words, deterministic in `n`.
+    pub fn new(n: usize) -> Self {
+        let mut words = Vec::with_capacity(n);
+        let mut i = 0usize;
+        while words.len() < n {
+            let mut w = String::new();
+            let mut x = i;
+            loop {
+                let onset = ONSETS[x % ONSETS.len()];
+                x /= ONSETS.len();
+                let nucleus = NUCLEI[x % NUCLEI.len()];
+                x /= NUCLEI.len();
+                let coda = CODAS[x % CODAS.len()];
+                x /= CODAS.len();
+                w.push_str(onset);
+                w.push_str(nucleus);
+                w.push_str(coda);
+                if x == 0 {
+                    break;
+                }
+            }
+            words.push(w);
+            i += 1;
+        }
+        Vocabulary { words }
+    }
+
+    /// The word at a Zipf rank.
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank % self.words.len()]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rank_zero_is_most_frequent() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.2, "uniform should be flat: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn vocabulary_words_are_distinct() {
+        let v = Vocabulary::new(2000);
+        let mut set = std::collections::HashSet::new();
+        for i in 0..v.len() {
+            assert!(set.insert(v.word(i).to_string()), "dup at {i}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_is_deterministic() {
+        let a = Vocabulary::new(50);
+        let b = Vocabulary::new(50);
+        assert_eq!(a.word(13), b.word(13));
+    }
+}

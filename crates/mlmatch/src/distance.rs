@@ -1,0 +1,317 @@
+//! The learned distance metric of §4.4 (Equation 1) and the GBRT matcher.
+//!
+//! A profile pair is summarized by eight similarity/distance components —
+//! per side: the Jaccard index of the static features, the Euclidean
+//! distance between the dynamic dataflow statistics, the Euclidean
+//! distance between the cost factors, and the CFG match score. GBRT learns
+//! to map these components to the difference between What-If-predicted
+//! runtimes, and matching returns the stored profile with the smallest
+//! learned distance (nearest neighbour under the learned metric).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mrjobs::JobSpec;
+use mrsim::{ClusterSpec, JobConfig};
+use profiler::JobProfile;
+use staticanalysis::StaticFeatures;
+use whatif::{predict_runtime_ms, WhatIfQuery};
+
+use crate::featsel::MinMaxNormalizer;
+use crate::gbrt::{GbrtModel, GbrtParams};
+#[cfg(test)]
+use crate::gbrt::Loss;
+
+/// One entry of the profile store as matchers see it.
+#[derive(Debug, Clone)]
+pub struct StoredJob {
+    pub spec: JobSpec,
+    pub statics: StaticFeatures,
+    pub profile: JobProfile,
+}
+
+/// Normalization context for the Euclidean components, fitted over the
+/// store contents.
+#[derive(Debug, Clone)]
+pub struct DistanceContext {
+    map_dyn: MinMaxNormalizer,
+    red_dyn: MinMaxNormalizer,
+    cost: MinMaxNormalizer,
+}
+
+/// The eight components of Equation 1, in order:
+/// `[Jacc_map, EuclDS_map, EuclCS_map, CFG_map,
+///   Jacc_red, EuclDS_red, EuclCS_red, CFG_red]`.
+pub type DistanceVector = [f64; 8];
+
+impl DistanceContext {
+    /// Fit normalization bounds over the store.
+    pub fn fit(store: &[StoredJob]) -> DistanceContext {
+        assert!(!store.is_empty(), "cannot fit a distance context on an empty store");
+        let map_dyn: Vec<Vec<f64>> = store
+            .iter()
+            .map(|s| s.profile.map.dynamic_features())
+            .collect();
+        let red_dyn: Vec<Vec<f64>> = store
+            .iter()
+            .map(|s| reduce_dynamic_or_zero(&s.profile))
+            .collect();
+        let cost: Vec<Vec<f64>> = store
+            .iter()
+            .map(|s| s.profile.map.cost_factors.as_vec())
+            .collect();
+        DistanceContext {
+            map_dyn: MinMaxNormalizer::fit(&map_dyn),
+            red_dyn: MinMaxNormalizer::fit(&red_dyn),
+            cost: MinMaxNormalizer::fit(&cost),
+        }
+    }
+
+    /// Compute the eight-component vector between a submitted job
+    /// (statics + sample profile) and a candidate whose map side comes
+    /// from `map_side` and reduce side from `reduce_side`.
+    pub fn vector(
+        &self,
+        q_statics: &StaticFeatures,
+        q_profile: &JobProfile,
+        map_side: &StoredJob,
+        reduce_side: &StoredJob,
+    ) -> DistanceVector {
+        let jacc_map = q_statics.map.jaccard(&map_side.statics.map);
+        let eucl_ds_map = self.map_dyn.distance(
+            &q_profile.map.dynamic_features(),
+            &map_side.profile.map.dynamic_features(),
+        );
+        let eucl_cs_map = self.cost.distance(
+            &q_profile.map.cost_factors.as_vec(),
+            &map_side.profile.map.cost_factors.as_vec(),
+        );
+        let cfg_map = q_statics.map.cfg_match(&map_side.statics.map);
+
+        let jacc_red = q_statics.reduce.jaccard(&reduce_side.statics.reduce);
+        let eucl_ds_red = self.red_dyn.distance(
+            &reduce_dynamic_or_zero(q_profile),
+            &reduce_dynamic_or_zero(&reduce_side.profile),
+        );
+        let eucl_cs_red = self.cost.distance(
+            &reduce_cost_or_map(q_profile),
+            &reduce_cost_or_map(&reduce_side.profile),
+        );
+        let cfg_red = q_statics.reduce.cfg_match(&reduce_side.statics.reduce);
+
+        [
+            jacc_map, eucl_ds_map, eucl_cs_map, cfg_map, jacc_red, eucl_ds_red, eucl_cs_red,
+            cfg_red,
+        ]
+    }
+}
+
+fn reduce_dynamic_or_zero(p: &JobProfile) -> Vec<f64> {
+    p.reduce
+        .as_ref()
+        .map(|r| r.dynamic_features())
+        .unwrap_or_else(|| vec![0.0, 0.0])
+}
+
+fn reduce_cost_or_map(p: &JobProfile) -> Vec<f64> {
+    p.reduce
+        .as_ref()
+        .map(|r| r.cost_factors.as_vec())
+        .unwrap_or_else(|| p.map.cost_factors.as_vec())
+}
+
+/// Build the §4.4 training set: for each stored job `J`, one perfect-match
+/// sample (distance 0) plus `combos_per_job` composite samples
+/// `(map of J1 ⊕ reduce of J2)` labelled with the relative difference of
+/// What-If-predicted runtimes of `J` under its own profile vs the
+/// composite. (The thesis uses the raw runtime difference; we use the
+/// relative difference so targets are comparable across jobs whose
+/// runtimes span two orders of magnitude — see DESIGN.md.)
+pub fn build_training_set(
+    store: &[StoredJob],
+    ctx: &DistanceContext,
+    cluster: &ClusterSpec,
+    combos_per_job: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for j in store {
+        let config = JobConfig::submitted(&j.spec);
+        let base = match predict_runtime_ms(&WhatIfQuery {
+            spec: &j.spec,
+            profile: &j.profile,
+            input_bytes: j.profile.input_bytes as u64,
+            cluster,
+            config: &config,
+        }) {
+            Ok(ms) => ms,
+            Err(_) => continue,
+        };
+        // Systematic complete-profile pairs, including the perfect-match
+        // example (§4.4: "a sample that represents the distance between
+        // the profile of each job J and itself"). These mirror the
+        // candidates the matcher scores at query time.
+        for j1 in store {
+            let Ok(other) = predict_runtime_ms(&WhatIfQuery {
+                spec: &j.spec,
+                profile: &j1.profile,
+                input_bytes: j.profile.input_bytes as u64,
+                cluster,
+                config: &config,
+            }) else {
+                continue;
+            };
+            x.push(ctx.vector(&j.statics, &j.profile, j1, j1).to_vec());
+            y.push((base - other).abs() / base.max(1.0));
+        }
+
+        for _ in 0..combos_per_job {
+            let j1 = &store[rng.gen_range(0..store.len())];
+            let j2 = &store[rng.gen_range(0..store.len())];
+            let composite = JobProfile::compose(&j1.profile, &j2.profile);
+            let Ok(other) = predict_runtime_ms(&WhatIfQuery {
+                spec: &j.spec,
+                profile: &composite,
+                input_bytes: j.profile.input_bytes as u64,
+                cluster,
+                config: &config,
+            }) else {
+                continue;
+            };
+            x.push(ctx.vector(&j.statics, &j.profile, j1, j2).to_vec());
+            y.push((base - other).abs() / base.max(1.0));
+        }
+    }
+    (x, y)
+}
+
+/// The GBRT-based matcher of Fig. 6.2.
+pub struct GbrtMatcher {
+    model: GbrtModel,
+    ctx: DistanceContext,
+}
+
+impl GbrtMatcher {
+    /// Train on the store contents.
+    pub fn train(
+        store: &[StoredJob],
+        cluster: &ClusterSpec,
+        params: &GbrtParams,
+        combos_per_job: usize,
+        seed: u64,
+    ) -> GbrtMatcher {
+        let ctx = DistanceContext::fit(store);
+        let (x, y) = build_training_set(store, &ctx, cluster, combos_per_job, seed);
+        let model = GbrtModel::fit(&x, &y, params);
+        GbrtMatcher { model, ctx }
+    }
+
+    /// Learned distance between a submitted job and a candidate stored
+    /// profile.
+    pub fn distance(
+        &self,
+        q_statics: &StaticFeatures,
+        q_profile: &JobProfile,
+        candidate: &StoredJob,
+    ) -> f64 {
+        let v = self.ctx.vector(q_statics, q_profile, candidate, candidate);
+        self.model.predict(&v)
+    }
+
+    /// Nearest stored profile under the learned metric.
+    pub fn match_profile<'a>(
+        &self,
+        store: &'a [StoredJob],
+        q_statics: &StaticFeatures,
+        q_profile: &JobProfile,
+    ) -> Option<&'a StoredJob> {
+        store.iter().min_by(|a, b| {
+            self.distance(q_statics, q_profile, a)
+                .total_cmp(&self.distance(q_statics, q_profile, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+    use profiler::collect_full_profile;
+
+    fn cl() -> ClusterSpec {
+        ClusterSpec::ec2_c1_medium_16()
+    }
+
+    fn stored(spec: JobSpec, ds: &mrjobs::Dataset) -> StoredJob {
+        let (profile, _) =
+            collect_full_profile(&spec, ds, &cl(), &JobConfig::submitted(&spec), 5).unwrap();
+        StoredJob {
+            statics: StaticFeatures::extract(&spec),
+            spec,
+            profile,
+        }
+    }
+
+    fn small_store() -> Vec<StoredJob> {
+        let text = corpus::random_text_1g();
+        vec![
+            stored(jobs::word_count(), &text),
+            stored(jobs::word_cooccurrence_pairs(2), &text),
+            stored(jobs::bigram_relative_frequency(), &text),
+            stored(jobs::sort(), &corpus::teragen_1g()),
+        ]
+    }
+
+    #[test]
+    fn self_distance_vector_is_perfect() {
+        let store = small_store();
+        let ctx = DistanceContext::fit(&store);
+        let j = &store[0];
+        let v = ctx.vector(&j.statics, &j.profile, j, j);
+        assert_eq!(v[0], 1.0, "map Jaccard");
+        assert_eq!(v[1], 0.0, "map dyn distance");
+        assert_eq!(v[3], 1.0, "map CFG");
+        assert_eq!(v[4], 1.0, "red Jaccard");
+        assert_eq!(v[7], 1.0, "red CFG");
+    }
+
+    #[test]
+    fn training_set_contains_perfect_samples() {
+        let store = small_store();
+        let ctx = DistanceContext::fit(&store);
+        let (x, y) = build_training_set(&store, &ctx, &cl(), 4, 9);
+        assert!(x.len() >= store.len());
+        assert!(y.iter().any(|&t| t == 0.0));
+        assert!(y.iter().all(|&t| t >= 0.0));
+        assert!(x.iter().all(|v| v.len() == 8));
+    }
+
+    #[test]
+    fn gbrt_matcher_recovers_self_matches() {
+        let store = small_store();
+        let params = GbrtParams {
+            n_trees: 400,
+            shrinkage: 0.05,
+            cv_folds: 0,
+            train_fraction: 1.0,
+            loss: Loss::Laplace,
+            ..GbrtParams::gbrt1()
+        };
+        let matcher = GbrtMatcher::train(&store, &cl(), &params, 12, 3);
+        // GBRT is not a perfect matcher (Fig. 6.2 shows it below PStorM
+        // even in the SD state); require a solid majority of self-matches.
+        let correct = store
+            .iter()
+            .filter(|j| {
+                matcher
+                    .match_profile(&store, &j.statics, &j.profile)
+                    .map(|m| m.profile.job_id == j.profile.job_id)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(correct * 4 >= store.len() * 3, "{correct}/{}", store.len());
+    }
+}

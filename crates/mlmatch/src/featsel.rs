@@ -1,0 +1,392 @@
+//! Information-gain feature selection and nearest-neighbour matching —
+//! the *P-features* and *SP-features* baselines of Fig. 6.1.
+//!
+//! `P-features` ranks the numeric features found in a Starfish profile by
+//! information gain against the stored profile identities and matches by
+//! Euclidean nearest neighbour over the top-F. `SP-features` adds the
+//! static features to the ranked pool. Because class labels are *profiles*
+//! (job × dataset), size-dependent numeric features rank highly — which is
+//! precisely why these baselines mis-match when the data size changes (the
+//! DD state), as the paper demonstrates.
+
+use std::collections::HashMap;
+
+use profiler::JobProfile;
+
+/// Min-max normalization state for a numeric feature space (the
+/// normalization PStorM maintains in its store, §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxNormalizer {
+    pub mins: Vec<f64>,
+    pub maxs: Vec<f64>,
+}
+
+impl MinMaxNormalizer {
+    /// Fit bounds over a set of vectors (all the same length).
+    pub fn fit(vectors: &[Vec<f64>]) -> MinMaxNormalizer {
+        assert!(!vectors.is_empty(), "need at least one vector");
+        let dim = vectors[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for v in vectors {
+            for (i, x) in v.iter().enumerate() {
+                mins[i] = mins[i].min(*x);
+                maxs[i] = maxs[i].max(*x);
+            }
+        }
+        MinMaxNormalizer { mins, maxs }
+    }
+
+    /// Extend bounds with one more observation (store maintenance on
+    /// profile insertion).
+    pub fn observe(&mut self, v: &[f64]) {
+        for (i, x) in v.iter().enumerate() {
+            self.mins[i] = self.mins[i].min(*x);
+            self.maxs[i] = self.maxs[i].max(*x);
+        }
+    }
+
+    /// Relative tolerance treating two values as equal on a dimension the
+    /// store has observed no spread for.
+    const DEGENERATE_TOLERANCE: f64 = 0.25;
+
+    /// Normalize a vector to `[0,1]` per dimension (constants map to 0).
+    pub fn normalize(&self, v: &[f64]) -> Vec<f64> {
+        v.iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let range = self.maxs[i] - self.mins[i];
+                if range > 0.0 {
+                    ((x - self.mins[i]) / range).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Euclidean distance between two vectors after normalization.
+    ///
+    /// Dimensions with no observed spread (a near-empty store) cannot be
+    /// normalized; they contribute 0 when the two values agree within a
+    /// relative tolerance and a full unit otherwise, so a single-profile
+    /// store neither matches everything nor nothing.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let range = self.maxs[i] - self.mins[i];
+            let d = if range > 0.0 {
+                let nx = ((x - self.mins[i]) / range).clamp(0.0, 1.0);
+                let ny = ((y - self.mins[i]) / range).clamp(0.0, 1.0);
+                nx - ny
+            } else {
+                let scale = x.abs().max(y.abs()).max(1e-12);
+                if (x - y).abs() / scale <= Self::DEGENERATE_TOLERANCE {
+                    0.0
+                } else {
+                    1.0
+                }
+            };
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+}
+
+/// All numeric features a Starfish *map* profile exposes, in a fixed
+/// order. This is the raw pool the baselines select from.
+pub fn map_numeric_features(p: &JobProfile) -> Vec<f64> {
+    let m = &p.map;
+    let mut v = vec![
+        m.size_selectivity,
+        m.pairs_selectivity,
+        m.combine_size_selectivity.unwrap_or(1.0),
+        m.combine_pairs_selectivity.unwrap_or(1.0),
+        m.input_bytes_per_task,
+        m.input_records_per_task,
+        m.avg_input_record_bytes,
+        m.avg_intermediate_record_bytes,
+        p.input_bytes,
+        p.num_map_tasks as f64,
+    ];
+    v.extend(m.cost_factors.as_vec());
+    v.extend(m.phase_ms.iter().map(|(_, ms)| *ms));
+    v
+}
+
+/// Names matching [`map_numeric_features`].
+pub fn map_numeric_feature_names() -> Vec<String> {
+    let mut names: Vec<String> = vec![
+        "MAP_SIZE_SEL",
+        "MAP_PAIRS_SEL",
+        "COMBINE_SIZE_SEL",
+        "COMBINE_PAIRS_SEL",
+        "INPUT_BYTES_PER_TASK",
+        "INPUT_RECORDS_PER_TASK",
+        "AVG_INPUT_RECORD_BYTES",
+        "AVG_INTERMEDIATE_RECORD_BYTES",
+        "INPUT_BYTES_TOTAL",
+        "NUM_MAP_TASKS",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    names.extend(
+        profiler::CostFactors::names()
+            .iter()
+            .map(|n| format!("MAP_{n}")),
+    );
+    for phase in ["SETUP", "READ", "MAP", "COLLECT", "SPILL", "MERGE"] {
+        names.push(format!("MAP_PHASE_{phase}_MS"));
+    }
+    names
+}
+
+/// All numeric features of a *reduce* profile. Jobs without a reduce side
+/// yield zeros, keeping the dimensionality fixed.
+pub fn reduce_numeric_features(p: &JobProfile) -> Vec<f64> {
+    match &p.reduce {
+        Some(r) => {
+            let mut v = vec![
+                r.size_selectivity,
+                r.pairs_selectivity,
+                r.in_records,
+                r.in_bytes,
+                r.out_records,
+                r.out_bytes,
+            ];
+            v.extend(r.cost_factors.as_vec());
+            v.extend(r.phase_ms.iter().map(|(_, ms)| *ms));
+            v
+        }
+        None => vec![0.0; 6 + 8 + 5],
+    }
+}
+
+/// A labelled sample for feature selection: the numeric pool, optional
+/// categorical (static) features, and the class = stored profile identity.
+#[derive(Debug, Clone)]
+pub struct FeatureSample {
+    pub numeric: Vec<f64>,
+    pub categorical: Vec<String>,
+    pub class: usize,
+}
+
+/// Which pool a selected feature came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectedFeature {
+    Numeric(usize),
+    Categorical(usize),
+}
+
+/// Rank all features by information gain against the class labels and
+/// keep the top `f`.
+pub fn select_by_info_gain(samples: &[FeatureSample], f: usize, bins: usize) -> Vec<SelectedFeature> {
+    assert!(!samples.is_empty());
+    let n_num = samples[0].numeric.len();
+    let n_cat = samples[0].categorical.len();
+    let class_entropy = entropy_of(samples.iter().map(|s| s.class));
+
+    let mut scored: Vec<(SelectedFeature, f64)> = Vec::with_capacity(n_num + n_cat);
+    for i in 0..n_num {
+        let values: Vec<f64> = samples.iter().map(|s| s.numeric[i]).collect();
+        let gain = class_entropy - conditional_entropy_numeric(&values, samples, bins);
+        scored.push((SelectedFeature::Numeric(i), gain));
+    }
+    for i in 0..n_cat {
+        let gain = class_entropy
+            - conditional_entropy_categorical(samples.iter().map(|s| s.categorical[i].as_str()), samples);
+        scored.push((SelectedFeature::Categorical(i), gain));
+    }
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored.into_iter().take(f).map(|(s, _)| s).collect()
+}
+
+fn entropy_of(classes: impl Iterator<Item = usize>) -> f64 {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    let mut n = 0usize;
+    for c in classes {
+        *counts.entry(c).or_insert(0) += 1;
+        n += 1;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn conditional_entropy_numeric(values: &[f64], samples: &[FeatureSample], bins: usize) -> f64 {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(f64::MIN_POSITIVE);
+    let bin_of = |v: f64| (((v - min) / range * bins as f64) as usize).min(bins - 1);
+    let mut by_bin: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (v, s) in values.iter().zip(samples) {
+        by_bin.entry(bin_of(*v)).or_default().push(s.class);
+    }
+    by_bin
+        .values()
+        .map(|classes| {
+            let w = classes.len() as f64 / samples.len() as f64;
+            w * entropy_of(classes.iter().cloned())
+        })
+        .sum()
+}
+
+fn conditional_entropy_categorical<'a>(
+    values: impl Iterator<Item = &'a str>,
+    samples: &[FeatureSample],
+) -> f64 {
+    let mut by_val: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (v, s) in values.zip(samples) {
+        by_val.entry(v).or_default().push(s.class);
+    }
+    by_val
+        .values()
+        .map(|classes| {
+            let w = classes.len() as f64 / samples.len() as f64;
+            w * entropy_of(classes.iter().cloned())
+        })
+        .sum()
+}
+
+/// A nearest-neighbour matcher over a selected feature subset: Euclidean
+/// on normalized numerics plus 0/1 mismatch distance on categoricals.
+pub struct NnMatcher {
+    selected: Vec<SelectedFeature>,
+    normalizer: MinMaxNormalizer,
+    store: Vec<FeatureSample>,
+}
+
+impl NnMatcher {
+    /// Build from the stored samples and a feature selection.
+    pub fn fit(store: Vec<FeatureSample>, selected: Vec<SelectedFeature>) -> NnMatcher {
+        let numeric_proj: Vec<Vec<f64>> = store
+            .iter()
+            .map(|s| project_numeric(s, &selected))
+            .collect();
+        NnMatcher {
+            normalizer: MinMaxNormalizer::fit(&numeric_proj),
+            selected,
+            store,
+        }
+    }
+
+    /// Return the class of the nearest stored sample.
+    pub fn nearest(&self, query: &FeatureSample) -> usize {
+        let qn = project_numeric(query, &self.selected);
+        let mut best = (f64::INFINITY, 0usize);
+        for s in &self.store {
+            let sn = project_numeric(s, &self.selected);
+            let mut d = self.normalizer.distance(&qn, &sn);
+            for sel in &self.selected {
+                if let SelectedFeature::Categorical(i) = sel {
+                    if query.categorical[*i] != s.categorical[*i] {
+                        d += 1.0;
+                    }
+                }
+            }
+            if d < best.0 {
+                best = (d, s.class);
+            }
+        }
+        best.1
+    }
+}
+
+fn project_numeric(s: &FeatureSample, selected: &[SelectedFeature]) -> Vec<f64> {
+    selected
+        .iter()
+        .filter_map(|sel| match sel {
+            SelectedFeature::Numeric(i) => Some(s.numeric[*i]),
+            SelectedFeature::Categorical(_) => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizer_maps_to_unit_box() {
+        let n = MinMaxNormalizer::fit(&[vec![0.0, 10.0], vec![4.0, 20.0]]);
+        assert_eq!(n.normalize(&[2.0, 15.0]), vec![0.5, 0.5]);
+        assert_eq!(n.normalize(&[0.0, 10.0]), vec![0.0, 0.0]);
+        // Out-of-range values are clamped.
+        assert_eq!(n.normalize(&[8.0, 0.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalizer_observe_extends_bounds() {
+        let mut n = MinMaxNormalizer::fit(&[vec![0.0], vec![1.0]]);
+        n.observe(&[4.0]);
+        assert_eq!(n.normalize(&[2.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn constant_dimension_contributes_zero_distance() {
+        let n = MinMaxNormalizer::fit(&[vec![5.0, 0.0], vec![5.0, 1.0]]);
+        assert_eq!(n.distance(&[5.0, 0.0], &[5.0, 0.0]), 0.0);
+        assert_eq!(n.distance(&[5.0, 0.0], &[5.0, 1.0]), 1.0);
+    }
+
+    fn sample(numeric: Vec<f64>, categorical: Vec<&str>, class: usize) -> FeatureSample {
+        FeatureSample {
+            numeric,
+            categorical: categorical.into_iter().map(String::from).collect(),
+            class,
+        }
+    }
+
+    #[test]
+    fn info_gain_prefers_discriminative_features() {
+        // Feature 0 separates classes; feature 1 is constant.
+        let samples = vec![
+            sample(vec![0.0, 7.0], vec![], 0),
+            sample(vec![0.1, 7.0], vec![], 0),
+            sample(vec![1.0, 7.0], vec![], 1),
+            sample(vec![0.9, 7.0], vec![], 1),
+        ];
+        let top = select_by_info_gain(&samples, 1, 4);
+        assert_eq!(top, vec![SelectedFeature::Numeric(0)]);
+    }
+
+    #[test]
+    fn categorical_features_can_be_selected() {
+        let samples = vec![
+            sample(vec![0.5], vec!["A"], 0),
+            sample(vec![0.5], vec!["A"], 0),
+            sample(vec![0.5], vec!["B"], 1),
+            sample(vec![0.5], vec!["B"], 1),
+        ];
+        let top = select_by_info_gain(&samples, 1, 4);
+        assert_eq!(top, vec![SelectedFeature::Categorical(0)]);
+    }
+
+    #[test]
+    fn nn_matcher_finds_the_right_class() {
+        let store = vec![
+            sample(vec![0.0, 0.0], vec!["A"], 0),
+            sample(vec![1.0, 1.0], vec!["B"], 1),
+        ];
+        let selected = vec![
+            SelectedFeature::Numeric(0),
+            SelectedFeature::Numeric(1),
+            SelectedFeature::Categorical(0),
+        ];
+        let m = NnMatcher::fit(store, selected);
+        let q = sample(vec![0.9, 0.8], vec!["B"], 99);
+        assert_eq!(m.nearest(&q), 1);
+        let q0 = sample(vec![0.1, 0.0], vec!["A"], 99);
+        assert_eq!(m.nearest(&q0), 0);
+    }
+
+    #[test]
+    fn numeric_pools_have_matching_name_lengths() {
+        assert_eq!(map_numeric_feature_names().len(), 10 + 8 + 6);
+    }
+}

@@ -1,0 +1,343 @@
+//! Gradient Boosted Regression Trees, mirroring the R `gbm` package as
+//! configured in Appendix A of the paper: gaussian/laplace losses,
+//! shrinkage, bag fraction, train fraction, CV-fold selection of the best
+//! iteration.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::tree::{RegressionTree, TreeParams};
+
+/// The loss distribution (`distribution` in gbm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Squared error; pseudo-residuals are plain residuals.
+    Gaussian,
+    /// Absolute error; pseudo-residuals are residual signs.
+    Laplace,
+}
+
+/// GBRT hyperparameters; defaults are the paper's "GBRT 1" setting.
+#[derive(Debug, Clone)]
+pub struct GbrtParams {
+    /// `n.trees`.
+    pub n_trees: usize,
+    /// `shrinkage`.
+    pub shrinkage: f64,
+    /// `interaction.depth`.
+    pub interaction_depth: usize,
+    /// `bag.fraction`: subsample share per iteration.
+    pub bag_fraction: f64,
+    /// `train.fraction`: leading share of the data used for fitting.
+    pub train_fraction: f64,
+    /// `cv.folds`: 0 or 1 disables cross-validated best-iteration search.
+    pub cv_folds: usize,
+    /// `n.minobsinnode`.
+    pub min_obs_in_node: usize,
+    pub loss: Loss,
+    pub seed: u64,
+}
+
+impl GbrtParams {
+    /// GBRT 1 of Fig. 6.2: the R gbm defaults used in the thesis.
+    pub fn gbrt1() -> Self {
+        GbrtParams {
+            n_trees: 2000,
+            shrinkage: 0.005,
+            interaction_depth: 3,
+            bag_fraction: 0.5,
+            train_fraction: 0.5,
+            cv_folds: 10,
+            min_obs_in_node: 10,
+            loss: Loss::Gaussian,
+            seed: 0x9b,
+        }
+    }
+
+    /// GBRT 2: Laplace loss.
+    pub fn gbrt2() -> Self {
+        GbrtParams {
+            loss: Loss::Laplace,
+            ..Self::gbrt1()
+        }
+    }
+
+    /// GBRT 3: 10k iterations, lr 0.001, 80% training data.
+    pub fn gbrt3() -> Self {
+        GbrtParams {
+            n_trees: 10_000,
+            shrinkage: 0.001,
+            train_fraction: 0.8,
+            loss: Loss::Laplace,
+            ..Self::gbrt1()
+        }
+    }
+
+    /// GBRT 4: 100% training data (deliberate overfit).
+    pub fn gbrt4() -> Self {
+        GbrtParams {
+            train_fraction: 1.0,
+            ..Self::gbrt3()
+        }
+    }
+}
+
+/// A fitted GBRT model.
+#[derive(Debug, Clone)]
+pub struct GbrtModel {
+    init: f64,
+    trees: Vec<RegressionTree>,
+    shrinkage: f64,
+    /// The CV-selected iteration count used at prediction time
+    /// (`gbm.perf(method="cv")`).
+    pub best_iter: usize,
+}
+
+impl GbrtModel {
+    /// Fit a model to `(x, y)`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &GbrtParams) -> GbrtModel {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "GBRT needs training data");
+        let n_train = ((x.len() as f64 * params.train_fraction).round() as usize)
+            .clamp(2, x.len());
+        let train: Vec<usize> = (0..n_train).collect();
+
+        // Cross-validated best-iteration search.
+        let best_iter = if params.cv_folds >= 2 && n_train >= params.cv_folds * 2 {
+            cv_best_iteration(x, y, &train, params)
+        } else {
+            params.n_trees
+        };
+
+        let mut model = fit_on(x, y, &train, params, params.seed);
+        model.best_iter = best_iter.min(model.trees.len());
+        model
+    }
+
+    /// Predict one sample using the best iteration count.
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        let mut f = self.init;
+        for tree in self.trees.iter().take(self.best_iter) {
+            f += self.shrinkage * tree.predict(sample);
+        }
+        f
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Fit a boosting run on the given sample indices.
+fn fit_on(x: &[Vec<f64>], y: &[f64], idx: &[usize], params: &GbrtParams, seed: u64) -> GbrtModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree_params = TreeParams {
+        max_depth: params.interaction_depth,
+        min_samples_leaf: params.min_obs_in_node.min(idx.len() / 4).max(1),
+    };
+    let init = match params.loss {
+        Loss::Gaussian => idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64,
+        Loss::Laplace => median(idx.iter().map(|&i| y[i]).collect()),
+    };
+    let mut f: Vec<f64> = vec![init; x.len()];
+    let mut trees = Vec::with_capacity(params.n_trees);
+    let bag_size = ((idx.len() as f64 * params.bag_fraction).round() as usize)
+        .clamp(2, idx.len());
+    let mut bag: Vec<usize> = idx.to_vec();
+    let mut residuals = vec![0.0; x.len()];
+    for _ in 0..params.n_trees {
+        bag.shuffle(&mut rng);
+        let sample = &bag[..bag_size];
+        for &i in sample {
+            residuals[i] = match params.loss {
+                Loss::Gaussian => y[i] - f[i],
+                Loss::Laplace => (y[i] - f[i]).signum(),
+            };
+        }
+        let tree = RegressionTree::fit(x, &residuals, sample, &tree_params);
+        for &i in idx {
+            f[i] += params.shrinkage * tree.predict(&x[i]);
+        }
+        trees.push(tree);
+    }
+    GbrtModel {
+        init,
+        trees,
+        shrinkage: params.shrinkage,
+        best_iter: params.n_trees,
+    }
+}
+
+/// k-fold CV: average held-out loss per iteration; return the argmin.
+fn cv_best_iteration(x: &[Vec<f64>], y: &[f64], train: &[usize], params: &GbrtParams) -> usize {
+    let k = params.cv_folds;
+    let mut cum_loss = vec![0.0f64; params.n_trees + 1];
+    for fold in 0..k {
+        let fit_idx: Vec<usize> = train
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, &s)| s)
+            .collect();
+        let holdout: Vec<usize> = train
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, &s)| s)
+            .collect();
+        if fit_idx.len() < 2 || holdout.is_empty() {
+            continue;
+        }
+        let model = fit_on(x, y, &fit_idx, params, params.seed ^ (fold as u64 + 1));
+        // Walk the boosting sequence accumulating held-out loss.
+        let mut preds: Vec<f64> = holdout.iter().map(|_| model.init).collect();
+        cum_loss[0] += loss_of(&preds, &holdout, y, params.loss);
+        for (t, tree) in model.trees.iter().enumerate() {
+            for (p, &i) in preds.iter_mut().zip(holdout.iter()) {
+                *p += model.shrinkage * tree.predict(&x[i]);
+            }
+            cum_loss[t + 1] += loss_of(&preds, &holdout, y, params.loss);
+        }
+    }
+    cum_loss
+        .iter()
+        .enumerate()
+        .skip(1)
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(params.n_trees)
+}
+
+fn loss_of(preds: &[f64], idx: &[usize], y: &[f64], loss: Loss) -> f64 {
+    preds
+        .iter()
+        .zip(idx.iter())
+        .map(|(p, &i)| match loss {
+            Loss::Gaussian => (y[i] - p).powi(2),
+            Loss::Laplace => (y[i] - p).abs(),
+        })
+        .sum()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3*x0 - 2*x1 with mild noise.
+    fn linear_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 17) as f64 / 17.0, (i % 5) as f64 / 5.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1]).collect();
+        (x, y)
+    }
+
+    fn quick_params() -> GbrtParams {
+        GbrtParams {
+            n_trees: 200,
+            shrinkage: 0.05,
+            interaction_depth: 3,
+            bag_fraction: 0.7,
+            train_fraction: 1.0,
+            cv_folds: 0,
+            min_obs_in_node: 5,
+            loss: Loss::Gaussian,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let (x, y) = linear_data(300);
+        let model = GbrtModel::fit(&x, &y, &quick_params());
+        let mse: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(r, t)| (model.predict(r) - t).powi(2))
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(mse < 0.05, "mse {mse}");
+    }
+
+    #[test]
+    fn laplace_loss_also_learns() {
+        let (x, y) = linear_data(300);
+        let mut p = quick_params();
+        p.loss = Loss::Laplace;
+        p.n_trees = 600;
+        let model = GbrtModel::fit(&x, &y, &p);
+        let mae: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(r, t)| (model.predict(r) - t).abs())
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(mae < 0.35, "mae {mae}");
+    }
+
+    #[test]
+    fn cv_selects_an_iteration_at_most_n_trees() {
+        let (x, y) = linear_data(120);
+        let mut p = quick_params();
+        p.cv_folds = 4;
+        p.n_trees = 100;
+        let model = GbrtModel::fit(&x, &y, &p);
+        assert!(model.best_iter >= 1);
+        assert!(model.best_iter <= 100);
+    }
+
+    #[test]
+    fn train_fraction_limits_fitting_data() {
+        // Data whose second half has a different relationship: a model
+        // trained on the first 50% should fit the first half better.
+        let n = 200;
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| if i < n / 2 { x[i][0] } else { -5.0 })
+            .collect();
+        let mut p = quick_params();
+        p.train_fraction = 0.5;
+        let model = GbrtModel::fit(&x, &y, &p);
+        let err_first = (model.predict(&x[10]) - y[10]).abs();
+        let err_second = (model.predict(&x[150]) - y[150]).abs();
+        assert!(err_first < err_second);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (x, y) = linear_data(100);
+        let a = GbrtModel::fit(&x, &y, &quick_params());
+        let b = GbrtModel::fit(&x, &y, &quick_params());
+        assert_eq!(a.predict(&x[7]), b.predict(&x[7]));
+    }
+
+    #[test]
+    fn preset_parameterizations_match_the_paper() {
+        let g1 = GbrtParams::gbrt1();
+        assert_eq!(g1.n_trees, 2000);
+        assert_eq!(g1.shrinkage, 0.005);
+        assert_eq!(g1.cv_folds, 10);
+        assert_eq!(g1.loss, Loss::Gaussian);
+        assert_eq!(GbrtParams::gbrt2().loss, Loss::Laplace);
+        let g3 = GbrtParams::gbrt3();
+        assert_eq!(g3.n_trees, 10_000);
+        assert_eq!(g3.shrinkage, 0.001);
+        assert_eq!(g3.train_fraction, 0.8);
+        assert_eq!(GbrtParams::gbrt4().train_fraction, 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # mlmatch — machine-learning matching baselines
+//!
+//! The alternatives PStorM is evaluated against:
+//!
+//! * [`tree`]/[`gbrt`] — Gradient Boosted Regression Trees mirroring the
+//!   R `gbm` configuration of Appendix A, with the four parameterizations
+//!   of Fig. 6.2 ([`gbrt::GbrtParams::gbrt1`]..`gbrt4`).
+//! * [`featsel`] — information-gain feature ranking and nearest-neighbour
+//!   matching: the *P-features* and *SP-features* baselines of Fig. 6.1,
+//!   plus the min-max normalizer shared with the PStorM matcher.
+//! * [`distance`] — the Equation-1 profile-pair distance components, the
+//!   What-If-labelled training set of §4.4, and the GBRT matcher.
+
+pub mod distance;
+pub mod featsel;
+pub mod gbrt;
+pub mod tree;
+
+pub use distance::{build_training_set, DistanceContext, DistanceVector, GbrtMatcher, StoredJob};
+pub use featsel::{
+    map_numeric_features, reduce_numeric_features, select_by_info_gain, FeatureSample,
+    MinMaxNormalizer, NnMatcher, SelectedFeature,
+};
+pub use gbrt::{GbrtModel, GbrtParams, Loss};
+pub use tree::{RegressionTree, TreeParams};

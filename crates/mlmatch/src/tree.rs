@@ -1,0 +1,255 @@
+//! CART-style regression trees: greedy variance-reduction splits, the
+//! base learner of GBRT (§4.4).
+
+/// Parameters of a single regression tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth (the `interaction.depth` of the R gbm package).
+    pub max_depth: usize,
+    /// Minimum samples in a leaf (`n.minobsinnode`).
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit a tree to `(x, y)` pairs restricted to `idx`.
+    ///
+    /// `x` is row-major: `x[i]` is sample `i`'s feature vector.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], idx: &[usize], params: &TreeParams) -> RegressionTree {
+        assert_eq!(x.len(), y.len());
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let root_idx: Vec<usize> = idx.to_vec();
+        tree.grow(x, y, root_idx, 0, params);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = mean_of(y, &idx);
+        if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(Node::Leaf(mean));
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold)) = best_split(x, y, &idx, params.min_samples_leaf) else {
+            self.nodes.push(Node::Leaf(mean));
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        // Reserve a slot for this split node, then grow children.
+        let node_pos = self.nodes.len();
+        self.nodes.push(Node::Leaf(mean)); // placeholder
+        let left = self.grow(x, y, left_idx, depth + 1, params);
+        let right = self.grow(x, y, right_idx, depth + 1, params);
+        self.nodes[node_pos] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_pos
+    }
+
+    /// Predict a single sample.
+    pub fn predict(&self, sample: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn mean_of(y: &[f64], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+}
+
+/// Best (feature, threshold) by SSE reduction, or `None` when no split
+/// satisfies the leaf-size constraint or reduces error.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let n = idx.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let n_features = x[idx[0]].len();
+    let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+    let base_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    let mut order: Vec<usize> = idx.to_vec();
+    for f in 0..n_features {
+        order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(n - 1) {
+            left_sum += y[i];
+            left_sq += y[i] * y[i];
+            let left_n = k + 1;
+            let right_n = n - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            // Can't split between equal feature values.
+            if x[i][f] == x[order[k + 1]][f] {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / left_n as f64)
+                + (right_sq - right_sum * right_sum / right_n as f64);
+            if best.map(|(_, _, b)| sse < b).unwrap_or(sse < base_sse - 1e-12) {
+                let threshold = (x[i][f] + x[order[k + 1]][f]) / 2.0;
+                best = Some((f, threshold, sse));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_idx(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 20];
+        let t = RegressionTree::fit(&x, &y, &all_idx(20), &TreeParams::default());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[3.0]), 5.0);
+    }
+
+    #[test]
+    fn step_function_is_learned_exactly() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 10.0 }).collect();
+        let params = TreeParams {
+            max_depth: 2,
+            min_samples_leaf: 5,
+        };
+        let t = RegressionTree::fit(&x, &y, &all_idx(40), &params);
+        assert_eq!(t.predict(&[3.0]), 0.0);
+        assert_eq!(t.predict(&[33.0]), 10.0);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let x: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let params = TreeParams {
+            max_depth: 10,
+            min_samples_leaf: 6,
+        };
+        let t = RegressionTree::fit(&x, &y, &all_idx(12), &params);
+        // One split max: 12 samples, min leaf 6.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines y.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 2) as f64, (i * 7 % 13) as f64])
+            .collect();
+        let y: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let params = TreeParams {
+            max_depth: 1,
+            min_samples_leaf: 5,
+        };
+        let t = RegressionTree::fit(&x, &y, &all_idx(50), &params);
+        assert_eq!(t.predict(&[0.0, 99.0]), 1.0);
+        assert_eq!(t.predict(&[1.0, 99.0]), -1.0);
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| ((i / 8) % 2) as f64).collect();
+        let shallow = RegressionTree::fit(
+            &x,
+            &y,
+            &all_idx(64),
+            &TreeParams {
+                max_depth: 1,
+                min_samples_leaf: 2,
+            },
+        );
+        let deep = RegressionTree::fit(
+            &x,
+            &y,
+            &all_idx(64),
+            &TreeParams {
+                max_depth: 6,
+                min_samples_leaf: 2,
+            },
+        );
+        let sse = |t: &RegressionTree| -> f64 {
+            (0..64)
+                .map(|i| (t.predict(&x[i]) - y[i]).powi(2))
+                .sum::<f64>()
+        };
+        assert!(sse(&deep) < sse(&shallow));
+    }
+}

@@ -1,0 +1,740 @@
+//! Interpreter for the UDF IR.
+//!
+//! Executes a mapper/combiner/reducer body over a record, collecting emitted
+//! key-value pairs and an abstract operation count. The op count is the
+//! bridge between code structure and cost: a UDF with a nested loop (word
+//! co-occurrence) accrues quadratically more ops per record than a
+//! single-loop UDF (word count), which is exactly the CPU-cost difference
+//! the paper attributes to their differing control flow graphs (Fig. 4.3).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::ir::{BinOp, Builtin, Expr, Stmt, Udf};
+use crate::value::{OrderedF64, Value};
+
+/// Hard cap on loop iterations per UDF invocation; exceeded only by buggy
+/// job definitions, never by the shipped benchmarks.
+const MAX_STEPS: u64 = 50_000_000;
+
+/// Errors raised while interpreting a UDF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    UnknownVar(String),
+    UnknownJobParam(String),
+    TypeError { expected: &'static str, got: String },
+    ArityMismatch { builtin: String, expected: usize, got: usize },
+    DivisionByZero,
+    StepLimitExceeded,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
+            InterpError::UnknownJobParam(p) => write!(f, "unknown job parameter `{p}`"),
+            InterpError::TypeError { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            InterpError::ArityMismatch {
+                builtin,
+                expected,
+                got,
+            } => write!(f, "{builtin} expects {expected} args, got {got}"),
+            InterpError::DivisionByZero => write!(f, "division by zero"),
+            InterpError::StepLimitExceeded => write!(f, "UDF exceeded the step limit"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Execution statistics accumulated across UDF invocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Abstract CPU operations performed.
+    pub ops: u64,
+    /// Records emitted.
+    pub records_out: u64,
+    /// Serialized bytes emitted.
+    pub bytes_out: u64,
+}
+
+impl ExecStats {
+    pub fn merge(&mut self, other: ExecStats) {
+        self.ops += other.ops;
+        self.records_out += other.records_out;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+/// One invocation context for a UDF.
+struct Frame<'a> {
+    env: HashMap<&'static str, Value>,
+    job_params: &'a BTreeMap<String, Value>,
+    out: &'a mut Vec<(Value, Value)>,
+    stats: ExecStats,
+    steps: u64,
+}
+
+impl<'a> Frame<'a> {
+    fn tick(&mut self, cost: u64) -> Result<(), InterpError> {
+        self.steps += 1;
+        self.stats.ops += cost;
+        if self.steps > MAX_STEPS {
+            Err(InterpError::StepLimitExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Result<Value, InterpError> {
+        self.tick(1)?;
+        match expr {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => self
+                .env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| InterpError::UnknownVar((*name).to_string())),
+            Expr::JobParam(name) => self
+                .job_params
+                .get(*name)
+                .cloned()
+                .ok_or_else(|| InterpError::UnknownJobParam((*name).to_string())),
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                eval_binop(*op, &a, &b)
+            }
+            Expr::Call(builtin, args) => {
+                if args.len() != builtin.arity() {
+                    return Err(InterpError::ArityMismatch {
+                        builtin: format!("{builtin:?}"),
+                        expected: builtin.arity(),
+                        got: args.len(),
+                    });
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call_builtin(*builtin, vals)
+            }
+        }
+    }
+
+    fn call_builtin(&mut self, b: Builtin, mut args: Vec<Value>) -> Result<Value, InterpError> {
+        use Builtin::*;
+        let mut extra_cost = 0u64;
+        let result = match b {
+            Tokenize => {
+                let s = text_arg(&args[0])?;
+                extra_cost = s.len() as u64 / 8;
+                Value::List(
+                    s.split_whitespace()
+                        .map(|w| Value::text(w.to_string()))
+                        .collect(),
+                )
+            }
+            Split => {
+                let s = text_arg(&args[0])?;
+                let sep = text_arg(&args[1])?;
+                extra_cost = s.len() as u64 / 8;
+                if sep.is_empty() {
+                    Value::List(vec![Value::text(s.to_string())])
+                } else {
+                    Value::List(s.split(sep).map(|p| Value::text(p.to_string())).collect())
+                }
+            }
+            Lower => {
+                let s = text_arg(&args[0])?;
+                extra_cost = s.len() as u64 / 8;
+                Value::text(s.to_lowercase())
+            }
+            Len => Value::Int(match &args[0] {
+                Value::Text(s) => s.len() as i64,
+                Value::List(l) => l.len() as i64,
+                Value::Map(m) => m.len() as i64,
+                other => {
+                    return type_err("text/list/map", other);
+                }
+            }),
+            Index => {
+                let i = int_arg(&args[1])?;
+                match &args[0] {
+                    Value::List(l) => l
+                        .get(usize::try_from(i).unwrap_or(usize::MAX))
+                        .cloned()
+                        .unwrap_or(Value::Null),
+                    other => return type_err("list", other),
+                }
+            }
+            Concat => {
+                let a = args[0].to_string();
+                let b = args[1].to_string();
+                Value::text(format!("{a}{b}"))
+            }
+            ToText => Value::text(args[0].to_string()),
+            ParseInt => Value::Int(
+                text_arg(&args[0])
+                    .ok()
+                    .and_then(|s| s.trim().parse::<i64>().ok())
+                    .unwrap_or(0),
+            ),
+            ParseFloat => Value::float(
+                text_arg(&args[0])
+                    .ok()
+                    .and_then(|s| s.trim().parse::<f64>().ok())
+                    .unwrap_or(0.0),
+            ),
+            MakePair => {
+                let second = args.pop().expect("arity checked");
+                let first = args.pop().expect("arity checked");
+                Value::pair(first, second)
+            }
+            First => match &args[0] {
+                Value::Pair(a, _) => (**a).clone(),
+                other => return type_err("pair", other),
+            },
+            Second => match &args[0] {
+                Value::Pair(_, b) => (**b).clone(),
+                other => return type_err("pair", other),
+            },
+            MapGet => {
+                let k = text_arg(&args[1])?.to_string();
+                match &args[0] {
+                    Value::Map(m) => m.get(&k).cloned().unwrap_or(Value::Null),
+                    other => return type_err("map", other),
+                }
+            }
+            Contains => {
+                let s = text_arg(&args[0])?;
+                let pat = text_arg(&args[1])?;
+                extra_cost = s.len() as u64 / 16;
+                Value::Int(s.contains(pat) as i64)
+            }
+            NotEmpty => Value::Int(args[0].is_truthy() as i64),
+            Hash => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                hash_value(&args[0], &mut h);
+                Value::Int((h >> 1) as i64)
+            }
+            Range => {
+                let a = int_arg(&args[0])?;
+                let b = int_arg(&args[1])?;
+                extra_cost = b.saturating_sub(a).max(0) as u64 / 4;
+                Value::List((a..b).map(Value::Int).collect())
+            }
+            Min => num_binary(&args[0], &args[1], f64::min)?,
+            Max => num_binary(&args[0], &args[1], f64::max)?,
+            Substr => {
+                let s = text_arg(&args[0])?;
+                let from = int_arg(&args[1])?.clamp(0, s.len() as i64) as usize;
+                let to = int_arg(&args[2])?.clamp(from as i64, s.len() as i64) as usize;
+                Value::text(s[from..to].to_string())
+            }
+            SumList => match &args[0] {
+                Value::List(l) => {
+                    extra_cost = l.len() as u64 / 4;
+                    let mut acc = 0.0;
+                    let mut all_int = true;
+                    for v in l {
+                        all_int &= matches!(v, Value::Int(_));
+                        acc += v.as_float().ok_or_else(|| type_err("number", v).unwrap_err())?;
+                    }
+                    if all_int {
+                        Value::Int(acc as i64)
+                    } else {
+                        Value::float(acc)
+                    }
+                }
+                other => return type_err("list", other),
+            },
+            SortList => match &args[0] {
+                Value::List(l) => {
+                    let mut l = l.clone();
+                    extra_cost = (l.len() as u64).saturating_mul(4);
+                    l.sort();
+                    Value::List(l)
+                }
+                other => return type_err("list", other),
+            },
+            MapKeys => match &args[0] {
+                Value::Map(m) => {
+                    extra_cost = m.len() as u64 / 4;
+                    Value::List(m.keys().map(|k| Value::text(k.clone())).collect())
+                }
+                other => return type_err("map", other),
+            },
+            EmptyList => Value::List(vec![]),
+            EmptyMap => Value::Map(BTreeMap::new()),
+        };
+        self.stats.ops += b.base_cost() + extra_cost;
+        Ok(result)
+    }
+
+    fn exec_block(&mut self, block: &[Stmt]) -> Result<(), InterpError> {
+        for stmt in block {
+            self.exec(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), InterpError> {
+        self.tick(1)?;
+        match stmt {
+            Stmt::Assign(name, e) => {
+                let v = self.eval(e)?;
+                self.env.insert(name, v);
+                Ok(())
+            }
+            Stmt::MapAdd(name, key, delta) => {
+                let k = {
+                    let kv = self.eval(key)?;
+                    kv.to_string()
+                };
+                let d = self
+                    .eval(delta)?
+                    .as_float()
+                    .ok_or(InterpError::TypeError {
+                        expected: "number",
+                        got: "non-numeric delta".to_string(),
+                    })?;
+                let slot = self
+                    .env
+                    .get_mut(name)
+                    .ok_or_else(|| InterpError::UnknownVar((*name).to_string()))?;
+                match slot {
+                    Value::Map(m) => {
+                        let entry = m.entry(k).or_insert(Value::Int(0));
+                        let cur = entry.as_float().unwrap_or(0.0);
+                        let next = cur + d;
+                        // Preserve integer representation for whole numbers so
+                        // "stripes" counters stay compact.
+                        *entry = if next.fract() == 0.0 && next.abs() < i64::MAX as f64 {
+                            Value::Int(next as i64)
+                        } else {
+                            Value::Float(OrderedF64(next))
+                        };
+                        Ok(())
+                    }
+                    other => Err(type_err("map", other).unwrap_err()),
+                }
+            }
+            Stmt::ListPush(name, e) => {
+                let v = self.eval(e)?;
+                let slot = self
+                    .env
+                    .get_mut(name)
+                    .ok_or_else(|| InterpError::UnknownVar((*name).to_string()))?;
+                match slot {
+                    Value::List(l) => {
+                        l.push(v);
+                        Ok(())
+                    }
+                    other => Err(type_err("list", other).unwrap_err()),
+                }
+            }
+            Stmt::Emit(k, v) => {
+                let k = self.eval(k)?;
+                let v = self.eval(v)?;
+                self.stats.records_out += 1;
+                self.stats.bytes_out += k.serialized_size() + v.serialized_size();
+                // Emitting costs serialization work proportional to size.
+                self.stats.ops += 2;
+                self.out.push((k, v));
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond)?.is_truthy() {
+                    self.exec_block(then_branch)
+                } else {
+                    self.exec_block(else_branch)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)?.is_truthy() {
+                    self.exec_block(body)?;
+                }
+                Ok(())
+            }
+            Stmt::For { var, iter, body } => {
+                let list = match self.eval(iter)? {
+                    Value::List(l) => l,
+                    other => return Err(type_err("list", &other).unwrap_err()),
+                };
+                for item in list {
+                    self.tick(1)?;
+                    self.env.insert(var, item);
+                    self.exec_block(body)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn text_arg(v: &Value) -> Result<&str, InterpError> {
+    v.as_text().ok_or(InterpError::TypeError {
+        expected: "text",
+        got: format!("{:?}", v.value_type()),
+    })
+}
+
+fn int_arg(v: &Value) -> Result<i64, InterpError> {
+    v.as_int().ok_or(InterpError::TypeError {
+        expected: "int",
+        got: format!("{:?}", v.value_type()),
+    })
+}
+
+/// Helper that builds a `Result::Err` for a type mismatch; returned as
+/// `Result` so call sites can use `?` or `.unwrap_err()` uniformly.
+fn type_err(expected: &'static str, got: &Value) -> Result<Value, InterpError> {
+    Err(InterpError::TypeError {
+        expected,
+        got: format!("{:?}", got.value_type()),
+    })
+}
+
+fn num_binary(a: &Value, b: &Value, f: fn(f64, f64) -> f64) -> Result<Value, InterpError> {
+    let (x, y) = match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return type_err("number", a),
+    };
+    let r = f(x, y);
+    if matches!((a, b), (Value::Int(_), Value::Int(_))) {
+        Ok(Value::Int(r as i64))
+    } else {
+        Ok(Value::float(r))
+    }
+}
+
+fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, InterpError> {
+    use BinOp::*;
+    match op {
+        And => return Ok(Value::Int((a.is_truthy() && b.is_truthy()) as i64)),
+        Or => return Ok(Value::Int((a.is_truthy() || b.is_truthy()) as i64)),
+        Eq => return Ok(Value::Int((a == b) as i64)),
+        Ne => return Ok(Value::Int((a != b) as i64)),
+        Lt => return Ok(Value::Int((a < b) as i64)),
+        Le => return Ok(Value::Int((a <= b) as i64)),
+        Gt => return Ok(Value::Int((a > b) as i64)),
+        Ge => return Ok(Value::Int((a >= b) as i64)),
+        _ => {}
+    }
+    // Arithmetic: integer arithmetic when both sides are ints, float
+    // otherwise. Text concatenation via Add.
+    if let (Value::Text(x), Value::Text(y)) = (a, b) {
+        if op == Add {
+            return Ok(Value::text(format!("{x}{y}")));
+        }
+    }
+    let (x, y) = match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(InterpError::TypeError {
+                expected: "number",
+                got: format!("{:?} {op:?} {:?}", a.value_type(), b.value_type()),
+            })
+        }
+    };
+    let both_int = matches!((a, b), (Value::Int(_), Value::Int(_)));
+    let r = match op {
+        Add => x + y,
+        Sub => x - y,
+        Mul => x * y,
+        Div => {
+            if y == 0.0 {
+                return Err(InterpError::DivisionByZero);
+            }
+            x / y
+        }
+        Mod => {
+            if y == 0.0 {
+                return Err(InterpError::DivisionByZero);
+            }
+            x % y
+        }
+        _ => unreachable!("comparisons handled above"),
+    };
+    if both_int && matches!(op, Add | Sub | Mul | Mod) {
+        Ok(Value::Int(r as i64))
+    } else if both_int && op == Div {
+        Ok(Value::Int((x as i64) / (y as i64)))
+    } else {
+        Ok(Value::float(r))
+    }
+}
+
+fn hash_value(v: &Value, h: &mut u64) {
+    fn mix(h: &mut u64, byte: u8) {
+        *h ^= byte as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    match v {
+        Value::Null => mix(h, 0),
+        Value::Int(i) => i.to_le_bytes().iter().for_each(|b| mix(h, *b)),
+        Value::Float(f) => f.0.to_bits().to_le_bytes().iter().for_each(|b| mix(h, *b)),
+        Value::Text(s) => s.as_bytes().iter().for_each(|b| mix(h, *b)),
+        Value::Pair(a, b) => {
+            hash_value(a, h);
+            hash_value(b, h);
+        }
+        Value::List(l) => l.iter().for_each(|x| hash_value(x, h)),
+        Value::Map(m) => {
+            for (k, x) in m {
+                k.as_bytes().iter().for_each(|b| mix(h, *b));
+                hash_value(x, h);
+            }
+        }
+    }
+}
+
+/// Deterministic non-negative hash of a value, exposed for partitioning.
+pub fn value_hash(v: &Value) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    hash_value(v, &mut h);
+    h >> 1
+}
+
+/// Run a mapper UDF over one input record.
+pub fn run_map(
+    udf: &Udf,
+    job_params: &BTreeMap<String, Value>,
+    key: &Value,
+    value: &Value,
+    out: &mut Vec<(Value, Value)>,
+) -> Result<ExecStats, InterpError> {
+    let mut env = HashMap::with_capacity(8);
+    env.insert(udf.params[0], key.clone());
+    env.insert(udf.params[1], value.clone());
+    run_frame(udf, job_params, env, out)
+}
+
+/// Run a reducer/combiner UDF over one intermediate key group.
+pub fn run_reduce(
+    udf: &Udf,
+    job_params: &BTreeMap<String, Value>,
+    key: &Value,
+    values: Vec<Value>,
+    out: &mut Vec<(Value, Value)>,
+) -> Result<ExecStats, InterpError> {
+    let mut env = HashMap::with_capacity(8);
+    env.insert(udf.params[0], key.clone());
+    env.insert(udf.params[1], Value::List(values));
+    run_frame(udf, job_params, env, out)
+}
+
+fn run_frame(
+    udf: &Udf,
+    job_params: &BTreeMap<String, Value>,
+    env: HashMap<&'static str, Value>,
+    out: &mut Vec<(Value, Value)>,
+) -> Result<ExecStats, InterpError> {
+    let mut frame = Frame {
+        env,
+        job_params,
+        out,
+        stats: ExecStats::default(),
+        steps: 0,
+    };
+    frame.exec_block(&udf.body)?;
+    Ok(frame.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::ir::Builtin;
+
+    fn no_params() -> BTreeMap<String, Value> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn word_count_map_emits_one_pair_per_token() {
+        let udf = Udf::mapper(
+            "wc",
+            vec![
+                assign("tokens", tokenize(var("value"))),
+                for_each(
+                    "word",
+                    var("tokens"),
+                    vec![emit(var("word"), c_int(1))],
+                ),
+            ],
+        );
+        let mut out = vec![];
+        let stats = run_map(
+            &udf,
+            &no_params(),
+            &Value::Int(0),
+            &Value::text("the quick brown fox the"),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(stats.records_out, 5);
+        assert!(stats.ops > 5);
+        assert_eq!(out[0].0, Value::text("the"));
+    }
+
+    #[test]
+    fn sum_reducer_sums_group() {
+        let udf = Udf::reducer(
+            "sum",
+            vec![
+                assign("total", call(Builtin::SumList, vec![var("values")])),
+                emit(var("key"), var("total")),
+            ],
+        );
+        let mut out = vec![];
+        run_reduce(
+            &udf,
+            &no_params(),
+            &Value::text("w"),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(Value::text("w"), Value::Int(6))]);
+    }
+
+    #[test]
+    fn while_loop_counts() {
+        let udf = Udf::mapper(
+            "count",
+            vec![
+                assign("i", c_int(0)),
+                while_loop(
+                    lt(var("i"), c_int(4)),
+                    vec![
+                        emit(var("i"), c_int(1)),
+                        assign("i", add(var("i"), c_int(1))),
+                    ],
+                ),
+            ],
+        );
+        let mut out = vec![];
+        run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn nested_loops_cost_more_than_flat() {
+        let flat = Udf::mapper(
+            "flat",
+            vec![for_each(
+                "w",
+                tokenize(var("value")),
+                vec![emit(var("w"), c_int(1))],
+            )],
+        );
+        let nested = Udf::mapper(
+            "nested",
+            vec![for_each(
+                "w",
+                tokenize(var("value")),
+                vec![for_each(
+                    "u",
+                    tokenize(var("value")),
+                    vec![emit(make_pair(var("w"), var("u")), c_int(1))],
+                )],
+            )],
+        );
+        let line = Value::text("a b c d e f g h");
+        let mut out = vec![];
+        let s1 = run_map(&flat, &no_params(), &Value::Null, &line, &mut out).unwrap();
+        out.clear();
+        let s2 = run_map(&nested, &no_params(), &Value::Null, &line, &mut out).unwrap();
+        assert!(s2.ops > 4 * s1.ops, "nested {} flat {}", s2.ops, s1.ops);
+    }
+
+    #[test]
+    fn map_add_accumulates() {
+        let udf = Udf::mapper(
+            "stripes",
+            vec![
+                assign("m", call(Builtin::EmptyMap, vec![])),
+                Stmt::MapAdd("m", c_text("x"), c_int(2)),
+                Stmt::MapAdd("m", c_text("x"), c_int(3)),
+                emit(c_text("k"), var("m")),
+            ],
+        );
+        let mut out = vec![];
+        run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap();
+        match &out[0].1 {
+            Value::Map(m) => assert_eq!(m["x"], Value::Int(5)),
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_var_is_an_error() {
+        let udf = Udf::mapper("bad", vec![emit(var("nope"), c_int(1))]);
+        let mut out = vec![];
+        let err = run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap_err();
+        assert_eq!(err, InterpError::UnknownVar("nope".to_string()));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let udf = Udf::mapper("div0", vec![emit(c_int(0), div(c_int(1), c_int(0)))]);
+        let mut out = vec![];
+        let err = run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap_err();
+        assert_eq!(err, InterpError::DivisionByZero);
+    }
+
+    #[test]
+    fn job_params_resolve() {
+        let mut params = BTreeMap::new();
+        params.insert("window".to_string(), Value::Int(3));
+        let udf = Udf::mapper("p", vec![emit(c_text("w"), job_param("window"))]);
+        let mut out = vec![];
+        run_map(&udf, &params, &Value::Null, &Value::Null, &mut out).unwrap();
+        assert_eq!(out[0].1, Value::Int(3));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let udf = Udf::mapper("inf", vec![while_loop(c_int(1), vec![assign("x", c_int(0))])]);
+        let mut out = vec![];
+        let err = run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap_err();
+        assert_eq!(err, InterpError::StepLimitExceeded);
+    }
+
+    #[test]
+    fn builtins_roundtrip() {
+        let udf = Udf::mapper(
+            "b",
+            vec![
+                assign("p", make_pair(c_text("a"), c_int(7))),
+                emit(first(var("p")), second(var("p"))),
+                emit(
+                    call(Builtin::Substr, vec![c_text("hello"), c_int(1), c_int(3)]),
+                    call(Builtin::ParseInt, vec![c_text("42")]),
+                ),
+            ],
+        );
+        let mut out = vec![];
+        run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap();
+        assert_eq!(out[0], (Value::text("a"), Value::Int(7)));
+        assert_eq!(out[1], (Value::text("el"), Value::Int(42)));
+    }
+
+    #[test]
+    fn value_hash_is_deterministic_and_spreads() {
+        let h1 = value_hash(&Value::text("alpha"));
+        let h2 = value_hash(&Value::text("alpha"));
+        let h3 = value_hash(&Value::text("beta"));
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+}

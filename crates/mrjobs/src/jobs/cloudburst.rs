@@ -1,0 +1,111 @@
+//! A CloudBurst-style read-mapping job (seed-and-extend alignment reduced
+//! to its MapReduce dataflow): the mapper shreds genome reads into k-mer
+//! seeds, the reducer counts seed collisions between reads and the
+//! reference.
+
+use crate::ir::build::*;
+use crate::ir::{Builtin, Udf};
+use crate::spec::{formatters, JobSpec};
+use crate::value::{Value, ValueType};
+
+/// CloudBurst-like seed extraction and collision counting. Input records
+/// are `(sequence-id, base-string)`; for every window of length
+/// `seed_len`, the mapper emits `(kmer, (sequence-id, offset))` and the
+/// reducer emits the number of sequences sharing each seed.
+pub fn cloudburst(seed_len: i64) -> JobSpec {
+    let mapper = Udf::mapper(
+        "SeedMapper",
+        vec![
+            assign("n", len(var("value"))),
+            assign("limit", sub(var("n"), job_param("seed_len"))),
+            assign("i", c_int(0)),
+            while_loop(
+                le(var("i"), var("limit")),
+                vec![
+                    emit(
+                        call(
+                            Builtin::Substr,
+                            vec![
+                                var("value"),
+                                var("i"),
+                                add(var("i"), job_param("seed_len")),
+                            ],
+                        ),
+                        make_pair(var("key"), var("i")),
+                    ),
+                    assign("i", add(var("i"), c_int(1))),
+                ],
+            ),
+        ],
+    );
+    let reducer = Udf::reducer(
+        "SeedJoinReducer",
+        vec![emit(var("key"), len(var("values")))],
+    );
+    JobSpec::builder("cloudburst")
+        .driver_reduce_tasks(15)
+        .input_formatter(formatters::SEQUENCE_FILE_INPUT)
+        .mapper("SeedMapper", mapper)
+        .reducer("SeedJoinReducer", reducer)
+        .param("seed_len", Value::Int(seed_len))
+        .map_types(ValueType::Text, ValueType::Text)
+        .intermediate_types(ValueType::Text, ValueType::Pair)
+        .output_types(ValueType::Text, ValueType::Int)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_map, run_reduce};
+
+    #[test]
+    fn mapper_emits_sliding_kmers() {
+        let spec = cloudburst(3);
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::text("read1"),
+            &Value::text("ACGTA"),
+            &mut out,
+        )
+        .unwrap();
+        let kmers: Vec<&str> = out.iter().map(|(k, _)| k.as_text().unwrap()).collect();
+        assert_eq!(kmers, vec!["ACG", "CGT", "GTA"]);
+        assert_eq!(out[1].1, Value::pair(Value::text("read1"), Value::Int(1)));
+    }
+
+    #[test]
+    fn short_reads_emit_nothing() {
+        let spec = cloudburst(8);
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::text("r"),
+            &Value::text("ACGT"),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reducer_counts_collisions() {
+        let spec = cloudburst(3);
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("ACG"),
+            vec![
+                Value::pair(Value::text("r1"), Value::Int(0)),
+                Value::pair(Value::text("ref"), Value::Int(99)),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(Value::text("ACG"), Value::Int(2))]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Data-mining benchmark jobs: the frequent-itemset-mining chain (three MR
+//! jobs, as in the paper's benchmark) and the two-phase item-based
+//! collaborative filtering workload.
+
+use crate::ir::build::*;
+use crate::ir::{Builtin, Stmt, Udf};
+use crate::spec::{formatters, JobSpec};
+use crate::value::{Value, ValueType};
+
+use super::text::sum_reducer;
+
+/// A sum reducer with a minimum-support filter: emits `(key, total)` only
+/// when `total >= min_support`.
+fn support_reducer(name: &str) -> Udf {
+    Udf::reducer(
+        name,
+        vec![
+            assign("total", call(Builtin::SumList, vec![var("values")])),
+            if_then(
+                bin(
+                    crate::ir::BinOp::Ge,
+                    var("total"),
+                    job_param("min_support"),
+                ),
+                vec![emit(var("key"), var("total"))],
+            ),
+        ],
+    )
+}
+
+/// FIM pass 1: count singleton items over market-basket transactions
+/// (one transaction of space-separated items per line), keeping items with
+/// support >= `min_support`.
+pub fn fim_pass1(min_support: i64) -> JobSpec {
+    let mapper = Udf::mapper(
+        "ItemCountMapper",
+        vec![for_each(
+            "item",
+            tokenize(var("value")),
+            vec![emit(var("item"), c_int(1))],
+        )],
+    );
+    JobSpec::builder("fim-pass1")
+        .mapper("ItemCountMapper", mapper)
+        .combiner("SumCombiner", sum_reducer("SumCombiner"))
+        .reducer("SupportReducer", support_reducer("SupportReducer"))
+        .param("min_support", Value::Int(min_support))
+        .map_types(ValueType::Int, ValueType::Text)
+        .intermediate_types(ValueType::Text, ValueType::Int)
+        .output_types(ValueType::Text, ValueType::Int)
+        .build()
+}
+
+/// FIM pass 2: count candidate item pairs per transaction.
+pub fn fim_pass2(min_support: i64) -> JobSpec {
+    let mapper = Udf::mapper(
+        "PairCountMapper",
+        vec![
+            assign("items", tokenize(var("value"))),
+            assign("n", len(var("items"))),
+            for_each(
+                "i",
+                call(Builtin::Range, vec![c_int(0), var("n")]),
+                vec![for_each(
+                    "j",
+                    call(Builtin::Range, vec![add(var("i"), c_int(1)), var("n")]),
+                    vec![emit(
+                        make_pair(
+                            index(var("items"), var("i")),
+                            index(var("items"), var("j")),
+                        ),
+                        c_int(1),
+                    )],
+                )],
+            ),
+        ],
+    );
+    JobSpec::builder("fim-pass2")
+        .mapper("PairCountMapper", mapper)
+        .combiner("SumCombiner", sum_reducer("SumCombiner"))
+        .reducer("SupportReducer", support_reducer("SupportReducer"))
+        .param("min_support", Value::Int(min_support))
+        .map_types(ValueType::Int, ValueType::Text)
+        .intermediate_types(ValueType::Pair, ValueType::Int)
+        .output_types(ValueType::Pair, ValueType::Int)
+        .build()
+}
+
+/// FIM pass 3: association-rule confidence. Input lines are
+/// `antecedent consequent count`; the reducer computes
+/// `count(a -> c) / sum_c count(a -> c)` per antecedent.
+pub fn fim_pass3() -> JobSpec {
+    let mapper = Udf::mapper(
+        "RuleMapper",
+        vec![
+            assign("f", call(Builtin::Split, vec![var("value"), c_text(" ")])),
+            emit(
+                index(var("f"), c_int(0)),
+                make_pair(
+                    index(var("f"), c_int(1)),
+                    call(Builtin::ParseInt, vec![index(var("f"), c_int(2))]),
+                ),
+            ),
+        ],
+    );
+    let reducer = Udf::reducer(
+        "ConfidenceReducer",
+        vec![
+            assign("counts", call(Builtin::EmptyMap, vec![])),
+            assign("total", c_float(0.0)),
+            for_each(
+                "p",
+                var("values"),
+                vec![
+                    Stmt::MapAdd("counts", first(var("p")), second(var("p"))),
+                    assign("total", add(var("total"), second(var("p")))),
+                ],
+            ),
+            for_each(
+                "c",
+                call(Builtin::MapKeys, vec![var("counts")]),
+                vec![emit(
+                    make_pair(var("key"), var("c")),
+                    div(
+                        call(Builtin::MapGet, vec![var("counts"), var("c")]),
+                        var("total"),
+                    ),
+                )],
+            ),
+        ],
+    );
+    JobSpec::builder("fim-pass3")
+        .mapper("RuleMapper", mapper)
+        .reducer("ConfidenceReducer", reducer)
+        .map_types(ValueType::Int, ValueType::Text)
+        .intermediate_types(ValueType::Text, ValueType::Pair)
+        .output_types(ValueType::Pair, ValueType::Float)
+        .build()
+}
+
+/// Collaborative filtering phase 1: build per-user preference vectors.
+/// Input lines are `user item rating`.
+pub fn cf_user_vectors() -> JobSpec {
+    let mapper = Udf::mapper(
+        "RatingMapper",
+        vec![
+            assign("f", call(Builtin::Split, vec![var("value"), c_text(" ")])),
+            emit(
+                index(var("f"), c_int(0)),
+                make_pair(
+                    index(var("f"), c_int(1)),
+                    call(Builtin::ParseFloat, vec![index(var("f"), c_int(2))]),
+                ),
+            ),
+        ],
+    );
+    let reducer = Udf::reducer(
+        "UserVectorReducer",
+        vec![emit(var("key"), call(Builtin::SortList, vec![var("values")]))],
+    );
+    JobSpec::builder("cf-user-vectors")
+        .mapper("RatingMapper", mapper)
+        .reducer("UserVectorReducer", reducer)
+        .map_types(ValueType::Int, ValueType::Text)
+        .intermediate_types(ValueType::Text, ValueType::Pair)
+        .output_types(ValueType::Text, ValueType::List)
+        .build()
+}
+
+/// Collaborative filtering phase 2: item co-occurrence counts from user
+/// vectors. Input lines are a user's space-separated item ids.
+pub fn cf_item_similarity() -> JobSpec {
+    let mapper = Udf::mapper(
+        "ItemPairMapper",
+        vec![
+            assign("items", tokenize(var("value"))),
+            assign("n", len(var("items"))),
+            for_each(
+                "i",
+                call(Builtin::Range, vec![c_int(0), var("n")]),
+                vec![for_each(
+                    "j",
+                    call(Builtin::Range, vec![add(var("i"), c_int(1)), var("n")]),
+                    vec![emit(
+                        make_pair(
+                            index(var("items"), var("i")),
+                            index(var("items"), var("j")),
+                        ),
+                        c_int(1),
+                    )],
+                )],
+            ),
+        ],
+    );
+    JobSpec::builder("cf-item-similarity")
+        .driver_reduce_tasks(10)
+        .input_formatter(formatters::KEY_VALUE_TEXT_INPUT)
+        .mapper("ItemPairMapper", mapper)
+        .combiner("SumCombiner", sum_reducer("SumCombiner"))
+        .reducer("SumReducer", sum_reducer("SumReducer"))
+        .map_types(ValueType::Text, ValueType::Text)
+        .intermediate_types(ValueType::Pair, ValueType::Int)
+        .output_types(ValueType::Pair, ValueType::Int)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_map, run_reduce};
+
+    #[test]
+    fn fim_pass1_filters_by_support() {
+        let spec = fim_pass1(3);
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("milk"),
+            vec![Value::Int(1), Value::Int(1)],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty(), "below support threshold");
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("bread"),
+            vec![Value::Int(2), Value::Int(2)],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(Value::text("bread"), Value::Int(4))]);
+    }
+
+    #[test]
+    fn fim_pass2_emits_all_pairs() {
+        let spec = fim_pass2(2);
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::Int(0),
+            &Value::text("a b c"),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3); // (a,b) (a,c) (b,c)
+    }
+
+    #[test]
+    fn cf_user_vector_parses_ratings() {
+        let spec = cf_user_vectors();
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::Int(0),
+            &Value::text("u1 i42 4.5"),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out[0].0, Value::text("u1"));
+        assert_eq!(
+            out[0].1,
+            Value::pair(Value::text("i42"), Value::float(4.5))
+        );
+    }
+
+    #[test]
+    fn fim_pass3_confidence_sums_to_one() {
+        let spec = fim_pass3();
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("milk"),
+            vec![
+                Value::pair(Value::text("bread"), Value::Int(3)),
+                Value::pair(Value::text("eggs"), Value::Int(1)),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let total: f64 = out.iter().map(|(_, v)| v.as_float().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! The benchmark MapReduce jobs of Table 6.1, expressed in the UDF IR.
+
+pub mod cloudburst;
+pub mod cooccurrence;
+pub mod mining;
+pub mod pigmix;
+pub mod sortjoin;
+pub mod text;
+
+pub use cloudburst::cloudburst;
+pub use cooccurrence::{
+    bigram_relative_frequency, word_cooccurrence_pairs, word_cooccurrence_stripes,
+};
+pub use mining::{cf_item_similarity, cf_user_vectors, fim_pass1, fim_pass2, fim_pass3};
+pub use pigmix::{pigmix, pigmix_suite};
+pub use sortjoin::{join, sort};
+pub use text::{grep, inverted_index, word_count, word_count_while_variant};
+
+use crate::spec::JobSpec;
+
+/// The full benchmark suite the experiments populate the profile store
+/// with: the named jobs of Table 6.1 plus the 17 PigMix queries.
+pub fn standard_suite() -> Vec<JobSpec> {
+    let mut suite = vec![
+        word_count(),
+        word_cooccurrence_pairs(2),
+        word_cooccurrence_stripes(2),
+        bigram_relative_frequency(),
+        inverted_index(),
+        grep("ba"),
+        sort(),
+        join(),
+        fim_pass1(4),
+        fim_pass2(4),
+        fim_pass3(),
+        cf_user_vectors(),
+        cf_item_similarity(),
+        cloudburst(12),
+    ];
+    suite.extend(pigmix_suite());
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_ids_are_unique() {
+        let suite = standard_suite();
+        assert_eq!(suite.len(), 14 + 17);
+        let mut ids: Vec<_> = suite.iter().map(|s| s.job_id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 31);
+    }
+
+    #[test]
+    fn every_suite_job_with_reducer_has_reduce_udf() {
+        for spec in standard_suite() {
+            assert_eq!(spec.reducer_class.is_some(), spec.reduce_udf.is_some());
+            assert_eq!(spec.combiner_class.is_some(), spec.combine_udf.is_some());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! PigMix-style query workload.
+//!
+//! The paper's benchmark includes the 17 PigMix queries, which Pig compiles
+//! into MR jobs sharing a small set of shapes: scan-filter-project,
+//! group-by with an aggregate, distinct, and wide-key grouping. We generate
+//! the 17 jobs from those templates with per-query parameters (filter
+//! threshold, grouping column, aggregate function, combiner usage), so the
+//! profile store is populated with a realistic population of many similar
+//! but not identical jobs — precisely the situation PStorM exploits.
+
+use crate::ir::build::*;
+use crate::ir::{BinOp, Builtin, Stmt, Udf};
+use crate::spec::JobSpec;
+use crate::value::{Value, ValueType};
+
+/// The aggregate a PigMix query applies to its grouped values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PigAgg {
+    Sum,
+    Max,
+    Min,
+    Count,
+}
+
+impl PigAgg {
+    fn for_query(n: usize) -> PigAgg {
+        match n % 4 {
+            0 => PigAgg::Sum,
+            1 => PigAgg::Max,
+            2 => PigAgg::Min,
+            _ => PigAgg::Count,
+        }
+    }
+
+    fn reducer_body(self) -> Vec<Stmt> {
+        match self {
+            PigAgg::Sum => vec![
+                assign("acc", call(Builtin::SumList, vec![var("values")])),
+                emit(var("key"), var("acc")),
+            ],
+            PigAgg::Count => vec![emit(var("key"), len(var("values")))],
+            PigAgg::Max | PigAgg::Min => {
+                let b = if self == PigAgg::Max {
+                    Builtin::Max
+                } else {
+                    Builtin::Min
+                };
+                vec![
+                    assign("acc", index(var("values"), c_int(0))),
+                    for_each(
+                        "v",
+                        var("values"),
+                        vec![assign("acc", call(b, vec![var("acc"), var("v")]))],
+                    ),
+                    emit(var("key"), var("acc")),
+                ]
+            }
+        }
+    }
+}
+
+/// Build PigMix query `n` (1-based, `1..=17`). Input lines carry five
+/// space-separated fields: three low-cardinality string dimensions and two
+/// numeric measures.
+pub fn pigmix(n: usize) -> JobSpec {
+    assert!((1..=17).contains(&n), "PigMix defines queries L1..L17");
+    let group_field = (n % 3) as i64;
+    let measure_field = 3 + (n % 2) as i64;
+    let threshold = ((n * 7) % 50) as i64;
+    let agg = PigAgg::for_query(n);
+    let wide_key = n % 5 == 0;
+    let distinct = n % 6 == 0;
+
+    let key_expr = if wide_key {
+        make_pair(
+            index(var("f"), c_int(group_field)),
+            index(var("f"), c_int((group_field + 1) % 3)),
+        )
+    } else {
+        index(var("f"), c_int(group_field))
+    };
+    let value_expr = if distinct {
+        c_int(1)
+    } else {
+        call(
+            Builtin::ParseFloat,
+            vec![index(var("f"), c_int(measure_field))],
+        )
+    };
+    let mapper = Udf::mapper(
+        &format!("PigMixL{n}Mapper"),
+        vec![
+            assign("f", call(Builtin::Split, vec![var("value"), c_text(" ")])),
+            if_then(
+                bin(
+                    BinOp::Gt,
+                    call(
+                        Builtin::ParseFloat,
+                        vec![index(var("f"), c_int(measure_field))],
+                    ),
+                    c_float(threshold as f64),
+                ),
+                vec![emit(key_expr, value_expr)],
+            ),
+        ],
+    );
+
+    let reducer_body = if distinct {
+        vec![emit(var("key"), c_int(1))]
+    } else {
+        agg.reducer_body()
+    };
+    let reducer = Udf::reducer(&format!("PigMixL{n}Reducer"), reducer_body);
+
+    let mut builder = JobSpec::builder(format!("pigmix-l{n}"))
+        .driver_reduce_tasks(10)
+        .mapper(&format!("PigMixL{n}Mapper"), mapper)
+        .reducer(&format!("PigMixL{n}Reducer"), reducer)
+        .param("threshold", Value::Int(threshold))
+        .map_types(ValueType::Int, ValueType::Text)
+        .intermediate_types(
+            if wide_key {
+                ValueType::Pair
+            } else {
+                ValueType::Text
+            },
+            if distinct {
+                ValueType::Int
+            } else {
+                ValueType::Float
+            },
+        )
+        .output_types(
+            if wide_key {
+                ValueType::Pair
+            } else {
+                ValueType::Text
+            },
+            if distinct {
+                ValueType::Int
+            } else {
+                ValueType::Float
+            },
+        );
+    // Even-numbered queries ship a combiner, as Pig does for algebraic
+    // aggregates.
+    if n % 2 == 0 && !distinct && matches!(agg, PigAgg::Sum | PigAgg::Count) {
+        builder = builder.combiner(
+            &format!("PigMixL{n}Combiner"),
+            Udf::reducer(&format!("PigMixL{n}Combiner"), PigAgg::Sum.reducer_body()),
+        );
+    }
+    builder.build()
+}
+
+/// All 17 PigMix queries.
+pub fn pigmix_suite() -> Vec<JobSpec> {
+    (1..=17).map(pigmix).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_map, run_reduce};
+
+    #[test]
+    fn suite_has_17_distinct_jobs() {
+        let suite = pigmix_suite();
+        assert_eq!(suite.len(), 17);
+        let mut names: Vec<_> = suite.iter().map(|s| s.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn filter_respects_threshold() {
+        let spec = pigmix(1); // threshold = 7
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::Int(0),
+            &Value::text("a b c 3 4"),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty(), "measure 4 <= threshold 7");
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::Int(0),
+            &Value::text("a b c 3 40"),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn wide_key_queries_use_pair_keys() {
+        let spec = pigmix(5);
+        assert_eq!(spec.map_out_key, ValueType::Pair);
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::Int(0),
+            &Value::text("a b c 99 99"),
+            &mut out,
+        )
+        .unwrap();
+        assert!(matches!(out[0].0, Value::Pair(..)));
+    }
+
+    #[test]
+    fn aggregates_compute() {
+        // n=2 -> Min agg per PigAgg::for_query(2)
+        let spec = pigmix(2);
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("g"),
+            vec![Value::float(5.0), Value::float(2.0), Value::float(9.0)],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out[0].1, Value::float(2.0));
+    }
+
+    #[test]
+    fn distinct_queries_collapse_groups() {
+        let spec = pigmix(6);
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("g"),
+            vec![Value::Int(1), Value::Int(1), Value::Int(1)],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(Value::text("g"), Value::Int(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "L1..L17")]
+    fn query_zero_rejected() {
+        let _ = pigmix(0);
+    }
+}

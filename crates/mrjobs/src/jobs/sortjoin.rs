@@ -1,0 +1,143 @@
+//! The sort and join benchmark jobs.
+
+use crate::ir::build::*;
+use crate::ir::{Stmt, Udf};
+use crate::spec::{formatters, JobSpec, Partitioner};
+use crate::value::ValueType;
+
+/// TeraSort-style sort: identity map and reduce over `(key, payload)`
+/// records with a total-order partitioner. Map size selectivity is exactly
+/// 1, a property the paper uses as an anchor example for dataflow-based
+/// matching (§4.1.1).
+pub fn sort() -> JobSpec {
+    let mapper = Udf::mapper("IdentityMapper", vec![emit(var("key"), var("value"))]);
+    let reducer = Udf::reducer(
+        "IdentityReducer",
+        vec![for_each(
+            "v",
+            var("values"),
+            vec![emit(var("key"), var("v"))],
+        )],
+    );
+    JobSpec::builder("sort")
+        .input_formatter(formatters::SEQUENCE_FILE_INPUT)
+        .output_formatter(formatters::SEQUENCE_FILE_OUTPUT)
+        .mapper("IdentityMapper", mapper)
+        .reducer("IdentityReducer", reducer)
+        .partitioner(Partitioner::TotalOrder)
+        .driver_reduce_tasks(27)
+        .map_types(ValueType::Text, ValueType::Text)
+        .intermediate_types(ValueType::Text, ValueType::Text)
+        .output_types(ValueType::Text, ValueType::Text)
+        .build()
+}
+
+/// Reduce-side equi-join of two tagged inputs (the `CompositeInputFormat`
+/// idiom). Input records are `(join_key, (tag, payload))` where tag 0 is
+/// the left table and tag 1 the right; the reducer emits the cross product
+/// of left and right payloads per key.
+pub fn join() -> JobSpec {
+    let mapper = Udf::mapper("TaggedJoinMapper", vec![emit(var("key"), var("value"))]);
+    let reducer = Udf::reducer(
+        "JoinReducer",
+        vec![
+            assign("left", Expr::Call(crate::ir::Builtin::EmptyList, vec![])),
+            assign("right", Expr::Call(crate::ir::Builtin::EmptyList, vec![])),
+            for_each(
+                "p",
+                var("values"),
+                vec![Stmt::If {
+                    cond: eq(first(var("p")), c_int(0)),
+                    then_branch: vec![Stmt::ListPush("left", second(var("p")))],
+                    else_branch: vec![Stmt::ListPush("right", second(var("p")))],
+                }],
+            ),
+            for_each(
+                "l",
+                var("left"),
+                vec![for_each(
+                    "r",
+                    var("right"),
+                    vec![emit(var("key"), make_pair(var("l"), var("r")))],
+                )],
+            ),
+        ],
+    );
+    JobSpec::builder("join")
+        .input_formatter(formatters::COMPOSITE_INPUT)
+        .mapper("TaggedJoinMapper", mapper)
+        .reducer("JoinReducer", reducer)
+        .driver_reduce_tasks(27)
+        .map_types(ValueType::Text, ValueType::Pair)
+        .intermediate_types(ValueType::Text, ValueType::Pair)
+        .output_types(ValueType::Text, ValueType::Pair)
+        .build()
+}
+
+use crate::ir::Expr;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_map, run_reduce};
+    use crate::value::Value;
+
+    #[test]
+    fn sort_map_is_identity() {
+        let spec = sort();
+        let mut out = vec![];
+        run_map(
+            &spec.map_udf,
+            &spec.params,
+            &Value::text("k03"),
+            &Value::text("payload"),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, vec![(Value::text("k03"), Value::text("payload"))]);
+    }
+
+    #[test]
+    fn join_reducer_emits_cross_product() {
+        let spec = join();
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("k1"),
+            vec![
+                Value::pair(Value::Int(0), Value::text("l1")),
+                Value::pair(Value::Int(0), Value::text("l2")),
+                Value::pair(Value::Int(1), Value::text("r1")),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].1,
+            Value::pair(Value::text("l1"), Value::text("r1"))
+        );
+    }
+
+    #[test]
+    fn join_with_no_right_rows_emits_nothing() {
+        let spec = join();
+        let mut out = vec![];
+        run_reduce(
+            spec.reduce_udf.as_ref().unwrap(),
+            &spec.params,
+            &Value::text("k1"),
+            vec![Value::pair(Value::Int(0), Value::text("l1"))],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn formatters_differ_from_text_jobs() {
+        assert_eq!(join().input_formatter, formatters::COMPOSITE_INPUT);
+        assert_eq!(sort().input_formatter, formatters::SEQUENCE_FILE_INPUT);
+    }
+}

@@ -1,0 +1,261 @@
+//! Job specifications.
+//!
+//! A [`JobSpec`] is the analogue of a configured Hadoop job object: the
+//! customizable parts of the MapReduce framework (input/output formatter,
+//! mapper/combiner/reducer classes, key/value types, partitioner) plus the
+//! UDF bodies themselves and any user-provided parameters. The class-name
+//! and type fields are exactly the black-box static features of Table 4.3;
+//! the UDF bodies yield the control flow graphs.
+
+use std::collections::BTreeMap;
+
+use crate::ir::Udf;
+use crate::value::{Value, ValueType};
+
+/// Well-known input formatter class names, mirroring Hadoop's.
+pub mod formatters {
+    pub const TEXT_INPUT: &str = "TextInputFormat";
+    pub const KEY_VALUE_TEXT_INPUT: &str = "KeyValueTextInputFormat";
+    pub const SEQUENCE_FILE_INPUT: &str = "SequenceFileInputFormat";
+    pub const COMPOSITE_INPUT: &str = "CompositeInputFormat";
+    pub const TEXT_OUTPUT: &str = "TextOutputFormat";
+    pub const SEQUENCE_FILE_OUTPUT: &str = "SequenceFileOutputFormat";
+}
+
+/// The partitioner assigning intermediate keys to reduce partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioner {
+    /// `HashPartitioner`: `hash(key) mod R`.
+    Hash,
+    /// `TotalOrderPartitioner`: range partitioning on the key, used by the
+    /// sort job.
+    TotalOrder,
+    /// Partition on the first element of a pair key, the idiom used by the
+    /// bigram relative-frequency job so a word and its `(word, *)` marker
+    /// reach the same reducer.
+    FirstOfPair,
+}
+
+impl Partitioner {
+    pub fn class_name(self) -> &'static str {
+        match self {
+            Partitioner::Hash => "HashPartitioner",
+            Partitioner::TotalOrder => "TotalOrderPartitioner",
+            Partitioner::FirstOfPair => "FirstOfPairPartitioner",
+        }
+    }
+}
+
+/// A fully specified MapReduce job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable job name (e.g. `"word-cooccurrence-pairs"`).
+    pub name: String,
+    /// Input formatter class name.
+    pub input_formatter: String,
+    /// Output formatter class name.
+    pub output_formatter: String,
+    /// Mapper class name.
+    pub mapper_class: String,
+    /// Combiner class name, when a combiner is configured.
+    pub combiner_class: Option<String>,
+    /// Reducer class name; `None` for map-only jobs.
+    pub reducer_class: Option<String>,
+    /// Partitioner.
+    pub partitioner: Partitioner,
+    /// Declared input key type of the mapper.
+    pub map_in_key: ValueType,
+    /// Declared input value type of the mapper.
+    pub map_in_val: ValueType,
+    /// Declared intermediate key type.
+    pub map_out_key: ValueType,
+    /// Declared intermediate value type.
+    pub map_out_val: ValueType,
+    /// Declared output key type of the reducer.
+    pub red_out_key: ValueType,
+    /// Declared output value type of the reducer.
+    pub red_out_val: ValueType,
+    /// The mapper body.
+    pub map_udf: Udf,
+    /// The combiner body, when configured.
+    pub combine_udf: Option<Udf>,
+    /// The reducer body; `None` for map-only jobs.
+    pub reduce_udf: Option<Udf>,
+    /// User-provided job parameters (e.g. co-occurrence window size, grep
+    /// pattern). These influence runtime behaviour without changing the
+    /// static features — the situation §7.2.1 discusses.
+    pub params: BTreeMap<String, Value>,
+    /// `mapred.reduce.tasks` set by the job's driver code, if any. Many
+    /// real drivers (Lin & Dyer's inverted index, TeraSort, Pig) set a
+    /// reducer count themselves; the "default configuration" of a
+    /// submitted job includes this, which is why some jobs are already
+    /// well-tuned out of the box (the paper's inverted-index observation
+    /// in §6.2).
+    pub driver_reduce_tasks: Option<u32>,
+}
+
+impl JobSpec {
+    /// Start building a job spec with text input/output and hash
+    /// partitioning, the most common configuration.
+    pub fn builder(name: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder {
+            spec: JobSpec {
+                name: name.into(),
+                input_formatter: formatters::TEXT_INPUT.to_string(),
+                output_formatter: formatters::TEXT_OUTPUT.to_string(),
+                mapper_class: String::new(),
+                combiner_class: None,
+                reducer_class: None,
+                partitioner: Partitioner::Hash,
+                map_in_key: ValueType::Int,
+                map_in_val: ValueType::Text,
+                map_out_key: ValueType::Text,
+                map_out_val: ValueType::Int,
+                red_out_key: ValueType::Text,
+                red_out_val: ValueType::Int,
+                map_udf: Udf::mapper("unset", vec![]),
+                combine_udf: None,
+                reduce_udf: None,
+                params: BTreeMap::new(),
+                driver_reduce_tasks: None,
+            },
+        }
+    }
+
+    /// Whether the job has a reduce phase.
+    pub fn has_reduce(&self) -> bool {
+        self.reduce_udf.is_some()
+    }
+
+    /// Whether the job has a combiner configured.
+    pub fn has_combiner(&self) -> bool {
+        self.combine_udf.is_some()
+    }
+
+    /// A stable identifier for this job *configuration*, combining the name
+    /// with user parameters — two submissions of co-occurrence with
+    /// different window sizes are different jobs from the profile store's
+    /// point of view.
+    pub fn job_id(&self) -> String {
+        if self.params.is_empty() {
+            self.name.clone()
+        } else {
+            let params: Vec<String> = self
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("{}[{}]", self.name, params.join(","))
+        }
+    }
+}
+
+/// Builder for [`JobSpec`].
+pub struct JobSpecBuilder {
+    spec: JobSpec,
+}
+
+impl JobSpecBuilder {
+    pub fn input_formatter(mut self, f: &str) -> Self {
+        self.spec.input_formatter = f.to_string();
+        self
+    }
+    pub fn output_formatter(mut self, f: &str) -> Self {
+        self.spec.output_formatter = f.to_string();
+        self
+    }
+    pub fn partitioner(mut self, p: Partitioner) -> Self {
+        self.spec.partitioner = p;
+        self
+    }
+    pub fn map_types(mut self, in_key: ValueType, in_val: ValueType) -> Self {
+        self.spec.map_in_key = in_key;
+        self.spec.map_in_val = in_val;
+        self
+    }
+    pub fn intermediate_types(mut self, key: ValueType, val: ValueType) -> Self {
+        self.spec.map_out_key = key;
+        self.spec.map_out_val = val;
+        self
+    }
+    pub fn output_types(mut self, key: ValueType, val: ValueType) -> Self {
+        self.spec.red_out_key = key;
+        self.spec.red_out_val = val;
+        self
+    }
+    pub fn mapper(mut self, class: &str, udf: Udf) -> Self {
+        self.spec.mapper_class = class.to_string();
+        self.spec.map_udf = udf;
+        self
+    }
+    pub fn combiner(mut self, class: &str, udf: Udf) -> Self {
+        self.spec.combiner_class = Some(class.to_string());
+        self.spec.combine_udf = Some(udf);
+        self
+    }
+    pub fn reducer(mut self, class: &str, udf: Udf) -> Self {
+        self.spec.reducer_class = Some(class.to_string());
+        self.spec.reduce_udf = Some(udf);
+        self
+    }
+    pub fn param(mut self, name: &str, value: Value) -> Self {
+        self.spec.params.insert(name.to_string(), value);
+        self
+    }
+    pub fn driver_reduce_tasks(mut self, n: u32) -> Self {
+        self.spec.driver_reduce_tasks = Some(n);
+        self
+    }
+    pub fn build(self) -> JobSpec {
+        assert!(
+            !self.spec.mapper_class.is_empty(),
+            "a job spec requires a mapper"
+        );
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+
+    fn dummy_mapper() -> Udf {
+        Udf::mapper("M", vec![emit(var("key"), var("value"))])
+    }
+
+    #[test]
+    fn builder_defaults_are_text_io() {
+        let spec = JobSpec::builder("t").mapper("M", dummy_mapper()).build();
+        assert_eq!(spec.input_formatter, formatters::TEXT_INPUT);
+        assert_eq!(spec.partitioner, Partitioner::Hash);
+        assert!(!spec.has_reduce());
+        assert!(!spec.has_combiner());
+    }
+
+    #[test]
+    fn job_id_includes_params() {
+        let spec = JobSpec::builder("coocc")
+            .mapper("M", dummy_mapper())
+            .param("window", Value::Int(2))
+            .build();
+        assert_eq!(spec.job_id(), "coocc[window=2]");
+        let plain = JobSpec::builder("wc").mapper("M", dummy_mapper()).build();
+        assert_eq!(plain.job_id(), "wc");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a mapper")]
+    fn builder_requires_mapper() {
+        let _ = JobSpec::builder("bad").build();
+    }
+
+    #[test]
+    fn partitioner_class_names() {
+        assert_eq!(Partitioner::Hash.class_name(), "HashPartitioner");
+        assert_eq!(
+            Partitioner::TotalOrder.class_name(),
+            "TotalOrderPartitioner"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! The 14 Starfish-identified Hadoop configuration parameters (Table 2.1).
+
+/// Job configuration: the tuning surface of the paper. Field names follow
+/// the Hadoop property names; defaults are the Hadoop defaults of
+/// Table 2.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobConfig {
+    /// `io.sort.mb` — size in MB of the map-side sort buffer.
+    pub io_sort_mb: u64,
+    /// `io.sort.record.percent` — fraction of the sort buffer reserved for
+    /// per-record metadata (16 bytes per record).
+    pub io_sort_record_percent: f64,
+    /// `io.sort.spill.percent` — buffer fill threshold that triggers a
+    /// spill.
+    pub io_sort_spill_percent: f64,
+    /// `io.sort.factor` — number of streams merged at once in external
+    /// merge sort.
+    pub io_sort_factor: u32,
+    /// `mapreduce.combine.class` — whether the job's combiner (if it has
+    /// one) is enabled.
+    pub use_combiner: bool,
+    /// `min.num.spills.for.combine` — minimum spill count before the
+    /// combiner also runs during the merge phase.
+    pub min_num_spills_for_combine: u32,
+    /// `mapred.compress.map.output` — compress intermediate data.
+    pub compress_map_output: bool,
+    /// `mapred.reduce.slowstart.completed.maps` — fraction of map tasks
+    /// that must finish before reducers are scheduled.
+    pub reduce_slowstart: f64,
+    /// `mapred.reduce.tasks` — number of reduce tasks.
+    pub num_reduce_tasks: u32,
+    /// `mapred.job.shuffle.input.buffer.percent` — fraction of reduce heap
+    /// buffering shuffled data.
+    pub shuffle_input_buffer_percent: f64,
+    /// `mapred.job.shuffle.merge.percent` — shuffle buffer fill threshold
+    /// triggering an in-memory merge.
+    pub shuffle_merge_percent: f64,
+    /// `mapred.inmem.merge.threshold` — number of map-output segments
+    /// accumulated before an in-memory merge.
+    pub inmem_merge_threshold: u32,
+    /// `mapred.job.reduce.input.buffer.percent` — fraction of reduce heap
+    /// allowed to hold reduce input in memory during the reduce phase.
+    pub reduce_input_buffer_percent: f64,
+    /// `mapred.output.compress` — compress job output.
+    pub compress_output: bool,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            io_sort_mb: 100,
+            io_sort_record_percent: 0.05,
+            io_sort_spill_percent: 0.8,
+            io_sort_factor: 10,
+            use_combiner: true,
+            min_num_spills_for_combine: 3,
+            compress_map_output: false,
+            reduce_slowstart: 0.05,
+            num_reduce_tasks: 1,
+            shuffle_input_buffer_percent: 0.7,
+            shuffle_merge_percent: 0.66,
+            inmem_merge_threshold: 1000,
+            reduce_input_buffer_percent: 0.0,
+            compress_output: false,
+        }
+    }
+}
+
+/// A configuration validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+impl std::error::Error for ConfigError {}
+
+impl JobConfig {
+    /// Validate parameter ranges (mirrors Hadoop's own constraints).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn frac(name: &str, v: f64) -> Result<(), ConfigError> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(ConfigError(format!("{name} must be in [0,1], got {v}")))
+            }
+        }
+        if !(1..=2048).contains(&self.io_sort_mb) {
+            return Err(ConfigError(format!(
+                "io.sort.mb must be in [1,2048], got {}",
+                self.io_sort_mb
+            )));
+        }
+        frac("io.sort.record.percent", self.io_sort_record_percent)?;
+        if self.io_sort_record_percent >= 0.5 {
+            return Err(ConfigError(
+                "io.sort.record.percent must be < 0.5".to_string(),
+            ));
+        }
+        frac("io.sort.spill.percent", self.io_sort_spill_percent)?;
+        if self.io_sort_spill_percent < 0.1 {
+            return Err(ConfigError(
+                "io.sort.spill.percent must be >= 0.1".to_string(),
+            ));
+        }
+        if self.io_sort_factor < 2 {
+            return Err(ConfigError("io.sort.factor must be >= 2".to_string()));
+        }
+        frac("mapred.reduce.slowstart.completed.maps", self.reduce_slowstart)?;
+        if self.num_reduce_tasks == 0 {
+            return Err(ConfigError("mapred.reduce.tasks must be >= 1".to_string()));
+        }
+        frac(
+            "mapred.job.shuffle.input.buffer.percent",
+            self.shuffle_input_buffer_percent,
+        )?;
+        frac("mapred.job.shuffle.merge.percent", self.shuffle_merge_percent)?;
+        if self.inmem_merge_threshold == 0 {
+            return Err(ConfigError(
+                "mapred.inmem.merge.threshold must be >= 1".to_string(),
+            ));
+        }
+        frac(
+            "mapred.job.reduce.input.buffer.percent",
+            self.reduce_input_buffer_percent,
+        )?;
+        if self.min_num_spills_for_combine == 0 {
+            return Err(ConfigError(
+                "min.num.spills.for.combine must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The configuration a job runs with when the user does no tuning:
+    /// Hadoop defaults plus whatever the job's driver code sets itself
+    /// (commonly `mapred.reduce.tasks`). This is the "default
+    /// configuration" baseline of Table 6.2 and Fig. 6.3.
+    pub fn submitted(spec: &mrjobs::JobSpec) -> JobConfig {
+        let mut cfg = JobConfig::default();
+        if let Some(r) = spec.driver_reduce_tasks {
+            cfg.num_reduce_tasks = r;
+        }
+        cfg
+    }
+
+    /// The sort-buffer capacity model: returns `(record_bytes_capacity,
+    /// metadata_record_capacity)` — how many serialized bytes and how many
+    /// records fit before `io.sort.spill.percent` triggers a spill. Hadoop
+    /// reserves `io.sort.record.percent` of the buffer for 16-byte
+    /// per-record accounting entries.
+    pub fn sort_buffer_capacity(&self) -> (f64, f64) {
+        let buffer = (self.io_sort_mb * 1024 * 1024) as f64;
+        let record_bytes = buffer * (1.0 - self.io_sort_record_percent) * self.io_sort_spill_percent;
+        let meta_records =
+            buffer * self.io_sort_record_percent * self.io_sort_spill_percent / 16.0;
+        (record_bytes, meta_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_2_1() {
+        let c = JobConfig::default();
+        assert_eq!(c.io_sort_mb, 100);
+        assert_eq!(c.io_sort_record_percent, 0.05);
+        assert_eq!(c.io_sort_spill_percent, 0.8);
+        assert_eq!(c.io_sort_factor, 10);
+        assert_eq!(c.min_num_spills_for_combine, 3);
+        assert!(!c.compress_map_output);
+        assert_eq!(c.reduce_slowstart, 0.05);
+        assert_eq!(c.num_reduce_tasks, 1);
+        assert_eq!(c.shuffle_input_buffer_percent, 0.7);
+        assert_eq!(c.shuffle_merge_percent, 0.66);
+        assert_eq!(c.inmem_merge_threshold, 1000);
+        assert_eq!(c.reduce_input_buffer_percent, 0.0);
+        assert!(!c.compress_output);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = JobConfig::default();
+        c.num_reduce_tasks = 0;
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.io_sort_mb = 0;
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.io_sort_record_percent = 0.9;
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.io_sort_factor = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sort_buffer_capacity_partitions_the_buffer() {
+        let c = JobConfig::default();
+        let (bytes, metas) = c.sort_buffer_capacity();
+        // 100MB * 0.95 * 0.8 of record space
+        assert!((bytes - 100.0 * 1024.0 * 1024.0 * 0.95 * 0.8).abs() < 1.0);
+        // 100MB * 0.05 * 0.8 / 16 records of metadata space
+        assert!((metas - 100.0 * 1024.0 * 1024.0 * 0.05 * 0.8 / 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn larger_record_percent_trades_bytes_for_records() {
+        let mut big_meta = JobConfig::default();
+        big_meta.io_sort_record_percent = 0.2;
+        let (b1, m1) = JobConfig::default().sort_buffer_capacity();
+        let (b2, m2) = big_meta.sort_buffer_capacity();
+        assert!(b2 < b1);
+        assert!(m2 > m1);
+    }
+}

@@ -1,0 +1,556 @@
+//! Config-independent dataflow measurement.
+//!
+//! For a given (job, dataset) pair, the simulator runs the job's UDFs over
+//! the physical sample once, divided into representative chunks (one chunk
+//! stands in for one HDFS split), and extrapolates per-task and total
+//! dataflow statistics to the dataset's logical scale. Everything that
+//! depends on the *configuration* (spills, merges, compression, reducer
+//! count) is left to the phase cost model in [`crate::phases`]; everything
+//! here depends only on the job semantics and the data.
+
+use std::collections::BTreeMap;
+
+use mrjobs::interp::{run_map, run_reduce, value_hash};
+use mrjobs::{Dataset, JobSpec, Partitioner, Value};
+
+use crate::cluster::ClusterSpec;
+use crate::error::SimError;
+
+/// Per-map-task dataflow at logical scale. Tasks cycle over the measured
+/// chunks, so tasks differ the way real splits differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitFlow {
+    pub input_records: f64,
+    pub input_bytes: f64,
+    pub out_records: f64,
+    pub out_bytes: f64,
+    /// Interpreter ops spent in the map UDF for this task.
+    pub map_ops: f64,
+}
+
+/// Combiner selectivities measured by grouping and combining each chunk's
+/// map output (approximating per-spill combining).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombineFlow {
+    /// `out_records / in_records` measured over groups of `ref_records`
+    /// records, in (0, 1].
+    pub record_selectivity: f64,
+    /// `out_bytes / in_bytes` at the same granularity, in (0, 1].
+    pub size_selectivity: f64,
+    /// Interpreter ops per input record.
+    pub ops_per_record: f64,
+    /// How many records the selectivities were measured over. Combining is
+    /// deduplication, so its selectivity improves with group size: the
+    /// phase model rescales it to the actual spill size using `alpha`.
+    pub ref_records: f64,
+    /// Heaps-law exponent of distinct intermediate keys
+    /// (`distinct(n) ~ n^alpha`): selectivity at spill size `n` is
+    /// `record_selectivity * (n / ref_records)^(alpha - 1)`.
+    pub alpha: f64,
+}
+
+impl CombineFlow {
+    /// Record selectivity at a given combining group size.
+    pub fn record_selectivity_at(&self, records: f64) -> f64 {
+        rescale_selectivity(self.record_selectivity, self.ref_records, self.alpha, records)
+    }
+
+    /// Size selectivity at a given combining group size.
+    pub fn size_selectivity_at(&self, records: f64) -> f64 {
+        rescale_selectivity(self.size_selectivity, self.ref_records, self.alpha, records)
+    }
+}
+
+fn rescale_selectivity(sel_ref: f64, ref_records: f64, alpha: f64, records: f64) -> f64 {
+    if sel_ref >= 1.0 || ref_records <= 0.0 || records <= 0.0 {
+        return sel_ref.clamp(0.0, 1.0);
+    }
+    let scale = (records / ref_records).max(1e-12);
+    (sel_ref * scale.powf(alpha - 1.0)).clamp(1e-6, 1.0)
+}
+
+/// Reduce-side dataflow at logical scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceFlow {
+    /// Total reduce input records (raw, i.e. without combining).
+    pub in_records: f64,
+    /// Total reduce input bytes (raw).
+    pub in_bytes: f64,
+    /// Total reduce output records.
+    pub out_records: f64,
+    /// Total reduce output bytes.
+    pub out_bytes: f64,
+    /// Interpreter ops per reduce input record.
+    pub ops_per_record: f64,
+    /// Estimated distinct intermediate keys at logical scale.
+    pub distinct_keys: f64,
+    /// Estimated size of the largest single key group at logical scale
+    /// (drives the reduce-side memory model).
+    pub max_group_bytes: f64,
+    /// Per-key weights for partition-skew computation: `(partition_hash,
+    /// byte_weight)` in key order. Capped; the remainder is spread
+    /// uniformly.
+    pub key_weights: Vec<(u64, f64)>,
+    /// Byte weight not covered by `key_weights` (treated as uniform).
+    pub uniform_weight: f64,
+}
+
+impl ReduceFlow {
+    /// The fraction of intermediate data assigned to each of `r`
+    /// partitions under the job's partitioner. Total-order partitioning is
+    /// modelled as balanced (Hadoop samples the key space to build its
+    /// range boundaries).
+    pub fn partition_shares(&self, r: u32, partitioner: Partitioner) -> Vec<f64> {
+        let r = r.max(1) as usize;
+        let mut shares = vec![0.0f64; r];
+        match partitioner {
+            Partitioner::TotalOrder => {
+                return vec![1.0 / r as f64; r];
+            }
+            Partitioner::Hash | Partitioner::FirstOfPair => {
+                for &(h, w) in &self.key_weights {
+                    shares[(h % r as u64) as usize] += w;
+                }
+            }
+        }
+        let uniform_each = self.uniform_weight / r as f64;
+        let total: f64 =
+            self.key_weights.iter().map(|(_, w)| w).sum::<f64>() + self.uniform_weight;
+        if total <= 0.0 {
+            return vec![1.0 / r as f64; r];
+        }
+        for s in &mut shares {
+            *s = (*s + uniform_each) / total;
+        }
+        shares
+    }
+}
+
+/// The complete measured dataflow of a (job, dataset) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataflow {
+    /// Number of map tasks (HDFS splits) at logical scale.
+    pub num_map_tasks: u32,
+    /// Per-task flows; task `m` uses `per_task[m % per_task.len()]`.
+    pub per_task: Vec<SplitFlow>,
+    /// Combiner selectivities, when the job ships a combiner.
+    pub combine: Option<CombineFlow>,
+    /// Reduce dataflow, when the job has a reduce phase.
+    pub reduce: Option<ReduceFlow>,
+    /// Logical input size.
+    pub input_bytes: f64,
+    /// Average serialized size of one intermediate record.
+    pub avg_intermediate_record_bytes: f64,
+}
+
+impl Dataflow {
+    /// Total map output records at logical scale (before combining).
+    pub fn total_map_out_records(&self) -> f64 {
+        let per_chunk: f64 = self.per_task.iter().map(|t| t.out_records).sum();
+        per_chunk * self.num_map_tasks as f64 / self.per_task.len() as f64
+    }
+
+    /// Total map output bytes at logical scale (before combining).
+    pub fn total_map_out_bytes(&self) -> f64 {
+        let per_chunk: f64 = self.per_task.iter().map(|t| t.out_bytes).sum();
+        per_chunk * self.num_map_tasks as f64 / self.per_task.len() as f64
+    }
+
+    /// Map selectivity in bytes (out/in), the `MAP_SIZE_SEL` dataflow
+    /// statistic.
+    pub fn map_size_selectivity(&self) -> f64 {
+        let in_b: f64 = self.per_task.iter().map(|t| t.input_bytes).sum();
+        let out_b: f64 = self.per_task.iter().map(|t| t.out_bytes).sum();
+        if in_b > 0.0 {
+            out_b / in_b
+        } else {
+            0.0
+        }
+    }
+}
+
+/// How many representative chunks to measure; each chunk plays the role of
+/// one observed HDFS split.
+fn chunk_count(records: usize) -> usize {
+    (records / 100).clamp(4, 20)
+}
+
+/// Run the job's UDFs over the dataset sample and extrapolate dataflow to
+/// logical scale.
+pub fn analyze(
+    spec: &JobSpec,
+    dataset: &Dataset,
+    cluster: &ClusterSpec,
+) -> Result<Dataflow, SimError> {
+    if dataset.is_empty() {
+        return Err(SimError::EmptyDataset(dataset.name.clone()));
+    }
+    let num_map_tasks = cluster.num_splits(dataset.logical_bytes);
+    let bytes_per_task = dataset.logical_bytes as f64 / num_map_tasks as f64;
+
+    let chunks = chunk_count(dataset.len());
+    let chunk_size = dataset.len().div_ceil(chunks);
+
+    let mut per_task = Vec::with_capacity(chunks);
+    let mut all_pairs: Vec<(Value, Value)> = Vec::new();
+    let mut chunk_boundaries = Vec::with_capacity(chunks);
+
+    // Combiner accumulators.
+    let mut comb_in_records = 0.0f64;
+    let mut comb_in_bytes = 0.0f64;
+    let mut comb_out_records = 0.0f64;
+    let mut comb_out_bytes = 0.0f64;
+    let mut comb_ops = 0.0f64;
+
+    for chunk in dataset.records.chunks(chunk_size) {
+        let mut out = Vec::new();
+        let mut map_ops = 0u64;
+        let mut in_bytes = 0u64;
+        for rec in chunk {
+            in_bytes += rec.serialized_size();
+            let stats = run_map(&spec.map_udf, &spec.params, &rec.key, &rec.value, &mut out)
+                .map_err(|e| SimError::Udf {
+                    job: spec.name.clone(),
+                    udf: spec.map_udf.name.clone(),
+                    source: e,
+                })?;
+            map_ops += stats.ops;
+        }
+        let out_records = out.len() as f64;
+        let out_bytes: u64 = out
+            .iter()
+            .map(|(k, v)| k.serialized_size() + v.serialized_size())
+            .sum();
+
+        // Per-chunk combining approximates per-spill combining.
+        if let Some(comb) = &spec.combine_udf {
+            let grouped = group_pairs(out.clone());
+            comb_in_records += out_records;
+            comb_in_bytes += out_bytes as f64;
+            for (key, values) in grouped {
+                let mut comb_out = Vec::new();
+                let stats = run_reduce(comb, &spec.params, &key, values, &mut comb_out)
+                    .map_err(|e| SimError::Udf {
+                        job: spec.name.clone(),
+                        udf: comb.name.clone(),
+                        source: e,
+                    })?;
+                comb_ops += stats.ops as f64;
+                comb_out_records += comb_out.len() as f64;
+                comb_out_bytes += comb_out
+                    .iter()
+                    .map(|(k, v)| (k.serialized_size() + v.serialized_size()) as f64)
+                    .sum::<f64>();
+            }
+        }
+
+        // Scale this chunk to one logical map task.
+        let scale = if in_bytes > 0 {
+            bytes_per_task / in_bytes as f64
+        } else {
+            1.0
+        };
+        per_task.push(SplitFlow {
+            input_records: chunk.len() as f64 * scale,
+            input_bytes: bytes_per_task,
+            out_records: out_records * scale,
+            out_bytes: out_bytes as f64 * scale,
+            map_ops: map_ops as f64 * scale,
+        });
+        all_pairs.extend(out);
+        chunk_boundaries.push(all_pairs.len());
+    }
+
+    // Heaps-law distinct-key growth exponent of the intermediate keys,
+    // shared by the combiner model and the reduce-output scaling.
+    let key_alpha = {
+        let half_idx = if chunk_boundaries.len() >= 2 {
+            chunk_boundaries[chunk_boundaries.len() / 2 - 1]
+        } else {
+            all_pairs.len() / 2
+        };
+        distinct_growth_alpha(&all_pairs, half_idx)
+    };
+
+    let combine = spec.combine_udf.as_ref().map(|_| CombineFlow {
+        record_selectivity: safe_ratio(comb_out_records, comb_in_records, 1.0),
+        size_selectivity: safe_ratio(comb_out_bytes, comb_in_bytes, 1.0),
+        ops_per_record: safe_ratio(comb_ops, comb_in_records, 0.0),
+        ref_records: comb_in_records / per_task.len().max(1) as f64,
+        alpha: key_alpha,
+    });
+
+    let total_sample_out_bytes: f64 = all_pairs
+        .iter()
+        .map(|(k, v)| (k.serialized_size() + v.serialized_size()) as f64)
+        .sum();
+    let avg_intermediate_record_bytes = if all_pairs.is_empty() {
+        0.0
+    } else {
+        total_sample_out_bytes / all_pairs.len() as f64
+    };
+
+    // Overall sample→logical scale for intermediate data.
+    let sample_tasks = per_task.len() as f64;
+    let inter_scale = if total_sample_out_bytes > 0.0 {
+        (per_task.iter().map(|t| t.out_bytes).sum::<f64>() / sample_tasks)
+            * num_map_tasks as f64
+            / total_sample_out_bytes
+    } else {
+        1.0
+    };
+
+    let reduce = match &spec.reduce_udf {
+        None => None,
+        Some(reduce_udf) => {
+            let alpha = key_alpha;
+
+            let grouped = group_pairs(all_pairs.clone());
+            let sample_groups = grouped.len() as f64;
+            let sample_in_records = all_pairs.len() as f64;
+
+            let mut out_records = 0.0f64;
+            let mut out_bytes = 0.0f64;
+            let mut ops = 0.0f64;
+            let mut max_group_bytes_sample = 0.0f64;
+            let mut weights: Vec<(u64, f64)> = Vec::with_capacity(grouped.len());
+            for (key, values) in grouped {
+                let group_bytes: f64 = values
+                    .iter()
+                    .map(|v| (key.serialized_size() + v.serialized_size()) as f64)
+                    .sum();
+                max_group_bytes_sample = max_group_bytes_sample.max(group_bytes);
+                let h = partition_hash(&key, spec.partitioner);
+                weights.push((h, group_bytes));
+                let mut red_out = Vec::new();
+                let stats = run_reduce(reduce_udf, &spec.params, &key, values, &mut red_out)
+                    .map_err(|e| SimError::Udf {
+                        job: spec.name.clone(),
+                        udf: reduce_udf.name.clone(),
+                        source: e,
+                    })?;
+                ops += stats.ops as f64;
+                out_records += red_out.len() as f64;
+                out_bytes += red_out
+                    .iter()
+                    .map(|(k, v)| (k.serialized_size() + v.serialized_size()) as f64)
+                    .sum::<f64>();
+            }
+
+            // Cap the key-weight table; aggregate the tail uniformly.
+            const MAX_WEIGHTS: usize = 4096;
+            let mut uniform_weight = 0.0;
+            if weights.len() > MAX_WEIGHTS {
+                weights.sort_by(|a, b| b.1.total_cmp(&a.1));
+                uniform_weight = weights[MAX_WEIGHTS..].iter().map(|(_, w)| w).sum();
+                weights.truncate(MAX_WEIGHTS);
+            }
+
+            // Scaled quantities. Input scales linearly; distinct keys scale
+            // with Heaps exponent alpha; output scales between the two
+            // depending on how aggregating the reducer is.
+            let in_records = sample_in_records * inter_scale;
+            let in_bytes = total_sample_out_bytes * inter_scale;
+            let distinct_keys = sample_groups * inter_scale.powf(alpha);
+            let out_sel = safe_ratio(out_records, sample_in_records, 1.0).min(1.0);
+            let out_scale = out_sel * inter_scale + (1.0 - out_sel) * inter_scale.powf(alpha);
+
+            Some(ReduceFlow {
+                in_records,
+                in_bytes,
+                out_records: out_records * out_scale,
+                out_bytes: out_bytes * out_scale,
+                ops_per_record: safe_ratio(ops, sample_in_records, 0.0),
+                distinct_keys,
+                max_group_bytes: max_group_bytes_sample * inter_scale,
+                key_weights: weights,
+                uniform_weight,
+            })
+        }
+    };
+
+    Ok(Dataflow {
+        num_map_tasks,
+        per_task,
+        combine,
+        reduce,
+        input_bytes: dataset.logical_bytes as f64,
+        avg_intermediate_record_bytes,
+    })
+}
+
+/// Group key-value pairs by key, preserving key order.
+fn group_pairs(pairs: Vec<(Value, Value)>) -> BTreeMap<Value, Vec<Value>> {
+    let mut grouped: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+    for (k, v) in pairs {
+        grouped.entry(k).or_default().push(v);
+    }
+    grouped
+}
+
+/// Hash used for partitioning a key, honouring the job's partitioner.
+fn partition_hash(key: &Value, partitioner: Partitioner) -> u64 {
+    match (partitioner, key) {
+        (Partitioner::FirstOfPair, Value::Pair(first, _)) => value_hash(first),
+        _ => value_hash(key),
+    }
+}
+
+/// Heaps-law exponent: distinct(n) ~ n^alpha, estimated from the sample
+/// prefix vs the full sample. Clamped to [0.05, 1].
+fn distinct_growth_alpha(pairs: &[(Value, Value)], half_idx: usize) -> f64 {
+    if pairs.len() < 4 {
+        return 1.0;
+    }
+    let half_idx = half_idx.clamp(1, pairs.len());
+    if half_idx >= pairs.len() {
+        return 1.0;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut d_half = 0usize;
+    for (i, (k, _)) in pairs.iter().enumerate() {
+        if seen.insert(k) && i < half_idx {
+            d_half += 1;
+        }
+    }
+    let d_full = seen.len();
+    if d_half == 0 || d_full <= d_half {
+        // No growth in the second half: saturated key space.
+        return 0.05;
+    }
+    let alpha = ((d_full as f64 / d_half as f64).ln())
+        / ((pairs.len() as f64 / half_idx as f64).ln());
+    if !alpha.is_finite() {
+        return 1.0;
+    }
+    alpha.clamp(0.05, 1.0)
+}
+
+fn safe_ratio(num: f64, den: f64, default: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::ec2_c1_medium_16()
+    }
+
+    #[test]
+    fn word_count_selectivity_above_one() {
+        let ds = corpus::random_text_1g();
+        let flow = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        // One intermediate record per word: size selectivity > 1 because of
+        // the count payloads.
+        assert!(flow.map_size_selectivity() > 1.0);
+        assert_eq!(flow.num_map_tasks, 16);
+    }
+
+    #[test]
+    fn sort_selectivity_is_one() {
+        let ds = corpus::teragen_1g();
+        let flow = analyze(&jobs::sort(), &ds, &cluster()).unwrap();
+        let sel = flow.map_size_selectivity();
+        assert!((sel - 1.0).abs() < 0.01, "sort map is identity: {sel}");
+    }
+
+    #[test]
+    fn cooccurrence_selectivity_exceeds_word_count() {
+        let ds = corpus::random_text_1g();
+        let wc = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        let co = analyze(&jobs::word_cooccurrence_pairs(2), &ds, &cluster()).unwrap();
+        assert!(co.map_size_selectivity() > wc.map_size_selectivity());
+    }
+
+    #[test]
+    fn combiner_shrinks_zipfian_counts() {
+        let ds = corpus::wikipedia_35g();
+        let flow = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        let comb = flow.combine.unwrap();
+        assert!(comb.record_selectivity < 0.7, "{}", comb.record_selectivity);
+        assert!(comb.size_selectivity < 1.0);
+    }
+
+    #[test]
+    fn reduce_flow_mass_conservation() {
+        let ds = corpus::random_text_1g();
+        let flow = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        let red = flow.reduce.as_ref().unwrap();
+        // Raw reduce input equals total map output.
+        assert!((red.in_bytes - flow.total_map_out_bytes()).abs() / red.in_bytes < 0.01);
+        assert!(red.out_records <= red.in_records);
+        assert!(red.distinct_keys > 0.0);
+    }
+
+    #[test]
+    fn partition_shares_sum_to_one() {
+        let ds = corpus::random_text_1g();
+        let flow = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        let red = flow.reduce.as_ref().unwrap();
+        for r in [1u32, 3, 27] {
+            let shares = red.partition_shares(r, Partitioner::Hash);
+            assert_eq!(shares.len(), r as usize);
+            let sum: f64 = shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "r={r} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn total_order_shares_are_balanced() {
+        let ds = corpus::teragen_1g();
+        let flow = analyze(&jobs::sort(), &ds, &cluster()).unwrap();
+        let red = flow.reduce.as_ref().unwrap();
+        let shares = red.partition_shares(10, Partitioner::TotalOrder);
+        for s in shares {
+            assert!((s - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_reduce_output_scales_linearly() {
+        let ds = corpus::teragen_1g();
+        let flow = analyze(&jobs::sort(), &ds, &cluster()).unwrap();
+        let red = flow.reduce.as_ref().unwrap();
+        assert!((red.out_bytes - red.in_bytes).abs() / red.in_bytes < 0.05);
+    }
+
+    #[test]
+    fn aggregating_reduce_output_scales_sublinearly() {
+        let ds = corpus::wikipedia_35g();
+        let flow = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        let red = flow.reduce.as_ref().unwrap();
+        assert!(
+            red.out_bytes < red.in_bytes / 10.0,
+            "word count output is tiny vs input: out={} in={}",
+            red.out_bytes,
+            red.in_bytes
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let ds = Dataset::new("empty", vec![], 0);
+        let err = analyze(&jobs::word_count(), &ds, &cluster()).unwrap_err();
+        assert!(matches!(err, SimError::EmptyDataset(_)));
+    }
+
+    #[test]
+    fn per_task_flows_vary_between_chunks() {
+        let ds = corpus::wikipedia_35g();
+        let flow = analyze(&jobs::word_count(), &ds, &cluster()).unwrap();
+        assert!(flow.per_task.len() >= 4);
+        let first = flow.per_task[0].out_records;
+        assert!(
+            flow.per_task.iter().any(|t| t.out_records != first),
+            "chunks should differ slightly"
+        );
+    }
+}

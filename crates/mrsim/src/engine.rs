@@ -1,0 +1,378 @@
+//! The discrete-event job execution engine.
+//!
+//! Given a job, a dataset, a cluster, and a configuration, the engine:
+//! 1. measures (or reuses) the config-independent dataflow,
+//! 2. checks the reduce-side memory model,
+//! 3. computes per-task phase costs with per-task node-utilization noise,
+//! 4. schedules tasks onto slots in waves (maps first; reducers gated by
+//!    `mapred.reduce.slowstart.completed.maps` and by shuffle completion),
+//! 5. returns a [`JobReport`] with everything the profiler needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mrjobs::{Dataset, JobSpec, ValueType};
+
+use crate::cluster::{ClusterSpec, CostRates};
+use crate::config::JobConfig;
+use crate::dataflow::{analyze, Dataflow};
+use crate::error::SimError;
+use crate::phases::{
+    map_task_costs, reduce_task_costs, MapTaskInputs, ReduceTaskInputs,
+};
+use crate::report::{JobReport, MapTaskReport, ReduceTaskReport};
+
+/// Fixed job-level overhead (submission, setup, commit), in ms.
+const JOB_OVERHEAD_MS: f64 = 4_000.0;
+
+/// In-memory inflation of deserialized container values (Java object
+/// overhead); drives the OOM model for Map/List-valued intermediate data.
+const CONTAINER_INFLATION: f64 = 6.0;
+
+/// Fraction of the child heap usable for materializing a reduce group.
+const HEAP_USABLE_FRACTION: f64 = 0.75;
+
+impl CostRates {
+    /// Scale IO/network components by `io_f` and CPU components by `cpu_f`
+    /// — one task's observed rates on a more- or less-loaded node.
+    pub fn jittered(&self, io_f: f64, cpu_f: f64) -> CostRates {
+        CostRates {
+            read_hdfs_ns_per_byte: self.read_hdfs_ns_per_byte * io_f,
+            write_hdfs_ns_per_byte: self.write_hdfs_ns_per_byte * io_f,
+            read_local_ns_per_byte: self.read_local_ns_per_byte * io_f,
+            write_local_ns_per_byte: self.write_local_ns_per_byte * io_f,
+            network_ns_per_byte: self.network_ns_per_byte * io_f,
+            cpu_ns_per_op: self.cpu_ns_per_op * cpu_f,
+            sort_ns_per_record: self.sort_ns_per_record * cpu_f,
+            serde_ns_per_byte: self.serde_ns_per_byte * cpu_f,
+            compress_ns_per_byte: self.compress_ns_per_byte * cpu_f,
+            decompress_ns_per_byte: self.decompress_ns_per_byte * cpu_f,
+        }
+    }
+}
+
+/// Simulate a job execution end to end (measures dataflow first).
+pub fn simulate(
+    spec: &JobSpec,
+    dataset: &Dataset,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+    seed: u64,
+) -> Result<JobReport, SimError> {
+    let dataflow = analyze(spec, dataset, cluster)?;
+    simulate_with_dataflow(spec, &dataflow, &dataset.name, cluster, config, seed)
+}
+
+/// Simulate a job execution from a pre-measured dataflow. Reusing the
+/// dataflow across configurations is how speedup experiments evaluate many
+/// configurations cheaply.
+pub fn simulate_with_dataflow(
+    spec: &JobSpec,
+    dataflow: &Dataflow,
+    dataset_name: &str,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+    seed: u64,
+) -> Result<JobReport, SimError> {
+    config.validate()?;
+    check_memory(spec, dataflow, cluster, config)?;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee_d);
+    let sigma = cluster.heterogeneity;
+
+    // ---- Map wave scheduling -------------------------------------------
+    let m = dataflow.num_map_tasks;
+    let mut slot_free = vec![0.0f64; cluster.map_slots().max(1) as usize];
+    let mut map_reports = Vec::with_capacity(m as usize);
+    let mut total_final_bytes_disk = 0.0;
+    let mut total_final_bytes_uncomp = 0.0;
+    let mut total_final_records = 0.0;
+    for task_id in 0..m {
+        let flow = &dataflow.per_task[task_id as usize % dataflow.per_task.len()];
+        let io_f = lognormal(&mut rng, sigma);
+        let cpu_f = lognormal(&mut rng, sigma);
+        let rates = cluster.rates.jittered(io_f, cpu_f);
+        let inputs = MapTaskInputs {
+            input_bytes: flow.input_bytes,
+            input_records: flow.input_records,
+            out_records: flow.out_records,
+            out_bytes: flow.out_bytes,
+            map_cpu_ops: flow.map_ops,
+            combine: dataflow.combine,
+        };
+        let costs = map_task_costs(config, &rates, &inputs);
+        total_final_bytes_disk += costs.final_out_bytes;
+        total_final_bytes_uncomp += costs.final_out_bytes_uncompressed;
+        total_final_records += costs.final_out_records;
+
+        let dur_ms = costs.total_ns() / 1e6;
+        let slot = earliest_slot(&slot_free);
+        let start = slot_free[slot];
+        let end = start + dur_ms;
+        slot_free[slot] = end;
+        map_reports.push(MapTaskReport {
+            task_id,
+            start_ms: start,
+            end_ms: end,
+            phases: costs.phases,
+            input_records: flow.input_records,
+            input_bytes: flow.input_bytes,
+            out_records: flow.out_records,
+            out_bytes: flow.out_bytes,
+            final_out_records: costs.final_out_records,
+            final_out_bytes: costs.final_out_bytes,
+            num_spills: costs.num_spills,
+            observed_rates: rates,
+            map_cpu_ops: flow.map_ops,
+        });
+    }
+
+    // Map completion ordering for slowstart gating.
+    let mut map_ends: Vec<f64> = map_reports.iter().map(|t| t.end_ms).collect();
+    map_ends.sort_by(|a, b| a.total_cmp(b));
+    let maps_done_ms = *map_ends.last().unwrap_or(&0.0);
+    let slowstart_idx =
+        ((config.reduce_slowstart * m as f64).ceil() as usize).clamp(1, map_ends.len());
+    let reducers_eligible_ms = map_ends[slowstart_idx - 1];
+
+    // ---- Reduce wave scheduling ----------------------------------------
+    let mut reduce_reports = Vec::new();
+    if let Some(red) = &dataflow.reduce {
+        let r = config.num_reduce_tasks;
+        let shares = red.partition_shares(r, spec.partitioner);
+        let mut rslot_free = vec![reducers_eligible_ms; cluster.reduce_slots().max(1) as usize];
+        // Reduce input records depend on whether the combiner ran.
+        let total_in_records = if config.use_combiner && dataflow.combine.is_some() {
+            total_final_records
+        } else {
+            red.in_records
+        };
+        // Aggregating reducers cannot emit more records than they consume;
+        // the output estimate (distinct-key based) and the combined-input
+        // estimate are extrapolated separately, so reconcile them here.
+        let (total_out_records, total_out_bytes) = if red.out_records < red.in_records
+            && red.out_records > total_in_records
+        {
+            let shrink = total_in_records / red.out_records;
+            (total_in_records, red.out_bytes * shrink)
+        } else {
+            (red.out_records, red.out_bytes)
+        };
+        for (task_id, share) in shares.iter().enumerate() {
+            let io_f = lognormal(&mut rng, sigma);
+            let cpu_f = lognormal(&mut rng, sigma);
+            let rates = cluster.rates.jittered(io_f, cpu_f);
+            let inputs = ReduceTaskInputs {
+                shuffle_bytes_disk: total_final_bytes_disk * share,
+                shuffle_bytes: total_final_bytes_uncomp * share,
+                in_records: total_in_records * share,
+                num_segments: m,
+                reduce_ops_per_record: red.ops_per_record,
+                out_bytes: total_out_bytes * share,
+                out_records: total_out_records * share,
+                heap_bytes: cluster.heap_bytes() as f64,
+                map_compressed: config.compress_map_output,
+            };
+            let costs = reduce_task_costs(config, &rates, &inputs);
+
+            let slot = earliest_slot(&rslot_free);
+            let start = rslot_free[slot];
+            // Shuffle overlaps map execution but cannot complete before the
+            // last map task finished producing output.
+            let shuffle_ns: f64 = costs
+                .phases
+                .iter()
+                .filter(|(p, _)| matches!(p, crate::phases::ReducePhase::Shuffle))
+                .map(|(_, t)| t)
+                .sum();
+            let post_shuffle_ns = costs.total_ns() - shuffle_ns;
+            let shuffle_end = (start + shuffle_ns / 1e6).max(maps_done_ms);
+            let end = shuffle_end + post_shuffle_ns / 1e6;
+            rslot_free[slot] = end;
+            reduce_reports.push(ReduceTaskReport {
+                task_id: task_id as u32,
+                start_ms: start,
+                end_ms: end,
+                phases: costs.phases,
+                shuffle_bytes: inputs.shuffle_bytes,
+                in_records: inputs.in_records,
+                out_records: inputs.out_records,
+                out_bytes: inputs.out_bytes,
+                observed_rates: rates,
+                reduce_ops_per_record: red.ops_per_record,
+            });
+        }
+    }
+
+    let last_end = reduce_reports
+        .iter()
+        .map(|t| t.end_ms)
+        .fold(maps_done_ms, f64::max);
+
+    Ok(JobReport {
+        job_id: spec.job_id(),
+        dataset: dataset_name.to_string(),
+        config: config.clone(),
+        runtime_ms: last_end + JOB_OVERHEAD_MS,
+        maps_done_ms,
+        map_tasks: map_reports,
+        reduce_tasks: reduce_reports,
+    })
+}
+
+/// The reduce-side memory model (see DESIGN.md): jobs with container-typed
+/// intermediate values must materialize merged groups; if the largest
+/// scaled group inflated by Java object overhead exceeds the usable heap,
+/// the task dies with an OOM — as the co-occurrence stripes job did on the
+/// 35 GB dataset in the paper.
+fn check_memory(
+    spec: &JobSpec,
+    dataflow: &Dataflow,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+) -> Result<(), SimError> {
+    let Some(red) = &dataflow.reduce else {
+        return Ok(());
+    };
+    if !matches!(spec.map_out_val, ValueType::Map | ValueType::List) {
+        return Ok(());
+    }
+    let combine_shrink = match (config.use_combiner, dataflow.combine) {
+        (true, Some(c)) => c.size_selectivity,
+        _ => 1.0,
+    };
+    let needed = red.max_group_bytes * combine_shrink * CONTAINER_INFLATION;
+    let budget = cluster.heap_bytes() as f64 * HEAP_USABLE_FRACTION;
+    if needed > budget {
+        return Err(SimError::OutOfMemory {
+            job: spec.job_id(),
+            task: "reduce".to_string(),
+            needed_bytes: needed as u64,
+            heap_bytes: cluster.heap_bytes(),
+        });
+    }
+    Ok(())
+}
+
+fn earliest_slot(slots: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, t) in slots.iter().enumerate() {
+        if *t < slots[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A log-normal multiplicative noise factor with median 1.
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::ec2_c1_medium_16()
+    }
+
+    #[test]
+    fn word_count_runs_and_is_deterministic() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let a = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 7).unwrap();
+        let b = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 7).unwrap();
+        assert_eq!(a.runtime_ms, b.runtime_ms);
+        assert_eq!(a.map_tasks.len(), 16);
+        assert_eq!(a.reduce_tasks.len(), 1);
+        assert!(a.runtime_ms > JOB_OVERHEAD_MS);
+    }
+
+    #[test]
+    fn different_seeds_jitter_runtimes() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let a = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 1).unwrap();
+        let b = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 2).unwrap();
+        assert_ne!(a.runtime_ms, b.runtime_ms);
+        // ... but not wildly: same config, same data.
+        let ratio = a.runtime_ms / b.runtime_ms;
+        assert!((0.5..2.0).contains(&ratio));
+    }
+
+    #[test]
+    fn more_reducers_speed_up_shuffle_heavy_jobs() {
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_cooccurrence_pairs(2);
+        let one = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 3).unwrap();
+        let many = JobConfig {
+            num_reduce_tasks: 27,
+            ..JobConfig::default()
+        };
+        let tuned = simulate(&spec, &ds, &cluster(), &many, 3).unwrap();
+        assert!(
+            tuned.runtime_ms < one.runtime_ms / 2.0,
+            "27 reducers {} vs 1 reducer {}",
+            tuned.runtime_ms,
+            one.runtime_ms
+        );
+    }
+
+    #[test]
+    fn slowstart_gates_reducer_start() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let eager = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 3).unwrap();
+        let lazy_cfg = JobConfig {
+            reduce_slowstart: 1.0,
+            ..JobConfig::default()
+        };
+        let lazy = simulate(&spec, &ds, &cluster(), &lazy_cfg, 3).unwrap();
+        let eager_start = eager.reduce_tasks[0].start_ms;
+        let lazy_start = lazy.reduce_tasks[0].start_ms;
+        assert!(lazy_start >= eager_start);
+        assert!((lazy_start - lazy.maps_done_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stripes_oom_on_large_data_but_not_small() {
+        let spec = jobs::word_cooccurrence_stripes(2);
+        let small = corpus::random_text_1g();
+        let large = corpus::wikipedia_35g();
+        let cl = cluster();
+        assert!(simulate(&spec, &small, &cl, &JobConfig::default(), 1).is_ok());
+        let err = simulate(&spec, &large, &cl, &JobConfig::default(), 1).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn map_only_scheduling_uses_waves() {
+        let ds = corpus::wikipedia_35g(); // 560 tasks over 30 slots
+        let spec = jobs::word_count();
+        let rep = simulate(&spec, &ds, &cluster(), &JobConfig::default(), 5).unwrap();
+        assert_eq!(rep.map_tasks.len(), 560);
+        // Later tasks start strictly after time 0 (waves).
+        assert!(rep.map_tasks.iter().filter(|t| t.start_ms > 0.0).count() > 500);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let ds = corpus::random_text_1g();
+        let bad = JobConfig {
+            num_reduce_tasks: 0,
+            ..JobConfig::default()
+        };
+        let err = simulate(&jobs::word_count(), &ds, &cluster(), &bad, 1).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+}

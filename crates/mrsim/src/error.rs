@@ -1,0 +1,66 @@
+//! Simulator errors.
+
+use mrjobs::InterpError;
+use std::fmt;
+
+use crate::config::ConfigError;
+
+/// Errors raised while simulating a job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The dataset sample contains no records.
+    EmptyDataset(String),
+    /// A UDF failed during dataflow measurement.
+    Udf {
+        job: String,
+        udf: String,
+        source: InterpError,
+    },
+    /// Invalid job configuration.
+    Config(ConfigError),
+    /// A task exceeded the child JVM heap — the fate of the co-occurrence
+    /// stripes job on the 35 GB dataset in the paper (§6.1.1).
+    OutOfMemory {
+        job: String,
+        task: String,
+        needed_bytes: u64,
+        heap_bytes: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyDataset(name) => write!(f, "dataset `{name}` has no sample records"),
+            SimError::Udf { job, udf, source } => {
+                write!(f, "job `{job}`: UDF `{udf}` failed: {source}")
+            }
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::OutOfMemory {
+                job,
+                task,
+                needed_bytes,
+                heap_bytes,
+            } => write!(
+                f,
+                "job `{job}`: {task} exceeded heap: needs ~{needed_bytes} bytes, heap is {heap_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Udf { source, .. } => Some(source),
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}

@@ -1,0 +1,525 @@
+//! The per-task phase cost model.
+//!
+//! Pure functions mapping (configuration, cost rates, dataflow numbers) to
+//! per-phase virtual times for map and reduce tasks. The simulator calls
+//! these with *measured* dataflow plus per-task noise; the What-If engine
+//! calls the very same functions with *profile-derived* dataflow and no
+//! noise. Sharing the equations is what makes profile quality — not model
+//! mismatch — the dominant factor in tuning quality, mirroring how
+//! Starfish's WIF models real Hadoop mechanics.
+
+use crate::cluster::{CostRates, COMPRESSION_RATIO};
+use crate::config::JobConfig;
+use crate::dataflow::CombineFlow;
+
+/// Phases of a map task, as in a Starfish map profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapPhase {
+    /// Reading and deserializing the input split from HDFS.
+    Read,
+    /// Running the map UDF.
+    Map,
+    /// Serializing map output into the sort buffer.
+    Collect,
+    /// Sorting/combining/compressing/writing buffer spills.
+    Spill,
+    /// External merge of spills into the final map output file.
+    Merge,
+    /// Fixed task setup/cleanup overhead.
+    Setup,
+}
+
+/// Phases of a reduce task, as in a Starfish reduce profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReducePhase {
+    /// Fetching map output over the network (plus shuffle-buffer spills).
+    Shuffle,
+    /// The reduce-side external merge sort.
+    Sort,
+    /// Running the reduce UDF.
+    Reduce,
+    /// Writing and (optionally) compressing job output to HDFS.
+    Write,
+    /// Fixed task setup/cleanup overhead.
+    Setup,
+}
+
+/// Fixed per-task overheads (JVM start, task setup/commit), in ns.
+pub const MAP_TASK_SETUP_NS: f64 = 1.2e9;
+pub const REDUCE_TASK_SETUP_NS: f64 = 2.5e9;
+
+/// Dataflow inputs of one map task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapTaskInputs {
+    pub input_bytes: f64,
+    pub input_records: f64,
+    pub out_records: f64,
+    pub out_bytes: f64,
+    /// Total interpreter ops of the map UDF over the task's records.
+    pub map_cpu_ops: f64,
+    /// Combiner selectivities, if the job ships a combiner.
+    pub combine: Option<CombineFlow>,
+}
+
+/// The cost breakdown of one map task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapTaskCosts {
+    /// `(phase, virtual ns)` in execution order.
+    pub phases: Vec<(MapPhase, f64)>,
+    /// Number of buffer spills.
+    pub num_spills: u32,
+    /// Records in the final map output file (after combining).
+    pub final_out_records: f64,
+    /// On-disk bytes of the final map output file (after combining and
+    /// compression) — what the shuffle will move.
+    pub final_out_bytes: f64,
+    /// Uncompressed bytes of the final map output.
+    pub final_out_bytes_uncompressed: f64,
+}
+
+impl MapTaskCosts {
+    /// Total virtual time of the task in ns.
+    pub fn total_ns(&self) -> f64 {
+        self.phases.iter().map(|(_, t)| t).sum()
+    }
+}
+
+/// Compute the phase costs of one map task.
+pub fn map_task_costs(
+    config: &JobConfig,
+    rates: &CostRates,
+    inputs: &MapTaskInputs,
+) -> MapTaskCosts {
+    let mut phases = Vec::with_capacity(6);
+    phases.push((MapPhase::Setup, MAP_TASK_SETUP_NS));
+
+    // READ: pull the split off HDFS and deserialize records.
+    let read = inputs.input_bytes * (rates.read_hdfs_ns_per_byte + rates.serde_ns_per_byte);
+    phases.push((MapPhase::Read, read));
+
+    // MAP: the UDF itself.
+    phases.push((MapPhase::Map, inputs.map_cpu_ops * rates.cpu_ns_per_op));
+
+    // COLLECT: serialize into the sort buffer.
+    phases.push((
+        MapPhase::Collect,
+        inputs.out_bytes * rates.serde_ns_per_byte,
+    ));
+
+    // SPILL: how many times does the buffer fill?
+    let (rec_cap_bytes, meta_cap_records) = config.sort_buffer_capacity();
+    let avg_rec = if inputs.out_records > 0.0 {
+        inputs.out_bytes / inputs.out_records
+    } else {
+        1.0
+    };
+    let records_per_spill = (rec_cap_bytes / avg_rec).min(meta_cap_records).max(1.0);
+    let num_spills = if inputs.out_records <= 0.0 {
+        1u32
+    } else {
+        (inputs.out_records / records_per_spill).ceil().max(1.0) as u32
+    };
+    let spill_records = inputs.out_records / num_spills as f64;
+
+    let combining = config.use_combiner && inputs.combine.is_some();
+    // Combining is deduplication: its selectivity depends on how many
+    // records each spill groups together, so larger sort buffers combine
+    // better (a genuine cross-parameter interaction).
+    let (comb_rec_sel, comb_size_sel, comb_ops) = match (combining, inputs.combine) {
+        (true, Some(c)) => (
+            c.record_selectivity_at(spill_records),
+            c.size_selectivity_at(spill_records),
+            c.ops_per_record,
+        ),
+        _ => (1.0, 1.0, 0.0),
+    };
+
+    // Per-spill: sort, combine, compress, write to local disk.
+    let sort_cpu = inputs.out_records * log2(spill_records) * rates.sort_ns_per_record;
+    let combine_cpu = if combining {
+        inputs.out_records * comb_ops * rates.cpu_ns_per_op
+    } else {
+        0.0
+    };
+    let spilled_records = inputs.out_records * comb_rec_sel;
+    let spilled_bytes_uncomp = inputs.out_bytes * comb_size_sel;
+    let (compress_cpu, spilled_bytes_disk) = if config.compress_map_output {
+        (
+            spilled_bytes_uncomp * rates.compress_ns_per_byte,
+            spilled_bytes_uncomp * COMPRESSION_RATIO,
+        )
+    } else {
+        (0.0, spilled_bytes_uncomp)
+    };
+    let spill_write = spilled_bytes_disk * rates.write_local_ns_per_byte;
+    phases.push((
+        MapPhase::Spill,
+        sort_cpu + combine_cpu + compress_cpu + spill_write,
+    ));
+
+    // MERGE: multi-pass external merge of the spill files.
+    let mut final_records = spilled_records;
+    let mut final_bytes_uncomp = spilled_bytes_uncomp;
+    let mut final_bytes_disk = spilled_bytes_disk;
+    let mut merge_ns = 0.0;
+    if num_spills > 1 {
+        let passes = merge_passes(num_spills, config.io_sort_factor);
+        // The combiner runs again during the merge when enough spills
+        // exist; it dedups across the whole task's output, so the final
+        // record count approaches the task-wide distinct-key count.
+        if combining && num_spills >= config.min_num_spills_for_combine {
+            let c = inputs.combine.expect("combining implies a combiner");
+            let task_rec_sel = c.record_selectivity_at(inputs.out_records);
+            let task_size_sel = c.size_selectivity_at(inputs.out_records);
+            merge_ns += final_records * comb_ops * rates.cpu_ns_per_op;
+            let target_records = inputs.out_records * task_rec_sel;
+            let target_uncomp = inputs.out_bytes * task_size_sel;
+            let shrink_rec = (target_records / final_records).clamp(0.0, 1.0);
+            let shrink_size = (target_uncomp / final_bytes_uncomp).clamp(0.0, 1.0);
+            final_records *= shrink_rec;
+            final_bytes_uncomp *= shrink_size;
+            final_bytes_disk *= shrink_size;
+        }
+        let per_pass_io = final_bytes_disk
+            * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte);
+        let per_pass_codec = if config.compress_map_output {
+            final_bytes_disk * rates.decompress_ns_per_byte
+                + final_bytes_uncomp * rates.compress_ns_per_byte
+        } else {
+            0.0
+        };
+        let per_pass_cpu = final_records * rates.sort_ns_per_record;
+        merge_ns += passes as f64 * (per_pass_io + per_pass_codec + per_pass_cpu);
+    }
+    phases.push((MapPhase::Merge, merge_ns));
+
+    MapTaskCosts {
+        phases,
+        num_spills,
+        final_out_records: final_records,
+        final_out_bytes: final_bytes_disk,
+        final_out_bytes_uncompressed: final_bytes_uncomp,
+    }
+}
+
+/// Dataflow inputs of one reduce task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceTaskInputs {
+    /// This reducer's shuffle volume, as stored on the map side (compressed
+    /// if `mapred.compress.map.output`).
+    pub shuffle_bytes_disk: f64,
+    /// The same volume uncompressed.
+    pub shuffle_bytes: f64,
+    /// Reduce input records for this task.
+    pub in_records: f64,
+    /// Map-output segments fetched (== number of map tasks).
+    pub num_segments: u32,
+    /// Interpreter ops per reduce input record.
+    pub reduce_ops_per_record: f64,
+    /// This task's share of job output bytes (uncompressed).
+    pub out_bytes: f64,
+    /// This task's share of job output records.
+    pub out_records: f64,
+    /// Child JVM heap bytes.
+    pub heap_bytes: f64,
+    /// Whether map output is compressed.
+    pub map_compressed: bool,
+}
+
+/// The cost breakdown of one reduce task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceTaskCosts {
+    pub phases: Vec<(ReducePhase, f64)>,
+    /// Bytes that overflowed the shuffle buffer onto local disk.
+    pub disk_resident_bytes: f64,
+    /// On-disk output bytes written to HDFS (after output compression).
+    pub written_bytes: f64,
+}
+
+impl ReduceTaskCosts {
+    /// Total virtual time of the task in ns.
+    pub fn total_ns(&self) -> f64 {
+        self.phases.iter().map(|(_, t)| t).sum()
+    }
+}
+
+/// Compute the phase costs of one reduce task.
+pub fn reduce_task_costs(
+    config: &JobConfig,
+    rates: &CostRates,
+    inputs: &ReduceTaskInputs,
+) -> ReduceTaskCosts {
+    let mut phases = Vec::with_capacity(5);
+    phases.push((ReducePhase::Setup, REDUCE_TASK_SETUP_NS));
+
+    // SHUFFLE: fetch over the network; overflow past the shuffle buffer is
+    // merged to local disk.
+    let buffer_cap = inputs.heap_bytes * config.shuffle_input_buffer_percent;
+    let merge_trigger = buffer_cap * config.shuffle_merge_percent;
+    // Data kept in memory after the shuffle: at most one merge-trigger's
+    // worth (the rest has been merged to disk in waves).
+    let mem_resident = inputs.shuffle_bytes.min(merge_trigger.max(1.0));
+    let disk_resident = (inputs.shuffle_bytes - mem_resident).max(0.0);
+    let mut shuffle_ns = inputs.shuffle_bytes_disk * rates.network_ns_per_byte;
+    if inputs.map_compressed {
+        shuffle_ns += inputs.shuffle_bytes_disk * rates.decompress_ns_per_byte;
+    }
+    shuffle_ns += disk_resident * rates.write_local_ns_per_byte;
+    phases.push((ReducePhase::Shuffle, shuffle_ns));
+
+    // SORT: multi-pass merge of on-disk segments.
+    let mut sort_ns = 0.0;
+    if disk_resident > 0.0 {
+        // Segment count: in-memory merges flush about a merge-trigger's
+        // worth per segment; the inmem threshold caps how many map outputs
+        // accumulate per flush.
+        let by_bytes = (disk_resident / merge_trigger.max(1.0)).ceil();
+        let by_segments =
+            (inputs.num_segments as f64 / config.inmem_merge_threshold as f64).ceil();
+        let segments = by_bytes.max(by_segments).max(1.0) as u32;
+        if segments > 1 {
+            let passes = merge_passes(segments, config.io_sort_factor);
+            sort_ns += passes as f64
+                * (disk_resident
+                    * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte)
+                    + inputs.in_records * rates.sort_ns_per_record);
+        }
+    }
+    phases.push((ReducePhase::Sort, sort_ns));
+
+    // REDUCE: read input (from memory where the reduce input buffer
+    // allows, from disk otherwise) and run the UDF.
+    let reduce_mem_cap = inputs.heap_bytes * config.reduce_input_buffer_percent + mem_resident;
+    let from_disk = (inputs.shuffle_bytes - reduce_mem_cap).max(0.0).min(disk_resident);
+    let reduce_ns = from_disk * rates.read_local_ns_per_byte
+        + inputs.shuffle_bytes * rates.serde_ns_per_byte
+        + inputs.in_records * inputs.reduce_ops_per_record * rates.cpu_ns_per_op;
+    phases.push((ReducePhase::Reduce, reduce_ns));
+
+    // WRITE: serialize, optionally compress, write to HDFS.
+    let (codec_ns, written) = if config.compress_output {
+        (
+            inputs.out_bytes * rates.compress_ns_per_byte,
+            inputs.out_bytes * COMPRESSION_RATIO,
+        )
+    } else {
+        (0.0, inputs.out_bytes)
+    };
+    let write_ns = inputs.out_bytes * rates.serde_ns_per_byte
+        + codec_ns
+        + written * rates.write_hdfs_ns_per_byte;
+    phases.push((ReducePhase::Write, write_ns));
+
+    ReduceTaskCosts {
+        phases,
+        disk_resident_bytes: disk_resident,
+        written_bytes: written,
+    }
+}
+
+/// Number of passes an external merge of `segments` runs with fan-in
+/// `factor` needs to produce a single sorted stream.
+pub fn merge_passes(segments: u32, factor: u32) -> u32 {
+    let factor = factor.max(2) as f64;
+    let segments = segments.max(1) as f64;
+    (segments.ln() / factor.ln()).ceil().max(1.0) as u32
+}
+
+fn log2(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> CostRates {
+        CostRates::default()
+    }
+
+    fn map_inputs() -> MapTaskInputs {
+        MapTaskInputs {
+            input_bytes: 64.0 * 1024.0 * 1024.0,
+            input_records: 500_000.0,
+            out_records: 2_000_000.0,
+            out_bytes: 180.0 * 1024.0 * 1024.0,
+            map_cpu_ops: 10_000_000.0,
+            combine: Some(CombineFlow {
+                record_selectivity: 0.3,
+                size_selectivity: 0.35,
+                ops_per_record: 4.0,
+                ref_records: 100_000.0,
+                alpha: 0.4,
+            }),
+        }
+    }
+
+    #[test]
+    fn bigger_sort_buffer_means_fewer_spills() {
+        let small = JobConfig {
+            io_sort_mb: 50,
+            ..JobConfig::default()
+        };
+        let big = JobConfig {
+            io_sort_mb: 400,
+            ..JobConfig::default()
+        };
+        // Without a combiner the tradeoff is pure: fewer spills and fewer
+        // merge passes always win. (With a combiner, extra spills give the
+        // merge-time combiner another shot at shrinking data — a real
+        // cross-parameter interaction the RBO discussion in §2.2 describes.)
+        let mut inputs = map_inputs();
+        inputs.combine = None;
+        let cs = map_task_costs(&small, &rates(), &inputs);
+        let cb = map_task_costs(&big, &rates(), &inputs);
+        assert!(cs.num_spills > cb.num_spills);
+        assert!(cb.total_ns() < cs.total_ns());
+    }
+
+    #[test]
+    fn combiner_shrinks_map_output() {
+        let on = JobConfig::default();
+        let off = JobConfig {
+            use_combiner: false,
+            ..JobConfig::default()
+        };
+        let c_on = map_task_costs(&on, &rates(), &map_inputs());
+        let c_off = map_task_costs(&off, &rates(), &map_inputs());
+        assert!(c_on.final_out_bytes < c_off.final_out_bytes / 2.0);
+    }
+
+    #[test]
+    fn compression_shrinks_disk_bytes_but_costs_cpu() {
+        let comp = JobConfig {
+            compress_map_output: true,
+            ..JobConfig::default()
+        };
+        let plain = JobConfig::default();
+        let c_comp = map_task_costs(&comp, &rates(), &map_inputs());
+        let c_plain = map_task_costs(&plain, &rates(), &map_inputs());
+        assert!(c_comp.final_out_bytes < c_plain.final_out_bytes);
+        assert_eq!(
+            c_comp.final_out_bytes_uncompressed,
+            c_plain.final_out_bytes_uncompressed
+        );
+    }
+
+    #[test]
+    fn single_spill_skips_merge() {
+        let cfg = JobConfig {
+            io_sort_mb: 1024,
+            io_sort_record_percent: 0.3,
+            ..JobConfig::default()
+        };
+        let mut inputs = map_inputs();
+        inputs.out_records = 1000.0;
+        inputs.out_bytes = 100_000.0;
+        let c = map_task_costs(&cfg, &rates(), &inputs);
+        assert_eq!(c.num_spills, 1);
+        let merge = c
+            .phases
+            .iter()
+            .find(|(p, _)| *p == MapPhase::Merge)
+            .unwrap()
+            .1;
+        assert_eq!(merge, 0.0);
+    }
+
+    #[test]
+    fn merge_passes_formula() {
+        assert_eq!(merge_passes(1, 10), 1);
+        assert_eq!(merge_passes(10, 10), 1);
+        assert_eq!(merge_passes(11, 10), 2);
+        assert_eq!(merge_passes(100, 10), 2);
+        assert_eq!(merge_passes(101, 10), 3);
+        assert_eq!(merge_passes(8, 2), 3);
+    }
+
+    fn reduce_inputs() -> ReduceTaskInputs {
+        ReduceTaskInputs {
+            shuffle_bytes_disk: 500.0 * 1024.0 * 1024.0,
+            shuffle_bytes: 500.0 * 1024.0 * 1024.0,
+            in_records: 5_000_000.0,
+            num_segments: 560,
+            reduce_ops_per_record: 5.0,
+            out_bytes: 50.0 * 1024.0 * 1024.0,
+            out_records: 100_000.0,
+            heap_bytes: 300.0 * 1024.0 * 1024.0,
+            map_compressed: false,
+        }
+    }
+
+    #[test]
+    fn small_shuffles_stay_in_memory() {
+        let mut inputs = reduce_inputs();
+        inputs.shuffle_bytes = 50.0 * 1024.0 * 1024.0;
+        inputs.shuffle_bytes_disk = inputs.shuffle_bytes;
+        let c = reduce_task_costs(&JobConfig::default(), &rates(), &inputs);
+        assert_eq!(c.disk_resident_bytes, 0.0);
+        let sort = c
+            .phases
+            .iter()
+            .find(|(p, _)| *p == ReducePhase::Sort)
+            .unwrap()
+            .1;
+        assert_eq!(sort, 0.0);
+    }
+
+    #[test]
+    fn big_shuffles_spill_and_sort() {
+        let c = reduce_task_costs(&JobConfig::default(), &rates(), &reduce_inputs());
+        assert!(c.disk_resident_bytes > 0.0);
+        let sort = c
+            .phases
+            .iter()
+            .find(|(p, _)| *p == ReducePhase::Sort)
+            .unwrap()
+            .1;
+        assert!(sort > 0.0);
+    }
+
+    #[test]
+    fn bigger_shuffle_buffer_reduces_spilling() {
+        let small = JobConfig {
+            shuffle_input_buffer_percent: 0.2,
+            ..JobConfig::default()
+        };
+        let big = JobConfig {
+            shuffle_input_buffer_percent: 0.9,
+            ..JobConfig::default()
+        };
+        let cs = reduce_task_costs(&small, &rates(), &reduce_inputs());
+        let cb = reduce_task_costs(&big, &rates(), &reduce_inputs());
+        assert!(cb.disk_resident_bytes < cs.disk_resident_bytes);
+        assert!(cb.total_ns() < cs.total_ns());
+    }
+
+    #[test]
+    fn output_compression_shrinks_written_bytes() {
+        let comp = JobConfig {
+            compress_output: true,
+            ..JobConfig::default()
+        };
+        let c = reduce_task_costs(&comp, &rates(), &reduce_inputs());
+        let p = reduce_task_costs(&JobConfig::default(), &rates(), &reduce_inputs());
+        assert!(c.written_bytes < p.written_bytes);
+    }
+
+    #[test]
+    fn phase_totals_are_positive_and_ordered() {
+        let c = map_task_costs(&JobConfig::default(), &rates(), &map_inputs());
+        assert!(c.total_ns() > MAP_TASK_SETUP_NS);
+        let kinds: Vec<MapPhase> = c.phases.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                MapPhase::Setup,
+                MapPhase::Read,
+                MapPhase::Map,
+                MapPhase::Collect,
+                MapPhase::Spill,
+                MapPhase::Merge
+            ]
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The cost-based optimizer (§2.3.1).
+//!
+//! Given an execution profile, the CBO searches the 14-parameter space and
+//! asks the What-If engine for a predicted runtime at every candidate,
+//! returning the best configuration found. The search is Starfish-style
+//! *recursive random search*: uniform exploration rounds followed by
+//! progressively narrower exploitation rounds around the incumbent.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mrjobs::JobSpec;
+use mrsim::{ClusterSpec, JobConfig, SimError};
+use profiler::JobProfile;
+use whatif::{predict_runtime_ms, WhatIfQuery};
+
+use crate::space::ConfigSpace;
+
+/// CBO parameters.
+#[derive(Debug, Clone)]
+pub struct CboOptions {
+    /// Total What-If invocations the search may spend.
+    pub budget: usize,
+    /// Exploitation rounds after the initial uniform round.
+    pub rounds: usize,
+    /// Box shrink factor per exploitation round.
+    pub shrink: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CboOptions {
+    fn default() -> Self {
+        CboOptions {
+            budget: 300,
+            rounds: 3,
+            shrink: 0.4,
+            seed: 0xcb0,
+        }
+    }
+}
+
+/// The CBO's answer: the recommended configuration and its predicted
+/// runtime.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub config: JobConfig,
+    pub predicted_ms: f64,
+    /// How many What-If calls the search spent.
+    pub wif_calls: usize,
+}
+
+/// Search for the best configuration for `spec` on `input_bytes` of data,
+/// trusting `profile`.
+pub fn optimize(
+    spec: &JobSpec,
+    profile: &JobProfile,
+    input_bytes: u64,
+    cluster: &ClusterSpec,
+    opts: &CboOptions,
+) -> Result<Recommendation, SimError> {
+    let space = ConfigSpace::for_cluster(cluster);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut wif_calls = 0usize;
+
+    let eval = |config: &JobConfig, calls: &mut usize| -> Result<f64, SimError> {
+        *calls += 1;
+        predict_runtime_ms(&WhatIfQuery {
+            spec,
+            profile,
+            input_bytes,
+            cluster,
+            config,
+        })
+    };
+
+    // Seed the incumbent with the job's own submitted configuration, so
+    // the CBO never recommends something worse than "do nothing" (by its
+    // own prediction).
+    let submitted = JobConfig::submitted(spec);
+    let mut best_cfg = submitted.clone();
+    let mut best_ms = eval(&submitted, &mut wif_calls)?;
+    let mut best_x: Option<[f64; ConfigSpace::DIMS]> = None;
+
+    let per_round = (opts.budget.saturating_sub(1) / (opts.rounds + 1)).max(1);
+
+    // Round 0: uniform exploration.
+    for _ in 0..per_round {
+        let x = space.sample_uniform(&mut rng);
+        let cfg = space.decode(&x);
+        if let Ok(ms) = eval(&cfg, &mut wif_calls) {
+            if ms < best_ms {
+                best_ms = ms;
+                best_cfg = cfg;
+                best_x = Some(x);
+            }
+        }
+    }
+
+    // Exploitation rounds around the incumbent.
+    let mut radius = 0.5;
+    for _ in 0..opts.rounds {
+        radius *= opts.shrink;
+        let center = match best_x {
+            Some(x) => x,
+            None => space.sample_uniform(&mut rng),
+        };
+        for _ in 0..per_round {
+            let x = space.sample_near(&mut rng, &center, radius);
+            let cfg = space.decode(&x);
+            if let Ok(ms) = eval(&cfg, &mut wif_calls) {
+                if ms < best_ms {
+                    best_ms = ms;
+                    best_cfg = cfg;
+                    best_x = Some(x);
+                }
+            }
+        }
+    }
+
+    Ok(Recommendation {
+        config: best_cfg,
+        predicted_ms: best_ms,
+        wif_calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+    use mrsim::simulate;
+    use profiler::collect_full_profile;
+
+    fn cl() -> ClusterSpec {
+        ClusterSpec::ec2_c1_medium_16()
+    }
+
+    #[test]
+    fn cbo_beats_default_for_cooccurrence() {
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_cooccurrence_pairs(2);
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();
+        let rec = optimize(&spec, &profile, ds.logical_bytes, &cl(), &CboOptions::default())
+            .unwrap();
+        let default_run = simulate(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 5)
+            .unwrap()
+            .runtime_ms;
+        let tuned_run = simulate(&spec, &ds, &cl(), &rec.config, 5).unwrap().runtime_ms;
+        let speedup = default_run / tuned_run;
+        assert!(speedup > 3.0, "speedup {speedup}");
+        assert!(rec.config.num_reduce_tasks > 1);
+    }
+
+    #[test]
+    fn cbo_never_predicts_worse_than_submitted() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();
+        let rec = optimize(&spec, &profile, ds.logical_bytes, &cl(), &CboOptions::default())
+            .unwrap();
+        let submitted_pred = predict_runtime_ms(&WhatIfQuery {
+            spec: &spec,
+            profile: &profile,
+            input_bytes: ds.logical_bytes,
+            cluster: &cl(),
+            config: &JobConfig::submitted(&spec),
+        })
+        .unwrap();
+        assert!(rec.predicted_ms <= submitted_pred);
+    }
+
+    #[test]
+    fn cbo_respects_budget_roughly() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &cl(), &JobConfig::default(), 3).unwrap();
+        let opts = CboOptions {
+            budget: 40,
+            ..CboOptions::default()
+        };
+        let rec = optimize(&spec, &profile, ds.logical_bytes, &cl(), &opts).unwrap();
+        assert!(rec.wif_calls <= 45, "calls {}", rec.wif_calls);
+    }
+
+    #[test]
+    fn cbo_is_deterministic_in_seed() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &cl(), &JobConfig::default(), 3).unwrap();
+        let opts = CboOptions {
+            budget: 60,
+            ..CboOptions::default()
+        };
+        let a = optimize(&spec, &profile, ds.logical_bytes, &cl(), &opts).unwrap();
+        let b = optimize(&spec, &profile, ds.logical_bytes, &cl(), &opts).unwrap();
+        assert_eq!(a.config, b.config);
+    }
+}

@@ -1,0 +1,15 @@
+//! # optimizer — cost-based and rule-based tuning
+//!
+//! * [`cbo`] — the Starfish-style cost-based optimizer: recursive random
+//!   search over the 14-parameter space ([`space::ConfigSpace`]), scoring
+//!   candidates with the What-If engine.
+//! * [`rbo`] — the Appendix-B rule-based optimizer baseline: static
+//!   heuristics with no execution feedback.
+
+pub mod cbo;
+pub mod rbo;
+pub mod space;
+
+pub use cbo::{optimize, CboOptions, Recommendation};
+pub use rbo::{recommend, FiredRule, RboRecommendation};
+pub use space::ConfigSpace;

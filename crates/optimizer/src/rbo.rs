@@ -1,0 +1,169 @@
+//! The rule-based optimizer of Appendix B.
+//!
+//! Heuristic tuning rules distilled from Hadoop administration lore. Each
+//! rule has a trigger predicate over the job's *static* description (no
+//! profile, no execution feedback — that is the whole point of the
+//! comparison) and an action on the configuration. As the paper shows
+//! (Fig. 6.3), these rules usually help, sometimes do nothing, and are
+//! never as good as cost-based tuning with a good profile.
+
+use mrjobs::{JobSpec, ValueType};
+use mrsim::{ClusterSpec, JobConfig};
+use staticanalysis::Cfg;
+
+/// A fired rule: its Appendix-B name and what it changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredRule {
+    pub name: &'static str,
+    pub action: String,
+}
+
+/// The RBO's recommendation: a configuration plus the rules that fired.
+#[derive(Debug, Clone)]
+pub struct RboRecommendation {
+    pub config: JobConfig,
+    pub fired: Vec<FiredRule>,
+}
+
+/// Apply the Appendix-B rules to a job.
+pub fn recommend(spec: &JobSpec, cluster: &ClusterSpec) -> RboRecommendation {
+    let mut config = JobConfig::submitted(spec);
+    let mut fired = Vec::new();
+
+    let map_cfg = Cfg::from_udf(&spec.map_udf);
+    // Expectation proxy used by several rules: nested map loops or a
+    // composite (join) input suggest intermediate data >= input data.
+    let expects_expansion =
+        map_cfg.max_loop_depth() >= 2 || spec.input_formatter == "CompositeInputFormat";
+
+    // Rule: combiner usage — always enable the combiner when the job
+    // provides one ("always enable the combiner whenever the reduce
+    // function is associative and commutative").
+    if spec.has_combiner() {
+        config.use_combiner = true;
+        fired.push(FiredRule {
+            name: "combiner-usage",
+            action: "enable combiner".to_string(),
+        });
+    }
+
+    // Rule: mapred.compress.map.output — compress intermediate data when
+    // the map is expected to expand its input.
+    if expects_expansion {
+        config.compress_map_output = true;
+        fired.push(FiredRule {
+            name: "mapred.compress.map.output",
+            action: "enable LZO for map output".to_string(),
+        });
+    }
+
+    // Rule: io.sort.mb — larger buffer for jobs with more intermediate
+    // than input data.
+    if expects_expansion {
+        let target = (cluster.child_heap_mb / 2).clamp(100, 200);
+        config.io_sort_mb = target;
+        fired.push(FiredRule {
+            name: "io.sort.mb",
+            action: format!("raise io.sort.mb to {target}"),
+        });
+    }
+
+    // Rule: io.sort.record.percent — more metadata space when intermediate
+    // records are small (scalar values), less when records are large.
+    match spec.map_out_val {
+        ValueType::Int | ValueType::Float => {
+            config.io_sort_record_percent = 0.15;
+            fired.push(FiredRule {
+                name: "io.sort.record.percent",
+                action: "raise metadata share to 0.15 (small records)".to_string(),
+            });
+        }
+        ValueType::Map | ValueType::List => {
+            config.io_sort_record_percent = 0.03;
+            fired.push(FiredRule {
+                name: "io.sort.record.percent",
+                action: "lower metadata share to 0.03 (large records)".to_string(),
+            });
+        }
+        _ => {}
+    }
+
+    // Rule: mapred.reduce.tasks — 90% of the cluster's reduce slots, so a
+    // failed reducer has a free slot to restart in.
+    if spec.has_reduce() {
+        let r = ((cluster.reduce_slots() as f64) * 0.9).floor().max(1.0) as u32;
+        config.num_reduce_tasks = r;
+        fired.push(FiredRule {
+            name: "mapred.reduce.tasks",
+            action: format!("set reducers to 90% of slots = {r}"),
+        });
+    }
+
+    RboRecommendation { config, fired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrjobs::jobs;
+
+    fn cl() -> ClusterSpec {
+        ClusterSpec::ec2_c1_medium_16()
+    }
+
+    #[test]
+    fn cooccurrence_triggers_compression_and_buffer_rules() {
+        let rec = recommend(&jobs::word_cooccurrence_pairs(2), &cl());
+        assert!(rec.config.compress_map_output);
+        assert!(rec.config.io_sort_mb >= 100);
+        assert_eq!(rec.config.num_reduce_tasks, 27);
+        assert!(rec.fired.iter().any(|r| r.name == "mapred.compress.map.output"));
+    }
+
+    #[test]
+    fn word_count_gets_reducers_and_metadata_rule() {
+        let rec = recommend(&jobs::word_count(), &cl());
+        // Single map loop: no expansion expected, no compression.
+        assert!(!rec.config.compress_map_output);
+        // Int intermediate values: metadata share raised.
+        assert_eq!(rec.config.io_sort_record_percent, 0.15);
+        assert_eq!(rec.config.num_reduce_tasks, 27);
+    }
+
+    #[test]
+    fn inverted_index_is_left_mostly_alone() {
+        let rec = recommend(&jobs::inverted_index(), &cl());
+        assert!(!rec.config.compress_map_output);
+        assert_eq!(rec.config.io_sort_mb, 100);
+        // Text values: record.percent untouched.
+        assert_eq!(rec.config.io_sort_record_percent, 0.05);
+    }
+
+    #[test]
+    fn join_triggers_composite_input_rule() {
+        let rec = recommend(&jobs::join(), &cl());
+        assert!(rec.config.compress_map_output, "CompositeInputFormat rule");
+    }
+
+    #[test]
+    fn stripes_lowers_metadata_share() {
+        let rec = recommend(&jobs::word_cooccurrence_stripes(2), &cl());
+        assert_eq!(rec.config.io_sort_record_percent, 0.03);
+    }
+
+    #[test]
+    fn map_only_job_skips_reducer_rule() {
+        let mut spec = jobs::word_count();
+        spec.reduce_udf = None;
+        spec.reducer_class = None;
+        let rec = recommend(&spec, &cl());
+        assert!(!rec.fired.iter().any(|r| r.name == "mapred.reduce.tasks"));
+    }
+
+    #[test]
+    fn recommended_configs_validate() {
+        for spec in jobs::standard_suite() {
+            recommend(&spec, &cl()).config.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The configuration search space of the cost-based optimizer.
+
+use mrsim::{ClusterSpec, JobConfig};
+use rand::Rng;
+
+/// Bounds of the CBO's search over the Table 2.1 parameters. Continuous
+/// parameters are searched in a normalized `[0,1]` box; booleans are
+/// Bernoulli coordinates.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    pub io_sort_mb: (u64, u64),
+    pub io_sort_record_percent: (f64, f64),
+    pub io_sort_spill_percent: (f64, f64),
+    pub io_sort_factor: (u32, u32),
+    pub min_num_spills_for_combine: (u32, u32),
+    pub reduce_slowstart: (f64, f64),
+    pub num_reduce_tasks: (u32, u32),
+    pub shuffle_input_buffer_percent: (f64, f64),
+    pub shuffle_merge_percent: (f64, f64),
+    pub inmem_merge_threshold: (u32, u32),
+    pub reduce_input_buffer_percent: (f64, f64),
+}
+
+impl ConfigSpace {
+    /// The space Starfish's CBO effectively searches on a given cluster:
+    /// `io.sort.mb` bounded by the child heap, reducer count bounded by a
+    /// few waves of the cluster's reduce slots.
+    pub fn for_cluster(cluster: &ClusterSpec) -> Self {
+        let max_sort_mb = (cluster.child_heap_mb * 2 / 3).max(32);
+        let max_reducers = cluster.reduce_slots() * 4;
+        ConfigSpace {
+            io_sort_mb: (32, max_sort_mb),
+            io_sort_record_percent: (0.01, 0.45),
+            io_sort_spill_percent: (0.4, 0.95),
+            io_sort_factor: (5, 100),
+            min_num_spills_for_combine: (1, 10),
+            reduce_slowstart: (0.0, 1.0),
+            num_reduce_tasks: (1, max_reducers.max(1)),
+            shuffle_input_buffer_percent: (0.1, 0.9),
+            shuffle_merge_percent: (0.2, 0.9),
+            inmem_merge_threshold: (10, 1000),
+            reduce_input_buffer_percent: (0.0, 0.8),
+        }
+    }
+
+    /// Number of coordinates in the normalized representation.
+    pub const DIMS: usize = 14;
+
+    /// Decode a normalized point in `[0,1]^14` into a configuration.
+    pub fn decode(&self, x: &[f64; Self::DIMS]) -> JobConfig {
+        JobConfig {
+            io_sort_mb: lerp_u64(self.io_sort_mb, x[0]),
+            io_sort_record_percent: lerp(self.io_sort_record_percent, x[1]),
+            io_sort_spill_percent: lerp(self.io_sort_spill_percent, x[2]),
+            io_sort_factor: lerp_u32(self.io_sort_factor, x[3]),
+            use_combiner: x[4] >= 0.5,
+            min_num_spills_for_combine: lerp_u32(self.min_num_spills_for_combine, x[5]),
+            compress_map_output: x[6] >= 0.5,
+            reduce_slowstart: lerp(self.reduce_slowstart, x[7]),
+            num_reduce_tasks: lerp_u32(self.num_reduce_tasks, x[8]),
+            shuffle_input_buffer_percent: lerp(self.shuffle_input_buffer_percent, x[9]),
+            shuffle_merge_percent: lerp(self.shuffle_merge_percent, x[10]),
+            inmem_merge_threshold: lerp_u32(self.inmem_merge_threshold, x[11]),
+            reduce_input_buffer_percent: lerp(self.reduce_input_buffer_percent, x[12]),
+            compress_output: x[13] >= 0.5,
+        }
+    }
+
+    /// Sample a uniform point in the normalized box.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> [f64; Self::DIMS] {
+        let mut x = [0.0; Self::DIMS];
+        for v in &mut x {
+            *v = rng.gen();
+        }
+        x
+    }
+
+    /// Sample around a center with the given radius (clamped to the box).
+    pub fn sample_near<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        center: &[f64; Self::DIMS],
+        radius: f64,
+    ) -> [f64; Self::DIMS] {
+        let mut x = [0.0; Self::DIMS];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = (center[i] + rng.gen_range(-radius..=radius)).clamp(0.0, 1.0);
+        }
+        x
+    }
+}
+
+fn lerp(range: (f64, f64), t: f64) -> f64 {
+    range.0 + (range.1 - range.0) * t.clamp(0.0, 1.0)
+}
+fn lerp_u64(range: (u64, u64), t: f64) -> u64 {
+    (range.0 as f64 + (range.1 - range.0) as f64 * t.clamp(0.0, 1.0)).round() as u64
+}
+fn lerp_u32(range: (u32, u32), t: f64) -> u32 {
+    (range.0 as f64 + (range.1 - range.0) as f64 * t.clamp(0.0, 1.0)).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decoded_points_are_always_valid() {
+        let space = ConfigSpace::for_cluster(&ClusterSpec::ec2_c1_medium_16());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let x = space.sample_uniform(&mut rng);
+            let cfg = space.decode(&x);
+            cfg.validate().expect("decoded config must validate");
+        }
+    }
+
+    #[test]
+    fn io_sort_mb_respects_heap() {
+        let cluster = ClusterSpec::ec2_c1_medium_16();
+        let space = ConfigSpace::for_cluster(&cluster);
+        assert!(space.io_sort_mb.1 <= cluster.child_heap_mb);
+        let cfg = space.decode(&[1.0; ConfigSpace::DIMS]);
+        assert_eq!(cfg.io_sort_mb, space.io_sort_mb.1);
+    }
+
+    #[test]
+    fn sample_near_stays_in_box() {
+        let space = ConfigSpace::for_cluster(&ClusterSpec::ec2_c1_medium_16());
+        let mut rng = StdRng::seed_from_u64(2);
+        let center = [0.05; ConfigSpace::DIMS];
+        for _ in 0..100 {
+            let x = space.sample_near(&mut rng, &center, 0.3);
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn extremes_decode_to_bounds() {
+        let space = ConfigSpace::for_cluster(&ClusterSpec::ec2_c1_medium_16());
+        let lo = space.decode(&[0.0; ConfigSpace::DIMS]);
+        assert_eq!(lo.num_reduce_tasks, 1);
+        assert!(!lo.use_combiner);
+        let hi = space.decode(&[1.0; ConfigSpace::DIMS]);
+        assert_eq!(hi.num_reduce_tasks, 120);
+        assert!(hi.compress_output);
+    }
+}

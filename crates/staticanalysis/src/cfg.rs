@@ -1,0 +1,339 @@
+//! Control flow graph extraction and conservative matching (§4.1.3).
+//!
+//! The paper extracts CFGs from Java bytecode with Soot; here CFGs are
+//! lowered from the UDF IR the interpreter executes. A vertex is either a
+//! basic block of sequential statements or a branch vertex (condition or
+//! loop header); every vertex has one or two successors, matching the
+//! grammar in §4.2 of the paper.
+//!
+//! Matching is deliberately conservative: a synchronized breadth-first
+//! traversal of the two graphs that compares vertex kinds, out-degrees,
+//! and whether a block emits output. The score is 0 or 1 — graph edit
+//! distances are never computed (they are expensive, and a small CFG edit
+//! can mean a large semantic change).
+
+use mrjobs::{Stmt, Udf};
+use std::collections::{HashSet, VecDeque};
+
+/// The kind of a CFG vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Function entry.
+    Entry,
+    /// A maximal run of sequential (non-branching) statements.
+    /// `emits` records whether the block contains a `context.write`.
+    Basic { emits: bool },
+    /// An `if` condition vertex: two successors (then, else/join).
+    Branch,
+    /// A loop header: two successors (body, exit). Both `while` and `for`
+    /// lower to this shape, as `javac` does.
+    LoopHeader,
+    /// Function exit.
+    Exit,
+}
+
+/// A CFG vertex: a kind plus ordered successor indices (0, 1, or 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub succ: Vec<usize>,
+}
+
+/// A control flow graph. Node 0 is always the entry; the exit node is
+/// recorded in [`Cfg::exit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub exit: usize,
+    max_loop_depth: usize,
+}
+
+impl Cfg {
+    /// Build the CFG of a UDF body.
+    pub fn from_udf(udf: &Udf) -> Cfg {
+        Self::from_body(&udf.body)
+    }
+
+    /// Build the CFG of a statement list.
+    pub fn from_body(body: &[Stmt]) -> Cfg {
+        let mut b = Builder {
+            nodes: vec![Node {
+                kind: NodeKind::Entry,
+                succ: vec![],
+            }],
+            depth: 0,
+            max_depth: 0,
+        };
+        let tails = b.lower_block(body, vec![0]);
+        let exit = b.push(NodeKind::Exit);
+        for t in tails {
+            b.nodes[t].succ.push(exit);
+        }
+        Cfg {
+            nodes: b.nodes,
+            exit,
+            max_loop_depth: b.max_depth,
+        }
+    }
+
+    /// Reassemble a CFG from stored parts (deserialization). Returns
+    /// `None` when a successor or exit index is out of range.
+    pub fn from_parts(nodes: Vec<Node>, exit: usize, max_loop_depth: usize) -> Option<Cfg> {
+        if exit >= nodes.len() {
+            return None;
+        }
+        if nodes
+            .iter()
+            .any(|n| n.succ.iter().any(|&s| s >= nodes.len()))
+        {
+            return None;
+        }
+        Some(Cfg {
+            nodes,
+            exit,
+            max_loop_depth,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.succ.len()).sum()
+    }
+
+    /// Number of loop headers (cycles in the graph).
+    pub fn loop_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::LoopHeader)
+            .count()
+    }
+
+    /// Maximum syntactic loop nesting depth, recorded during lowering.
+    pub fn max_loop_depth(&self) -> usize {
+        self.max_loop_depth
+    }
+
+    /// Conservative structural equality: synchronized BFS comparing vertex
+    /// kinds, out-degrees, and successor order. Returns 1 (match) or
+    /// 0 (mismatch) semantics as a bool.
+    pub fn matches(&self, other: &Cfg) -> bool {
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((0usize, 0usize));
+        while let Some((a, b)) = queue.pop_front() {
+            if !visited.insert((a, b)) {
+                continue;
+            }
+            let na = &self.nodes[a];
+            let nb = &other.nodes[b];
+            if na.kind != nb.kind || na.succ.len() != nb.succ.len() {
+                return false;
+            }
+            for (&sa, &sb) in na.succ.iter().zip(nb.succ.iter()) {
+                queue.push_back((sa, sb));
+            }
+        }
+        true
+    }
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    depth: usize,
+    max_depth: usize,
+}
+
+impl Builder {
+    fn push(&mut self, kind: NodeKind) -> usize {
+        self.nodes.push(Node { kind, succ: vec![] });
+        self.nodes.len() - 1
+    }
+
+    fn connect(&mut self, froms: &[usize], to: usize) {
+        for &f in froms {
+            self.nodes[f].succ.push(to);
+        }
+    }
+
+    /// Lower a statement list. `entries` are the dangling vertices whose
+    /// control falls into this block; returns the dangling exits.
+    fn lower_block(&mut self, stmts: &[Stmt], entries: Vec<usize>) -> Vec<usize> {
+        let mut current = entries;
+        let mut basic: Option<usize> = None; // open basic block collecting simple stmts
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign(..) | Stmt::MapAdd(..) | Stmt::ListPush(..) => {
+                    basic = Some(self.ensure_basic(&mut current, basic, false));
+                }
+                Stmt::Emit(..) => {
+                    let idx = self.ensure_basic(&mut current, basic, true);
+                    // Mark the block as emitting.
+                    if let NodeKind::Basic { emits } = &mut self.nodes[idx].kind {
+                        *emits = true;
+                    }
+                    basic = Some(idx);
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    basic = None;
+                    let branch = self.push(NodeKind::Branch);
+                    self.connect(&current, branch);
+                    let then_exits = self.lower_block(then_branch, vec![branch]);
+                    let else_exits = if else_branch.is_empty() {
+                        vec![branch]
+                    } else {
+                        self.lower_block(else_branch, vec![branch])
+                    };
+                    current = then_exits;
+                    current.extend(else_exits);
+                    current.sort_unstable();
+                    current.dedup();
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                    basic = None;
+                    let header = self.push(NodeKind::LoopHeader);
+                    self.connect(&current, header);
+                    self.depth += 1;
+                    self.max_depth = self.max_depth.max(self.depth);
+                    let body_exits = self.lower_block(body, vec![header]);
+                    self.depth -= 1;
+                    // Back edge(s) from body exits to the header; an empty
+                    // body degenerates to a self-loop.
+                    self.connect(&body_exits, header);
+                    current = vec![header];
+                }
+            }
+        }
+        current
+    }
+
+    /// Reuse the open basic block if control hasn't branched since it was
+    /// opened; otherwise open a new one.
+    fn ensure_basic(&mut self, current: &mut Vec<usize>, basic: Option<usize>, emits: bool) -> usize {
+        if let Some(idx) = basic {
+            if current.len() == 1 && current[0] == idx {
+                return idx;
+            }
+        }
+        let idx = self.push(NodeKind::Basic { emits });
+        self.connect(current, idx);
+        *current = vec![idx];
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrjobs::jobs::{
+        bigram_relative_frequency, word_cooccurrence_pairs, word_count, word_count_while_variant,
+    };
+
+    #[test]
+    fn straight_line_body_is_entry_basic_exit() {
+        use mrjobs::ir::build::*;
+        let udf = Udf::mapper("m", vec![assign("x", c_int(1)), emit(var("x"), var("x"))]);
+        let cfg = Cfg::from_udf(&udf);
+        assert_eq!(cfg.node_count(), 3);
+        assert_eq!(cfg.loop_count(), 0);
+        assert!(matches!(cfg.nodes[1].kind, NodeKind::Basic { emits: true }));
+    }
+
+    #[test]
+    fn word_count_has_one_loop() {
+        let cfg = Cfg::from_udf(&word_count().map_udf);
+        assert_eq!(cfg.loop_count(), 1);
+        assert_eq!(cfg.max_loop_depth(), 1);
+    }
+
+    #[test]
+    fn cooccurrence_has_nested_loops_and_condition() {
+        let cfg = Cfg::from_udf(&word_cooccurrence_pairs(2).map_udf);
+        assert_eq!(cfg.loop_count(), 2);
+        assert_eq!(cfg.max_loop_depth(), 2);
+        assert!(cfg
+            .nodes
+            .iter()
+            .any(|n| n.kind == NodeKind::Branch));
+    }
+
+    #[test]
+    fn for_and_while_word_count_cfgs_match() {
+        // §4.1.3: a for-based and a while-based word count must produce the
+        // same CFG under conservative matching.
+        let a = Cfg::from_udf(&word_count().map_udf);
+        let b = Cfg::from_udf(&word_count_while_variant().map_udf);
+        assert!(a.matches(&b));
+        assert!(b.matches(&a));
+    }
+
+    #[test]
+    fn word_count_and_cooccurrence_cfgs_differ() {
+        let a = Cfg::from_udf(&word_count().map_udf);
+        let b = Cfg::from_udf(&word_cooccurrence_pairs(2).map_udf);
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn match_is_reflexive_across_suite() {
+        for spec in mrjobs::jobs::standard_suite() {
+            let cfg = Cfg::from_udf(&spec.map_udf);
+            assert!(cfg.matches(&cfg), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn bigram_and_coocc_map_cfgs_differ_structurally() {
+        // bigram has a single loop; co-occurrence has two nested loops.
+        let a = Cfg::from_udf(&bigram_relative_frequency().map_udf);
+        let b = Cfg::from_udf(&word_cooccurrence_pairs(2).map_udf);
+        assert!(!a.matches(&b));
+        assert!(a.loop_count() < b.loop_count());
+    }
+
+    #[test]
+    fn if_else_produces_branch_with_two_paths() {
+        use mrjobs::ir::build::*;
+        let udf = Udf::mapper(
+            "m",
+            vec![if_else(
+                c_int(1),
+                vec![emit(c_int(1), c_int(1))],
+                vec![emit(c_int(2), c_int(2))],
+            )],
+        );
+        let cfg = Cfg::from_udf(&udf);
+        let branch = cfg
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::Branch)
+            .unwrap();
+        assert_eq!(branch.succ.len(), 2);
+    }
+
+    #[test]
+    fn loop_header_has_body_and_exit_successors() {
+        let cfg = Cfg::from_udf(&word_count().map_udf);
+        let header = cfg
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::LoopHeader)
+            .unwrap();
+        assert_eq!(header.succ.len(), 2);
+    }
+
+    #[test]
+    fn empty_body_is_entry_to_exit() {
+        let cfg = Cfg::from_body(&[]);
+        assert_eq!(cfg.node_count(), 2);
+        assert_eq!(cfg.nodes[0].succ, vec![cfg.exit]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Workflow-level tuning (§7.2.5) and PerfXplain-style explanations
+//! (§2.3.2 / §7.2.4): submit the frequent-itemset-mining chain twice —
+//! profiling on the first pass, tuned on the second — then ask the
+//! explainer why two jobs in the store perform differently.
+//!
+//! ```sh
+//! cargo run --release -p pstorm-examples --example chain_and_explain
+//! ```
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{ClusterSpec, JobConfig};
+use profiler::collect_full_profile;
+use pstorm::{explain, ChainStage, PStorM};
+use staticanalysis::StaticFeatures;
+
+fn main() {
+    // ---- The FIM chain through the daemon ------------------------------
+    let daemon = PStorM::new().expect("daemon");
+    let chain = || {
+        vec![
+            ChainStage {
+                spec: jobs::fim_pass1(4),
+                dataset: corpus::input_for("fim-pass1", SizeClass::Small),
+            },
+            ChainStage {
+                spec: jobs::fim_pass2(4),
+                dataset: corpus::input_for("fim-pass2", SizeClass::Small),
+            },
+            ChainStage {
+                spec: jobs::fim_pass3(),
+                dataset: corpus::input_for("fim-pass3", SizeClass::Small),
+            },
+        ]
+    };
+
+    println!("first chain submission (cold store, every stage profiled):");
+    let first = daemon.submit_chain("fim-nightly", &chain(), 7).expect("chain");
+    println!(
+        "  total {:.1} virtual min over {} stages",
+        first.total_runtime_ms() / 60_000.0,
+        first.stages.len()
+    );
+
+    println!("second chain submission (every stage matched and tuned):");
+    let second = daemon.submit_chain("fim-nightly", &chain(), 8).expect("chain");
+    println!(
+        "  total {:.1} virtual min — {:.2}x vs first pass",
+        second.total_runtime_ms() / 60_000.0,
+        first.total_runtime_ms() / second.total_runtime_ms()
+    );
+    println!(
+        "  stored plan: {:?}",
+        daemon.get_plan("fim-nightly").unwrap().unwrap()
+    );
+
+    // ---- Why is co-occurrence so much slower than word count? ----------
+    println!("\nPerfXplain-style explanation: coocc-pairs vs word-count on 35 GB:");
+    let cl = ClusterSpec::ec2_c1_medium_16();
+    let ds = corpus::wikipedia_35g();
+    let profiled = |spec: &mrjobs::JobSpec| {
+        let (p, _) =
+            collect_full_profile(spec, &ds, &cl, &JobConfig::submitted(spec), 9).unwrap();
+        (p, StaticFeatures::extract(spec))
+    };
+    let (pa, sa) = profiled(&jobs::word_cooccurrence_pairs(2));
+    let (pb, sb) = profiled(&jobs::word_count());
+    for e in explain((&pa, &sa), (&pb, &sb)).iter().take(5) {
+        println!("  {}", e.render());
+    }
+}

@@ -1,0 +1,1 @@
+//! Runnable examples live as `cargo run -p pstorm-examples --example <name>`.

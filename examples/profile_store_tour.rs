@@ -1,0 +1,83 @@
+//! A tour of the profile store's data model (Table 5.1) and its
+//! filter-pushdown mechanism (§5.3): store a few profiles, inspect the
+//! row-key layout and META catalog, run a pushed-down matching filter,
+//! and read back normalization bounds.
+//!
+//! ```sh
+//! cargo run --release -p pstorm-examples --example profile_store_tour
+//! ```
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{ClusterSpec, JobConfig};
+use profiler::collect_full_profile;
+use pstorm::ProfileStore;
+use staticanalysis::StaticFeatures;
+
+fn main() {
+    let cluster = ClusterSpec::ec2_c1_medium_16();
+    let store = ProfileStore::new().expect("store");
+
+    println!("collecting and storing profiles...");
+    for spec in [
+        jobs::word_count(),
+        jobs::word_cooccurrence_pairs(2),
+        jobs::sort(),
+        jobs::join(),
+    ] {
+        let ds = corpus::input_for(&spec.name, SizeClass::Small);
+        let (mut profile, _) =
+            collect_full_profile(&spec, &ds, &cluster, &JobConfig::submitted(&spec), 5)
+                .expect("profiling run");
+        profile.job_id = format!("{}@{}", spec.job_id(), ds.name);
+        store
+            .put_profile(&StaticFeatures::extract(&spec), &profile)
+            .expect("put");
+    }
+
+    println!("\nstored job ids (scan of the Profile/ prefix):");
+    for id in store.job_ids().expect("ids") {
+        println!("  Profile/{id}");
+    }
+
+    println!("\nMETA catalog ((table, start_key, region) -> region server):");
+    for entry in store.inner().meta_entries() {
+        println!(
+            "  {}, {:?}, region_{} -> rs{}",
+            entry.table,
+            String::from_utf8_lossy(&entry.start_key),
+            entry.region_id,
+            entry.region_server
+        );
+    }
+
+    println!("\npushed-down filter: jobs whose MAP_SIZE_SEL > 2.0");
+    let (rows, metrics) = store
+        .filter_dynamic(|d| d.map_dyn[0] > 2.0)
+        .expect("pushdown scan");
+    for d in &rows {
+        println!(
+            "  {}: map_dyn = {:?}",
+            d.job_id,
+            d.map_dyn.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "  ({} rows scanned server-side, {} returned to the client)",
+        metrics.rows_scanned, metrics.rows_returned
+    );
+
+    let bounds = store.normalization_bounds().expect("bounds");
+    println!("\nmaintained normalization bounds (map dynamic features):");
+    println!("  mins: {:?}", round3(&bounds.map_dyn.mins));
+    println!("  maxs: {:?}", round3(&bounds.map_dyn.maxs));
+
+    // Eviction.
+    let victim = store.job_ids().unwrap().swap_remove(0);
+    store.delete_job(&victim).expect("delete");
+    println!("\nevicted `{victim}`; {} profiles remain", store.len().unwrap());
+}
+
+fn round3(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

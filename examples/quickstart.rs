@@ -1,0 +1,67 @@
+//! Quickstart: the full PStorM loop in a dozen lines.
+//!
+//! Submit a job twice through the PStorM daemon. The first submission
+//! finds an empty store, runs with profiling on, and stores the collected
+//! profile. The second submission's 1-task probe matches that profile,
+//! the Starfish-style CBO tunes the configuration, and the job runs much
+//! faster.
+//!
+//! ```sh
+//! cargo run --release -p pstorm-examples --example quickstart
+//! ```
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use pstorm::{PStorM, SubmissionOutcome};
+
+fn main() {
+    let daemon = PStorM::new().expect("fresh daemon");
+    let spec = jobs::word_cooccurrence_pairs(2);
+    let dataset = corpus::input_for(&spec.name, SizeClass::Large);
+    println!(
+        "submitting `{}` on `{}` ({:.1} GB logical)",
+        spec.job_id(),
+        dataset.name,
+        dataset.logical_bytes as f64 / (1u64 << 30) as f64
+    );
+
+    // First submission: no profile in the store yet.
+    let first = daemon.submit(&spec, &dataset, 1).expect("first submission");
+    match &first.outcome {
+        SubmissionOutcome::ProfiledAndStored { failure } => {
+            println!(
+                "1st run: no match ({failure:?}); ran with profiling on in {:.1} virtual min",
+                first.run.runtime_ms / 60_000.0
+            );
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+
+    // Second submission: PStorM matches the stored profile and tunes.
+    let second = daemon.submit(&spec, &dataset, 2).expect("second submission");
+    match &second.outcome {
+        SubmissionOutcome::Tuned {
+            matched,
+            tuned_config,
+            ..
+        } => {
+            println!(
+                "2nd run: matched `{}`; CBO recommended {} reducers, io.sort.mb={}, compress={}",
+                matched.map.source_job,
+                tuned_config.num_reduce_tasks,
+                tuned_config.io_sort_mb,
+                tuned_config.compress_map_output,
+            );
+            println!(
+                "2nd run finished in {:.1} virtual min — {:.1}x faster",
+                second.run.runtime_ms / 60_000.0,
+                first.run.runtime_ms / second.run.runtime_ms
+            );
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    println!(
+        "1-task sampling cost per submission: {:.1} virtual s",
+        second.sampling_ms / 1000.0
+    );
+}

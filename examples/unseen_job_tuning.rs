@@ -1,0 +1,93 @@
+//! The headline scenario of the thesis (Fig. 1.3): tune a job that has
+//! *never* run on the cluster by reusing other jobs' profiles.
+//!
+//! The store is populated with profiles of the benchmark suite — except
+//! word co-occurrence. Submitting co-occurrence triggers the matcher's
+//! composition path: the map profile of one donor and the reduce profile
+//! of another are stitched into a profile good enough for the CBO to
+//! recover most of the own-profile speedup.
+//!
+//! ```sh
+//! cargo run --release -p pstorm-examples --example unseen_job_tuning
+//! ```
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{simulate, ClusterSpec, JobConfig};
+use pstorm::{PStorM, SubmissionOutcome};
+use profiler::collect_full_profile;
+use staticanalysis::StaticFeatures;
+
+fn main() {
+    let cluster = ClusterSpec::ec2_c1_medium_16();
+    let daemon = PStorM::new().expect("daemon");
+
+    // Populate the store with everything except co-occurrence.
+    println!("populating the profile store with donor jobs...");
+    for spec in mrjobs::jobs::standard_suite() {
+        if spec.name.starts_with("word-cooccurrence") {
+            continue;
+        }
+        let ds = corpus::input_for(&spec.name, SizeClass::Large);
+        let Ok((mut profile, _)) = collect_full_profile(
+            &spec,
+            &ds,
+            &cluster,
+            &JobConfig::submitted(&spec),
+            7,
+        ) else {
+            continue; // jobs that cannot run at this scale are skipped
+        };
+        profile.job_id = format!("{}@{}", spec.job_id(), ds.name);
+        daemon
+            .load_profile(&StaticFeatures::extract(&spec), &profile)
+            .expect("load");
+    }
+    println!("store holds {} profiles", daemon.store.len().unwrap());
+
+    // Submit the never-seen job.
+    let spec = jobs::word_cooccurrence_pairs(2);
+    let ds = corpus::input_for(&spec.name, SizeClass::Large);
+    let default_ms = simulate(&spec, &ds, &cluster, &JobConfig::submitted(&spec), 3)
+        .expect("baseline")
+        .runtime_ms;
+    println!(
+        "\nsubmitting unseen job `{}`; default runtime {:.0} virtual min",
+        spec.job_id(),
+        default_ms / 60_000.0
+    );
+
+    let report = daemon.submit(&spec, &ds, 11).expect("submission");
+    match &report.outcome {
+        SubmissionOutcome::Tuned {
+            matched,
+            tuned_config,
+            ..
+        } => {
+            println!(
+                "matched: map side from `{}`{}",
+                matched.map.source_job,
+                match &matched.reduce {
+                    Some(r) if r.source_job != matched.map.source_job =>
+                        format!(", reduce side from `{}` (composite!)", r.source_job),
+                    _ => String::new(),
+                }
+            );
+            println!(
+                "CBO recommendation: {} reducers, io.sort.mb={}, record%={:.2}, compress={}",
+                tuned_config.num_reduce_tasks,
+                tuned_config.io_sort_mb,
+                tuned_config.io_sort_record_percent,
+                tuned_config.compress_map_output
+            );
+            println!(
+                "tuned runtime {:.0} virtual min — {:.1}x speedup without ever profiling this job",
+                report.run.runtime_ms / 60_000.0,
+                default_ms / report.run.runtime_ms
+            );
+        }
+        SubmissionOutcome::ProfiledAndStored { failure } => {
+            println!("no match found ({failure:?}); profile collected for next time");
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration tests for the PStorM-rs workspace live under `tests/tests/`.

@@ -1,0 +1,150 @@
+//! Concurrency tests for the miniature HBase: writers and scanners racing
+//! across region splits must never lose acknowledged writes or return
+//! out-of-order scan results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use cfstore::{MiniStore, Put, Scan};
+
+#[test]
+fn concurrent_writers_and_scanners_agree() {
+    let store = Arc::new(MiniStore::new());
+    store
+        .create_table_with_threshold("t", &["f"], 32)
+        .unwrap();
+    let writers = 4usize;
+    let per_writer = 500usize;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_writer {
+                store
+                    .put(
+                        "t",
+                        Put::new(
+                            Bytes::from(format!("w{w}-{i:05}")),
+                            "f",
+                            "v",
+                            Bytes::from(format!("{w}:{i}")),
+                        ),
+                    )
+                    .unwrap();
+            }
+        }));
+    }
+    // A scanner hammering the table while writers run; every result must
+    // be sorted and internally consistent.
+    let scanner = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_seen = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let (rows, metrics) = store.scan("t", &Scan::all()).unwrap();
+                assert!(rows.windows(2).all(|w| w[0].row < w[1].row), "sorted");
+                assert_eq!(metrics.rows_returned as usize, rows.len());
+                max_seen = max_seen.max(rows.len());
+            }
+            max_seen
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let observed = scanner.join().unwrap();
+    assert!(observed > 0);
+
+    // Every acknowledged write is readable afterwards.
+    let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+    assert_eq!(rows.len(), writers * per_writer);
+    for w in 0..writers {
+        for i in (0..per_writer).step_by(97) {
+            let row = store
+                .get("t", format!("w{w}-{i:05}").as_bytes())
+                .unwrap()
+                .unwrap_or_else(|| panic!("lost write w{w}-{i}"));
+            assert_eq!(
+                row.value("f", b"v").unwrap().as_ref(),
+                format!("{w}:{i}").as_bytes()
+            );
+        }
+    }
+    // Splits actually happened under concurrency.
+    assert!(store.region_count("t").unwrap() > 8);
+}
+
+#[test]
+fn concurrent_profile_store_matching_while_inserting() {
+    use datagen::{corpus, SizeClass};
+    use mrjobs::jobs;
+    use mrsim::{ClusterSpec, JobConfig};
+    use profiler::{collect_full_profile, collect_sample_profile, SampleSize};
+    use pstorm::{match_profile, MatcherConfig, ProfileStore, SubmittedJob};
+    use staticanalysis::StaticFeatures;
+
+    let cl = ClusterSpec::ec2_c1_medium_16();
+    let store = Arc::new(ProfileStore::new().unwrap());
+    let text = corpus::random_text_1g();
+
+    // Seed two profiles so bounds are sane.
+    for spec in [jobs::word_count(), jobs::sort()] {
+        let ds = corpus::input_for(&spec.name, SizeClass::Small);
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &cl, &JobConfig::submitted(&spec), 5).unwrap();
+        store
+            .put_profile(&StaticFeatures::extract(&spec), &profile)
+            .unwrap();
+    }
+
+    let spec = jobs::word_count();
+    let sample = collect_sample_profile(
+        &spec,
+        &text,
+        &cl,
+        &JobConfig::submitted(&spec),
+        SampleSize::OneTask,
+        3,
+    )
+    .unwrap();
+    let q = SubmittedJob {
+        statics: StaticFeatures::extract(&spec),
+        spec,
+        sample: sample.profile,
+        input_bytes: text.logical_bytes,
+    };
+
+    // Writer inserting PigMix profiles while matchers query.
+    let writer = {
+        let store = Arc::clone(&store);
+        let cl = cl.clone();
+        std::thread::spawn(move || {
+            for n in 1..=8 {
+                let spec = jobs::pigmix(n);
+                let ds = corpus::input_for(&spec.name, SizeClass::Small);
+                let (profile, _) =
+                    collect_full_profile(&spec, &ds, &cl, &JobConfig::submitted(&spec), 5)
+                        .unwrap();
+                store
+                    .put_profile(&StaticFeatures::extract(&spec), &profile)
+                    .unwrap();
+            }
+        })
+    };
+    let mut last = None;
+    for _ in 0..30 {
+        let result = match_profile(&store, &q, &MatcherConfig::default()).unwrap();
+        if let Ok(r) = result {
+            last = Some(r.map.source_job);
+        }
+    }
+    writer.join().unwrap();
+    // The right job keeps winning throughout concurrent growth.
+    assert_eq!(last.as_deref(), Some("word-count"));
+    assert_eq!(store.len().unwrap(), 10);
+}

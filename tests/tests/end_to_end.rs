@@ -1,0 +1,138 @@
+//! End-to-end integration tests: the full PStorM workflow across crates
+//! (datagen → mrsim → profiler → pstorm store/matcher → optimizer).
+
+use datagen::{corpus, SizeClass};
+use mrjobs::jobs;
+use mrsim::{simulate, ClusterSpec, JobConfig};
+use profiler::collect_full_profile;
+use pstorm::{PStorM, SubmissionOutcome};
+use staticanalysis::StaticFeatures;
+
+fn cl() -> ClusterSpec {
+    ClusterSpec::ec2_c1_medium_16()
+}
+
+#[test]
+fn daemon_lifecycle_over_multiple_jobs() {
+    let daemon = PStorM::new().unwrap();
+    let text = corpus::random_text_1g();
+
+    // Three distinct jobs, submitted cold: all profile-and-store.
+    for spec in [jobs::word_count(), jobs::sort(), jobs::join()] {
+        let ds = corpus::input_for(&spec.name, SizeClass::Small);
+        let report = daemon.submit(&spec, &ds, 1).unwrap();
+        assert!(
+            matches!(report.outcome, SubmissionOutcome::ProfiledAndStored { .. }),
+            "{} should miss on first submission",
+            spec.job_id()
+        );
+    }
+    assert_eq!(daemon.store.len().unwrap(), 3);
+
+    // Resubmitting word count hits its own profile.
+    let report = daemon.submit(&jobs::word_count(), &text, 2).unwrap();
+    match report.outcome {
+        SubmissionOutcome::Tuned { matched, .. } => {
+            assert_eq!(matched.map.source_job, "word-count");
+            assert!(!matched.is_composite());
+        }
+        other => panic!("expected a tuned run, got {other:?}"),
+    }
+    // The store was not re-populated by the hit.
+    assert_eq!(daemon.store.len().unwrap(), 3);
+}
+
+#[test]
+fn dd_submission_reuses_the_twin_profile() {
+    let daemon = PStorM::new().unwrap();
+    let spec = jobs::word_count();
+    let small = corpus::input_for(&spec.name, SizeClass::Small);
+    let large = corpus::input_for(&spec.name, SizeClass::Large);
+
+    // A contrasting job first, so the store's normalization bounds are
+    // non-degenerate (a store with a single profile cannot normalize).
+    daemon
+        .submit(&jobs::sort(), &corpus::input_for("sort", SizeClass::Small), 0)
+        .unwrap();
+
+    // Profile collected on the small dataset only.
+    let first = daemon.submit(&spec, &small, 1).unwrap();
+    assert!(matches!(
+        first.outcome,
+        SubmissionOutcome::ProfiledAndStored { .. }
+    ));
+
+    // Submission on the large dataset matches the small-data twin.
+    let second = daemon.submit(&spec, &large, 2).unwrap();
+    match second.outcome {
+        SubmissionOutcome::Tuned { matched, .. } => {
+            assert_eq!(matched.map.source_job, "word-count");
+        }
+        other => panic!("expected DD tuning, got {other:?}"),
+    }
+}
+
+#[test]
+fn nj_submission_composes_and_still_speeds_up() {
+    let daemon = PStorM::new().unwrap();
+    let large = corpus::wikipedia_35g();
+
+    // Donors only — the submitted job itself is never profiled. A broad
+    // donor population gives the store realistic normalization bounds.
+    for spec in mrjobs::jobs::standard_suite() {
+        if spec.name.starts_with("word-cooccurrence") {
+            continue;
+        }
+        let ds = corpus::input_for(&spec.name, SizeClass::Large);
+        let Ok((mut profile, _)) =
+            collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3)
+        else {
+            continue;
+        };
+        profile.job_id = format!("{}@{}", spec.job_id(), ds.name);
+        daemon
+            .load_profile(&StaticFeatures::extract(&spec), &profile)
+            .unwrap();
+    }
+
+    let spec = jobs::word_cooccurrence_pairs(2);
+    let default_ms = simulate(&spec, &large, &cl(), &JobConfig::submitted(&spec), 9)
+        .unwrap()
+        .runtime_ms;
+    let report = daemon.submit(&spec, &large, 9).unwrap();
+    match &report.outcome {
+        SubmissionOutcome::Tuned { matched, .. } => {
+            assert_ne!(matched.map.source_job, spec.job_id());
+            let speedup = default_ms / report.run.runtime_ms;
+            assert!(speedup > 2.0, "NJ speedup too small: {speedup:.2}x");
+        }
+        other => panic!("expected NJ tuning, got {other:?}"),
+    }
+}
+
+#[test]
+fn submissions_are_deterministic_in_seed() {
+    let run = || -> f64 {
+        let daemon = PStorM::new().unwrap();
+        let spec = jobs::word_count();
+        let ds = corpus::input_for(&spec.name, SizeClass::Small);
+        daemon.submit(&spec, &ds, 5).unwrap();
+        daemon.submit(&spec, &ds, 6).unwrap().run.runtime_ms
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn profiles_survive_store_roundtrips_bitwise() {
+    let store = pstorm::ProfileStore::new().unwrap();
+    for spec in [jobs::cloudburst(12), jobs::pigmix(5), jobs::cf_user_vectors()] {
+        let ds = corpus::input_for(&spec.name, SizeClass::Small);
+        let (profile, _) =
+            collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();
+        store
+            .put_profile(&StaticFeatures::extract(&spec), &profile)
+            .unwrap();
+        let got = store.get_profile(&profile.job_id).unwrap().unwrap();
+        assert_eq!(got, profile, "{}", spec.job_id());
+    }
+}

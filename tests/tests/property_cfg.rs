@@ -1,0 +1,127 @@
+//! Property-based tests for CFG extraction and conservative matching:
+//! random UDF bodies are generated from the IR grammar, and structural
+//! invariants plus matcher algebra (reflexivity, symmetry, rewrite
+//! insensitivity) are checked.
+
+use mrjobs::ir::build::*;
+use mrjobs::{Stmt, Udf};
+use proptest::prelude::*;
+use staticanalysis::{Cfg, NodeKind};
+
+/// A generator for random statement lists over a tiny vocabulary of
+/// variables, recursing through if/while/for.
+fn arb_stmts(depth: u32) -> impl Strategy<Value = Vec<Stmt>> {
+    let leaf = prop_oneof![
+        Just(assign("x", c_int(1))),
+        Just(assign("y", add(var("x"), c_int(2)))),
+        Just(emit(var("x"), c_int(1))),
+    ];
+    let stmt = leaf.prop_recursive(depth, 24, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 1..3);
+        prop_oneof![
+            (block.clone(), block.clone()).prop_map(|(t, e)| if_else(lt(var("x"), c_int(3)), t, e)),
+            block.clone().prop_map(|b| if_then(lt(var("x"), c_int(3)), b)),
+            block.clone().prop_map(|b| while_loop(lt(var("x"), c_int(0)), b)),
+            block.prop_map(|b| for_each("i", var("xs"), b)),
+        ]
+    });
+    prop::collection::vec(stmt, 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cfg_structure_is_well_formed(body in arb_stmts(3)) {
+        let cfg = Cfg::from_body(&body);
+        // Entry is node 0; exit has no successors.
+        prop_assert_eq!(cfg.nodes[0].kind, NodeKind::Entry);
+        prop_assert!(cfg.nodes[cfg.exit].succ.is_empty());
+        for node in &cfg.nodes {
+            // Vertex out-degrees follow the paper's grammar: 0 (exit only),
+            // 1 (sequence), or 2 (branch / loop header).
+            prop_assert!(node.succ.len() <= 2, "out-degree {}", node.succ.len());
+            match node.kind {
+                NodeKind::Branch | NodeKind::LoopHeader => {
+                    prop_assert_eq!(node.succ.len(), 2)
+                }
+                NodeKind::Exit => prop_assert!(node.succ.is_empty()),
+                _ => prop_assert_eq!(node.succ.len(), 1),
+            }
+            for &s in &node.succ {
+                prop_assert!(s < cfg.nodes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_matching_is_reflexive(body in arb_stmts(3)) {
+        let cfg = Cfg::from_body(&body);
+        prop_assert!(cfg.matches(&cfg));
+    }
+
+    #[test]
+    fn cfg_matching_is_symmetric(a in arb_stmts(2), b in arb_stmts(2)) {
+        let ca = Cfg::from_body(&a);
+        let cb = Cfg::from_body(&b);
+        prop_assert_eq!(ca.matches(&cb), cb.matches(&ca));
+    }
+
+    #[test]
+    fn for_to_while_rewrite_preserves_cfg(body in arb_stmts(2)) {
+        // Rewrite every For into a While with the same body: the CFG must
+        // be structurally identical (§4.1.3's robustness property).
+        fn rewrite(stmts: &[Stmt]) -> Vec<Stmt> {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::For { body, .. } => Stmt::While {
+                        cond: lt(var("x"), c_int(0)),
+                        body: rewrite(body),
+                    },
+                    Stmt::While { cond, body } => Stmt::While {
+                        cond: cond.clone(),
+                        body: rewrite(body),
+                    },
+                    Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+                        cond: cond.clone(),
+                        then_branch: rewrite(then_branch),
+                        else_branch: rewrite(else_branch),
+                    },
+                    other => other.clone(),
+                })
+                .collect()
+        }
+        let original = Cfg::from_body(&body);
+        let rewritten = Cfg::from_body(&rewrite(&body));
+        prop_assert!(original.matches(&rewritten));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_cfg_matching(body in arb_stmts(3)) {
+        let udf = Udf::mapper("m", body);
+        let cfg = Cfg::from_udf(&udf);
+        let decoded = pstorm::codec::decode_cfg(&pstorm::codec::encode_cfg(&cfg)).unwrap();
+        prop_assert!(decoded.matches(&cfg));
+        prop_assert_eq!(decoded.node_count(), cfg.node_count());
+        prop_assert_eq!(decoded.max_loop_depth(), cfg.max_loop_depth());
+    }
+
+    #[test]
+    fn loop_count_matches_syntax(body in arb_stmts(3)) {
+        fn count_loops(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => 1 + count_loops(body),
+                    Stmt::If { then_branch, else_branch, .. } => {
+                        count_loops(then_branch) + count_loops(else_branch)
+                    }
+                    _ => 0,
+                })
+                .sum()
+        }
+        let cfg = Cfg::from_body(&body);
+        prop_assert_eq!(cfg.loop_count(), count_loops(&body));
+    }
+}

@@ -1,0 +1,126 @@
+//! Model-based property tests for the miniature HBase: a random sequence
+//! of puts/deletes/scans is applied both to the store and to a plain
+//! `BTreeMap` reference model; observable behaviour must agree regardless
+//! of region splits. Plus codec roundtrip properties.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use cfstore::encoding::{decode_f64, decode_f64_vec, decode_str, encode_f64, encode_f64_vec, encode_str};
+use cfstore::{MiniStore, Put, Scan};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { row: u8, col: u8, val: u16 },
+    DeleteRow { row: u8 },
+    Get { row: u8 },
+    ScanPrefix { nibble: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u8..4, any::<u16>()).prop_map(|(row, col, val)| Op::Put { row, col, val }),
+        1 => any::<u8>().prop_map(|row| Op::DeleteRow { row }),
+        2 => any::<u8>().prop_map(|row| Op::Get { row }),
+        1 => (0u8..16).prop_map(|nibble| Op::ScanPrefix { nibble }),
+    ]
+}
+
+fn row_key(row: u8) -> Bytes {
+    Bytes::from(format!("{row:03}"))
+}
+
+fn col_key(col: u8) -> Bytes {
+    Bytes::from(format!("c{col}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_agrees_with_btreemap_model(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let store = MiniStore::new();
+        // Tiny split threshold so region splits happen constantly.
+        store.create_table_with_threshold("t", &["f"], 8).unwrap();
+        let mut model: BTreeMap<String, BTreeMap<String, u16>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put { row, col, val } => {
+                    store
+                        .put("t", Put::new(row_key(*row), "f", col_key(*col), Bytes::from(val.to_string())))
+                        .unwrap();
+                    model
+                        .entry(format!("{row:03}"))
+                        .or_default()
+                        .insert(format!("c{col}"), *val);
+                }
+                Op::DeleteRow { row } => {
+                    let existed = store.delete_row("t", &row_key(*row)).unwrap();
+                    let model_existed = model.remove(&format!("{row:03}")).is_some();
+                    prop_assert_eq!(existed, model_existed);
+                }
+                Op::Get { row } => {
+                    let got = store.get("t", &row_key(*row)).unwrap();
+                    match model.get(&format!("{row:03}")) {
+                        None => prop_assert!(got.is_none()),
+                        Some(cols) => {
+                            let got = got.expect("row must exist");
+                            prop_assert_eq!(got.cell_count(), cols.len());
+                            for (c, v) in cols {
+                                let cell = got.value("f", c.as_bytes()).expect("column");
+                                let expected = v.to_string();
+                                prop_assert_eq!(cell.as_ref(), expected.as_bytes());
+                            }
+                        }
+                    }
+                }
+                Op::ScanPrefix { nibble } => {
+                    let prefix = format!("{nibble:01}");
+                    let (rows, metrics) = store.scan("t", &Scan::prefix(prefix.as_bytes())).unwrap();
+                    let expected: Vec<&String> = model
+                        .keys()
+                        .filter(|k| k.starts_with(&prefix))
+                        .collect();
+                    prop_assert_eq!(rows.len(), expected.len());
+                    // Results come back sorted regardless of parallel region scans.
+                    for (r, e) in rows.iter().zip(&expected) {
+                        prop_assert_eq!(r.row.as_ref(), e.as_bytes());
+                    }
+                    prop_assert_eq!(metrics.rows_returned as usize, expected.len());
+                }
+            }
+        }
+        // Final full scan agrees with the model.
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+    }
+
+    #[test]
+    fn f64_codec_roundtrips(v in any::<f64>()) {
+        // NaNs round-trip bit-exactly via the order-preserving encoding.
+        let decoded = decode_f64(&encode_f64(v)).unwrap();
+        prop_assert_eq!(decoded.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn f64_codec_preserves_order(a in -1e300f64..1e300, b in -1e300f64..1e300) {
+        let ea = encode_f64(a);
+        let eb = encode_f64(b);
+        prop_assert_eq!(a < b, ea < eb);
+    }
+
+    #[test]
+    fn str_codec_roundtrips(s in ".{0,64}") {
+        let encoded = encode_str(&s);
+        let (decoded, rest) = decode_str(&encoded).unwrap();
+        prop_assert_eq!(decoded, s);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn f64_vec_codec_roundtrips(v in prop::collection::vec(-1e12f64..1e12, 0..32)) {
+        prop_assert_eq!(decode_f64_vec(&encode_f64_vec(&v)).unwrap(), v);
+    }
+}
