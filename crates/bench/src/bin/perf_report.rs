@@ -1,0 +1,349 @@
+//! End-to-end tuning-latency report: stage-1 matcher latency (pushdown
+//! scan vs columnar sweep) at several store sizes, full `match_profile`
+//! latency on both paths, and CBO what-if search throughput on the legacy
+//! per-candidate path vs the planned/memoized search. Writes
+//! `BENCH_tuning_latency.json` at the repo root.
+//!
+//! Every "legacy" variant here is the pre-optimization code path, still
+//! live behind a flag (`MatcherConfig::use_columnar_index = false`,
+//! `whatif::predict_runtime_ms_unplanned`), so the numbers compare two
+//! reachable implementations, not a reconstruction.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use datagen::corpus;
+use mrjobs::jobs;
+use mrsim::{ClusterSpec, JobConfig};
+use optimizer::{optimize, CboOptions, ConfigSpace};
+use profiler::{collect_full_profile, collect_sample_profile, JobProfile, SampleSize};
+use pstorm::{match_profile, MatcherConfig, ProfileStore, SubmittedJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use staticanalysis::StaticFeatures;
+use whatif::{predict_runtime_ms_unplanned, WhatIfPlan, WhatIfQuery};
+
+const STORE_SIZES: [usize; 3] = [10, 100, 1000];
+const CBO_BUDGET: usize = 120;
+
+fn cl() -> ClusterSpec {
+    ClusterSpec::ec2_c1_medium_16()
+}
+
+/// Time `f` repeatedly; returns per-iteration samples in ns, sorted.
+/// Runs at least `min_iters` and keeps going until ~0.5 s total or
+/// `max_iters`, whichever comes first.
+fn sample_ns(mut f: impl FnMut(), min_iters: usize, max_iters: usize) -> Vec<u128> {
+    // Warm-up: populate caches (lazy indexes, allocator pools).
+    f();
+    let mut samples = Vec::new();
+    let mut total: u128 = 0;
+    while samples.len() < min_iters || (total < 500_000_000 && samples.len() < max_iters) {
+        let t = Instant::now();
+        f();
+        let ns = t.elapsed().as_nanos();
+        samples.push(ns);
+        total += ns;
+    }
+    samples.sort_unstable();
+    samples
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct Entry {
+    op: &'static str,
+    variant: &'static str,
+    store_size: usize,
+    p50_ns: u128,
+    p95_ns: u128,
+    candidates_per_sec: Option<f64>,
+}
+
+fn seed_profiles() -> Vec<(StaticFeatures, JobProfile)> {
+    let text = corpus::random_text_1g();
+    let specs = vec![
+        jobs::word_count(),
+        jobs::word_cooccurrence_pairs(2),
+        jobs::bigram_relative_frequency(),
+        jobs::grep("ba"),
+    ];
+    specs
+        .into_iter()
+        .map(|spec| {
+            let (profile, _) =
+                collect_full_profile(&spec, &text, &cl(), &JobConfig::submitted(&spec), 5).unwrap();
+            (StaticFeatures::extract(&spec), profile)
+        })
+        .collect()
+}
+
+fn store_of(size: usize, seeds: &[(StaticFeatures, JobProfile)]) -> ProfileStore {
+    let store = ProfileStore::new().unwrap();
+    for i in 0..size {
+        let (statics, profile) = &seeds[i % seeds.len()];
+        let mut p = profile.clone();
+        p.job_id = format!("{}#{}", p.job_id, i);
+        p.map.size_selectivity *= 1.0 + (i as f64) * 1e-4;
+        store.put_profile(statics, &p).unwrap();
+    }
+    store
+}
+
+fn bench_matcher(entries: &mut Vec<Entry>, seeds: &[(StaticFeatures, JobProfile)]) {
+    let text = corpus::random_text_1g();
+    let spec = jobs::word_count();
+    let sample = collect_sample_profile(
+        &spec,
+        &text,
+        &cl(),
+        &JobConfig::submitted(&spec),
+        SampleSize::OneTask,
+        9,
+    )
+    .unwrap();
+    let q = SubmittedJob {
+        statics: StaticFeatures::extract(&spec),
+        spec,
+        sample: sample.profile,
+        input_bytes: text.logical_bytes,
+    };
+    let q_dyn = q.sample.map.dynamic_features();
+
+    for size in STORE_SIZES {
+        let store = store_of(size, seeds);
+        let bounds = store.normalization_bounds().unwrap();
+        let theta = MatcherConfig::default().theta_eucl_fraction * (q_dyn.len() as f64).sqrt();
+
+        // Stage 1 in isolation: the dynamic-feature distance filter.
+        let ix = store.columnar_index().unwrap();
+        let samples = sample_ns(
+            || {
+                std::hint::black_box(ix.sweep_map_dyn(&bounds.map_dyn, &q_dyn, theta));
+            },
+            50,
+            20_000,
+        );
+        entries.push(Entry {
+            op: "matcher_stage1",
+            variant: "columnar",
+            store_size: size,
+            p50_ns: percentile(&samples, 0.50),
+            p95_ns: percentile(&samples, 0.95),
+            candidates_per_sec: None,
+        });
+
+        let samples = sample_ns(
+            || {
+                let b = bounds.map_dyn.clone();
+                let qv = q_dyn.clone();
+                let (rows, _) = store
+                    .filter_dynamic(move |row| b.distance(&qv, &row.map_dyn) <= theta)
+                    .unwrap();
+                std::hint::black_box(rows);
+            },
+            50,
+            20_000,
+        );
+        entries.push(Entry {
+            op: "matcher_stage1",
+            variant: "scan",
+            store_size: size,
+            p50_ns: percentile(&samples, 0.50),
+            p95_ns: percentile(&samples, 0.95),
+            candidates_per_sec: None,
+        });
+
+        // The whole matching workflow on both paths.
+        for (variant, use_index) in [("columnar", true), ("scan", false)] {
+            let cfg = MatcherConfig {
+                use_columnar_index: use_index,
+                ..MatcherConfig::default()
+            };
+            let samples = sample_ns(
+                || {
+                    let _ = std::hint::black_box(match_profile(&store, &q, &cfg).unwrap());
+                },
+                20,
+                2_000,
+            );
+            entries.push(Entry {
+                op: "match_profile",
+                variant,
+                store_size: size,
+                p50_ns: percentile(&samples, 0.50),
+                p95_ns: percentile(&samples, 0.95),
+                candidates_per_sec: None,
+            });
+        }
+    }
+}
+
+fn bench_cbo(entries: &mut Vec<Entry>) {
+    let text = corpus::random_text_1g();
+    let spec = jobs::word_count();
+    let cluster = cl();
+    let (profile, _) =
+        collect_full_profile(&spec, &text, &cluster, &JobConfig::submitted(&spec), 5).unwrap();
+    let input_bytes = text.logical_bytes;
+
+    // Legacy search loop: same candidate stream the CBO draws, but each
+    // candidate rebuilds the dataflow and runs the full simulation — the
+    // per-candidate cost the CBO paid before plan hoisting + memoization.
+    let space = ConfigSpace::for_cluster(&cluster);
+    let samples = sample_ns(
+        || {
+            let mut rng = StdRng::seed_from_u64(0xcb0);
+            let mut best = f64::INFINITY;
+            for _ in 0..CBO_BUDGET {
+                let cfg = space.decode(&space.sample_uniform(&mut rng));
+                let q = WhatIfQuery {
+                    spec: &spec,
+                    profile: &profile,
+                    input_bytes,
+                    cluster: &cluster,
+                    config: &cfg,
+                };
+                if let Ok(ms) = predict_runtime_ms_unplanned(&q) {
+                    best = best.min(ms);
+                }
+            }
+            std::hint::black_box(best);
+        },
+        5,
+        60,
+    );
+    let legacy_p50 = percentile(&samples, 0.50);
+    entries.push(Entry {
+        op: "cbo_search",
+        variant: "legacy",
+        store_size: 0,
+        p50_ns: legacy_p50,
+        p95_ns: percentile(&samples, 0.95),
+        candidates_per_sec: Some(CBO_BUDGET as f64 / (legacy_p50 as f64 * 1e-9)),
+    });
+
+    // The current search: WhatIfPlan hoisted once, runtime-only simulation,
+    // memoized predictions, parallel rounds.
+    let opts = CboOptions {
+        budget: CBO_BUDGET,
+        ..CboOptions::default()
+    };
+    let samples = sample_ns(
+        || {
+            std::hint::black_box(
+                optimize(&spec, &profile, input_bytes, &cluster, &opts).unwrap(),
+            );
+        },
+        5,
+        60,
+    );
+    let current_p50 = percentile(&samples, 0.50);
+    entries.push(Entry {
+        op: "cbo_search",
+        variant: "current",
+        store_size: 0,
+        p50_ns: current_p50,
+        p95_ns: percentile(&samples, 0.95),
+        candidates_per_sec: Some(CBO_BUDGET as f64 / (current_p50 as f64 * 1e-9)),
+    });
+
+    // Raw what-if evaluation throughput, isolated from search logic.
+    let plan = WhatIfPlan::new(&spec, &profile, input_bytes, &cluster);
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfgs: Vec<JobConfig> = (0..CBO_BUDGET)
+        .map(|_| space.decode(&space.sample_uniform(&mut rng)))
+        .collect();
+    for (variant, planned) in [("legacy", false), ("planned", true)] {
+        let samples = sample_ns(
+            || {
+                for cfg in &cfgs {
+                    let r = if planned {
+                        plan.predict(cfg)
+                    } else {
+                        let q = WhatIfQuery {
+                            spec: &spec,
+                            profile: &profile,
+                            input_bytes,
+                            cluster: &cluster,
+                            config: &cfg,
+                        };
+                        predict_runtime_ms_unplanned(&q)
+                    };
+                    std::hint::black_box(r.ok());
+                }
+            },
+            5,
+            60,
+        );
+        let p50 = percentile(&samples, 0.50);
+        entries.push(Entry {
+            op: "whatif_eval",
+            variant,
+            store_size: 0,
+            p50_ns: p50,
+            p95_ns: percentile(&samples, 0.95),
+            candidates_per_sec: Some(cfgs.len() as f64 / (p50 as f64 * 1e-9)),
+        });
+    }
+}
+
+fn find(entries: &[Entry], op: &str, variant: &str, size: usize) -> f64 {
+    entries
+        .iter()
+        .find(|e| e.op == op && e.variant == variant && e.store_size == size)
+        .map(|e| e.p50_ns as f64)
+        .expect("entry must exist")
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    eprintln!("profiling seed jobs...");
+    let seeds = seed_profiles();
+    eprintln!("benchmarking matcher...");
+    bench_matcher(&mut entries, &seeds);
+    eprintln!("benchmarking CBO...");
+    bench_cbo(&mut entries);
+
+    let stage1_speedup = find(&entries, "matcher_stage1", "scan", 1000)
+        / find(&entries, "matcher_stage1", "columnar", 1000);
+    let legacy_cps = entries
+        .iter()
+        .find(|e| e.op == "cbo_search" && e.variant == "legacy")
+        .and_then(|e| e.candidates_per_sec)
+        .unwrap();
+    let current_cps = entries
+        .iter()
+        .find(|e| e.op == "cbo_search" && e.variant == "current")
+        .and_then(|e| e.candidates_per_sec)
+        .unwrap();
+    let cbo_speedup = current_cps / legacy_cps;
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let cps = match e.candidates_per_sec {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"variant\": \"{}\", \"store_size\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"candidates_per_sec\": {}}}",
+            e.op, e.variant, e.store_size, e.p50_ns, e.p95_ns, cps
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"summary\": {{\n    \"matcher_stage1_speedup_at_1000\": {stage1_speedup:.1},\n    \"cbo_search_candidates_per_sec_speedup\": {cbo_speedup:.1},\n    \"cbo_search_legacy_candidates_per_sec\": {legacy_cps:.1},\n    \"cbo_search_current_candidates_per_sec\": {current_cps:.1}\n  }}\n}}\n"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tuning_latency.json");
+    std::fs::write(path, &json).unwrap();
+    println!("{json}");
+    println!("wrote {path}");
+    println!("stage-1 matcher speedup at store size 1000: {stage1_speedup:.1}x");
+    println!("CBO search throughput speedup: {cbo_speedup:.1}x");
+}

@@ -31,4 +31,6 @@ pub use workflow::{ChainReport, ChainStage};
 pub use matcher::{
     match_profile, MatchFailure, MatchResult, MatcherConfig, Side, SideMatch, SubmittedJob,
 };
-pub use store::{DynamicRow, NormalizationBounds, ProfileStore, ProfileStoreError, StoredStatics};
+pub use store::{
+    ColumnarIndex, DynamicRow, NormalizationBounds, ProfileStore, ProfileStoreError, StoredStatics,
+};

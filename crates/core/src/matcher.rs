@@ -19,12 +19,14 @@
 //! The final answer composes the map-side winner's map profile with the
 //! reduce-side winner's reduce profile.
 
+use std::collections::HashMap;
+
 use mlmatch::MinMaxNormalizer;
 use mrjobs::JobSpec;
 use profiler::JobProfile;
 use staticanalysis::{SideFeatures, StaticFeatures};
 
-use crate::store::{DynamicRow, ProfileStore, ProfileStoreError};
+use crate::store::{ColumnarIndex, DynamicRow, ProfileStore, ProfileStoreError, StoredStatics};
 
 /// Matcher thresholds; defaults are the paper's evaluation settings (§6).
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +48,11 @@ pub struct MatcherConfig {
     /// Ablation: disable composite profiles — require the map and reduce
     /// winners to be the same stored job.
     pub allow_composition: bool,
+    /// Serve stage 1 (and the later stages' feature lookups) from the
+    /// store's in-memory [`ColumnarIndex`] instead of pushed-down region
+    /// scans. The two paths produce identical results (property-tested);
+    /// the scan path is kept as the oracle and perf baseline.
+    pub use_columnar_index: bool,
 }
 
 impl Default for MatcherConfig {
@@ -57,6 +64,7 @@ impl Default for MatcherConfig {
             include_cost_factors_in_stage1: false,
             tie_break_input_size: true,
             allow_composition: true,
+            use_columnar_index: true,
         }
     }
 }
@@ -134,6 +142,11 @@ pub fn match_profile(
         return Ok(Err(MatchFailure::EmptyStore));
     }
     let bounds = store.normalization_bounds()?;
+    let index = if cfg.use_columnar_index {
+        Some(store.columnar_index()?)
+    } else {
+        None
+    };
 
     // ---- Map side -------------------------------------------------------
     let map_side = match match_side(
@@ -143,6 +156,7 @@ pub fn match_profile(
         Side::Map,
         &bounds.map_dyn,
         &bounds.cost,
+        index.as_deref(),
     )? {
         Ok(m) => m,
         Err(f) => return Ok(Err(f)),
@@ -150,7 +164,15 @@ pub fn match_profile(
 
     // ---- Reduce side ----------------------------------------------------
     let reduce_side = if q.sample.reduce.is_some() {
-        match match_side(store, q, cfg, Side::Reduce, &bounds.red_dyn, &bounds.cost)? {
+        match match_side(
+            store,
+            q,
+            cfg,
+            Side::Reduce,
+            &bounds.red_dyn,
+            &bounds.cost,
+            index.as_deref(),
+        )? {
             Ok(m) => Some(m),
             Err(f) => return Ok(Err(f)),
         }
@@ -193,6 +215,18 @@ pub fn match_profile(
     }))
 }
 
+/// A stage-1 survivor, borrowing its features from whichever backing the
+/// path used (columnar index rows, or the owned scan results).
+struct Candidate<'a> {
+    job_id: &'a str,
+    /// The matched side's dynamic features.
+    dyn_feats: &'a [f64],
+    input_bytes: f64,
+    statics: Option<&'a StoredStatics>,
+    /// Row in the columnar index; `None` on the scan path.
+    index_row: Option<usize>,
+}
+
 fn match_side(
     store: &ProfileStore,
     q: &SubmittedJob,
@@ -200,6 +234,7 @@ fn match_side(
     side: Side,
     dyn_bounds: &MinMaxNormalizer,
     cost_bounds: &MinMaxNormalizer,
+    index: Option<&ColumnarIndex>,
 ) -> Result<Result<SideMatch, MatchFailure>, ProfileStoreError> {
     let (q_dyn, q_side): (Vec<f64>, &SideFeatures) = match side {
         Side::Map => (q.sample.map.dynamic_features(), &q.statics.map),
@@ -214,52 +249,106 @@ fn match_side(
     };
     let theta = cfg.theta_eucl_fraction * (q_dyn.len() as f64).sqrt();
 
-    // Stage 1: dynamic-feature Euclidean filter, pushed down.
-    let bounds = dyn_bounds.clone();
-    let q_dyn_cl = q_dyn.clone();
-    let (mut stage1, _metrics) = store.filter_dynamic(move |row: &DynamicRow| {
-        let stored = match side {
-            Side::Map => Some(row.map_dyn.clone()),
-            Side::Reduce => row.red_dyn.clone(),
-        };
-        match stored {
-            Some(v) => bounds.distance(&q_dyn_cl, &v) <= theta,
-            None => false, // map-only stored profiles cannot serve a reduce side
+    // Stage 1: dynamic-feature Euclidean filter — a vectorized sweep of
+    // the columnar index, or the legacy pushed-down region scan. Both call
+    // the same `MinMaxNormalizer::distance` and visit rows in the same
+    // (key) order, so the survivor lists are identical.
+    let scan_rows: Vec<DynamicRow>;
+    let mut scan_statics: HashMap<String, StoredStatics> = HashMap::new();
+    let mut stage1: Vec<Candidate<'_>> = Vec::new();
+    match index {
+        Some(ix) => {
+            let rows = match side {
+                Side::Map => ix.sweep_map_dyn(dyn_bounds, &q_dyn, theta),
+                Side::Reduce => ix.sweep_red_dyn(dyn_bounds, &q_dyn, theta),
+            };
+            for i in rows {
+                let dyn_feats = match side {
+                    Side::Map => ix.map_dyn(i),
+                    Side::Reduce => ix.red_dyn(i).expect("reduce sweep only yields reduce rows"),
+                };
+                stage1.push(Candidate {
+                    job_id: ix.job_id(i),
+                    dyn_feats,
+                    input_bytes: ix.input_bytes(i),
+                    statics: ix.statics(i),
+                    index_row: Some(i),
+                });
+            }
         }
-    })?;
+        None => {
+            let bounds = dyn_bounds.clone();
+            let q_dyn_cl = q_dyn.clone();
+            let (rows, _metrics) = store.filter_dynamic(move |row: &DynamicRow| {
+                let stored: Option<&[f64]> = match side {
+                    Side::Map => Some(&row.map_dyn),
+                    Side::Reduce => row.red_dyn.as_deref(),
+                };
+                match stored {
+                    Some(v) => bounds.distance(&q_dyn_cl, v) <= theta,
+                    None => false, // map-only rows cannot serve a reduce side
+                }
+            })?;
+            scan_rows = rows;
+            // One batched prefix scan for the statics the later stages
+            // need, instead of a point-get per surviving row.
+            if !scan_rows.is_empty() {
+                scan_statics = store.all_statics()?;
+            }
+            for row in &scan_rows {
+                let dyn_feats: &[f64] = match side {
+                    Side::Map => &row.map_dyn,
+                    Side::Reduce => row.red_dyn.as_deref().expect("filter kept reduce rows"),
+                };
+                stage1.push(Candidate {
+                    job_id: &row.job_id,
+                    dyn_feats,
+                    input_bytes: row.input_bytes,
+                    statics: scan_statics.get(row.job_id.as_str()),
+                    index_row: None,
+                });
+            }
+        }
+    }
+
+    // Cost factors for a candidate: an index row slice, or a lazily
+    // batch-scanned table on the legacy path (never per-row point-gets).
+    let scan_costs_for = |cands: &[Candidate<'_>]| -> Result<HashMap<String, Vec<f64>>, ProfileStoreError> {
+        if index.is_none() && !cands.is_empty() {
+            store.all_cost_factors()
+        } else {
+            Ok(HashMap::new())
+        }
+    };
+
     // Ablation: also require cost-factor proximity at stage 1 (the paper
     // keeps these high-variance features out of the primary vector).
     if cfg.include_cost_factors_in_stage1 {
         let q_cost = q.sample.map.cost_factors.as_vec();
         let theta_cost = cfg.theta_eucl_fraction * (q_cost.len() as f64).sqrt();
-        let mut kept = Vec::with_capacity(stage1.len());
-        for row in stage1 {
-            if let Some(stored) = store.get_cost_factors(&row.job_id)? {
-                if cost_bounds.distance(&q_cost, &stored) <= theta_cost {
-                    kept.push(row);
-                }
+        let costs = scan_costs_for(&stage1)?;
+        stage1.retain(|c| {
+            let stored: Option<&[f64]> = match (index, c.index_row) {
+                (Some(ix), Some(i)) => Some(ix.cost_factors(i)),
+                _ => costs.get(c.job_id).map(Vec::as_slice),
+            };
+            match stored {
+                Some(v) => cost_bounds.distance(&q_cost, v) <= theta_cost,
+                None => false,
             }
-        }
-        stage1 = kept;
+        });
     }
     // Ablation: the wrong filter order — prune by static features before
     // trusting the dynamics.
     if cfg.static_filters_first {
-        let mut kept = Vec::with_capacity(stage1.len());
-        for row in stage1 {
-            if let Some(statics) = store.get_statics(&row.job_id)? {
-                let stored_side = match side {
-                    Side::Map => &statics.map,
-                    Side::Reduce => &statics.reduce,
-                };
-                if q_side.cfg_match(stored_side) == 1.0
-                    && q_side.jaccard(stored_side) >= cfg.theta_jacc
-                {
-                    kept.push(row);
-                }
-            }
-        }
-        stage1 = kept;
+        stage1.retain(|c| {
+            let Some(statics) = c.statics else { return false };
+            let stored_side = match side {
+                Side::Map => &statics.map,
+                Side::Reduce => &statics.reduce,
+            };
+            q_side.cfg_match(stored_side) == 1.0 && q_side.jaccard(stored_side) >= cfg.theta_jacc
+        });
     }
     if stage1.is_empty() {
         return Ok(Err(MatchFailure::NoDynamicMatch { side }));
@@ -267,9 +356,9 @@ fn match_side(
 
     // Stages 2 & 3: CFG and Jaccard over stored static features.
     let mut stage2 = Vec::new();
-    let mut stage3: Vec<(&DynamicRow, f64)> = Vec::new();
-    for row in &stage1 {
-        let Some(statics) = store.get_statics(&row.job_id)? else {
+    let mut stage3: Vec<(&Candidate<'_>, f64)> = Vec::new();
+    for cand in &stage1 {
+        let Some(statics) = cand.statics else {
             continue;
         };
         let stored_side = match side {
@@ -277,26 +366,18 @@ fn match_side(
             Side::Reduce => &statics.reduce,
         };
         if q_side.cfg_match(stored_side) == 1.0 {
-            stage2.push(row);
+            stage2.push(cand);
             let jacc = q_side.jaccard(stored_side);
             if jacc >= cfg.theta_jacc {
-                stage3.push((row, jacc));
+                stage3.push((cand, jacc));
             }
         }
     }
 
     // Tie-break by closest input size (§4.3), then by smallest dynamic
     // distance for candidates on the very same dataset.
-    let dyn_distance = |row: &DynamicRow| -> f64 {
-        let stored = match side {
-            Side::Map => Some(row.map_dyn.clone()),
-            Side::Reduce => row.red_dyn.clone(),
-        };
-        stored
-            .map(|v| dyn_bounds.distance(&q_dyn, &v))
-            .unwrap_or(f64::INFINITY)
-    };
-    let pick = |candidates: &[&DynamicRow]| -> String {
+    let dyn_distance = |c: &Candidate<'_>| -> f64 { dyn_bounds.distance(&q_dyn, c.dyn_feats) };
+    let pick = |candidates: &[&Candidate<'_>]| -> String {
         candidates
             .iter()
             .min_by(|a, b| {
@@ -313,7 +394,7 @@ fn match_side(
             })
             .expect("non-empty candidate set")
             .job_id
-            .clone()
+            .to_string()
     };
 
     if !stage3.is_empty() {
@@ -325,10 +406,10 @@ fn match_side(
             .iter()
             .map(|(_, j)| *j)
             .fold(f64::NEG_INFINITY, f64::max);
-        let finalists: Vec<&DynamicRow> = stage3
+        let finalists: Vec<&Candidate<'_>> = stage3
             .iter()
             .filter(|(_, j)| (*j - best_jacc).abs() < 1e-9)
-            .map(|(r, _)| *r)
+            .map(|(c, _)| *c)
             .collect();
         return Ok(Ok(SideMatch {
             source_job: pick(&finalists),
@@ -341,14 +422,20 @@ fn match_side(
     // survivors (the paper's fallback for previously unseen jobs).
     let q_cost = q.sample.map.cost_factors.as_vec();
     let theta_cost = cfg.theta_eucl_fraction * (q_cost.len() as f64).sqrt();
-    let mut fallback: Vec<&DynamicRow> = Vec::new();
-    for row in &stage1 {
-        if let Some(stored_cost) = store.get_cost_factors(&row.job_id)? {
-            if cost_bounds.distance(&q_cost, &stored_cost) <= theta_cost {
-                fallback.push(row);
+    let costs = scan_costs_for(&stage1)?;
+    let fallback: Vec<&Candidate<'_>> = stage1
+        .iter()
+        .filter(|c| {
+            let stored: Option<&[f64]> = match (index, c.index_row) {
+                (Some(ix), Some(i)) => Some(ix.cost_factors(i)),
+                _ => costs.get(c.job_id).map(Vec::as_slice),
+            };
+            match stored {
+                Some(v) => cost_bounds.distance(&q_cost, v) <= theta_cost,
+                None => false,
             }
-        }
-    }
+        })
+        .collect();
     if fallback.is_empty() {
         return Ok(Err(MatchFailure::NoCostFactorMatch { side }));
     }
@@ -492,6 +579,40 @@ mod tests {
             .unwrap();
         assert!(result.reduce.is_none());
         assert!(result.profile.reduce.is_none());
+    }
+
+    #[test]
+    fn columnar_and_scan_paths_agree() {
+        let text = corpus::random_text_1g();
+        let store = store_with(&[
+            (jobs::word_count(), text.clone()),
+            (jobs::word_cooccurrence_pairs(2), text.clone()),
+            (jobs::bigram_relative_frequency(), text.clone()),
+            (jobs::sort(), corpus::teragen_1g()),
+        ]);
+        let scan_cfg = MatcherConfig {
+            use_columnar_index: false,
+            ..MatcherConfig::default()
+        };
+        for (spec, seed) in [
+            (jobs::word_count(), 3),
+            (jobs::word_count_while_variant(), 11),
+            (jobs::word_cooccurrence_pairs(2), 5),
+            (jobs::word_cooccurrence_stripes(2), 7), // far-out dynamics: failure paths must agree too
+        ] {
+            let q = submitted(&spec, &text, seed);
+            let via_index = match_profile(&store, &q, &MatcherConfig::default()).unwrap();
+            let via_scan = match_profile(&store, &q, &scan_cfg).unwrap();
+            match (via_index, via_scan) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.map, b.map, "{}", spec.name);
+                    assert_eq!(a.reduce, b.reduce, "{}", spec.name);
+                    assert_eq!(a.profile, b.profile, "{}", spec.name);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{}", spec.name),
+                (a, b) => panic!("{}: paths disagree: {a:?} vs {b:?}", spec.name),
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! matching stage scans exactly one key range with a pushed-down filter —
 //! the locality argument of §5.1.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use bytes::Bytes;
+use parking_lot::RwLock;
 
 use cfstore::encoding::{decode_f64, decode_f64_vec, encode_f64, encode_f64_vec};
 use cfstore::{MiniStore, Put, RowResult, Scan, ScanMetrics, StoreError};
@@ -88,6 +92,11 @@ pub struct StoredStatics {
 /// The PStorM profile store.
 pub struct ProfileStore {
     store: MiniStore,
+    /// Columnar in-memory projection of the numeric feature rows, rebuilt
+    /// lazily after writes. See [`ColumnarIndex`].
+    index: RwLock<Option<Arc<ColumnarIndex>>>,
+    /// Decoded `Meta/normalization` row, invalidated on every insert.
+    bounds_cache: RwLock<Option<NormalizationBounds>>,
 }
 
 impl ProfileStore {
@@ -95,7 +104,11 @@ impl ProfileStore {
     pub fn new() -> Result<Self, ProfileStoreError> {
         let store = MiniStore::new();
         store.create_table(TABLE, &[FAMILY])?;
-        Ok(ProfileStore { store })
+        Ok(ProfileStore {
+            store,
+            index: RwLock::new(None),
+            bounds_cache: RwLock::new(None),
+        })
     }
 
     /// Insert (or replace) a job's profile and features, maintaining the
@@ -171,6 +184,9 @@ impl ProfileStore {
 
         // Meta/normalization: extend min/max bounds.
         self.update_normalization(&map_dyn, profile)?;
+
+        // The columnar projection no longer reflects the table.
+        *self.index.write() = None;
         Ok(())
     }
 
@@ -235,12 +251,24 @@ impl ProfileStore {
                 encode_bounds(&bounds.cost),
             ),
         )?;
+        *self.bounds_cache.write() = Some(bounds);
         Ok(())
     }
 
     /// The current min/max normalization bounds (identity bounds when the
-    /// store is empty).
+    /// store is empty). Served from an in-memory cache kept in sync with
+    /// the `Meta/normalization` row; the matcher reads the bounds on every
+    /// submission and must not pay a decode for it.
     pub fn normalization_bounds(&self) -> Result<NormalizationBounds, ProfileStoreError> {
+        if let Some(bounds) = self.bounds_cache.read().as_ref() {
+            return Ok(bounds.clone());
+        }
+        let bounds = self.read_normalization_bounds()?;
+        *self.bounds_cache.write() = Some(bounds.clone());
+        Ok(bounds)
+    }
+
+    fn read_normalization_bounds(&self) -> Result<NormalizationBounds, ProfileStoreError> {
         let row = self.store.get(TABLE, b"Meta/normalization")?;
         let decode = |row: &RowResult, col: &str, dim: usize| -> Result<MinMaxNormalizer, ProfileStoreError> {
             match row.value(FAMILY, col.as_bytes()) {
@@ -276,13 +304,18 @@ impl ProfileStore {
         }
     }
 
-    /// Delete every row of a job (profile eviction).
+    /// Delete every row of a job (profile eviction). The normalization
+    /// bounds are monotone and deliberately not shrunk (matching the
+    /// paper's store), so only the columnar index needs invalidation.
     pub fn delete_job(&self, job_id: &str) -> Result<bool, ProfileStoreError> {
         let mut any = false;
         for prefix in ["Static", "Dynamic", "CostFactor", "Profile"] {
             any |= self
                 .store
                 .delete_row(TABLE, row_key(prefix, job_id).as_ref())?;
+        }
+        if any {
+            *self.index.write() = None;
         }
         Ok(any)
     }
@@ -333,47 +366,21 @@ impl ProfileStore {
         let Some(row) = self.store.get(TABLE, row_key("Static", job_id).as_ref())? else {
             return Ok(None);
         };
-        let read_side = |names: &[&'static str], cfg_col: &str| -> Result<SideFeatures, ProfileStoreError> {
-            let mut categorical = Vec::with_capacity(names.len());
-            for name in names {
-                let v = row
-                    .value(FAMILY, name.as_bytes())
-                    .map(|b| String::from_utf8_lossy(b).to_string())
-                    .unwrap_or_else(|| "NULL".to_string());
-                categorical.push((*name, v));
-            }
-            let cfg: Option<Cfg> = match row.value(FAMILY, cfg_col.as_bytes()) {
-                Some(bytes) => Some(decode_cfg(bytes)?),
-                None => None,
-            };
-            Ok(SideFeatures { categorical, cfg })
-        };
-        Ok(Some(StoredStatics {
-            map: read_side(
-                &[
-                    "IN_FORMATTER",
-                    "MAPPER",
-                    "MAP_IN_KEY",
-                    "MAP_IN_VAL",
-                    "MAP_OUT_KEY",
-                    "MAP_OUT_VAL",
-                    "COMBINER",
-                    "PARTITIONER",
-                ],
-                "MAP_CFG",
-            )?,
-            reduce: read_side(
-                &[
-                    "REDUCER",
-                    "RED_OUT_KEY",
-                    "RED_OUT_VAL",
-                    "OUT_FORMATTER",
-                    "RED_IN_KEY",
-                    "RED_IN_VAL",
-                ],
-                "RED_CFG",
-            )?,
-        }))
+        Ok(Some(decode_statics(&row)?))
+    }
+
+    /// Fetch the static features of *every* stored job with a single
+    /// `Static/` prefix scan — the batched alternative to per-job
+    /// [`Self::get_statics`] point-gets when a matching stage needs most
+    /// of the table anyway.
+    pub fn all_statics(&self) -> Result<HashMap<String, StoredStatics>, ProfileStoreError> {
+        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(b"Static/"))?;
+        rows.iter()
+            .map(|row| {
+                let id = job_id_of(&row.row, "Static/")?;
+                Ok((id, decode_statics(row)?))
+            })
+            .collect()
     }
 
     /// Fetch a job's cost-factor vector.
@@ -381,20 +388,237 @@ impl ProfileStore {
         let Some(row) = self.store.get(TABLE, row_key("CostFactor", job_id).as_ref())? else {
             return Ok(None);
         };
-        let mut v = Vec::with_capacity(CostFactors::names().len());
-        for name in CostFactors::names() {
-            let bytes = row.value(FAMILY, name.as_bytes()).ok_or_else(|| {
-                ProfileStoreError::Corrupt(format!("CostFactor/{job_id} missing {name}"))
-            })?;
-            v.push(decode_f64(bytes)?);
+        Ok(Some(decode_cost_factors(&row, job_id)?))
+    }
+
+    /// Fetch the cost factors of every stored job with a single
+    /// `CostFactor/` prefix scan (batched alternative to point-gets).
+    pub fn all_cost_factors(&self) -> Result<HashMap<String, Vec<f64>>, ProfileStoreError> {
+        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(b"CostFactor/"))?;
+        rows.iter()
+            .map(|row| {
+                let id = job_id_of(&row.row, "CostFactor/")?;
+                let v = decode_cost_factors(row, &id)?;
+                Ok((id, v))
+            })
+            .collect()
+    }
+
+    /// The columnar projection of the store's numeric feature rows,
+    /// rebuilding it first if a write invalidated it. The returned `Arc`
+    /// stays valid (a consistent snapshot) even if the store is written
+    /// afterwards.
+    pub fn columnar_index(&self) -> Result<Arc<ColumnarIndex>, ProfileStoreError> {
+        if let Some(index) = self.index.read().as_ref() {
+            return Ok(index.clone());
         }
-        Ok(Some(v))
+        let index = Arc::new(self.build_columnar_index()?);
+        *self.index.write() = Some(index.clone());
+        Ok(index)
+    }
+
+    fn build_columnar_index(&self) -> Result<ColumnarIndex, ProfileStoreError> {
+        let (dyn_rows, _) = self.store.scan(TABLE, &Scan::prefix(b"Dynamic/"))?;
+        let mut statics = self.all_statics()?;
+        let mut costs = self.all_cost_factors()?;
+
+        let n = dyn_rows.len();
+        let cost_dims = CostFactors::names().len();
+        let mut index = ColumnarIndex {
+            job_ids: Vec::with_capacity(n),
+            map_dyn: Vec::with_capacity(n * MAP_DYNAMIC_COLUMNS.len()),
+            red_dyn: Vec::with_capacity(n * RED_DYNAMIC_COLUMNS.len()),
+            has_reduce: Vec::with_capacity(n),
+            cost: Vec::with_capacity(n * cost_dims),
+            input_bytes: Vec::with_capacity(n),
+            statics: Vec::with_capacity(n),
+        };
+        for row in &dyn_rows {
+            let parsed = DynamicRow::parse(row).ok_or_else(|| {
+                ProfileStoreError::Corrupt(format!(
+                    "undecodable Dynamic row {}",
+                    String::from_utf8_lossy(&row.row)
+                ))
+            })?;
+            let cost = costs.remove(&parsed.job_id).ok_or_else(|| {
+                ProfileStoreError::Corrupt(format!("no CostFactor row for {}", parsed.job_id))
+            })?;
+            index.map_dyn.extend_from_slice(&parsed.map_dyn);
+            match &parsed.red_dyn {
+                Some(red) => {
+                    index.red_dyn.extend_from_slice(red);
+                    index.has_reduce.push(true);
+                }
+                None => {
+                    index
+                        .red_dyn
+                        .extend(std::iter::repeat(0.0).take(RED_DYNAMIC_COLUMNS.len()));
+                    index.has_reduce.push(false);
+                }
+            }
+            index.cost.extend_from_slice(&cost);
+            index.input_bytes.push(parsed.input_bytes);
+            index.statics.push(statics.remove(&parsed.job_id));
+            index.job_ids.push(parsed.job_id);
+        }
+        Ok(index)
     }
 
     /// The underlying HBase (diagnostics and benches).
     pub fn inner(&self) -> &MiniStore {
         &self.store
     }
+}
+
+/// A columnar, contiguous in-memory projection of the store's numeric
+/// feature rows, in `Dynamic/` key (= lexicographic job id) order.
+///
+/// Stage 1 of the matcher is a dense distance sweep over every stored
+/// profile; doing it over row-major `Vec<f64>` matrices replaces one
+/// B-tree traversal + column decode per row with a linear scan of a few
+/// cache lines per candidate. The statics and cost factors ride along so
+/// the later stages become array lookups instead of per-job point-gets.
+/// The [`MiniStore`] scan path remains the oracle: property tests assert
+/// both produce identical stage-1 survivor sets.
+#[derive(Debug, Clone)]
+pub struct ColumnarIndex {
+    job_ids: Vec<String>,
+    /// Row-major `len() x MAP_DYNAMIC_COLUMNS.len()`.
+    map_dyn: Vec<f64>,
+    /// Row-major `len() x RED_DYNAMIC_COLUMNS.len()`; zero-padded for
+    /// map-only jobs (masked by `has_reduce`).
+    red_dyn: Vec<f64>,
+    has_reduce: Vec<bool>,
+    /// Row-major `len() x CostFactors::names().len()`.
+    cost: Vec<f64>,
+    input_bytes: Vec<f64>,
+    statics: Vec<Option<StoredStatics>>,
+}
+
+impl ColumnarIndex {
+    pub fn len(&self) -> usize {
+        self.job_ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.job_ids.is_empty()
+    }
+
+    pub fn job_id(&self, row: usize) -> &str {
+        &self.job_ids[row]
+    }
+
+    pub fn map_dyn(&self, row: usize) -> &[f64] {
+        let d = MAP_DYNAMIC_COLUMNS.len();
+        &self.map_dyn[row * d..(row + 1) * d]
+    }
+
+    /// `None` for map-only jobs (which cannot serve a reduce side).
+    pub fn red_dyn(&self, row: usize) -> Option<&[f64]> {
+        if !self.has_reduce[row] {
+            return None;
+        }
+        let d = RED_DYNAMIC_COLUMNS.len();
+        Some(&self.red_dyn[row * d..(row + 1) * d])
+    }
+
+    pub fn cost_factors(&self, row: usize) -> &[f64] {
+        let d = CostFactors::names().len();
+        &self.cost[row * d..(row + 1) * d]
+    }
+
+    pub fn input_bytes(&self, row: usize) -> f64 {
+        self.input_bytes[row]
+    }
+
+    pub fn statics(&self, row: usize) -> Option<&StoredStatics> {
+        self.statics[row].as_ref()
+    }
+
+    /// Stage-1 sweep over the map-side dynamic features: rows whose
+    /// normalized Euclidean distance to `q` is within `theta`, in store
+    /// order. Calls the same [`MinMaxNormalizer::distance`] the pushed-down
+    /// scan filter uses, so the survivor set is identical by construction.
+    pub fn sweep_map_dyn(&self, bounds: &MinMaxNormalizer, q: &[f64], theta: f64) -> Vec<usize> {
+        self.map_dyn
+            .chunks_exact(MAP_DYNAMIC_COLUMNS.len())
+            .enumerate()
+            .filter(|(_, row)| bounds.distance(q, row) <= theta)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Stage-1 sweep over the reduce-side dynamic features; map-only rows
+    /// never survive.
+    pub fn sweep_red_dyn(&self, bounds: &MinMaxNormalizer, q: &[f64], theta: f64) -> Vec<usize> {
+        self.red_dyn
+            .chunks_exact(RED_DYNAMIC_COLUMNS.len())
+            .enumerate()
+            .filter(|(i, row)| self.has_reduce[*i] && bounds.distance(q, row) <= theta)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn job_id_of(row_key: &[u8], prefix: &str) -> Result<String, ProfileStoreError> {
+    std::str::from_utf8(&row_key[prefix.len()..])
+        .map(str::to_string)
+        .map_err(|_| ProfileStoreError::Corrupt("non-UTF8 job id".to_string()))
+}
+
+fn decode_statics(row: &RowResult) -> Result<StoredStatics, ProfileStoreError> {
+    let read_side = |names: &[&'static str], cfg_col: &str| -> Result<SideFeatures, ProfileStoreError> {
+        let mut categorical = Vec::with_capacity(names.len());
+        for name in names {
+            let v = row
+                .value(FAMILY, name.as_bytes())
+                .map(|b| String::from_utf8_lossy(b).to_string())
+                .unwrap_or_else(|| "NULL".to_string());
+            categorical.push((*name, v));
+        }
+        let cfg: Option<Cfg> = match row.value(FAMILY, cfg_col.as_bytes()) {
+            Some(bytes) => Some(decode_cfg(bytes)?),
+            None => None,
+        };
+        Ok(SideFeatures { categorical, cfg })
+    };
+    Ok(StoredStatics {
+        map: read_side(
+            &[
+                "IN_FORMATTER",
+                "MAPPER",
+                "MAP_IN_KEY",
+                "MAP_IN_VAL",
+                "MAP_OUT_KEY",
+                "MAP_OUT_VAL",
+                "COMBINER",
+                "PARTITIONER",
+            ],
+            "MAP_CFG",
+        )?,
+        reduce: read_side(
+            &[
+                "REDUCER",
+                "RED_OUT_KEY",
+                "RED_OUT_VAL",
+                "OUT_FORMATTER",
+                "RED_IN_KEY",
+                "RED_IN_VAL",
+            ],
+            "RED_CFG",
+        )?,
+    })
+}
+
+fn decode_cost_factors(row: &RowResult, job_id: &str) -> Result<Vec<f64>, ProfileStoreError> {
+    let mut v = Vec::with_capacity(CostFactors::names().len());
+    for name in CostFactors::names() {
+        let bytes = row.value(FAMILY, name.as_bytes()).ok_or_else(|| {
+            ProfileStoreError::Corrupt(format!("CostFactor/{job_id} missing {name}"))
+        })?;
+        v.push(decode_f64(bytes)?);
+    }
+    Ok(v)
 }
 
 /// A decoded `Dynamic/` row as seen by pushdown predicates.
@@ -570,6 +794,107 @@ mod tests {
         store.put_profile(&s, &p).unwrap();
         let cf = store.get_cost_factors(&p.job_id).unwrap().unwrap();
         assert_eq!(cf, p.map.cost_factors.as_vec());
+    }
+
+    #[test]
+    fn columnar_index_mirrors_point_lookups() {
+        let store = ProfileStore::new().unwrap();
+        let text = corpus::random_text_1g();
+        for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2)] {
+            let (s, p) = profile_of(&spec, &text);
+            store.put_profile(&s, &p).unwrap();
+        }
+        let index = store.columnar_index().unwrap();
+        assert_eq!(index.len(), 2);
+        let mut ids: Vec<&str> = (0..index.len()).map(|i| index.job_id(i)).collect();
+        let mut expected = store.job_ids().unwrap();
+        expected.sort();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]), "index in key order");
+        ids.sort();
+        assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        for i in 0..index.len() {
+            let id = index.job_id(i);
+            assert_eq!(
+                index.cost_factors(i),
+                store.get_cost_factors(id).unwrap().unwrap()
+            );
+            let statics = index.statics(i).unwrap();
+            let from_store = store.get_statics(id).unwrap().unwrap();
+            assert_eq!(statics.map.jaccard(&from_store.map), 1.0);
+            let profile = store.get_profile(id).unwrap().unwrap();
+            assert_eq!(index.map_dyn(i), profile.map.dynamic_features());
+            assert_eq!(index.input_bytes(i), profile.input_bytes);
+            match &profile.reduce {
+                Some(r) => assert_eq!(index.red_dyn(i).unwrap(), r.dynamic_features()),
+                None => assert!(index.red_dyn(i).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_index_invalidates_on_writes() {
+        let store = ProfileStore::new().unwrap();
+        let text = corpus::random_text_1g();
+        let (s1, p1) = profile_of(&jobs::word_count(), &text);
+        store.put_profile(&s1, &p1).unwrap();
+        let before = store.columnar_index().unwrap();
+        assert_eq!(before.len(), 1);
+        // Same logical snapshot is shared until the next write.
+        assert!(Arc::ptr_eq(&before, &store.columnar_index().unwrap()));
+
+        let (s2, p2) = profile_of(&jobs::word_cooccurrence_pairs(2), &text);
+        store.put_profile(&s2, &p2).unwrap();
+        let after_put = store.columnar_index().unwrap();
+        assert_eq!(after_put.len(), 2);
+        // The old Arc is a stale but intact snapshot.
+        assert_eq!(before.len(), 1);
+
+        store.delete_job(&p1.job_id).unwrap();
+        let after_delete = store.columnar_index().unwrap();
+        assert_eq!(after_delete.len(), 1);
+        assert_eq!(after_delete.job_id(0), p2.job_id);
+    }
+
+    #[test]
+    fn cached_normalization_bounds_match_stored_row() {
+        let store = ProfileStore::new().unwrap();
+        let text = corpus::random_text_1g();
+        let (s1, p1) = profile_of(&jobs::word_count(), &text);
+        store.put_profile(&s1, &p1).unwrap();
+        let cached = store.normalization_bounds().unwrap();
+        let decoded = store.read_normalization_bounds().unwrap();
+        assert_eq!(cached.map_dyn.mins, decoded.map_dyn.mins);
+        assert_eq!(cached.map_dyn.maxs, decoded.map_dyn.maxs);
+        assert_eq!(cached.cost.mins, decoded.cost.mins);
+        // Cache follows subsequent inserts.
+        let (s2, p2) = profile_of(&jobs::word_cooccurrence_pairs(2), &text);
+        store.put_profile(&s2, &p2).unwrap();
+        let cached2 = store.normalization_bounds().unwrap();
+        let decoded2 = store.read_normalization_bounds().unwrap();
+        assert_eq!(cached2.map_dyn.maxs, decoded2.map_dyn.maxs);
+        assert!(cached2.map_dyn.maxs[0] >= cached.map_dyn.maxs[0]);
+    }
+
+    #[test]
+    fn batched_scans_match_point_gets() {
+        let store = ProfileStore::new().unwrap();
+        let text = corpus::random_text_1g();
+        for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2), jobs::sort()] {
+            let ds = if spec.name == "sort" { corpus::teragen_1g() } else { text.clone() };
+            let (s, p) = profile_of(&spec, &ds);
+            store.put_profile(&s, &p).unwrap();
+        }
+        let all_costs = store.all_cost_factors().unwrap();
+        let all_statics = store.all_statics().unwrap();
+        assert_eq!(all_costs.len(), 3);
+        assert_eq!(all_statics.len(), 3);
+        for id in store.job_ids().unwrap() {
+            assert_eq!(all_costs[&id], store.get_cost_factors(&id).unwrap().unwrap());
+            let a = &all_statics[&id];
+            let b = store.get_statics(&id).unwrap().unwrap();
+            assert_eq!(a.map.jaccard(&b.map), 1.0);
+            assert_eq!(a.reduce.jaccard(&b.reduce), 1.0);
+        }
     }
 
     #[test]

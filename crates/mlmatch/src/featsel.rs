@@ -50,6 +50,12 @@ impl MinMaxNormalizer {
     /// store has observed no spread for.
     const DEGENERATE_TOLERANCE: f64 = 0.25;
 
+    /// A dimension whose observed span is below this fraction of its
+    /// magnitude is treated as degenerate in [`Self::distance`]: stretching
+    /// a sub-percent span to the full unit scale would amplify profile
+    /// sampling noise into maximal distance.
+    const RELATIVE_SPAN_EPSILON: f64 = 0.01;
+
     /// Normalize a vector to `[0,1]` per dimension (constants map to 0).
     pub fn normalize(&self, v: &[f64]) -> Vec<f64> {
         v.iter()
@@ -67,7 +73,8 @@ impl MinMaxNormalizer {
 
     /// Euclidean distance between two vectors after normalization.
     ///
-    /// Dimensions with no observed spread (a near-empty store) cannot be
+    /// Dimensions with no observed spread (a near-empty store), or with a
+    /// spread negligible relative to their magnitude, cannot be usefully
     /// normalized; they contribute 0 when the two values agree within a
     /// relative tolerance and a full unit otherwise, so a single-profile
     /// store neither matches everything nor nothing.
@@ -75,7 +82,9 @@ impl MinMaxNormalizer {
         let mut acc = 0.0;
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
             let range = self.maxs[i] - self.mins[i];
-            let d = if range > 0.0 {
+            let span_floor =
+                Self::RELATIVE_SPAN_EPSILON * self.mins[i].abs().max(self.maxs[i].abs());
+            let d = if range > span_floor {
                 let nx = ((x - self.mins[i]) / range).clamp(0.0, 1.0);
                 let ny = ((y - self.mins[i]) / range).clamp(0.0, 1.0);
                 nx - ny

@@ -220,6 +220,153 @@ pub fn simulate_with_dataflow(
     })
 }
 
+/// Predict only the job runtime (ms) from a pre-measured dataflow,
+/// without materializing per-task reports.
+///
+/// For a deterministic cluster (`heterogeneity == 0`) this takes a fast
+/// path that prices each *distinct* per-task flow once and replays the
+/// slot schedule arithmetically; the result is bit-identical to
+/// `simulate_with_dataflow(..).runtime_ms` (asserted by tests) because the
+/// full engine draws no noise at zero heterogeneity and the fast path
+/// mirrors its accumulation order exactly. Heterogeneous clusters fall
+/// back to the full simulation. This is the What-If engine's hot path:
+/// the CBO prices hundreds of configurations per search, and skipping
+/// 560 `MapTaskReport` allocations per call is most of the win.
+pub fn simulate_runtime_ms(
+    spec: &JobSpec,
+    dataflow: &Dataflow,
+    dataset_name: &str,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+    seed: u64,
+) -> Result<f64, SimError> {
+    if cluster.heterogeneity > 0.0 {
+        return Ok(
+            simulate_with_dataflow(spec, dataflow, dataset_name, cluster, config, seed)?
+                .runtime_ms,
+        );
+    }
+    config.validate()?;
+    check_memory(spec, dataflow, cluster, config)?;
+
+    // ---- Map wave: one cost computation per distinct flow --------------
+    let m = dataflow.num_map_tasks;
+    let rates = cluster.rates.jittered(1.0, 1.0);
+    struct FlowCost {
+        dur_ms: f64,
+        final_out_bytes: f64,
+        final_out_bytes_uncompressed: f64,
+        final_out_records: f64,
+    }
+    let flow_costs: Vec<FlowCost> = dataflow
+        .per_task
+        .iter()
+        .map(|flow| {
+            let inputs = MapTaskInputs {
+                input_bytes: flow.input_bytes,
+                input_records: flow.input_records,
+                out_records: flow.out_records,
+                out_bytes: flow.out_bytes,
+                map_cpu_ops: flow.map_ops,
+                combine: dataflow.combine,
+            };
+            let costs = map_task_costs(config, &rates, &inputs);
+            FlowCost {
+                dur_ms: costs.total_ns() / 1e6,
+                final_out_bytes: costs.final_out_bytes,
+                final_out_bytes_uncompressed: costs.final_out_bytes_uncompressed,
+                final_out_records: costs.final_out_records,
+            }
+        })
+        .collect();
+
+    let mut slot_free = vec![0.0f64; cluster.map_slots().max(1) as usize];
+    let mut map_ends = Vec::with_capacity(m as usize);
+    let mut total_final_bytes_disk = 0.0;
+    let mut total_final_bytes_uncomp = 0.0;
+    let mut total_final_records = 0.0;
+    for task_id in 0..m {
+        let fc = &flow_costs[task_id as usize % flow_costs.len()];
+        total_final_bytes_disk += fc.final_out_bytes;
+        total_final_bytes_uncomp += fc.final_out_bytes_uncompressed;
+        total_final_records += fc.final_out_records;
+        let slot = earliest_slot(&slot_free);
+        let end = slot_free[slot] + fc.dur_ms;
+        slot_free[slot] = end;
+        map_ends.push(end);
+    }
+    map_ends.sort_by(|a, b| a.total_cmp(b));
+    let maps_done_ms = *map_ends.last().unwrap_or(&0.0);
+    let slowstart_idx =
+        ((config.reduce_slowstart * m as f64).ceil() as usize).clamp(1, map_ends.len());
+    let reducers_eligible_ms = map_ends[slowstart_idx - 1];
+
+    // ---- Reduce wave ----------------------------------------------------
+    let mut last_end = maps_done_ms;
+    if let Some(red) = &dataflow.reduce {
+        let r = config.num_reduce_tasks;
+        let shares = red.partition_shares(r, spec.partitioner);
+        let mut rslot_free = vec![reducers_eligible_ms; cluster.reduce_slots().max(1) as usize];
+        let total_in_records = if config.use_combiner && dataflow.combine.is_some() {
+            total_final_records
+        } else {
+            red.in_records
+        };
+        let (total_out_records, total_out_bytes) = if red.out_records < red.in_records
+            && red.out_records > total_in_records
+        {
+            let shrink = total_in_records / red.out_records;
+            (total_in_records, red.out_bytes * shrink)
+        } else {
+            (red.out_records, red.out_bytes)
+        };
+        // The what-if dataflow partitions uniformly (and real hash
+        // partitions repeat shares), so identical shares produce identical
+        // task costs — price each distinct share once and replay.
+        let mut share_costs: Vec<(u64, f64, f64)> = Vec::with_capacity(2);
+        for share in shares.iter() {
+            let bits = share.to_bits();
+            let (shuffle_ns, post_shuffle_ns) = match share_costs
+                .iter()
+                .find(|(b, _, _)| *b == bits)
+            {
+                Some((_, s, p)) => (*s, *p),
+                None => {
+                    let inputs = ReduceTaskInputs {
+                        shuffle_bytes_disk: total_final_bytes_disk * share,
+                        shuffle_bytes: total_final_bytes_uncomp * share,
+                        in_records: total_in_records * share,
+                        num_segments: m,
+                        reduce_ops_per_record: red.ops_per_record,
+                        out_bytes: total_out_bytes * share,
+                        out_records: total_out_records * share,
+                        heap_bytes: cluster.heap_bytes() as f64,
+                        map_compressed: config.compress_map_output,
+                    };
+                    let costs = reduce_task_costs(config, &rates, &inputs);
+                    let shuffle_ns: f64 = costs
+                        .phases
+                        .iter()
+                        .filter(|(p, _)| matches!(p, crate::phases::ReducePhase::Shuffle))
+                        .map(|(_, t)| t)
+                        .sum();
+                    let post_shuffle_ns = costs.total_ns() - shuffle_ns;
+                    share_costs.push((bits, shuffle_ns, post_shuffle_ns));
+                    (shuffle_ns, post_shuffle_ns)
+                }
+            };
+            let slot = earliest_slot(&rslot_free);
+            let start = rslot_free[slot];
+            let shuffle_end = (start + shuffle_ns / 1e6).max(maps_done_ms);
+            let end = shuffle_end + post_shuffle_ns / 1e6;
+            rslot_free[slot] = end;
+            last_end = last_end.max(end);
+        }
+    }
+
+    Ok(last_end + JOB_OVERHEAD_MS)
+}
+
 /// The reduce-side memory model (see DESIGN.md): jobs with container-typed
 /// intermediate values must materialize merged groups; if the largest
 /// scaled group inflated by Java object overhead exceeds the usable heap,
@@ -363,6 +510,82 @@ mod tests {
         assert_eq!(rep.map_tasks.len(), 560);
         // Later tasks start strictly after time 0 (waves).
         assert!(rep.map_tasks.iter().filter(|t| t.start_ms > 0.0).count() > 500);
+    }
+
+    #[test]
+    fn runtime_only_path_is_bit_identical_on_deterministic_cluster() {
+        let zero_het = ClusterSpec {
+            heterogeneity: 0.0,
+            ..ClusterSpec::ec2_c1_medium_16()
+        };
+        for (ds, spec) in [
+            (corpus::random_text_1g(), jobs::word_count()),
+            (corpus::random_text_1g(), jobs::word_cooccurrence_pairs(2)),
+            (corpus::wikipedia_35g(), jobs::word_count()),
+        ] {
+            let dataflow = analyze(&spec, &ds, &zero_het).unwrap();
+            for config in [
+                JobConfig::default(),
+                JobConfig {
+                    num_reduce_tasks: 27,
+                    use_combiner: false,
+                    compress_map_output: false,
+                    reduce_slowstart: 1.0,
+                    ..JobConfig::default()
+                },
+            ] {
+                let full =
+                    simulate_with_dataflow(&spec, &dataflow, &ds.name, &zero_het, &config, 11)
+                        .unwrap();
+                let fast =
+                    simulate_runtime_ms(&spec, &dataflow, &ds.name, &zero_het, &config, 11)
+                        .unwrap();
+                assert_eq!(
+                    full.runtime_ms.to_bits(),
+                    fast.to_bits(),
+                    "fast path diverged: {} vs {}",
+                    full.runtime_ms,
+                    fast
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_only_path_falls_back_on_heterogeneous_cluster() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let cl = cluster();
+        assert!(cl.heterogeneity > 0.0);
+        let dataflow = analyze(&spec, &ds, &cl).unwrap();
+        let full =
+            simulate_with_dataflow(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 7)
+                .unwrap();
+        let fast =
+            simulate_runtime_ms(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 7)
+                .unwrap();
+        assert_eq!(full.runtime_ms.to_bits(), fast.to_bits());
+    }
+
+    #[test]
+    fn runtime_only_path_propagates_errors() {
+        let spec = jobs::word_cooccurrence_stripes(2);
+        let large = corpus::wikipedia_35g();
+        let zero_het = ClusterSpec {
+            heterogeneity: 0.0,
+            ..ClusterSpec::ec2_c1_medium_16()
+        };
+        let dataflow = analyze(&spec, &large, &zero_het).unwrap();
+        let err = simulate_runtime_ms(
+            &spec,
+            &dataflow,
+            &large.name,
+            &zero_het,
+            &JobConfig::default(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
     }
 
     #[test]

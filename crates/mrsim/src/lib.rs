@@ -26,7 +26,7 @@ pub mod report;
 pub use cluster::{ClusterSpec, CostRates, COMPRESSION_RATIO};
 pub use config::{ConfigError, JobConfig};
 pub use dataflow::{analyze, CombineFlow, Dataflow, ReduceFlow, SplitFlow};
-pub use engine::{simulate, simulate_with_dataflow};
+pub use engine::{simulate, simulate_runtime_ms, simulate_with_dataflow};
 pub use error::SimError;
 pub use phases::{MapPhase, ReducePhase};
 pub use report::{JobReport, MapTaskReport, ReduceTaskReport};

@@ -5,6 +5,27 @@
 //! returning the best configuration found. The search is Starfish-style
 //! *recursive random search*: uniform exploration rounds followed by
 //! progressively narrower exploitation rounds around the incumbent.
+//!
+//! ## Performance architecture
+//!
+//! Three things make the search cheap without changing its answer:
+//!
+//! 1. **Plan hoisting** — the profile-derived dataflow and cost rates are
+//!    built once per search ([`whatif::WhatIfPlan`]), not once per
+//!    candidate.
+//! 2. **Memoization** — predictions are cached under a canonical
+//!    fingerprint of the configuration that ignores fields the job cannot
+//!    observe (combiner knobs without a combiner, reduce-side knobs
+//!    without a reduce phase), so re-sampled and effectively-equal
+//!    candidates cost nothing.
+//! 3. **Parallel rounds** — all candidates of a round are generated
+//!    up front (candidate generation never depended on evaluation
+//!    results within a round), evaluated concurrently on scoped threads,
+//!    and reduced sequentially in candidate order. The recommendation is
+//!    bit-identical to the serial search for a fixed seed; tests assert
+//!    this.
+
+use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,7 +33,7 @@ use rand::SeedableRng;
 use mrjobs::JobSpec;
 use mrsim::{ClusterSpec, JobConfig, SimError};
 use profiler::JobProfile;
-use whatif::{predict_runtime_ms, WhatIfQuery};
+use whatif::WhatIfPlan;
 
 use crate::space::ConfigSpace;
 
@@ -27,6 +48,10 @@ pub struct CboOptions {
     pub shrink: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Evaluate each round's candidate batch on scoped threads. The
+    /// result is bit-identical to the serial search; this only changes
+    /// wall-clock time.
+    pub parallel: bool,
 }
 
 impl Default for CboOptions {
@@ -36,6 +61,7 @@ impl Default for CboOptions {
             rounds: 3,
             shrink: 0.4,
             seed: 0xcb0,
+            parallel: true,
         }
     }
 }
@@ -46,8 +72,101 @@ impl Default for CboOptions {
 pub struct Recommendation {
     pub config: JobConfig,
     pub predicted_ms: f64,
-    /// How many What-If calls the search spent.
+    /// How many What-If calls the search spent (memoized hits included:
+    /// the budget bounds candidates considered, not distinct simulations).
     pub wif_calls: usize,
+}
+
+/// Canonical fingerprint of a [`JobConfig`] for prediction memoization.
+///
+/// Two configurations with equal keys are guaranteed to produce
+/// bit-identical What-If predictions for the plan the key was built
+/// against: fields that are inert for the job's dataflow (combiner knobs
+/// when there is no combiner, reduce-side knobs when there is no reduce
+/// phase) are zeroed out of the key. Only *validated* configurations may
+/// be keyed — validation looks at inert fields too, so an invalid config
+/// could otherwise collide with a valid one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConfigKey([u64; ConfigSpace::DIMS]);
+
+fn config_key(cfg: &JobConfig, has_combiner: bool, has_reduce: bool) -> ConfigKey {
+    ConfigKey([
+        cfg.io_sort_mb,
+        cfg.io_sort_record_percent.to_bits(),
+        cfg.io_sort_spill_percent.to_bits(),
+        cfg.io_sort_factor as u64,
+        (has_combiner && cfg.use_combiner) as u64,
+        if has_combiner {
+            cfg.min_num_spills_for_combine as u64
+        } else {
+            0
+        },
+        cfg.compress_map_output as u64,
+        if has_reduce {
+            cfg.reduce_slowstart.to_bits()
+        } else {
+            0
+        },
+        if has_reduce { cfg.num_reduce_tasks as u64 } else { 0 },
+        if has_reduce {
+            cfg.shuffle_input_buffer_percent.to_bits()
+        } else {
+            0
+        },
+        if has_reduce {
+            cfg.shuffle_merge_percent.to_bits()
+        } else {
+            0
+        },
+        if has_reduce {
+            cfg.inmem_merge_threshold as u64
+        } else {
+            0
+        },
+        if has_reduce {
+            cfg.reduce_input_buffer_percent.to_bits()
+        } else {
+            0
+        },
+        (has_reduce && cfg.compress_output) as u64,
+    ])
+}
+
+/// Evaluate `configs` against `plan`, optionally on scoped threads.
+/// Results come back in input order regardless of completion order, so
+/// callers observe no difference between the serial and parallel paths.
+fn predict_batch(
+    plan: &WhatIfPlan<'_>,
+    configs: &[&JobConfig],
+    parallel: bool,
+) -> Vec<Result<f64, SimError>> {
+    let threads = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(configs.len())
+    } else {
+        1
+    };
+    if threads <= 1 {
+        return configs.iter().map(|cfg| plan.predict(cfg)).collect();
+    }
+    let chunk = configs.len().div_ceil(threads);
+    let mut results: Vec<Option<Result<f64, SimError>>> = vec![None; configs.len()];
+    crossbeam::thread::scope(|s| {
+        for (in_chunk, out_chunk) in configs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(move |_| {
+                for (cfg, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(plan.predict(cfg));
+                }
+            });
+        }
+    })
+    .expect("what-if evaluation thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot written by its chunk's thread"))
+        .collect()
 }
 
 /// Search for the best configuration for `spec` on `input_bytes` of data,
@@ -63,15 +182,44 @@ pub fn optimize(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut wif_calls = 0usize;
 
-    let eval = |config: &JobConfig, calls: &mut usize| -> Result<f64, SimError> {
-        *calls += 1;
-        predict_runtime_ms(&WhatIfQuery {
-            spec,
-            profile,
-            input_bytes,
-            cluster,
-            config,
-        })
+    let plan = WhatIfPlan::new(spec, profile, input_bytes, cluster);
+    let has_combiner = plan.has_combiner();
+    let has_reduce = plan.has_reduce();
+    let mut memo: HashMap<ConfigKey, Result<f64, SimError>> = HashMap::new();
+
+    // Evaluate one round's candidates: validate serially, look up the
+    // memo, run the distinct misses (possibly in parallel), and hand back
+    // per-candidate results in candidate order.
+    let mut eval_round = |cands: &[JobConfig], calls: &mut usize| -> Vec<Result<f64, SimError>> {
+        *calls += cands.len();
+        let keys: Vec<Result<ConfigKey, SimError>> = cands
+            .iter()
+            .map(|cfg| match cfg.validate() {
+                Ok(()) => Ok(config_key(cfg, has_combiner, has_reduce)),
+                Err(e) => Err(SimError::Config(e)),
+            })
+            .collect();
+        let mut missing: Vec<(ConfigKey, &JobConfig)> = Vec::new();
+        for (cfg, key) in cands.iter().zip(&keys) {
+            if let Ok(key) = key {
+                if !memo.contains_key(key) && missing.iter().all(|(k, _)| k != key) {
+                    missing.push((*key, cfg));
+                }
+            }
+        }
+        let miss_cfgs: Vec<&JobConfig> = missing.iter().map(|(_, cfg)| *cfg).collect();
+        for ((key, _), res) in missing
+            .iter()
+            .zip(predict_batch(&plan, &miss_cfgs, opts.parallel))
+        {
+            memo.insert(*key, res);
+        }
+        keys.into_iter()
+            .map(|key| match key {
+                Ok(key) => memo[&key].clone(),
+                Err(e) => Err(e),
+            })
+            .collect()
     };
 
     // Seed the incumbent with the job's own submitted configuration, so
@@ -79,36 +227,40 @@ pub fn optimize(
     // own prediction).
     let submitted = JobConfig::submitted(spec);
     let mut best_cfg = submitted.clone();
-    let mut best_ms = eval(&submitted, &mut wif_calls)?;
+    let mut best_ms = eval_round(std::slice::from_ref(&submitted), &mut wif_calls)
+        .pop()
+        .expect("one result for one candidate")?;
     let mut best_x: Option<[f64; ConfigSpace::DIMS]> = None;
 
     let per_round = (opts.budget.saturating_sub(1) / (opts.rounds + 1)).max(1);
 
-    // Round 0: uniform exploration.
-    for _ in 0..per_round {
-        let x = space.sample_uniform(&mut rng);
-        let cfg = space.decode(&x);
-        if let Ok(ms) = eval(&cfg, &mut wif_calls) {
-            if ms < best_ms {
-                best_ms = ms;
-                best_cfg = cfg;
-                best_x = Some(x);
-            }
-        }
-    }
-
-    // Exploitation rounds around the incumbent.
+    // Round 0: uniform exploration, then `rounds` exploitation rounds in
+    // a shrinking box around the incumbent. Candidate generation draws
+    // from the RNG exactly as the pre-batched search did (evaluation
+    // never consumed randomness), and the sequential reduction visits
+    // candidates in generation order, so the incumbent trajectory — and
+    // therefore the recommendation — is independent of `opts.parallel`.
     let mut radius = 0.5;
-    for _ in 0..opts.rounds {
-        radius *= opts.shrink;
-        let center = match best_x {
-            Some(x) => x,
-            None => space.sample_uniform(&mut rng),
+    for round in 0..=opts.rounds {
+        let center = if round == 0 {
+            None
+        } else {
+            radius *= opts.shrink;
+            Some(match best_x {
+                Some(x) => x,
+                None => space.sample_uniform(&mut rng),
+            })
         };
-        for _ in 0..per_round {
-            let x = space.sample_near(&mut rng, &center, radius);
-            let cfg = space.decode(&x);
-            if let Ok(ms) = eval(&cfg, &mut wif_calls) {
+        let xs: Vec<[f64; ConfigSpace::DIMS]> = (0..per_round)
+            .map(|_| match &center {
+                None => space.sample_uniform(&mut rng),
+                Some(c) => space.sample_near(&mut rng, c, radius),
+            })
+            .collect();
+        let cfgs: Vec<JobConfig> = xs.iter().map(|x| space.decode(x)).collect();
+        let results = eval_round(&cfgs, &mut wif_calls);
+        for ((x, cfg), res) in xs.into_iter().zip(cfgs).zip(results) {
+            if let Ok(ms) = res {
                 if ms < best_ms {
                     best_ms = ms;
                     best_cfg = cfg;
@@ -132,6 +284,7 @@ mod tests {
     use mrjobs::jobs;
     use mrsim::simulate;
     use profiler::collect_full_profile;
+    use whatif::{predict_runtime_ms, WhatIfQuery};
 
     fn cl() -> ClusterSpec {
         ClusterSpec::ec2_c1_medium_16()
@@ -200,5 +353,69 @@ mod tests {
         let a = optimize(&spec, &profile, ds.logical_bytes, &cl(), &opts).unwrap();
         let b = optimize(&spec, &profile, ds.logical_bytes, &cl(), &opts).unwrap();
         assert_eq!(a.config, b.config);
+        assert_eq!(a.predicted_ms.to_bits(), b.predicted_ms.to_bits());
+        assert_eq!(a.wif_calls, b.wif_calls);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        let ds = corpus::wikipedia_1g();
+        for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2)] {
+            let (profile, _) =
+                collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3)
+                    .unwrap();
+            let serial = optimize(
+                &spec,
+                &profile,
+                ds.logical_bytes,
+                &cl(),
+                &CboOptions {
+                    budget: 80,
+                    parallel: false,
+                    ..CboOptions::default()
+                },
+            )
+            .unwrap();
+            let parallel = optimize(
+                &spec,
+                &profile,
+                ds.logical_bytes,
+                &cl(),
+                &CboOptions {
+                    budget: 80,
+                    parallel: true,
+                    ..CboOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(serial.config, parallel.config);
+            assert_eq!(
+                serial.predicted_ms.to_bits(),
+                parallel.predicted_ms.to_bits(),
+                "serial {} vs parallel {}",
+                serial.predicted_ms,
+                parallel.predicted_ms
+            );
+            assert_eq!(serial.wif_calls, parallel.wif_calls);
+        }
+    }
+
+    #[test]
+    fn memo_key_separates_observable_fields() {
+        let a = JobConfig::default();
+        let mut b = JobConfig::default();
+        b.num_reduce_tasks = 27;
+        // Reduce-side field: distinct keys for a reduce job, identical for
+        // a map-only job.
+        assert_ne!(config_key(&a, true, true), config_key(&b, true, true));
+        assert_eq!(config_key(&a, true, false), config_key(&b, true, false));
+        let mut c = JobConfig::default();
+        c.use_combiner = false;
+        assert_ne!(config_key(&a, true, true), config_key(&c, true, true));
+        assert_eq!(config_key(&a, false, true), config_key(&c, false, true));
+        // Map-side fields always discriminate.
+        let mut d = JobConfig::default();
+        d.io_sort_mb = 200;
+        assert_ne!(config_key(&a, false, false), config_key(&d, false, false));
     }
 }

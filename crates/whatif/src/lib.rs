@@ -12,8 +12,8 @@
 
 use mrjobs::JobSpec;
 use mrsim::{
-    simulate_with_dataflow, ClusterSpec, CombineFlow, CostRates, Dataflow, JobConfig,
-    ReduceFlow, SimError, SplitFlow,
+    simulate_runtime_ms, simulate_with_dataflow, ClusterSpec, CombineFlow, CostRates, Dataflow,
+    JobConfig, ReduceFlow, SimError, SplitFlow,
 };
 use profiler::JobProfile;
 
@@ -29,24 +29,78 @@ pub struct WhatIfQuery<'a> {
     pub config: &'a JobConfig,
 }
 
+/// A what-if query with the config-independent work hoisted out: the
+/// reconstructed dataflow and the profile-implied cost rates depend only on
+/// (profile, input size, cluster), so a search that prices hundreds of
+/// configurations against one profile builds the plan once and calls
+/// [`WhatIfPlan::predict`] per candidate.
+#[derive(Debug, Clone)]
+pub struct WhatIfPlan<'a> {
+    spec: &'a JobSpec,
+    flow: Dataflow,
+    cluster: ClusterSpec,
+}
+
+impl<'a> WhatIfPlan<'a> {
+    /// Reconstruct the dataflow and effective rates for `profile` scaled to
+    /// `input_bytes`. Performs exactly the per-query setup the unplanned
+    /// path does, in the same order, so predictions are bit-identical.
+    pub fn new(
+        spec: &'a JobSpec,
+        profile: &JobProfile,
+        input_bytes: u64,
+        cluster: &ClusterSpec,
+    ) -> Self {
+        let flow = dataflow_from_profile(profile, input_bytes, cluster);
+        let mut cluster = cluster.clone();
+        cluster.heterogeneity = 0.0;
+        cluster.rates = rates_from_profile(profile, &cluster.rates);
+        WhatIfPlan { spec, flow, cluster }
+    }
+
+    /// Whether the reconstructed dataflow has a combiner. Configuration
+    /// fields controlling the combiner are inert when this is false —
+    /// callers memoizing predictions can ignore them.
+    pub fn has_combiner(&self) -> bool {
+        self.flow.combine.is_some()
+    }
+
+    /// Whether the reconstructed dataflow has a reduce phase. Reduce-side
+    /// configuration fields are inert when this is false.
+    pub fn has_reduce(&self) -> bool {
+        self.flow.reduce.is_some()
+    }
+
+    /// Predict the virtual runtime (ms) under `config`.
+    pub fn predict(&self, config: &JobConfig) -> Result<f64, SimError> {
+        // deterministic: the WIF is an analytic model (seed 0, zero
+        // heterogeneity — the engine takes its runtime-only fast path).
+        simulate_runtime_ms(self.spec, &self.flow, "what-if", &self.cluster, config, 0)
+    }
+}
+
 /// Predict the virtual runtime (ms) for a what-if query.
 ///
 /// Returns an error for invalid configurations; never OOMs (the WIF has no
 /// per-key information, so the memory model is not applied — matching
 /// Starfish, whose WIF also reasons only over aggregate statistics).
+///
+/// One-shot convenience over [`WhatIfPlan`]; searches evaluating many
+/// configurations should build the plan once instead.
 pub fn predict_runtime_ms(q: &WhatIfQuery<'_>) -> Result<f64, SimError> {
+    WhatIfPlan::new(q.spec, q.profile, q.input_bytes, q.cluster).predict(q.config)
+}
+
+/// The pre-plan implementation of [`predict_runtime_ms`]: rebuilds the
+/// dataflow per call and runs the full report-materializing simulation.
+/// Kept as the perf baseline and as a bit-identity oracle for the planned
+/// path (see `planned_prediction_is_bit_identical_to_unplanned`).
+pub fn predict_runtime_ms_unplanned(q: &WhatIfQuery<'_>) -> Result<f64, SimError> {
     let flow = dataflow_from_profile(q.profile, q.input_bytes, q.cluster);
     let mut cluster = q.cluster.clone();
     cluster.heterogeneity = 0.0;
     cluster.rates = rates_from_profile(q.profile, &q.cluster.rates);
-    let report = simulate_with_dataflow(
-        q.spec,
-        &flow,
-        "what-if",
-        &cluster,
-        q.config,
-        0, // deterministic: the WIF is an analytic model
-    )?;
+    let report = simulate_with_dataflow(q.spec, &flow, "what-if", &cluster, q.config, 0)?;
     Ok(report.runtime_ms)
 }
 
@@ -247,6 +301,44 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn planned_prediction_is_bit_identical_to_unplanned() {
+        let ds = corpus::wikipedia_35g();
+        for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2)] {
+            let profile = profile_of(&spec, &ds);
+            let plan = WhatIfPlan::new(&spec, &profile, ds.logical_bytes, &cl());
+            for config in [
+                JobConfig::default(),
+                JobConfig {
+                    num_reduce_tasks: 27,
+                    compress_map_output: true,
+                    ..JobConfig::default()
+                },
+                JobConfig {
+                    use_combiner: false,
+                    reduce_slowstart: 0.8,
+                    io_sort_mb: 200,
+                    ..JobConfig::default()
+                },
+            ] {
+                let unplanned = predict_runtime_ms_unplanned(&WhatIfQuery {
+                    spec: &spec,
+                    profile: &profile,
+                    input_bytes: ds.logical_bytes,
+                    cluster: &cl(),
+                    config: &config,
+                })
+                .unwrap();
+                let planned = plan.predict(&config).unwrap();
+                assert_eq!(
+                    unplanned.to_bits(),
+                    planned.to_bits(),
+                    "planned {planned} vs unplanned {unplanned}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Property test for the columnar stage-1 feature index: for any store
+//! contents, query vector, and threshold, the vectorized sweep over the
+//! in-memory matrices must return exactly the same survivor set — same
+//! jobs, same order — as the pushdown scan over the MiniStore rows. The
+//! scan path is the oracle; the index is a pure projection of it.
+
+use std::sync::OnceLock;
+
+use datagen::corpus;
+use mrjobs::jobs;
+use mrsim::{ClusterSpec, JobConfig};
+use profiler::{collect_full_profile, JobProfile};
+use proptest::prelude::*;
+use pstorm::ProfileStore;
+use staticanalysis::StaticFeatures;
+
+/// A handful of real profiles to perturb into synthetic store rows.
+/// Profiling is expensive, so collect once per test process.
+fn seeds() -> &'static Vec<(StaticFeatures, JobProfile)> {
+    static SEEDS: OnceLock<Vec<(StaticFeatures, JobProfile)>> = OnceLock::new();
+    SEEDS.get_or_init(|| {
+        let text = corpus::random_text_1g();
+        let cluster = ClusterSpec::ec2_c1_medium_16();
+        [
+            jobs::word_count(),
+            jobs::word_cooccurrence_pairs(2),
+            jobs::bigram_relative_frequency(),
+            jobs::grep("ba"),
+        ]
+        .into_iter()
+        .map(|spec| {
+            let (profile, _) =
+                collect_full_profile(&spec, &text, &cluster, &JobConfig::submitted(&spec), 5)
+                    .unwrap();
+            (StaticFeatures::extract(&spec), profile)
+        })
+        .collect()
+    })
+}
+
+/// One synthetic store row: a seed profile with perturbed dynamics and
+/// optionally its reduce side dropped (map-only jobs share the store).
+type Perturb = (usize, f64, f64, f64, bool);
+
+fn arb_perturb() -> impl Strategy<Value = Perturb> {
+    (0usize..4, 0.2f64..3.0, 0.2f64..3.0, 0.2f64..3.0, any::<bool>())
+}
+
+fn store_of(perturbs: &[Perturb]) -> ProfileStore {
+    let store = ProfileStore::new().unwrap();
+    for (i, (idx, m_size, m_pairs, r_size, drop_reduce)) in perturbs.iter().enumerate() {
+        let (statics, profile) = &seeds()[idx % seeds().len()];
+        let mut p = profile.clone();
+        p.job_id = format!("job-{i:03}");
+        p.map.size_selectivity *= m_size;
+        p.map.pairs_selectivity *= m_pairs;
+        if *drop_reduce {
+            p.reduce = None;
+        } else if let Some(r) = p.reduce.as_mut() {
+            r.size_selectivity *= r_size;
+        }
+        store.put_profile(statics, &p).unwrap();
+    }
+    store
+}
+
+fn map_survivors_both_ways(
+    store: &ProfileStore,
+    q: &[f64],
+    theta: f64,
+) -> (Vec<String>, Vec<String>) {
+    let bounds = store.normalization_bounds().unwrap();
+    let ix = store.columnar_index().unwrap();
+    let columnar: Vec<String> = ix
+        .sweep_map_dyn(&bounds.map_dyn, q, theta)
+        .into_iter()
+        .map(|i| ix.job_id(i).to_string())
+        .collect();
+    let b = bounds.map_dyn.clone();
+    let qv = q.to_vec();
+    let (rows, _) = store
+        .filter_dynamic(move |row| b.distance(&qv, &row.map_dyn) <= theta)
+        .unwrap();
+    let scan: Vec<String> = rows.iter().map(|r| r.job_id.clone()).collect();
+    (columnar, scan)
+}
+
+fn red_survivors_both_ways(
+    store: &ProfileStore,
+    q: &[f64],
+    theta: f64,
+) -> (Vec<String>, Vec<String>) {
+    let bounds = store.normalization_bounds().unwrap();
+    let ix = store.columnar_index().unwrap();
+    let columnar: Vec<String> = ix
+        .sweep_red_dyn(&bounds.red_dyn, q, theta)
+        .into_iter()
+        .map(|i| ix.job_id(i).to_string())
+        .collect();
+    let b = bounds.red_dyn.clone();
+    let qv = q.to_vec();
+    let (rows, _) = store
+        .filter_dynamic(move |row| {
+            row.red_dyn
+                .as_ref()
+                .is_some_and(|r| b.distance(&qv, r) <= theta)
+        })
+        .unwrap();
+    let scan: Vec<String> = rows.iter().map(|r| r.job_id.clone()).collect();
+    (columnar, scan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn columnar_sweep_matches_scan_survivors(
+        perturbs in prop::collection::vec(arb_perturb(), 1..12),
+        mq in (0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0),
+        rq in (0.0f64..3.0, 0.0f64..3.0),
+        theta in 0.0f64..2.0,
+        extra in arb_perturb(),
+    ) {
+        let store = store_of(&perturbs);
+        let map_q = vec![mq.0, mq.1, mq.2, mq.3];
+        let red_q = vec![rq.0, rq.1];
+
+        let (columnar, scan) = map_survivors_both_ways(&store, &map_q, theta);
+        prop_assert_eq!(columnar, scan);
+        let (columnar, scan) = red_survivors_both_ways(&store, &red_q, theta);
+        prop_assert_eq!(columnar, scan);
+
+        // A write invalidates the index; the rebuilt index must agree on
+        // the grown store (and the new normalization bounds) too.
+        let (idx, m_size, m_pairs, r_size, drop_reduce) = extra;
+        let (statics, profile) = &seeds()[idx % seeds().len()];
+        let mut p = profile.clone();
+        p.job_id = "job-extra".to_string();
+        p.map.size_selectivity *= m_size;
+        p.map.pairs_selectivity *= m_pairs;
+        if drop_reduce {
+            p.reduce = None;
+        } else if let Some(r) = p.reduce.as_mut() {
+            r.size_selectivity *= r_size;
+        }
+        store.put_profile(statics, &p).unwrap();
+
+        let (columnar, scan) = map_survivors_both_ways(&store, &map_q, theta);
+        prop_assert_eq!(columnar, scan);
+        let (columnar, scan) = red_survivors_both_ways(&store, &red_q, theta);
+        prop_assert_eq!(columnar, scan);
+    }
+}

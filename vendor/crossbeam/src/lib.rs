@@ -1,0 +1,77 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace (parallel
+//! region scans in `cfstore`, parallel candidate evaluation in
+//! `optimizer`). Since Rust 1.63 the standard library provides scoped
+//! threads, so this shim adapts `std::thread::scope` to crossbeam's
+//! signature: `scope` returns a `Result` (Err when a thread panicked and
+//! the panic escaped the scope) and spawn closures receive a `&Scope`
+//! argument so nested spawning is possible.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Payload of an escaped panic, as crossbeam names it.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; spawned threads may borrow from `'env`.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller.
+    /// All spawned threads are joined before `scope` returns; a panic that
+    /// escapes the scope is returned as `Err` rather than propagated.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope(s)))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_is_captured_by_handle() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert_eq!(r.unwrap(), true);
+    }
+}

@@ -1,0 +1,612 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the generate-only subset this workspace uses: `Strategy`
+//! with `prop_map`/`prop_recursive`/`boxed`, `any::<T>()`, numeric range
+//! strategies, tuples, `Just`, weighted `prop_oneof!`,
+//! `prop::collection::vec`, simple `"[a-z]{0,12}"`-style string patterns,
+//! and the `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Failing cases are NOT shrunk — a failure panics with the seed baked
+//! into the test name + case index, which is fully deterministic, so a
+//! failure always reproduces by re-running the test.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// RNG handed to strategies; deterministic per (test name, case index).
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// FNV-1a over a test path, used to derive the per-test base seed.
+    pub const fn fnv1a(s: &str) -> u64 {
+        let bytes = s.as_bytes();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            i += 1;
+        }
+        hash
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// A generator of values of one type. Unlike real proptest there is no
+    /// value tree and no shrinking: `generate` produces a value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Unrolled recursion: `depth` layers, each a weighted choice
+        /// between the base strategy and `recurse` applied to the previous
+        /// layer. Termination is guaranteed by construction (no unbounded
+        /// recursion at generate time).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+            R: Strategy<Value = Self::Value> + 'static,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let expanded = recurse(cur).boxed();
+                cur = Union {
+                    arms: vec![(1, base.0.clone()), (2, expanded.0)],
+                }
+                .boxed();
+            }
+            cur
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(pub(crate) Arc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type; the
+    /// engine behind `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, Arc<dyn Strategy<Value = V>>)>,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(u32, Arc<dyn Strategy<Value = V>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(arms.iter().any(|(w, _)| *w > 0), "all arm weights are zero");
+            Union { arms }
+        }
+    }
+
+    /// Erase a strategy to an `Arc<dyn Strategy>`; used by `prop_oneof!`.
+    pub fn arc<S>(s: S) -> Arc<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Arc::new(s)
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Tiny regex-ish pattern strategy: supports `X{lo,hi}` where `X` is
+    /// `.` (any printable char) or a `[...]` class of chars and `a-z`
+    /// ranges. Anything unparseable falls back to short alphanumerics.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum CharSet {
+        /// Printable ASCII plus a sprinkling of multi-byte scalars.
+        Any,
+        /// Explicit alternatives from a `[...]` class.
+        Ranges(Vec<(char, char)>),
+    }
+
+    fn parse(pattern: &str) -> Option<(CharSet, usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let (class, counts) = body.rsplit_split_once()?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = counts.parse().ok()?;
+                (n, n)
+            }
+        };
+        let set = if class == "." {
+            CharSet::Any
+        } else {
+            let inner = class.strip_prefix('[')?.strip_suffix(']')?;
+            let chars: Vec<char> = inner.chars().collect();
+            let mut ranges = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    ranges.push((chars[i], chars[i + 2]));
+                    i += 3;
+                } else {
+                    ranges.push((chars[i], chars[i]));
+                    i += 1;
+                }
+            }
+            if ranges.is_empty() {
+                return None;
+            }
+            CharSet::Ranges(ranges)
+        };
+        Some((set, lo, hi))
+    }
+
+    trait RSplitOnce {
+        fn rsplit_split_once(&self) -> Option<(&str, &str)>;
+    }
+
+    impl RSplitOnce for str {
+        fn rsplit_split_once(&self) -> Option<(&str, &str)> {
+            let idx = self.rfind('{')?;
+            Some((&self[..idx], &self[idx + 1..]))
+        }
+    }
+
+    const EXTRAS: [char; 4] = ['é', 'λ', '中', '🦀'];
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let (set, lo, hi) = parse(pattern).unwrap_or((CharSet::Any, 0, 8));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| match &set {
+                CharSet::Any => {
+                    // Mostly printable ASCII; 1-in-16 draws a multi-byte char.
+                    if rng.gen_range(0u32..16) == 0 {
+                        EXTRAS[rng.gen_range(0..EXTRAS.len())]
+                    } else {
+                        char::from(rng.gen_range(0x20u8..0x7f))
+                    }
+                }
+                CharSet::Ranges(ranges) => {
+                    let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                    char::from_u32(rng.gen_range(a as u32..=b as u32)).unwrap_or(a)
+                }
+            })
+            .collect()
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        // Full bit-pattern coverage (like proptest's f64 ANY): includes
+        // subnormals, infinities and NaNs — the codec tests rely on them.
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u32())
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            char::from_u32(rng.gen_range(0u32..=0x10_FFFF)).unwrap_or('\u{FFFD}')
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Element-count bounds for collection strategies (`lo..hi`, half-open).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::arc($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::arc($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-harness macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            const __BASE_SEED: u64 =
+                $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    __BASE_SEED ^ (__case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in -2.5f64..2.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u16>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_recursion_produce_values(t in arb_tree()) {
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(children) => {
+                        1 + children.iter().map(depth).max().unwrap_or(0)
+                    }
+                }
+            }
+            prop_assert!(depth(&t) <= 5);
+        }
+
+        #[test]
+        fn char_class_patterns(s in "[a-z]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = prop::collection::vec(any::<u64>(), 5..9);
+        let a = s.generate(&mut TestRng::from_seed(77));
+        let b = s.generate(&mut TestRng::from_seed(77));
+        assert_eq!(a, b);
+    }
+}
