@@ -52,5 +52,10 @@ fn bench_whatif(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dataflow_analysis, bench_simulation, bench_whatif);
+criterion_group!(
+    benches,
+    bench_dataflow_analysis,
+    bench_simulation,
+    bench_whatif
+);
 criterion_main!(benches);

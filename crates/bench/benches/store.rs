@@ -82,5 +82,10 @@ fn bench_pushdown_vs_client(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layout_scans, bench_inserts, bench_pushdown_vs_client);
+criterion_group!(
+    benches,
+    bench_layout_scans,
+    bench_inserts,
+    bench_pushdown_vs_client
+);
 criterion_main!(benches);

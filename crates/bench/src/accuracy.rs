@@ -2,9 +2,7 @@
 //! benchmark job against a store state and score per-side correctness.
 
 use datagen::SizeClass;
-use mlmatch::{
-    FeatureSample, GbrtMatcher, GbrtParams, NnMatcher, StoredJob,
-};
+use mlmatch::{FeatureSample, GbrtMatcher, GbrtParams, NnMatcher, StoredJob};
 use mrsim::{ClusterSpec, JobConfig};
 use profiler::{collect_sample_profile, JobProfile, SampleSize};
 use pstorm::{match_profile, MatcherConfig, ProfileStore, SubmittedJob};
@@ -216,9 +214,7 @@ impl AccuracyBench {
         // size (the store holds the *other* size's profiles).
         let sizes: &[Option<SizeClass>] = match state {
             ContentState::SameData => &[None],
-            ContentState::DifferentData => {
-                &[Some(SizeClass::Small), Some(SizeClass::Large)]
-            }
+            ContentState::DifferentData => &[Some(SizeClass::Small), Some(SizeClass::Large)],
         };
         for &size_filter in sizes {
             let stored: Vec<StoredJob> = self

@@ -193,7 +193,10 @@ fn main() {
         "Ablation 5 — CFG matching across all map-UDF pairs in the suite",
         &["metric", "count"],
         &[
-            vec!["structurally matching pairs (conservative)".to_string(), same_pairs.to_string()],
+            vec![
+                "structurally matching pairs (conservative)".to_string(),
+                same_pairs.to_string(),
+            ],
             vec![
                 "count-heuristic false matches".to_string(),
                 heuristic_collisions.to_string(),

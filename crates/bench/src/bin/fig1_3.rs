@@ -26,12 +26,20 @@ fn main() {
 
     // 1. RBO.
     let rbo = recommend(&spec, &cl);
-    let rbo_ms = simulate(&spec, &ds, &cl, &rbo.config, seed).expect("rbo run").runtime_ms;
+    let rbo_ms = simulate(&spec, &ds, &cl, &rbo.config, seed)
+        .expect("rbo run")
+        .runtime_ms;
 
     // 2. CBO with the job's own complete profile.
     let own = profiled_run(&spec, &ds, SizeClass::Large, &cl).expect("own profile");
-    let own_rec = optimize(&spec, &own.profile, ds.logical_bytes, &cl, &CboOptions::default())
-        .expect("cbo");
+    let own_rec = optimize(
+        &spec,
+        &own.profile,
+        ds.logical_bytes,
+        &cl,
+        &CboOptions::default(),
+    )
+    .expect("cbo");
     let own_ms = simulate(&spec, &ds, &cl, &own_rec.config, seed)
         .expect("own-tuned run")
         .runtime_ms;
@@ -73,14 +81,20 @@ fn main() {
         &["approach", "speedup vs default", "key parameters"],
         &rows,
     );
-    println!("\ndefault runtime: {:.1} virtual min", default_ms / 60_000.0);
+    println!(
+        "\ndefault runtime: {:.1} virtual min",
+        default_ms / 60_000.0
+    );
     println!("paper targets: donor-profile speedup ≈ 2x RBO, slightly below own-profile");
 }
 
 fn describe(c: &JobConfig) -> String {
     format!(
         "R={} sort.mb={} rec%={:.2} compress={} combiner={}",
-        c.num_reduce_tasks, c.io_sort_mb, c.io_sort_record_percent, c.compress_map_output,
+        c.num_reduce_tasks,
+        c.io_sort_mb,
+        c.io_sort_record_percent,
+        c.compress_map_output,
         c.use_combiner
     )
 }

@@ -31,15 +31,9 @@ fn main() {
             .runtime_ms;
         let one = collect_sample_profile(&spec, &ds, &cl, &rbo_cfg, SampleSize::OneTask, seed)
             .expect("1-task sample");
-        let ten = collect_sample_profile(
-            &spec,
-            &ds,
-            &cl,
-            &rbo_cfg,
-            SampleSize::Fraction(0.10),
-            seed,
-        )
-        .expect("10% sample");
+        let ten =
+            collect_sample_profile(&spec, &ds, &cl, &rbo_cfg, SampleSize::Fraction(0.10), seed)
+                .expect("10% sample");
         rows.push(vec![
             spec.job_id(),
             format!("{:.1}%", 100.0 * ten.runtime_ms / base_ms),

@@ -14,12 +14,22 @@ fn main() {
     let mut rows = Vec::new();
     for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2)] {
         let ds = corpus::input_for(&spec.name, SizeClass::Large);
-        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), seed_for(&spec, &ds))
-            .expect("run");
+        let report = simulate(
+            &spec,
+            &ds,
+            &cl,
+            &JobConfig::submitted(&spec),
+            seed_for(&spec, &ds),
+        )
+        .expect("run");
         let cfg = Cfg::from_udf(&spec.map_udf);
         rows.push(vec![
             spec.job_id(),
-            format!("{} loops (depth {})", cfg.loop_count(), cfg.max_loop_depth()),
+            format!(
+                "{} loops (depth {})",
+                cfg.loop_count(),
+                cfg.max_loop_depth()
+            ),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Read) / 1000.0),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Map) / 1000.0),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Collect) / 1000.0),

@@ -15,18 +15,36 @@ fn main() {
         jobs::bigram_relative_frequency(),
     ] {
         let ds = corpus::input_for(&spec.name, SizeClass::Large);
-        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), seed_for(&spec, &ds))
-            .expect("run");
+        let report = simulate(
+            &spec,
+            &ds,
+            &cl,
+            &JobConfig::submitted(&spec),
+            seed_for(&spec, &ds),
+        )
+        .expect("run");
         rows.push(vec![
             spec.job_id(),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Read) / 1000.0),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Map) / 1000.0),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Spill) / 1000.0),
             format!("{:.1}", report.avg_map_phase_ms(MapPhase::Merge) / 1000.0),
-            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Shuffle) / 1000.0),
-            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Sort) / 1000.0),
-            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Reduce) / 1000.0),
-            format!("{:.0}", report.avg_reduce_phase_ms(ReducePhase::Write) / 1000.0),
+            format!(
+                "{:.0}",
+                report.avg_reduce_phase_ms(ReducePhase::Shuffle) / 1000.0
+            ),
+            format!(
+                "{:.0}",
+                report.avg_reduce_phase_ms(ReducePhase::Sort) / 1000.0
+            ),
+            format!(
+                "{:.0}",
+                report.avg_reduce_phase_ms(ReducePhase::Reduce) / 1000.0
+            ),
+            format!(
+                "{:.0}",
+                report.avg_reduce_phase_ms(ReducePhase::Write) / 1000.0
+            ),
         ]);
     }
     print_table(

@@ -16,8 +16,14 @@ fn main() {
         corpus::wikipedia_4g(),
         corpus::wikipedia_35g(),
     ] {
-        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), seed_for(&spec, &ds))
-            .expect("run");
+        let report = simulate(
+            &spec,
+            &ds,
+            &cl,
+            &JobConfig::submitted(&spec),
+            seed_for(&spec, &ds),
+        )
+        .expect("run");
         rows.push(vec![
             ds.name.clone(),
             format!("{:.2} GB", ds.logical_bytes as f64 / (1u64 << 30) as f64),

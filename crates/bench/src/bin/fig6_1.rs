@@ -39,7 +39,13 @@ fn main() {
     }
     print_table(
         "Fig 6.1 — Matching Accuracy: PStorM vs Feature-Selection Alternatives",
-        &["state", "matcher", "map accuracy", "reduce accuracy", "submissions"],
+        &[
+            "state",
+            "matcher",
+            "map accuracy",
+            "reduce accuracy",
+            "submissions",
+        ],
         &rows,
     );
 }

@@ -43,7 +43,9 @@ fn main() {
 
         // RBO.
         let rbo_cfg = recommend(&spec, &cl).config;
-        let rbo_ms = simulate(&spec, &ds, &cl, &rbo_cfg, seed).expect("rbo").runtime_ms;
+        let rbo_ms = simulate(&spec, &ds, &cl, &rbo_cfg, seed)
+            .expect("rbo")
+            .runtime_ms;
 
         // The 1-task probe used in all three PStorM states.
         let sample = collect_sample_profile(
@@ -112,8 +114,14 @@ fn tuned_speedup(
 ) -> (String, String) {
     match match_profile(store, q, &MatcherConfig::default()) {
         Ok(Ok(result)) => {
-            let rec = optimize(spec, &result.profile, ds.logical_bytes, cl, &CboOptions::default())
-                .expect("cbo");
+            let rec = optimize(
+                spec,
+                &result.profile,
+                ds.logical_bytes,
+                cl,
+                &CboOptions::default(),
+            )
+            .expect("cbo");
             let tuned_ms = simulate(spec, ds, cl, &rec.config, seed)
                 .expect("tuned run")
                 .runtime_ms;

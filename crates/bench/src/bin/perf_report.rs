@@ -234,9 +234,7 @@ fn bench_cbo(entries: &mut Vec<Entry>) {
     };
     let samples = sample_ns(
         || {
-            std::hint::black_box(
-                optimize(&spec, &profile, input_bytes, &cluster, &opts).unwrap(),
-            );
+            std::hint::black_box(optimize(&spec, &profile, input_bytes, &cluster, &opts).unwrap());
         },
         5,
         60,
@@ -269,7 +267,7 @@ fn bench_cbo(entries: &mut Vec<Entry>) {
                             profile: &profile,
                             input_bytes,
                             cluster: &cluster,
-                            config: &cfg,
+                            config: cfg,
                         };
                         predict_runtime_ms_unplanned(&q)
                     };
@@ -340,7 +338,10 @@ fn main() {
         "  ],\n  \"summary\": {{\n    \"matcher_stage1_speedup_at_1000\": {stage1_speedup:.1},\n    \"cbo_search_candidates_per_sec_speedup\": {cbo_speedup:.1},\n    \"cbo_search_legacy_candidates_per_sec\": {legacy_cps:.1},\n    \"cbo_search_current_candidates_per_sec\": {current_cps:.1}\n  }}\n}}\n"
     );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tuning_latency.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_tuning_latency.json"
+    );
     std::fs::write(path, &json).unwrap();
     println!("{json}");
     println!("wrote {path}");

@@ -14,8 +14,7 @@ use mrsim::{simulate, ClusterSpec, CostRates, JobConfig};
 use optimizer::{optimize, CboOptions};
 use profiler::{collect_full_profile, collect_sample_profile, SampleSize};
 use pstorm::{
-    match_profile, statics_with_params, transfer_profile, MatcherConfig, ProfileStore,
-    SubmittedJob,
+    match_profile, statics_with_params, transfer_profile, MatcherConfig, ProfileStore, SubmittedJob,
 };
 use pstorm_bench::harness::{cluster, print_table, seed_for};
 use staticanalysis::StaticFeatures;
@@ -123,16 +122,25 @@ fn cluster_transfer() {
         ),
     ] {
         let rec = optimize(&spec, &p, ds.logical_bytes, &fast, &CboOptions::default()).unwrap();
-        let tuned = simulate(&spec, &ds, &fast, &rec.config, seed).unwrap().runtime_ms;
+        let tuned = simulate(&spec, &ds, &fast, &rec.config, seed)
+            .unwrap()
+            .runtime_ms;
         rows.push(vec![
             label.to_string(),
             format!("{:.2}x", default_fast / tuned),
-            format!("R={} compress={}", rec.config.num_reduce_tasks, rec.config.compress_map_output),
+            format!(
+                "R={} compress={}",
+                rec.config.num_reduce_tasks, rec.config.compress_map_output
+            ),
         ]);
     }
     print_table(
         "§7.2.3 — Tuning on a 3x-faster-IO, 4x-slower-CPU cluster with a donor-cluster profile",
-        &["profile handling", "speedup on fast cluster", "key parameters"],
+        &[
+            "profile handling",
+            "speedup on fast cluster",
+            "key parameters",
+        ],
         &rows,
     );
 }

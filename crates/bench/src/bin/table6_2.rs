@@ -33,7 +33,13 @@ fn main() {
     }
     print_table(
         "Table 6.2 — Runtimes with the Default Hadoop Configuration",
-        &["job", "dataset", "runtime (virtual min)", "map tasks", "reduce tasks"],
+        &[
+            "job",
+            "dataset",
+            "runtime (virtual min)",
+            "map tasks",
+            "reduce tasks",
+        ],
         &rows,
     );
     println!("\npaper reference (minutes): word-count 12, coocc-pairs 824, inverted-index 100, bigram 302");

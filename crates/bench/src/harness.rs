@@ -86,8 +86,13 @@ pub fn profiled_run(
     size: SizeClass,
     cl: &ClusterSpec,
 ) -> Result<ProfiledRun, SimError> {
-    let (mut profile, _) =
-        collect_full_profile(spec, ds, cl, &JobConfig::submitted(spec), seed_for(spec, ds))?;
+    let (mut profile, _) = collect_full_profile(
+        spec,
+        ds,
+        cl,
+        &JobConfig::submitted(spec),
+        seed_for(spec, ds),
+    )?;
     profile.job_id = format!("{}@{}", spec.job_id(), ds.name);
     Ok(ProfiledRun {
         spec: spec.clone(),

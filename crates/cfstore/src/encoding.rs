@@ -28,6 +28,38 @@ impl std::fmt::Display for CodecError {
 }
 impl std::error::Error for CodecError {}
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time so the integrity checks need no runtime initialisation.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) checksum over a byte slice — the per-cell integrity
+/// check stamped on every stored [`crate::kv::CellVersion`].
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
 /// Encode an `f64` as 8 big-endian bytes whose bytewise order matches the
 /// numeric order (IEEE sign-flip trick). Used for normalization bounds and
 /// numeric feature cells.
@@ -138,13 +170,28 @@ mod tests {
     fn f64_vec_roundtrip() {
         let v = vec![1.0, 2.5, -3.75];
         assert_eq!(decode_f64_vec(&encode_f64_vec(&v)).unwrap(), v);
-        assert_eq!(decode_f64_vec(&encode_f64_vec(&[])).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            decode_f64_vec(&encode_f64_vec(&[])).unwrap(),
+            Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The canonical CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Single-bit flips change the checksum.
+        assert_ne!(crc32(b"hello"), crc32(b"hellp"));
     }
 
     #[test]
     fn truncated_inputs_error() {
         assert_eq!(decode_f64(&[1, 2, 3]).unwrap_err(), CodecError::Truncated);
-        assert_eq!(decode_str(&[0, 0, 0, 9, b'x']).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            decode_str(&[0, 0, 0, 9, b'x']).unwrap_err(),
+            CodecError::Truncated
+        );
         assert_eq!(
             decode_f64_vec(&[0, 0, 0, 2, 0]).unwrap_err(),
             CodecError::Truncated

@@ -124,10 +124,7 @@ mod tests {
         if let Some((c, v)) = col_val {
             r.families.entry("f".to_string()).or_default().insert(
                 Bytes::copy_from_slice(c.as_bytes()),
-                CellVersion {
-                    timestamp: 1,
-                    value: Bytes::copy_from_slice(v.as_bytes()),
-                },
+                CellVersion::new(1, Bytes::copy_from_slice(v.as_bytes())),
             );
         }
         r

@@ -38,6 +38,27 @@ pub struct CellVersion {
     /// per store).
     pub timestamp: u64,
     pub value: Bytes,
+    /// CRC-32 of `value`, stamped at write time and re-verified on every
+    /// read so at-rest bit rot surfaces as a typed error instead of
+    /// silently corrupting decoded profiles.
+    pub checksum: u32,
+}
+
+impl CellVersion {
+    /// Stamp a new version with its value checksum.
+    pub fn new(timestamp: u64, value: Bytes) -> Self {
+        let checksum = crate::encoding::crc32(&value);
+        CellVersion {
+            timestamp,
+            value,
+            checksum,
+        }
+    }
+
+    /// Whether the stored value still matches its write-time checksum.
+    pub fn verify(&self) -> bool {
+        crate::encoding::crc32(&self.value) == self.checksum
+    }
 }
 
 /// A materialized row returned by gets and scans: family → column → latest
@@ -92,18 +113,20 @@ mod tests {
         r.families
             .entry("cf".to_string())
             .or_default()
-            .insert(
-                Bytes::from("colA"),
-                CellVersion {
-                    timestamp: 3,
-                    value: Bytes::from("v"),
-                },
-            );
+            .insert(Bytes::from("colA"), CellVersion::new(3, Bytes::from("v")));
         assert_eq!(r.value("cf", b"colA").unwrap(), &Bytes::from("v"));
         assert!(r.value("cf", b"colB").is_none());
         assert!(r.value("nope", b"colA").is_none());
         assert_eq!(r.cell_count(), 1);
         assert_eq!(r.columns("cf").len(), 1);
+    }
+
+    #[test]
+    fn checksum_verifies_and_detects_tampering() {
+        let mut c = CellVersion::new(1, Bytes::from("payload"));
+        assert!(c.verify());
+        c.value = Bytes::from("paylord");
+        assert!(!c.verify());
     }
 
     #[test]

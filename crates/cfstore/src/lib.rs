@@ -18,7 +18,9 @@ pub mod kv;
 pub mod region;
 pub mod store;
 
-pub use filter::{CompareOp, Filter, FilterList, PredicateFilter, RowPrefixFilter, SingleColumnValueFilter};
+pub use filter::{
+    CompareOp, Filter, FilterList, PredicateFilter, RowPrefixFilter, SingleColumnValueFilter,
+};
 pub use kv::{CellVersion, Put, RowResult};
 pub use region::{KeyRange, Region, ScanMetrics};
 pub use store::{MetaEntry, MiniStore, Scan, StoreError};

@@ -14,6 +14,7 @@ use parking_lot::RwLock;
 
 use crate::filter::Filter;
 use crate::kv::{CellVersion, Put, RowResult};
+use crate::store::StoreError;
 
 /// Maximum cell versions retained per column, like HBase's default.
 const MAX_VERSIONS: usize = 3;
@@ -111,21 +112,15 @@ impl Region {
             .or_default()
             .entry(put.column)
             .or_default();
-        versions.insert(
-            0,
-            CellVersion {
-                timestamp,
-                value: put.value,
-            },
-        );
+        versions.insert(0, CellVersion::new(timestamp, put.value));
         versions.truncate(MAX_VERSIONS);
         true
     }
 
-    /// Read one row (latest versions only).
-    pub fn get(&self, row: &[u8]) -> Option<RowResult> {
+    /// Read one row (latest versions only), verifying cell checksums.
+    pub fn get(&self, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
         let rows = self.rows.read();
-        rows.get(row).map(|data| materialize(row, data))
+        rows.get(row).map(|data| materialize(row, data)).transpose()
     }
 
     /// Delete one row entirely. Returns `None` when the row key no longer
@@ -140,13 +135,14 @@ impl Region {
     }
 
     /// Scan rows in `[start, end)` ∩ this region, applying a server-side
-    /// filter. Returns matching rows and the scan metrics.
+    /// filter and verifying cell checksums. Returns matching rows and the
+    /// scan metrics, or the first corruption encountered.
     pub fn scan(
         &self,
         start: &[u8],
         end: Option<&[u8]>,
         filter: Option<&dyn Filter>,
-    ) -> (Vec<RowResult>, ScanMetrics) {
+    ) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
         let rows = self.rows.read();
         let lower = Bound::Included(Bytes::copy_from_slice(start));
         let upper = match end {
@@ -160,7 +156,7 @@ impl Region {
         };
         for (key, data) in rows.range::<Bytes, _>((lower, upper)) {
             metrics.rows_scanned += 1;
-            let result = materialize(key, data);
+            let result = materialize(key, data)?;
             metrics.cells_scanned += result.cell_count() as u64;
             let passes = filter.map(|f| f.matches(&result)).unwrap_or(true);
             if passes {
@@ -174,7 +170,32 @@ impl Region {
                 out.push(result);
             }
         }
-        (out, metrics)
+        Ok((out, metrics))
+    }
+
+    /// Test/chaos hook: flip one byte of the latest stored version of a
+    /// cell *without* refreshing its checksum, simulating at-rest bit rot.
+    /// Returns whether a cell was actually hit.
+    pub fn corrupt_cell(&self, row: &[u8], family: &str, column: &[u8]) -> bool {
+        let mut rows = self.rows.write();
+        let Some(versions) = rows
+            .get_mut(row)
+            .and_then(|fams| fams.get_mut(family))
+            .and_then(|cols| cols.get_mut(column))
+        else {
+            return false;
+        };
+        let Some(latest) = versions.first_mut() else {
+            return false;
+        };
+        let mut v = latest.value.to_vec();
+        if v.is_empty() {
+            v.push(0xde);
+        } else {
+            v[0] ^= 0xff;
+        }
+        latest.value = Bytes::from(v);
+        true
     }
 
     /// Number of rows stored.
@@ -206,17 +227,23 @@ impl Region {
     }
 }
 
-fn materialize(row: &[u8], data: &RowData) -> RowResult {
+fn materialize(row: &[u8], data: &RowData) -> Result<RowResult, StoreError> {
     let mut result = RowResult::new(Bytes::copy_from_slice(row));
     for (family, cols) in data {
         let out_cols = result.families.entry(family.clone()).or_default();
         for (col, versions) in cols {
             if let Some(latest) = versions.first() {
+                if !latest.verify() {
+                    return Err(StoreError::Corruption {
+                        row: String::from_utf8_lossy(row).into_owned(),
+                        column: String::from_utf8_lossy(col).into_owned(),
+                    });
+                }
                 out_cols.insert(col.clone(), latest.clone());
             }
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -239,9 +266,9 @@ mod tests {
     fn put_get_roundtrip() {
         let r = Region::new(1, KeyRange::all());
         put(&r, "row1", "c", "v1", 1);
-        let got = r.get(b"row1").unwrap();
+        let got = r.get(b"row1").unwrap().unwrap();
         assert_eq!(got.value("cf", b"c").unwrap().as_ref(), b"v1");
-        assert!(r.get(b"missing").is_none());
+        assert!(r.get(b"missing").unwrap().is_none());
     }
 
     #[test]
@@ -249,7 +276,15 @@ mod tests {
         let r = Region::new(1, KeyRange::all());
         put(&r, "row1", "c", "old", 1);
         put(&r, "row1", "c", "new", 2);
-        assert_eq!(r.get(b"row1").unwrap().value("cf", b"c").unwrap().as_ref(), b"new");
+        assert_eq!(
+            r.get(b"row1")
+                .unwrap()
+                .unwrap()
+                .value("cf", b"c")
+                .unwrap()
+                .as_ref(),
+            b"new"
+        );
     }
 
     #[test]
@@ -259,7 +294,15 @@ mod tests {
             put(&r, "row1", "c", &format!("v{i}"), i);
         }
         // Still readable; internal cap honoured (latest visible).
-        assert_eq!(r.get(b"row1").unwrap().value("cf", b"c").unwrap().as_ref(), b"v9");
+        assert_eq!(
+            r.get(b"row1")
+                .unwrap()
+                .unwrap()
+                .value("cf", b"c")
+                .unwrap()
+                .as_ref(),
+            b"v9"
+        );
     }
 
     #[test]
@@ -268,7 +311,7 @@ mod tests {
         for k in ["a", "b", "c", "d"] {
             put(&r, k, "c", "v", 1);
         }
-        let (rows, metrics) = r.scan(b"b", Some(b"d"), None);
+        let (rows, metrics) = r.scan(b"b", Some(b"d"), None).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(metrics.rows_scanned, 2);
         assert_eq!(metrics.rows_returned, 2);
@@ -284,7 +327,7 @@ mod tests {
         let f = RowPrefixFilter {
             prefix: Bytes::from("Static/"),
         };
-        let (rows, metrics) = r.scan(b"", None, Some(&f));
+        let (rows, metrics) = r.scan(b"", None, Some(&f)).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(metrics.rows_scanned, 2);
         assert_eq!(metrics.rows_returned, 1);
@@ -313,11 +356,43 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_cell_fails_get_and_scan() {
+        let r = Region::new(1, KeyRange::all());
+        put(&r, "row1", "c", "payload", 1);
+        put(&r, "row2", "c", "clean", 1);
+        assert!(r.corrupt_cell(b"row1", "cf", b"c"));
+
+        match r.get(b"row1") {
+            Err(StoreError::Corruption { row, column }) => {
+                assert_eq!(row, "row1");
+                assert_eq!(column, "c");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        // The clean row is still readable.
+        assert!(r.get(b"row2").unwrap().is_some());
+        // A scan crossing the corrupt row reports it too.
+        assert!(matches!(
+            r.scan(b"", None, None),
+            Err(StoreError::Corruption { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupting_a_missing_cell_is_a_noop() {
+        let r = Region::new(1, KeyRange::all());
+        put(&r, "row1", "c", "v", 1);
+        assert!(!r.corrupt_cell(b"nope", "cf", b"c"));
+        assert!(!r.corrupt_cell(b"row1", "cf", b"other"));
+        assert!(r.get(b"row1").unwrap().is_some());
+    }
+
+    #[test]
     fn delete_row_removes() {
         let r = Region::new(1, KeyRange::all());
         put(&r, "x", "c", "v", 1);
         assert_eq!(r.delete_row(b"x"), Some(true));
         assert_eq!(r.delete_row(b"x"), Some(false));
-        assert!(r.get(b"x").is_none());
+        assert!(r.get(b"x").unwrap().is_none());
     }
 }

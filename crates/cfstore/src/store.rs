@@ -21,7 +21,16 @@ const DEFAULT_SPLIT_THRESHOLD: usize = 256;
 pub enum StoreError {
     TableExists(String),
     NoSuchTable(String),
-    NoSuchColumnFamily { table: String, family: String },
+    NoSuchColumnFamily {
+        table: String,
+        family: String,
+    },
+    /// A stored cell's value no longer matches its write-time CRC-32 —
+    /// at-rest corruption detected on read.
+    Corruption {
+        row: String,
+        column: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -34,6 +43,13 @@ impl std::fmt::Display for StoreError {
                     f,
                     "table `{table}` has no column family `{family}` \
                      (families are fixed at table creation, as in HBase)"
+                )
+            }
+            StoreError::Corruption { row, column } => {
+                write!(
+                    f,
+                    "checksum mismatch in row `{row}`, column `{column}`: \
+                     stored cell is corrupt"
                 )
             }
         }
@@ -194,9 +210,7 @@ impl MiniStore {
         // Split check (amortized: only when the region grew large).
         if region.row_count() > t.split_threshold {
             let mut regions = t.regions.write();
-            if let Some(upper) =
-                region.split(self.next_region_id.fetch_add(1, Ordering::Relaxed))
-            {
+            if let Some(upper) = region.split(self.next_region_id.fetch_add(1, Ordering::Relaxed)) {
                 let pos = regions
                     .iter()
                     .position(|r| r.id == region.id)
@@ -207,12 +221,32 @@ impl MiniStore {
         Ok(())
     }
 
-    /// Read one row.
+    /// Read one row (checksum-verified).
     pub fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
         let t = self.table(table)?;
         let regions = t.regions.read();
-        let region = regions.iter().find(|r| r.contains_key(row));
-        Ok(region.and_then(|r| r.get(row)))
+        match regions.iter().find(|r| r.contains_key(row)) {
+            Some(r) => r.get(row),
+            None => Ok(None),
+        }
+    }
+
+    /// Chaos hook: corrupt the latest version of one stored cell in place
+    /// (bit-flip without a checksum update), so the next read of that row
+    /// fails with [`StoreError::Corruption`]. Returns whether a cell was
+    /// actually hit.
+    pub fn corrupt_cell(
+        &self,
+        table: &str,
+        row: &[u8],
+        family: &str,
+        column: &[u8],
+    ) -> Result<bool, StoreError> {
+        let t = self.table(table)?;
+        let regions = t.regions.read();
+        Ok(regions
+            .iter()
+            .any(|r| r.contains_key(row) && r.corrupt_cell(row, family, column)))
     }
 
     /// Delete one row.
@@ -235,7 +269,11 @@ impl MiniStore {
 
     /// Scan with server-side filtering; regions are scanned in parallel
     /// (one logical region server each) and results merged in key order.
-    pub fn scan(&self, table: &str, scan: &Scan) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
+    pub fn scan(
+        &self,
+        table: &str,
+        scan: &Scan,
+    ) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
         let t = self.table(table)?;
         let regions: Vec<Arc<Region>> = {
             let guard = t.regions.read();
@@ -249,10 +287,10 @@ impl MiniStore {
         let mut partials: Vec<(Vec<RowResult>, ScanMetrics)> = Vec::with_capacity(regions.len());
         if regions.len() <= 1 {
             for r in &regions {
-                partials.push(r.scan(&scan.start, scan.stop.as_deref(), filter));
+                partials.push(r.scan(&scan.start, scan.stop.as_deref(), filter)?);
             }
         } else {
-            crossbeam::thread::scope(|s| {
+            let results = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = regions
                     .iter()
                     .map(|r| {
@@ -261,11 +299,15 @@ impl MiniStore {
                         s.spawn(move |_| r.scan(start, stop, filter))
                     })
                     .collect();
-                for h in handles {
-                    partials.push(h.join().expect("region scan panicked"));
-                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("region scan panicked"))
+                    .collect::<Vec<_>>()
             })
             .expect("scan scope");
+            for result in results {
+                partials.push(result?);
+            }
         }
         let mut rows = Vec::new();
         let mut metrics = ScanMetrics::default();
@@ -379,17 +421,20 @@ mod tests {
     #[test]
     fn regions_split_as_the_table_grows() {
         let store = MiniStore::new();
-        store
-            .create_table_with_threshold("t", &["f"], 16)
-            .unwrap();
+        store.create_table_with_threshold("t", &["f"], 16).unwrap();
         for i in 0..200 {
-            store.put("t", bput(&format!("row{i:04}"), "c", "v")).unwrap();
+            store
+                .put("t", bput(&format!("row{i:04}"), "c", "v"))
+                .unwrap();
         }
         assert!(store.region_count("t").unwrap() > 4);
         // All rows still reachable.
         let (rows, metrics) = store.scan("t", &Scan::all()).unwrap();
         assert_eq!(rows.len(), 200);
-        assert_eq!(metrics.regions_visited as usize, store.region_count("t").unwrap());
+        assert_eq!(
+            metrics.regions_visited as usize,
+            store.region_count("t").unwrap()
+        );
         // META has one entry per region.
         assert_eq!(store.meta_entries().len(), store.region_count("t").unwrap());
     }
@@ -409,6 +454,28 @@ mod tests {
         assert_eq!(rows.len(), 5);
         assert_eq!(metrics.rows_scanned, 50);
         assert_eq!(metrics.rows_returned, 5);
+    }
+
+    #[test]
+    fn corruption_surfaces_through_store_get_and_scan() {
+        let store = MiniStore::new();
+        store.create_table("t", &["f"]).unwrap();
+        store.put("t", bput("r1", "c", "payload")).unwrap();
+        store.put("t", bput("r2", "c", "clean")).unwrap();
+        assert!(store.corrupt_cell("t", b"r1", "f", b"c").unwrap());
+
+        assert!(matches!(
+            store.get("t", b"r1"),
+            Err(StoreError::Corruption { .. })
+        ));
+        assert!(store.get("t", b"r2").unwrap().is_some());
+        assert!(matches!(
+            store.scan("t", &Scan::all()),
+            Err(StoreError::Corruption { .. })
+        ));
+        // Overwriting the cell restamps the checksum and heals the row.
+        store.put("t", bput("r1", "c", "rewritten")).unwrap();
+        assert!(store.get("t", b"r1").unwrap().is_some());
     }
 
     #[test]

@@ -135,6 +135,7 @@ pub fn encode_profile(p: &JobProfile) -> Bytes {
     put_str(&mut b, &p.dataset);
     b.put_f64(p.input_bytes);
     b.put_u32(p.num_map_tasks);
+    b.put_f64(p.confidence);
     encode_map_profile(&mut b, &p.map);
     match &p.reduce {
         Some(r) => {
@@ -197,6 +198,7 @@ pub fn decode_profile(bytes: &[u8]) -> Result<JobProfile, CodecError> {
     let dataset = get_str(&mut buf)?;
     let input_bytes = get_f64(&mut buf)?;
     let num_map_tasks = get_u32(&mut buf)?;
+    let confidence = get_f64(&mut buf)?;
     let map = decode_map_profile(&mut buf)?;
     let reduce = match get_u8(&mut buf)? {
         0 => None,
@@ -208,6 +210,7 @@ pub fn decode_profile(bytes: &[u8]) -> Result<JobProfile, CodecError> {
         dataset,
         input_bytes,
         num_map_tasks,
+        confidence,
         map,
         reduce,
     })

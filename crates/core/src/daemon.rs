@@ -9,10 +9,18 @@
 //! 4. on *No Match Found*, run the job with its submitted configuration
 //!    and the profiler **on**, and store the collected profile for future
 //!    submissions.
+//!
+//! On a faulty cluster ([`mrsim::FaultSpec`]) the daemon degrades
+//! gracefully instead of surfacing raw fault errors: the sampling probe is
+//! retried with capped exponential backoff (simulated time), failed tuned
+//! runs fall back to the rule-based optimizer's settings, then to the
+//! submitted configuration, and a last-resort rung re-runs with lenient
+//! task attempt caps — every rung reported through
+//! [`SubmissionOutcome::Degraded`].
 
 use mrjobs::{Dataset, JobSpec};
 use mrsim::{simulate, ClusterSpec, JobConfig, JobReport, SimError};
-use optimizer::{optimize, CboOptions};
+use optimizer::{optimize, recommend, CboOptions};
 use profiler::{collect_full_profile, collect_sample_profile, JobProfile, SampleSize};
 use staticanalysis::StaticFeatures;
 
@@ -28,13 +36,22 @@ pub enum DaemonError {
 
 impl std::fmt::Display for DaemonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Context only; the full cause chain stays reachable through
+        // `Error::source()` instead of being flattened into this string.
         match self {
-            DaemonError::Store(e) => write!(f, "store: {e}"),
-            DaemonError::Sim(e) => write!(f, "simulation: {e}"),
+            DaemonError::Store(e) => write!(f, "profile store operation failed: {e}"),
+            DaemonError::Sim(e) => write!(f, "job simulation failed: {e}"),
         }
     }
 }
-impl std::error::Error for DaemonError {}
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Store(e) => Some(e),
+            DaemonError::Sim(e) => Some(e),
+        }
+    }
+}
 impl From<ProfileStoreError> for DaemonError {
     fn from(e: ProfileStoreError) -> Self {
         DaemonError::Store(e)
@@ -46,7 +63,37 @@ impl From<SimError> for DaemonError {
     }
 }
 
+/// The daemon's degradation ladder settings (all retries and backoff are
+/// in *simulated* time — the discrete-event clock, not wall clock).
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationPolicy {
+    /// Extra tries of the 1-task sampling probe after the first failure.
+    pub sample_retries: u32,
+    /// Simulated backoff before sampling retry `i`:
+    /// `backoff_base_ms * 2^i`, charged to the submission's sampling cost.
+    pub backoff_base_ms: f64,
+    /// Extra seeds tried when a production run dies to an injected fault
+    /// before the ladder moves to its next rung.
+    pub run_retries: u32,
+    /// Task attempt caps used by the last-resort rung: generous enough
+    /// that only a pathologically hostile cluster still fails.
+    pub lenient_attempt_cap: u32,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            sample_retries: 3,
+            backoff_base_ms: 1_000.0,
+            run_retries: 2,
+            lenient_attempt_cap: 30,
+        }
+    }
+}
+
 /// How a submission was served.
+// One value per submission; the size spread between variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum SubmissionOutcome {
     /// A matching profile was found; the job ran with CBO-tuned settings.
@@ -58,6 +105,15 @@ pub enum SubmissionOutcome {
     /// No match; the job ran with its submitted configuration while being
     /// profiled, and the collected profile was stored.
     ProfiledAndStored { failure: MatchFailure },
+    /// Cluster faults forced the daemon down its degradation ladder; the
+    /// job still ran (see [`SubmissionReport::run`]) with `config`, but
+    /// without the full tune-from-matched-profile path.
+    Degraded {
+        /// The configuration the production run finally used.
+        config: JobConfig,
+        /// Human-readable account of which rung served the run and why.
+        reason: String,
+    },
 }
 
 /// The full record of one submission.
@@ -77,6 +133,15 @@ pub struct PStorM {
     pub cluster: ClusterSpec,
     pub matcher: MatcherConfig,
     pub cbo: CboOptions,
+    pub policy: DegradationPolicy,
+}
+
+/// Seed used for retry `i` of a fault-killed run. The simulator is fully
+/// deterministic per seed, so re-running with the *same* seed would hit
+/// the exact same injected faults; each retry must move to a fresh chaos
+/// stream.
+fn retry_seed(base: u64, i: u32) -> u64 {
+    base.wrapping_add(u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 impl PStorM {
@@ -87,6 +152,7 @@ impl PStorM {
             cluster: ClusterSpec::ec2_c1_medium_16(),
             matcher: MatcherConfig::default(),
             cbo: CboOptions::default(),
+            policy: DegradationPolicy::default(),
         })
     }
 
@@ -100,6 +166,11 @@ impl PStorM {
     }
 
     /// Handle one job submission end to end.
+    ///
+    /// On a faulty cluster this never leaks a raw fault error while any
+    /// degradation rung can still serve the job; only deterministic
+    /// failures (bad config, UDF bugs, OOM under the user's own settings)
+    /// and pathologically hostile clusters return `Err`.
     pub fn submit(
         &self,
         spec: &JobSpec,
@@ -108,15 +179,51 @@ impl PStorM {
     ) -> Result<SubmissionReport, DaemonError> {
         let submitted_config = JobConfig::submitted(spec);
 
-        // Step 1: the 1-task probe.
-        let sample = collect_sample_profile(
-            spec,
-            dataset,
-            &self.cluster,
-            &submitted_config,
-            SampleSize::OneTask,
-            seed,
-        )?;
+        // Step 1: the 1-task probe, retried with capped exponential
+        // backoff (simulated time) when an injected fault kills it.
+        let mut sampling_ms = 0.0;
+        let mut sample = None;
+        let mut sample_fault: Option<SimError> = None;
+        for i in 0..=self.policy.sample_retries {
+            if i > 0 {
+                sampling_ms += self.policy.backoff_base_ms * f64::from(1u32 << (i - 1).min(16));
+            }
+            match collect_sample_profile(
+                spec,
+                dataset,
+                &self.cluster,
+                &submitted_config,
+                SampleSize::OneTask,
+                retry_seed(seed, i),
+            ) {
+                Ok(s) => {
+                    sampling_ms += s.runtime_ms;
+                    sample = Some(s);
+                    break;
+                }
+                Err(e) if e.is_fault() => sample_fault = Some(e),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let Some(sample) = sample else {
+            // Rung 1 exhausted: no dynamic features, so matching is off
+            // the table. Run the job anyway, un-tuned.
+            let fault = sample_fault.expect("sampling loop ran at least once");
+            let (config, run, rung) =
+                self.degraded_production_run(spec, dataset, &submitted_config, None, seed)?;
+            return Ok(SubmissionReport {
+                job_id: spec.job_id(),
+                outcome: SubmissionOutcome::Degraded {
+                    config,
+                    reason: format!(
+                        "sampling probe failed {} times (last: {fault}); skipped matching; {rung}",
+                        self.policy.sample_retries + 1
+                    ),
+                },
+                run,
+                sampling_ms,
+            });
+        };
         let q = SubmittedJob {
             spec: spec.clone(),
             statics: StaticFeatures::extract(spec),
@@ -135,36 +242,170 @@ impl PStorM {
                     &self.cluster,
                     &self.cbo,
                 )?;
-                let run = simulate(spec, dataset, &self.cluster, &rec.config, seed ^ 0x47)?;
-                Ok(SubmissionReport {
-                    job_id: spec.job_id(),
-                    outcome: SubmissionOutcome::Tuned {
-                        matched,
-                        tuned_config: rec.config,
-                        predicted_ms: rec.predicted_ms,
-                    },
-                    run,
-                    sampling_ms: sample.runtime_ms,
-                })
+                match simulate(spec, dataset, &self.cluster, &rec.config, seed ^ 0x47) {
+                    Ok(run) => Ok(SubmissionReport {
+                        job_id: spec.job_id(),
+                        outcome: SubmissionOutcome::Tuned {
+                            matched,
+                            tuned_config: rec.config,
+                            predicted_ms: rec.predicted_ms,
+                        },
+                        run,
+                        sampling_ms,
+                    }),
+                    Err(e) if e.is_fault() || matches!(e, SimError::OutOfMemory { .. }) => {
+                        // The tuned run died. OOM here means the CBO's
+                        // settings (not the user's) were too aggressive
+                        // for this profile, so it also falls down the
+                        // ladder rather than failing the submission.
+                        let (config, run, rung) = self.degraded_production_run(
+                            spec,
+                            dataset,
+                            &submitted_config,
+                            Some(&rec.config),
+                            seed,
+                        )?;
+                        Ok(SubmissionReport {
+                            job_id: spec.job_id(),
+                            outcome: SubmissionOutcome::Degraded {
+                                config,
+                                reason: format!("tuned run failed ({e}); {rung}"),
+                            },
+                            run,
+                            sampling_ms,
+                        })
+                    }
+                    Err(e) => Err(e.into()),
+                }
             }
             Err(failure) => {
-                // Step 4: run with profiling on; store the profile.
-                let (profile, run) = collect_full_profile(
+                // Step 4: run with profiling on; store the profile. A
+                // faulted-but-finished run is still stored — just with
+                // partial confidence, which the matcher compensates for.
+                let mut profiled = None;
+                let mut last_fault: Option<SimError> = None;
+                for i in 0..=self.policy.run_retries {
+                    match collect_full_profile(
+                        spec,
+                        dataset,
+                        &self.cluster,
+                        &submitted_config,
+                        retry_seed(seed ^ 0x48, i),
+                    ) {
+                        Ok(pr) => {
+                            profiled = Some(pr);
+                            break;
+                        }
+                        Err(e) if e.is_fault() => last_fault = Some(e),
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                match profiled {
+                    Some((profile, run)) => {
+                        self.store.put_profile(&q.statics, &profile)?;
+                        Ok(SubmissionReport {
+                            job_id: spec.job_id(),
+                            outcome: SubmissionOutcome::ProfiledAndStored { failure },
+                            run,
+                            sampling_ms,
+                        })
+                    }
+                    None => {
+                        // Profiling kept faulting: serve the job without
+                        // storing a (nonexistent) profile.
+                        let fault = last_fault.expect("profiling loop ran at least once");
+                        let (config, run, rung) = self.degraded_production_run(
+                            spec,
+                            dataset,
+                            &submitted_config,
+                            None,
+                            seed,
+                        )?;
+                        Ok(SubmissionReport {
+                            job_id: spec.job_id(),
+                            outcome: SubmissionOutcome::Degraded {
+                                config,
+                                reason: format!(
+                                    "profiling run kept faulting (last: {fault}); no profile stored; {rung}"
+                                ),
+                            },
+                            run,
+                            sampling_ms,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walk the run ladder until some configuration survives the cluster:
+    /// CBO-tuned settings (if any) → `optimizer::rbo` settings → the
+    /// submitted configuration → the submitted configuration with lenient
+    /// task attempt caps. Each rung gets `run_retries + 1` seeds; only
+    /// injected faults (and, on optimizer rungs, optimizer-induced OOM)
+    /// fall through to the next rung — deterministic errors return `Err`
+    /// immediately.
+    fn degraded_production_run(
+        &self,
+        spec: &JobSpec,
+        dataset: &Dataset,
+        submitted: &JobConfig,
+        tuned: Option<&JobConfig>,
+        seed: u64,
+    ) -> Result<(JobConfig, JobReport, String), DaemonError> {
+        let mut lenient = submitted.clone();
+        lenient.max_map_attempts = self.policy.lenient_attempt_cap;
+        lenient.max_reduce_attempts = self.policy.lenient_attempt_cap;
+
+        // (config, label, does optimizer-induced OOM fall through?)
+        let mut rungs: Vec<(JobConfig, &str, bool)> = Vec::new();
+        if let Some(t) = tuned {
+            rungs.push((t.clone(), "CBO-tuned settings", true));
+        }
+        rungs.push((
+            recommend(spec, &self.cluster).config,
+            "rule-based optimizer settings",
+            true,
+        ));
+        rungs.push((submitted.clone(), "submitted configuration", false));
+        rungs.push((
+            lenient,
+            "submitted configuration with lenient attempt caps",
+            false,
+        ));
+
+        let mut attempt_no = 0u32;
+        let mut last_fault: Option<SimError> = None;
+        for (config, label, oom_falls_through) in rungs {
+            for _ in 0..=self.policy.run_retries {
+                attempt_no += 1;
+                match simulate(
                     spec,
                     dataset,
                     &self.cluster,
-                    &submitted_config,
-                    seed ^ 0x48,
-                )?;
-                self.store.put_profile(&q.statics, &profile)?;
-                Ok(SubmissionReport {
-                    job_id: spec.job_id(),
-                    outcome: SubmissionOutcome::ProfiledAndStored { failure },
-                    run,
-                    sampling_ms: sample.runtime_ms,
-                })
+                    &config,
+                    retry_seed(seed ^ 0x47, attempt_no),
+                ) {
+                    Ok(run) => {
+                        let rung =
+                            format!("served by {label} after {attempt_no} fallback run attempt(s)");
+                        return Ok((config, run, rung));
+                    }
+                    Err(e) if e.is_fault() => last_fault = Some(e),
+                    // OOM is seed-independent: no point retrying the rung.
+                    Err(e @ SimError::OutOfMemory { .. }) if oom_falls_through => {
+                        last_fault = Some(e);
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
+        // Every rung exhausted — the cluster is hostile beyond what the
+        // policy tolerates. Surface the last fault as a typed error.
+        Err(DaemonError::Sim(
+            last_fault.expect("ladder has at least one rung"),
+        ))
     }
 }
 
@@ -201,6 +442,85 @@ mod tests {
             second.run.runtime_ms,
             first.run.runtime_ms
         );
+    }
+
+    #[test]
+    fn daemon_error_chain_is_preserved() {
+        let e = DaemonError::Sim(SimError::EmptyDataset("empty_ds".into()));
+        let src = std::error::Error::source(&e).expect("source must expose the inner SimError");
+        assert!(
+            src.to_string().contains("empty_ds"),
+            "source lost detail: {src}"
+        );
+        assert!(
+            e.to_string().contains("job simulation failed"),
+            "display lost context: {e}"
+        );
+
+        let e = DaemonError::Store(ProfileStoreError::Corrupt("dyn:vec".into()));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn faulty_tuned_runs_degrade_instead_of_erroring() {
+        use mrsim::FaultSpec;
+
+        let mut daemon = PStorM::new().unwrap();
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_count();
+
+        // Clean first submission seeds the store with a full profile.
+        let first = daemon.submit(&spec, &ds, 1).unwrap();
+        assert!(matches!(
+            first.outcome,
+            SubmissionOutcome::ProfiledAndStored { .. }
+        ));
+
+        // Now make the cluster flaky enough that a ~280-map job dies on a
+        // sizable fraction of seeds, and resubmit across seeds.
+        daemon.cluster.faults = FaultSpec {
+            task_failure_prob: 0.2,
+            ..FaultSpec::default()
+        };
+        let mut degraded = 0;
+        let mut tuned = 0;
+        for seed in 0..24 {
+            let report = daemon
+                .submit(&spec, &ds, 1000 + seed)
+                .expect("moderate fault rates must never surface a raw error");
+            match report.outcome {
+                SubmissionOutcome::Degraded { ref reason, .. } => {
+                    degraded += 1;
+                    assert!(!reason.is_empty());
+                    assert!(report.run.runtime_ms > 0.0);
+                }
+                SubmissionOutcome::Tuned { .. } => tuned += 1,
+                SubmissionOutcome::ProfiledAndStored { .. } => {}
+            }
+        }
+        assert!(
+            degraded > 0,
+            "expected at least one degraded submission (tuned: {tuned})"
+        );
+        assert!(tuned > 0, "expected some tuned submissions to survive");
+    }
+
+    #[test]
+    fn hostile_cluster_returns_typed_fault_error() {
+        use mrsim::FaultSpec;
+
+        let mut daemon = PStorM::new().unwrap();
+        daemon.cluster.faults = FaultSpec {
+            node_loss_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_count();
+        match daemon.submit(&spec, &ds, 5) {
+            Err(DaemonError::Sim(e)) => assert!(e.is_fault(), "expected fault error, got {e}"),
+            Err(other) => panic!("expected sim fault, got {other}"),
+            Ok(report) => panic!("total node loss should not complete: {:?}", report.outcome),
+        }
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct Explanation {
 impl Explanation {
     /// Human-readable rendering.
     pub fn render(&self) -> String {
-        let ratio = if self.b_ms > 0.0 { self.a_ms / self.b_ms } else { f64::INFINITY };
+        let ratio = if self.b_ms > 0.0 {
+            self.a_ms / self.b_ms
+        } else {
+            f64::INFINITY
+        };
         match &self.cause {
             Some(cause) => format!(
                 "{}: {:.1}s vs {:.1}s ({ratio:.1}x) — {cause}",
@@ -157,9 +161,7 @@ fn map_cause(
                     sa.map.cfg.as_ref().map(|c| c.max_loop_depth()).unwrap_or(0),
                     sb.map.cfg.as_ref().map(|c| c.max_loop_depth()).unwrap_or(0),
                 );
-                return Some(format!(
-                    "different map CFGs (loop nesting {la} vs {lb})"
-                ));
+                return Some(format!("different map CFGs (loop nesting {la} vs {lb})"));
             }
             None
         }

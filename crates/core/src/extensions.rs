@@ -104,7 +104,10 @@ mod tests {
     fn params_distinguish_window_sizes() {
         let w2 = statics_with_params(&jobs::word_cooccurrence_pairs(2));
         let w3 = statics_with_params(&jobs::word_cooccurrence_pairs(3));
-        assert!(w2.map.jaccard(&w3.map) < 1.0, "windows must differ statically");
+        assert!(
+            w2.map.jaccard(&w3.map) < 1.0,
+            "windows must differ statically"
+        );
         let w2b = statics_with_params(&jobs::word_cooccurrence_pairs(2));
         assert_eq!(w2.map.jaccard(&w2b.map), 1.0);
     }

@@ -19,18 +19,18 @@ pub mod codec;
 pub mod daemon;
 pub mod explain;
 pub mod extensions;
-pub mod workflow;
 pub mod matcher;
 pub mod store;
+pub mod workflow;
 
 pub use altmodels::{OpenTsdbModel, PrefixModel, ProfileLayout, TwoTableModel};
 pub use daemon::{DaemonError, PStorM, SubmissionOutcome, SubmissionReport};
 pub use explain::{explain, Explanation};
 pub use extensions::{statics_with_params, transfer_profile};
-pub use workflow::{ChainReport, ChainStage};
 pub use matcher::{
     match_profile, MatchFailure, MatchResult, MatcherConfig, Side, SideMatch, SubmittedJob,
 };
 pub use store::{
     ColumnarIndex, DynamicRow, NormalizationBounds, ProfileStore, ProfileStoreError, StoredStatics,
 };
+pub use workflow::{ChainReport, ChainStage};

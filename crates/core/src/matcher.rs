@@ -53,6 +53,12 @@ pub struct MatcherConfig {
     /// scans. The two paths produce identical results (property-tested);
     /// the scan path is kept as the oracle and perf baseline.
     pub use_columnar_index: bool,
+    /// How much the stage-1 Euclidean threshold widens for low-confidence
+    /// probes: θ is scaled by `1 + widen · (1 − confidence)`. A probe built
+    /// from a fault-free run (confidence 1.0) is unaffected; a heavily
+    /// perturbed sample gets proportionally more slack, because its noisy
+    /// dataflow statistics would otherwise wrongly exclude good donors.
+    pub low_confidence_widen: f64,
 }
 
 impl Default for MatcherConfig {
@@ -65,6 +71,7 @@ impl Default for MatcherConfig {
             tie_break_input_size: true,
             allow_composition: true,
             use_columnar_index: true,
+            low_confidence_widen: 0.5,
         }
     }
 }
@@ -92,7 +99,10 @@ pub enum MatchFailure {
     /// The alternative cost-factor filter also emptied out.
     NoCostFactorMatch { side: Side },
     /// Composition was disabled (ablation) and map/reduce winners differ.
-    CompositionDisabled { map_source: String, reduce_source: String },
+    CompositionDisabled {
+        map_source: String,
+        reduce_source: String,
+    },
 }
 
 /// Which matching side a diagnostic refers to.
@@ -195,9 +205,9 @@ pub fn match_profile(
         .ok_or_else(|| ProfileStoreError::Corrupt(format!("missing {}", map_side.source_job)))?;
     let profile = match &reduce_side {
         Some(r) if r.source_job != map_side.source_job => {
-            let red_profile = store.get_profile(&r.source_job)?.ok_or_else(|| {
-                ProfileStoreError::Corrupt(format!("missing {}", r.source_job))
-            })?;
+            let red_profile = store
+                .get_profile(&r.source_job)?
+                .ok_or_else(|| ProfileStoreError::Corrupt(format!("missing {}", r.source_job)))?;
             JobProfile::compose(&map_profile, &red_profile)
         }
         Some(_) => map_profile,
@@ -247,7 +257,11 @@ fn match_side(
             &q.statics.reduce,
         ),
     };
-    let theta = cfg.theta_eucl_fraction * (q_dyn.len() as f64).sqrt();
+    // Graceful degradation: a probe profiled under faults carries partial,
+    // noisier statistics; widen the stage-1 acceptance band in proportion
+    // to how much of the sampled work actually completed cleanly.
+    let widen = 1.0 + cfg.low_confidence_widen * (1.0 - q.sample.confidence.clamp(0.0, 1.0));
+    let theta = cfg.theta_eucl_fraction * (q_dyn.len() as f64).sqrt() * widen;
 
     // Stage 1: dynamic-feature Euclidean filter — a vectorized sweep of
     // the columnar index, or the legacy pushed-down region scan. Both call
@@ -313,13 +327,14 @@ fn match_side(
 
     // Cost factors for a candidate: an index row slice, or a lazily
     // batch-scanned table on the legacy path (never per-row point-gets).
-    let scan_costs_for = |cands: &[Candidate<'_>]| -> Result<HashMap<String, Vec<f64>>, ProfileStoreError> {
-        if index.is_none() && !cands.is_empty() {
-            store.all_cost_factors()
-        } else {
-            Ok(HashMap::new())
-        }
-    };
+    let scan_costs_for =
+        |cands: &[Candidate<'_>]| -> Result<HashMap<String, Vec<f64>>, ProfileStoreError> {
+            if index.is_none() && !cands.is_empty() {
+                store.all_cost_factors()
+            } else {
+                Ok(HashMap::new())
+            }
+        };
 
     // Ablation: also require cost-factor proximity at stage 1 (the paper
     // keeps these high-variance features out of the primary vector).
@@ -342,7 +357,9 @@ fn match_side(
     // trusting the dynamics.
     if cfg.static_filters_first {
         stage1.retain(|c| {
-            let Some(statics) = c.statics else { return false };
+            let Some(statics) = c.statics else {
+                return false;
+            };
             let stored_side = match side {
                 Side::Map => &statics.map,
                 Side::Reduce => &statics.reduce,
@@ -532,8 +549,16 @@ mod tests {
         let result = outcome.expect("co-occurrence should match something");
         // The profile must come from a donor (co-occurrence itself is absent).
         assert_ne!(result.map.source_job, q.sample.job_id);
-        assert!(result.map.via_fallback || result.reduce.as_ref().map(|r| r.via_fallback).unwrap_or(false)
-                || result.is_composite() || !result.map.source_job.is_empty());
+        assert!(
+            result.map.via_fallback
+                || result
+                    .reduce
+                    .as_ref()
+                    .map(|r| r.via_fallback)
+                    .unwrap_or(false)
+                || result.is_composite()
+                || !result.map.source_job.is_empty()
+        );
     }
 
     #[test]
@@ -547,7 +572,11 @@ mod tests {
             (jobs::join(), corpus::tpch_1g()),
             (jobs::cf_user_vectors(), corpus::ratings_1m()),
         ]);
-        let q = submitted(&jobs::word_cooccurrence_pairs(2), &corpus::random_text_1g(), 5);
+        let q = submitted(
+            &jobs::word_cooccurrence_pairs(2),
+            &corpus::random_text_1g(),
+            5,
+        );
         let failure = match_profile(&store, &q, &MatcherConfig::default())
             .unwrap()
             .unwrap_err();
@@ -613,6 +642,53 @@ mod tests {
                 (a, b) => panic!("{}: paths disagree: {a:?} vs {b:?}", spec.name),
             }
         }
+    }
+
+    #[test]
+    fn low_confidence_probe_widens_stage1_band() {
+        // Under a tight stage-1 band, a store of dissimilar jobs rejects a
+        // co-occurrence probe at stage 1 (dynamics outside the band). A
+        // low-confidence version of the same probe with an aggressive widen
+        // factor gets enough extra slack to survive stage 1.
+        let store = store_with(&[
+            (jobs::sort(), corpus::teragen_1g()),
+            (jobs::join(), corpus::tpch_1g()),
+            (jobs::cf_user_vectors(), corpus::ratings_1m()),
+        ]);
+        let mut q = submitted(
+            &jobs::word_cooccurrence_pairs(2),
+            &corpus::random_text_1g(),
+            5,
+        );
+        let strict_cfg = MatcherConfig {
+            theta_eucl_fraction: 0.02,
+            ..MatcherConfig::default()
+        };
+        let strict = match_profile(&store, &q, &strict_cfg).unwrap().unwrap_err();
+        assert!(
+            matches!(strict, MatchFailure::NoDynamicMatch { .. }),
+            "{strict:?}"
+        );
+
+        // confidence 0.2 scales θ by 1 + 100·0.8 = 81×, past the default
+        // band that is known to admit at least one of these candidates.
+        q.sample.confidence = 0.2;
+        let widened_cfg = MatcherConfig {
+            low_confidence_widen: 100.0,
+            ..strict_cfg
+        };
+        let widened = match_profile(&store, &q, &widened_cfg).unwrap();
+        assert!(
+            !matches!(widened, Err(MatchFailure::NoDynamicMatch { .. })),
+            "stage 1 should have been widened: {widened:?}"
+        );
+
+        // A full-confidence probe is unaffected by the widen factor.
+        q.sample.confidence = 1.0;
+        let unaffected = match_profile(&store, &q, &widened_cfg)
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(unaffected, MatchFailure::NoDynamicMatch { .. }));
     }
 
     #[test]

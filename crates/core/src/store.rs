@@ -62,7 +62,15 @@ impl std::fmt::Display for ProfileStoreError {
         }
     }
 }
-impl std::error::Error for ProfileStoreError {}
+impl std::error::Error for ProfileStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileStoreError::Store(e) => Some(e),
+            ProfileStoreError::Codec(e) => Some(e),
+            ProfileStoreError::Corrupt(_) => None,
+        }
+    }
+}
 impl From<StoreError> for ProfileStoreError {
     fn from(e: StoreError) -> Self {
         ProfileStoreError::Store(e)
@@ -111,6 +119,14 @@ impl ProfileStore {
         })
     }
 
+    /// Chaos hook: bit-flip one stored cell (e.g. `Profile/<job>`'s
+    /// `PROFILE` column) without updating its checksum, so the next read
+    /// surfaces [`cfstore::StoreError::Corruption`] through
+    /// [`ProfileStoreError::Store`]. Returns whether a cell was hit.
+    pub fn corrupt_cell(&self, row: &[u8], column: &[u8]) -> Result<bool, ProfileStoreError> {
+        Ok(self.store.corrupt_cell(TABLE, row, FAMILY, column)?)
+    }
+
     /// Insert (or replace) a job's profile and features, maintaining the
     /// normalization bounds.
     pub fn put_profile(
@@ -121,7 +137,12 @@ impl ProfileStore {
         let job_id = &profile.job_id;
 
         // Static/<job>: categorical features + CFG cells.
-        for (name, value) in statics.map.categorical.iter().chain(&statics.reduce.categorical) {
+        for (name, value) in statics
+            .map
+            .categorical
+            .iter()
+            .chain(&statics.reduce.categorical)
+        {
             self.store.put(
                 TABLE,
                 Put::new(
@@ -135,13 +156,23 @@ impl ProfileStore {
         if let Some(cfg) = &statics.map.cfg {
             self.store.put(
                 TABLE,
-                Put::new(row_key("Static", job_id), FAMILY, "MAP_CFG", encode_cfg(cfg)),
+                Put::new(
+                    row_key("Static", job_id),
+                    FAMILY,
+                    "MAP_CFG",
+                    encode_cfg(cfg),
+                ),
             )?;
         }
         if let Some(cfg) = &statics.reduce.cfg {
             self.store.put(
                 TABLE,
-                Put::new(row_key("Static", job_id), FAMILY, "RED_CFG", encode_cfg(cfg)),
+                Put::new(
+                    row_key("Static", job_id),
+                    FAMILY,
+                    "RED_CFG",
+                    encode_cfg(cfg),
+                ),
             )?;
         }
 
@@ -151,7 +182,10 @@ impl ProfileStore {
             self.put_f64("Dynamic", job_id, name, *v)?;
         }
         if let Some(red) = &profile.reduce {
-            for (name, v) in RED_DYNAMIC_COLUMNS.iter().zip(red.dynamic_features().iter()) {
+            for (name, v) in RED_DYNAMIC_COLUMNS
+                .iter()
+                .zip(red.dynamic_features().iter())
+            {
                 self.put_f64("Dynamic", job_id, name, *v)?;
             }
         }
@@ -270,7 +304,10 @@ impl ProfileStore {
 
     fn read_normalization_bounds(&self) -> Result<NormalizationBounds, ProfileStoreError> {
         let row = self.store.get(TABLE, b"Meta/normalization")?;
-        let decode = |row: &RowResult, col: &str, dim: usize| -> Result<MinMaxNormalizer, ProfileStoreError> {
+        let decode = |row: &RowResult,
+                      col: &str,
+                      dim: usize|
+         -> Result<MinMaxNormalizer, ProfileStoreError> {
             match row.value(FAMILY, col.as_bytes()) {
                 Some(bytes) => decode_bounds(bytes),
                 None => Ok(identity_bounds(dim)),
@@ -385,7 +422,10 @@ impl ProfileStore {
 
     /// Fetch a job's cost-factor vector.
     pub fn get_cost_factors(&self, job_id: &str) -> Result<Option<Vec<f64>>, ProfileStoreError> {
-        let Some(row) = self.store.get(TABLE, row_key("CostFactor", job_id).as_ref())? else {
+        let Some(row) = self
+            .store
+            .get(TABLE, row_key("CostFactor", job_id).as_ref())?
+        else {
             return Ok(None);
         };
         Ok(Some(decode_cost_factors(&row, job_id)?))
@@ -452,7 +492,7 @@ impl ProfileStore {
                 None => {
                     index
                         .red_dyn
-                        .extend(std::iter::repeat(0.0).take(RED_DYNAMIC_COLUMNS.len()));
+                        .extend(std::iter::repeat_n(0.0, RED_DYNAMIC_COLUMNS.len()));
                     index.has_reduce.push(false);
                 }
             }
@@ -567,21 +607,22 @@ fn job_id_of(row_key: &[u8], prefix: &str) -> Result<String, ProfileStoreError> 
 }
 
 fn decode_statics(row: &RowResult) -> Result<StoredStatics, ProfileStoreError> {
-    let read_side = |names: &[&'static str], cfg_col: &str| -> Result<SideFeatures, ProfileStoreError> {
-        let mut categorical = Vec::with_capacity(names.len());
-        for name in names {
-            let v = row
-                .value(FAMILY, name.as_bytes())
-                .map(|b| String::from_utf8_lossy(b).to_string())
-                .unwrap_or_else(|| "NULL".to_string());
-            categorical.push((*name, v));
-        }
-        let cfg: Option<Cfg> = match row.value(FAMILY, cfg_col.as_bytes()) {
-            Some(bytes) => Some(decode_cfg(bytes)?),
-            None => None,
+    let read_side =
+        |names: &[&'static str], cfg_col: &str| -> Result<SideFeatures, ProfileStoreError> {
+            let mut categorical = Vec::with_capacity(names.len());
+            for name in names {
+                let v = row
+                    .value(FAMILY, name.as_bytes())
+                    .map(|b| String::from_utf8_lossy(b).to_string())
+                    .unwrap_or_else(|| "NULL".to_string());
+                categorical.push((*name, v));
+            }
+            let cfg: Option<Cfg> = match row.value(FAMILY, cfg_col.as_bytes()) {
+                Some(bytes) => Some(decode_cfg(bytes)?),
+                None => None,
+            };
+            Ok(SideFeatures { categorical, cfg })
         };
-        Ok(SideFeatures { categorical, cfg })
-    };
     Ok(StoredStatics {
         map: read_side(
             &[
@@ -637,8 +678,7 @@ impl DynamicRow {
         for c in MAP_DYNAMIC_COLUMNS {
             map_dyn.push(decode_f64(row.value(FAMILY, c.as_bytes())?).ok()?);
         }
-        let has_reduce =
-            decode_f64(row.value(FAMILY, HAS_REDUCE_COLUMN.as_bytes())?).ok()? > 0.5;
+        let has_reduce = decode_f64(row.value(FAMILY, HAS_REDUCE_COLUMN.as_bytes())?).ok()? > 0.5;
         let red_dyn = if has_reduce {
             let mut v = Vec::with_capacity(RED_DYNAMIC_COLUMNS.len());
             for c in RED_DYNAMIC_COLUMNS {
@@ -731,6 +771,27 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_profile_blob_surfaces_as_typed_error() {
+        let store = ProfileStore::new().unwrap();
+        let (statics, profile) = profile_of(&jobs::word_count(), &corpus::random_text_1g());
+        store.put_profile(&statics, &profile).unwrap();
+
+        let row = row_key("Profile", &profile.job_id);
+        assert!(store.corrupt_cell(row.as_ref(), b"blob").unwrap());
+        match store.get_profile(&profile.job_id) {
+            Err(ProfileStoreError::Store(StoreError::Corruption { row, column })) => {
+                assert!(row.starts_with("Profile/"));
+                assert_eq!(column, "blob");
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        // The error chain stays walkable down to the store layer.
+        let err = store.get_profile(&profile.job_id).unwrap_err();
+        let src = std::error::Error::source(&err).expect("source preserved");
+        assert!(src.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
     fn statics_roundtrip_preserves_cfg_matching() {
         let store = ProfileStore::new().unwrap();
         let spec = jobs::word_cooccurrence_pairs(2);
@@ -751,9 +812,7 @@ mod tests {
             store.put_profile(&s, &p).unwrap();
         }
         // Keep only profiles with large map size selectivity.
-        let (rows, metrics) = store
-            .filter_dynamic(|d| d.map_dyn[0] > 3.0)
-            .unwrap();
+        let (rows, metrics) = store.filter_dynamic(|d| d.map_dyn[0] > 3.0).unwrap();
         assert_eq!(metrics.rows_scanned, 2);
         assert!(!rows.is_empty());
         assert!(
@@ -879,8 +938,16 @@ mod tests {
     fn batched_scans_match_point_gets() {
         let store = ProfileStore::new().unwrap();
         let text = corpus::random_text_1g();
-        for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2), jobs::sort()] {
-            let ds = if spec.name == "sort" { corpus::teragen_1g() } else { text.clone() };
+        for spec in [
+            jobs::word_count(),
+            jobs::word_cooccurrence_pairs(2),
+            jobs::sort(),
+        ] {
+            let ds = if spec.name == "sort" {
+                corpus::teragen_1g()
+            } else {
+                text.clone()
+            };
             let (s, p) = profile_of(&spec, &ds);
             store.put_profile(&s, &p).unwrap();
         }
@@ -889,7 +956,10 @@ mod tests {
         assert_eq!(all_costs.len(), 3);
         assert_eq!(all_statics.len(), 3);
         for id in store.job_ids().unwrap() {
-            assert_eq!(all_costs[&id], store.get_cost_factors(&id).unwrap().unwrap());
+            assert_eq!(
+                all_costs[&id],
+                store.get_cost_factors(&id).unwrap().unwrap()
+            );
             let a = &all_statics[&id];
             let b = store.get_statics(&id).unwrap().unwrap();
             assert_eq!(a.map.jaccard(&b.map), 1.0);

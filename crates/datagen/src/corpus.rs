@@ -130,8 +130,12 @@ pub fn pigmix_35g() -> Dataset {
 pub fn input_for(job_name: &str, size: SizeClass) -> Dataset {
     use SizeClass::*;
     match job_name {
-        "word-count" | "word-count-while" | "grep" | "word-cooccurrence-pairs"
-        | "word-cooccurrence-stripes" | "bigram-relative-frequency" => match size {
+        "word-count"
+        | "word-count-while"
+        | "grep"
+        | "word-cooccurrence-pairs"
+        | "word-cooccurrence-stripes"
+        | "bigram-relative-frequency" => match size {
             Small => random_text_1g(),
             Large => wikipedia_35g(),
         },

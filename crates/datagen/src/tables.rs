@@ -45,14 +45,20 @@ impl JoinSpec {
         for k in 0..self.keys {
             records.push(Record::new(
                 Value::text(format!("k{k:06}")),
-                Value::pair(Value::Int(0), Value::text(random_payload(&mut rng, self.left_payload_len))),
+                Value::pair(
+                    Value::Int(0),
+                    Value::text(random_payload(&mut rng, self.left_payload_len)),
+                ),
             ));
         }
         for _ in 0..self.right_rows {
             let k = zipf.sample(&mut rng);
             records.push(Record::new(
                 Value::text(format!("k{k:06}")),
-                Value::pair(Value::Int(1), Value::text(random_payload(&mut rng, self.right_payload_len))),
+                Value::pair(
+                    Value::Int(1),
+                    Value::text(random_payload(&mut rng, self.right_payload_len)),
+                ),
             ));
         }
         Dataset::new(self.name.clone(), records, self.logical_bytes)
@@ -149,7 +155,10 @@ mod tests {
     #[test]
     fn teragen_is_seeded() {
         assert_eq!(teragen("t", 5, 9, 0).records, teragen("t", 5, 9, 0).records);
-        assert_ne!(teragen("t", 5, 9, 0).records, teragen("t", 5, 10, 0).records);
+        assert_ne!(
+            teragen("t", 5, 9, 0).records,
+            teragen("t", 5, 10, 0).records
+        );
     }
 
     #[test]

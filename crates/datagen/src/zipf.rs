@@ -62,9 +62,7 @@ pub struct Vocabulary {
     words: Vec<String>,
 }
 
-const ONSETS: [&str; 12] = [
-    "b", "d", "f", "k", "l", "m", "n", "p", "r", "s", "t", "v",
-];
+const ONSETS: [&str; 12] = ["b", "d", "f", "k", "l", "m", "n", "p", "r", "s", "t", "v"];
 const NUCLEI: [&str; 6] = ["a", "e", "i", "o", "u", "ai"];
 const CODAS: [&str; 6] = ["", "n", "r", "s", "t", "l"];
 

@@ -18,9 +18,9 @@ use staticanalysis::StaticFeatures;
 use whatif::{predict_runtime_ms, WhatIfQuery};
 
 use crate::featsel::MinMaxNormalizer;
-use crate::gbrt::{GbrtModel, GbrtParams};
 #[cfg(test)]
 use crate::gbrt::Loss;
+use crate::gbrt::{GbrtModel, GbrtParams};
 
 /// One entry of the profile store as matchers see it.
 #[derive(Debug, Clone)]
@@ -47,7 +47,10 @@ pub type DistanceVector = [f64; 8];
 impl DistanceContext {
     /// Fit normalization bounds over the store.
     pub fn fit(store: &[StoredJob]) -> DistanceContext {
-        assert!(!store.is_empty(), "cannot fit a distance context on an empty store");
+        assert!(
+            !store.is_empty(),
+            "cannot fit a distance context on an empty store"
+        );
         let map_dyn: Vec<Vec<f64>> = store
             .iter()
             .map(|s| s.profile.map.dynamic_features())
@@ -100,7 +103,13 @@ impl DistanceContext {
         let cfg_red = q_statics.reduce.cfg_match(&reduce_side.statics.reduce);
 
         [
-            jacc_map, eucl_ds_map, eucl_cs_map, cfg_map, jacc_red, eucl_ds_red, eucl_cs_red,
+            jacc_map,
+            eucl_ds_map,
+            eucl_cs_map,
+            cfg_map,
+            jacc_red,
+            eucl_ds_red,
+            eucl_cs_red,
             cfg_red,
         ]
     }
@@ -284,7 +293,7 @@ mod tests {
         let ctx = DistanceContext::fit(&store);
         let (x, y) = build_training_set(&store, &ctx, &cl(), 4, 9);
         assert!(x.len() >= store.len());
-        assert!(y.iter().any(|&t| t == 0.0));
+        assert!(y.contains(&0.0));
         assert!(y.iter().all(|&t| t >= 0.0));
         assert!(x.iter().all(|v| v.len() == 8));
     }

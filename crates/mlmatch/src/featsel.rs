@@ -190,7 +190,11 @@ pub enum SelectedFeature {
 
 /// Rank all features by information gain against the class labels and
 /// keep the top `f`.
-pub fn select_by_info_gain(samples: &[FeatureSample], f: usize, bins: usize) -> Vec<SelectedFeature> {
+pub fn select_by_info_gain(
+    samples: &[FeatureSample],
+    f: usize,
+    bins: usize,
+) -> Vec<SelectedFeature> {
     assert!(!samples.is_empty());
     let n_num = samples[0].numeric.len();
     let n_cat = samples[0].categorical.len();
@@ -204,7 +208,10 @@ pub fn select_by_info_gain(samples: &[FeatureSample], f: usize, bins: usize) -> 
     }
     for i in 0..n_cat {
         let gain = class_entropy
-            - conditional_entropy_categorical(samples.iter().map(|s| s.categorical[i].as_str()), samples);
+            - conditional_entropy_categorical(
+                samples.iter().map(|s| s.categorical[i].as_str()),
+                samples,
+            );
         scored.push((SelectedFeature::Categorical(i), gain));
     }
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));

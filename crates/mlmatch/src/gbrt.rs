@@ -99,8 +99,7 @@ impl GbrtModel {
     pub fn fit(x: &[Vec<f64>], y: &[f64], params: &GbrtParams) -> GbrtModel {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "GBRT needs training data");
-        let n_train = ((x.len() as f64 * params.train_fraction).round() as usize)
-            .clamp(2, x.len());
+        let n_train = ((x.len() as f64 * params.train_fraction).round() as usize).clamp(2, x.len());
         let train: Vec<usize> = (0..n_train).collect();
 
         // Cross-validated best-iteration search.
@@ -143,8 +142,7 @@ fn fit_on(x: &[Vec<f64>], y: &[f64], idx: &[usize], params: &GbrtParams, seed: u
     };
     let mut f: Vec<f64> = vec![init; x.len()];
     let mut trees = Vec::with_capacity(params.n_trees);
-    let bag_size = ((idx.len() as f64 * params.bag_fraction).round() as usize)
-        .clamp(2, idx.len());
+    let bag_size = ((idx.len() as f64 * params.bag_fraction).round() as usize).clamp(2, idx.len());
     let mut bag: Vec<usize> = idx.to_vec();
     let mut residuals = vec![0.0; x.len()];
     for _ in 0..params.n_trees {
@@ -227,7 +225,7 @@ fn median(mut v: Vec<f64>) -> f64 {
     }
     v.sort_by(f64::total_cmp);
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         (v[mid - 1] + v[mid]) / 2.0
     } else {
         v[mid]

@@ -118,12 +118,7 @@ fn mean_of(y: &[f64], idx: &[usize]) -> f64 {
 
 /// Best (feature, threshold) by SSE reduction, or `None` when no split
 /// satisfies the leaf-size constraint or reduces error.
-fn best_split(
-    x: &[Vec<f64>],
-    y: &[f64],
-    idx: &[usize],
-    min_leaf: usize,
-) -> Option<(usize, f64)> {
+fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[usize], min_leaf: usize) -> Option<(usize, f64)> {
     let n = idx.len();
     if n < 2 * min_leaf {
         return None;
@@ -135,6 +130,7 @@ fn best_split(
 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
     let mut order: Vec<usize> = idx.to_vec();
+    #[allow(clippy::needless_range_loop)] // `f` indexes the inner feature vectors, not `x`
     for f in 0..n_features {
         order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
         let mut left_sum = 0.0;
@@ -155,7 +151,10 @@ fn best_split(
             let right_sq = total_sq - left_sq;
             let sse = (left_sq - left_sum * left_sum / left_n as f64)
                 + (right_sq - right_sum * right_sum / right_n as f64);
-            if best.map(|(_, _, b)| sse < b).unwrap_or(sse < base_sse - 1e-12) {
+            if best
+                .map(|(_, _, b)| sse < b)
+                .unwrap_or(sse < base_sse - 1e-12)
+            {
                 let threshold = (x[i][f] + x[order[k + 1]][f]) / 2.0;
                 best = Some((f, threshold, sse));
             }
@@ -213,7 +212,9 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![(i % 2) as f64, (i * 7 % 13) as f64])
             .collect();
-        let y: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let params = TreeParams {
             max_depth: 1,
             min_samples_leaf: 5,

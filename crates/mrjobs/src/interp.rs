@@ -22,8 +22,15 @@ const MAX_STEPS: u64 = 50_000_000;
 pub enum InterpError {
     UnknownVar(String),
     UnknownJobParam(String),
-    TypeError { expected: &'static str, got: String },
-    ArityMismatch { builtin: String, expected: usize, got: usize },
+    TypeError {
+        expected: &'static str,
+        got: String,
+    },
+    ArityMismatch {
+        builtin: String,
+        expected: usize,
+        got: usize,
+    },
     DivisionByZero,
     StepLimitExceeded,
 }
@@ -241,7 +248,9 @@ impl<'a> Frame<'a> {
                     let mut all_int = true;
                     for v in l {
                         all_int &= matches!(v, Value::Int(_));
-                        acc += v.as_float().ok_or_else(|| type_err("number", v).unwrap_err())?;
+                        acc += v
+                            .as_float()
+                            .ok_or_else(|| type_err("number", v).unwrap_err())?;
                     }
                     if all_int {
                         Value::Int(acc as i64)
@@ -294,13 +303,10 @@ impl<'a> Frame<'a> {
                     let kv = self.eval(key)?;
                     kv.to_string()
                 };
-                let d = self
-                    .eval(delta)?
-                    .as_float()
-                    .ok_or(InterpError::TypeError {
-                        expected: "number",
-                        got: "non-numeric delta".to_string(),
-                    })?;
+                let d = self.eval(delta)?.as_float().ok_or(InterpError::TypeError {
+                    expected: "number",
+                    got: "non-numeric delta".to_string(),
+                })?;
                 let slot = self
                     .env
                     .get_mut(name)
@@ -564,11 +570,7 @@ mod tests {
             "wc",
             vec![
                 assign("tokens", tokenize(var("value"))),
-                for_each(
-                    "word",
-                    var("tokens"),
-                    vec![emit(var("word"), c_int(1))],
-                ),
+                for_each("word", var("tokens"), vec![emit(var("word"), c_int(1))]),
             ],
         );
         let mut out = vec![];
@@ -704,7 +706,10 @@ mod tests {
 
     #[test]
     fn infinite_loop_hits_step_limit() {
-        let udf = Udf::mapper("inf", vec![while_loop(c_int(1), vec![assign("x", c_int(0))])]);
+        let udf = Udf::mapper(
+            "inf",
+            vec![while_loop(c_int(1), vec![assign("x", c_int(0))])],
+        );
         let mut out = vec![];
         let err = run_map(&udf, &no_params(), &Value::Null, &Value::Null, &mut out).unwrap_err();
         assert_eq!(err, InterpError::StepLimitExceeded);

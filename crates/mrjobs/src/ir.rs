@@ -95,8 +95,8 @@ impl Builtin {
         use Builtin::*;
         match self {
             EmptyList | EmptyMap => 0,
-            Tokenize | Lower | Len | ToText | ParseInt | ParseFloat | First | Second
-            | NotEmpty | Hash | SumList | SortList | MapKeys => 1,
+            Tokenize | Lower | Len | ToText | ParseInt | ParseFloat | First | Second | NotEmpty
+            | Hash | SumList | SortList | MapKeys => 1,
             Split | Index | Concat | MakePair | MapGet | Contains | Range | Min | Max => 2,
             Substr => 3,
         }

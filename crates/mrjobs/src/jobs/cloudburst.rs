@@ -25,11 +25,7 @@ pub fn cloudburst(seed_len: i64) -> JobSpec {
                     emit(
                         call(
                             Builtin::Substr,
-                            vec![
-                                var("value"),
-                                var("i"),
-                                add(var("i"), job_param("seed_len")),
-                            ],
+                            vec![var("value"), var("i"), add(var("i"), job_param("seed_len"))],
                         ),
                         make_pair(var("key"), var("i")),
                     ),

@@ -188,10 +188,7 @@ pub fn bigram_relative_frequency() -> JobSpec {
                         not_empty(var("w1")),
                         vec![emit(
                             var("w1"),
-                            make_pair(
-                                index(var("words"), add(var("i"), c_int(1))),
-                                c_int(1),
-                            ),
+                            make_pair(index(var("words"), add(var("i"), c_int(1))), c_int(1)),
                         )],
                     ),
                 ],
@@ -253,10 +250,7 @@ mod tests {
         .unwrap();
         // window=2, symmetric -> a:{b,c}, b:{a,c}, c:{a,b}
         assert_eq!(out.len(), 6);
-        assert_eq!(
-            out[0].0,
-            Value::pair(Value::text("a"), Value::text("b"))
-        );
+        assert_eq!(out[0].0, Value::pair(Value::text("a"), Value::text("b")));
     }
 
     #[test]
@@ -328,8 +322,22 @@ mod tests {
         let coocc = word_cooccurrence_pairs(2);
         let mut b_out = vec![];
         let mut c_out = vec![];
-        run_map(&bigram.map_udf, &bigram.params, &Value::Int(0), &line, &mut b_out).unwrap();
-        run_map(&coocc.map_udf, &coocc.params, &Value::Int(0), &line, &mut c_out).unwrap();
+        run_map(
+            &bigram.map_udf,
+            &bigram.params,
+            &Value::Int(0),
+            &line,
+            &mut b_out,
+        )
+        .unwrap();
+        run_map(
+            &coocc.map_udf,
+            &coocc.params,
+            &Value::Int(0),
+            &line,
+            &mut c_out,
+        )
+        .unwrap();
         // coocc emits a few records per word; bigram one per word: sizes
         // are the same order, and both scale linearly in line length.
         assert_eq!(b_out.len(), 3);

@@ -17,11 +17,7 @@ fn support_reducer(name: &str) -> Udf {
         vec![
             assign("total", call(Builtin::SumList, vec![var("values")])),
             if_then(
-                bin(
-                    crate::ir::BinOp::Ge,
-                    var("total"),
-                    job_param("min_support"),
-                ),
+                bin(crate::ir::BinOp::Ge, var("total"), job_param("min_support")),
                 vec![emit(var("key"), var("total"))],
             ),
         ],
@@ -65,10 +61,7 @@ pub fn fim_pass2(min_support: i64) -> JobSpec {
                     "j",
                     call(Builtin::Range, vec![add(var("i"), c_int(1)), var("n")]),
                     vec![emit(
-                        make_pair(
-                            index(var("items"), var("i")),
-                            index(var("items"), var("j")),
-                        ),
+                        make_pair(index(var("items"), var("i")), index(var("items"), var("j"))),
                         c_int(1),
                     )],
                 )],
@@ -156,7 +149,10 @@ pub fn cf_user_vectors() -> JobSpec {
     );
     let reducer = Udf::reducer(
         "UserVectorReducer",
-        vec![emit(var("key"), call(Builtin::SortList, vec![var("values")]))],
+        vec![emit(
+            var("key"),
+            call(Builtin::SortList, vec![var("values")]),
+        )],
     );
     JobSpec::builder("cf-user-vectors")
         .mapper("RatingMapper", mapper)
@@ -182,10 +178,7 @@ pub fn cf_item_similarity() -> JobSpec {
                     "j",
                     call(Builtin::Range, vec![add(var("i"), c_int(1)), var("n")]),
                     vec![emit(
-                        make_pair(
-                            index(var("items"), var("i")),
-                            index(var("items"), var("j")),
-                        ),
+                        make_pair(index(var("items"), var("i")), index(var("items"), var("j"))),
                         c_int(1),
                     )],
                 )],
@@ -261,10 +254,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out[0].0, Value::text("u1"));
-        assert_eq!(
-            out[0].1,
-            Value::pair(Value::text("i42"), Value::float(4.5))
-        );
+        assert_eq!(out[0].1, Value::pair(Value::text("i42"), Value::float(4.5)));
     }
 
     #[test]

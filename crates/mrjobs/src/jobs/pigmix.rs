@@ -68,8 +68,8 @@ pub fn pigmix(n: usize) -> JobSpec {
     let measure_field = 3 + (n % 2) as i64;
     let threshold = ((n * 7) % 50) as i64;
     let agg = PigAgg::for_query(n);
-    let wide_key = n % 5 == 0;
-    let distinct = n % 6 == 0;
+    let wide_key = n.is_multiple_of(5);
+    let distinct = n.is_multiple_of(6);
 
     let key_expr = if wide_key {
         make_pair(
@@ -88,7 +88,7 @@ pub fn pigmix(n: usize) -> JobSpec {
         )
     };
     let mapper = Udf::mapper(
-        &format!("PigMixL{n}Mapper"),
+        format!("PigMixL{n}Mapper"),
         vec![
             assign("f", call(Builtin::Split, vec![var("value"), c_text(" ")])),
             if_then(
@@ -110,7 +110,7 @@ pub fn pigmix(n: usize) -> JobSpec {
     } else {
         agg.reducer_body()
     };
-    let reducer = Udf::reducer(&format!("PigMixL{n}Reducer"), reducer_body);
+    let reducer = Udf::reducer(format!("PigMixL{n}Reducer"), reducer_body);
 
     let mut builder = JobSpec::builder(format!("pigmix-l{n}"))
         .driver_reduce_tasks(10)
@@ -144,10 +144,10 @@ pub fn pigmix(n: usize) -> JobSpec {
         );
     // Even-numbered queries ship a combiner, as Pig does for algebraic
     // aggregates.
-    if n % 2 == 0 && !distinct && matches!(agg, PigAgg::Sum | PigAgg::Count) {
+    if n.is_multiple_of(2) && !distinct && matches!(agg, PigAgg::Sum | PigAgg::Count) {
         builder = builder.combiner(
             &format!("PigMixL{n}Combiner"),
-            Udf::reducer(&format!("PigMixL{n}Combiner"), PigAgg::Sum.reducer_body()),
+            Udf::reducer(format!("PigMixL{n}Combiner"), PigAgg::Sum.reducer_body()),
         );
     }
     builder.build()

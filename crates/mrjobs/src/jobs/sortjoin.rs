@@ -114,10 +114,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 2);
-        assert_eq!(
-            out[0].1,
-            Value::pair(Value::text("l1"), Value::text("r1"))
-        );
+        assert_eq!(out[0].1, Value::pair(Value::text("l1"), Value::text("r1")));
     }
 
     #[test]

@@ -102,9 +102,7 @@ impl Value {
             Value::Map(m) => {
                 4 + m
                     .iter()
-                    .map(|(k, v)| {
-                        vint_size(k.len() as u64) + k.len() as u64 + v.serialized_size()
-                    })
+                    .map(|(k, v)| vint_size(k.len() as u64) + k.len() as u64 + v.serialized_size())
                     .sum::<u64>()
             }
         }
@@ -360,7 +358,10 @@ mod tests {
     fn type_names_are_writable_classes() {
         assert_eq!(ValueType::Text.class_name(), "Text");
         assert_eq!(ValueType::Int.class_name(), "LongWritable");
-        assert_eq!(Value::pair(Value::Null, Value::Null).value_type(), ValueType::Pair);
+        assert_eq!(
+            Value::pair(Value::Null, Value::Null).value_type(),
+            ValueType::Pair
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! c1.medium nodes — one master, 15 workers with 2 map slots and 2 reduce
 //! slots each and 300 MB of task heap.
 
+use crate::faults::FaultSpec;
+
 /// Base cost rates of the cluster hardware, in nanoseconds per byte /
 /// record / abstract op. These are the quantities the profile *cost
 /// factors* (Table 4.2) estimate from observed task executions.
@@ -73,6 +75,13 @@ pub struct ClusterSpec {
     /// utilization heterogeneity. This is what makes profile *cost
     /// factors* vary between sample tasks of the same job (§4.1.1).
     pub heterogeneity: f64,
+    /// Persistent per-node slowdown multipliers (straggler nodes): entry
+    /// `i` scales every task duration on worker `i`. Missing entries mean
+    /// `1.0`; an empty vector is a fully uniform cluster.
+    pub node_slowdown: Vec<f64>,
+    /// Fault-injection parameters; [`FaultSpec::default`] is fully inert
+    /// and keeps the simulator on its legacy bit-identical path.
+    pub faults: FaultSpec,
 }
 
 impl ClusterSpec {
@@ -87,7 +96,19 @@ impl ClusterSpec {
             hdfs_block_mb: 64,
             rates: CostRates::default(),
             heterogeneity: 0.18,
+            node_slowdown: Vec::new(),
+            faults: FaultSpec::default(),
         }
+    }
+
+    /// The slowdown multiplier of worker `node` (1.0 when unspecified).
+    pub fn node_slowdown_factor(&self, node: usize) -> f64 {
+        self.node_slowdown.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// True when every worker runs at nominal speed (no stragglers).
+    pub fn is_uniform_speed(&self) -> bool {
+        self.node_slowdown.iter().all(|&s| s == 1.0)
     }
 
     /// Total map slots.

@@ -43,6 +43,12 @@ pub struct JobConfig {
     pub reduce_input_buffer_percent: f64,
     /// `mapred.output.compress` — compress job output.
     pub compress_output: bool,
+    /// `mapred.map.max.attempts` — attempts per map task before the job
+    /// fails (Hadoop default 4). Only observable under fault injection.
+    pub max_map_attempts: u32,
+    /// `mapred.reduce.max.attempts` — attempts per reduce task before the
+    /// job fails (Hadoop default 4). Only observable under fault injection.
+    pub max_reduce_attempts: u32,
 }
 
 impl Default for JobConfig {
@@ -62,6 +68,8 @@ impl Default for JobConfig {
             inmem_merge_threshold: 1000,
             reduce_input_buffer_percent: 0.0,
             compress_output: false,
+            max_map_attempts: 4,
+            max_reduce_attempts: 4,
         }
     }
 }
@@ -108,7 +116,10 @@ impl JobConfig {
         if self.io_sort_factor < 2 {
             return Err(ConfigError("io.sort.factor must be >= 2".to_string()));
         }
-        frac("mapred.reduce.slowstart.completed.maps", self.reduce_slowstart)?;
+        frac(
+            "mapred.reduce.slowstart.completed.maps",
+            self.reduce_slowstart,
+        )?;
         if self.num_reduce_tasks == 0 {
             return Err(ConfigError("mapred.reduce.tasks must be >= 1".to_string()));
         }
@@ -116,7 +127,10 @@ impl JobConfig {
             "mapred.job.shuffle.input.buffer.percent",
             self.shuffle_input_buffer_percent,
         )?;
-        frac("mapred.job.shuffle.merge.percent", self.shuffle_merge_percent)?;
+        frac(
+            "mapred.job.shuffle.merge.percent",
+            self.shuffle_merge_percent,
+        )?;
         if self.inmem_merge_threshold == 0 {
             return Err(ConfigError(
                 "mapred.inmem.merge.threshold must be >= 1".to_string(),
@@ -129,6 +143,16 @@ impl JobConfig {
         if self.min_num_spills_for_combine == 0 {
             return Err(ConfigError(
                 "min.num.spills.for.combine must be >= 1".to_string(),
+            ));
+        }
+        if self.max_map_attempts == 0 {
+            return Err(ConfigError(
+                "mapred.map.max.attempts must be >= 1".to_string(),
+            ));
+        }
+        if self.max_reduce_attempts == 0 {
+            return Err(ConfigError(
+                "mapred.reduce.max.attempts must be >= 1".to_string(),
             ));
         }
         Ok(())
@@ -153,9 +177,9 @@ impl JobConfig {
     /// per-record accounting entries.
     pub fn sort_buffer_capacity(&self) -> (f64, f64) {
         let buffer = (self.io_sort_mb * 1024 * 1024) as f64;
-        let record_bytes = buffer * (1.0 - self.io_sort_record_percent) * self.io_sort_spill_percent;
-        let meta_records =
-            buffer * self.io_sort_record_percent * self.io_sort_spill_percent / 16.0;
+        let record_bytes =
+            buffer * (1.0 - self.io_sort_record_percent) * self.io_sort_spill_percent;
+        let meta_records = buffer * self.io_sort_record_percent * self.io_sort_spill_percent / 16.0;
         (record_bytes, meta_records)
     }
 }
@@ -180,23 +204,42 @@ mod tests {
         assert_eq!(c.inmem_merge_threshold, 1000);
         assert_eq!(c.reduce_input_buffer_percent, 0.0);
         assert!(!c.compress_output);
+        assert_eq!(c.max_map_attempts, 4);
+        assert_eq!(c.max_reduce_attempts, 4);
         c.validate().unwrap();
     }
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = JobConfig::default();
-        c.num_reduce_tasks = 0;
-        assert!(c.validate().is_err());
-        let mut c = JobConfig::default();
-        c.io_sort_mb = 0;
-        assert!(c.validate().is_err());
-        let mut c = JobConfig::default();
-        c.io_sort_record_percent = 0.9;
-        assert!(c.validate().is_err());
-        let mut c = JobConfig::default();
-        c.io_sort_factor = 1;
-        assert!(c.validate().is_err());
+        let bad = [
+            JobConfig {
+                num_reduce_tasks: 0,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                io_sort_mb: 0,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                io_sort_record_percent: 0.9,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                io_sort_factor: 1,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                max_map_attempts: 0,
+                ..JobConfig::default()
+            },
+            JobConfig {
+                max_reduce_attempts: 0,
+                ..JobConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should not validate");
+        }
     }
 
     #[test]
@@ -211,8 +254,10 @@ mod tests {
 
     #[test]
     fn larger_record_percent_trades_bytes_for_records() {
-        let mut big_meta = JobConfig::default();
-        big_meta.io_sort_record_percent = 0.2;
+        let big_meta = JobConfig {
+            io_sort_record_percent: 0.2,
+            ..JobConfig::default()
+        };
         let (b1, m1) = JobConfig::default().sort_buffer_capacity();
         let (b2, m2) = big_meta.sort_buffer_capacity();
         assert!(b2 < b1);

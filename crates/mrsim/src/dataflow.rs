@@ -52,7 +52,12 @@ pub struct CombineFlow {
 impl CombineFlow {
     /// Record selectivity at a given combining group size.
     pub fn record_selectivity_at(&self, records: f64) -> f64 {
-        rescale_selectivity(self.record_selectivity, self.ref_records, self.alpha, records)
+        rescale_selectivity(
+            self.record_selectivity,
+            self.ref_records,
+            self.alpha,
+            records,
+        )
     }
 
     /// Size selectivity at a given combining group size.
@@ -114,8 +119,7 @@ impl ReduceFlow {
             }
         }
         let uniform_each = self.uniform_weight / r as f64;
-        let total: f64 =
-            self.key_weights.iter().map(|(_, w)| w).sum::<f64>() + self.uniform_weight;
+        let total: f64 = self.key_weights.iter().map(|(_, w)| w).sum::<f64>() + self.uniform_weight;
         if total <= 0.0 {
             return vec![1.0 / r as f64; r];
         }
@@ -229,11 +233,13 @@ pub fn analyze(
             comb_in_bytes += out_bytes as f64;
             for (key, values) in grouped {
                 let mut comb_out = Vec::new();
-                let stats = run_reduce(comb, &spec.params, &key, values, &mut comb_out)
-                    .map_err(|e| SimError::Udf {
-                        job: spec.name.clone(),
-                        udf: comb.name.clone(),
-                        source: e,
+                let stats =
+                    run_reduce(comb, &spec.params, &key, values, &mut comb_out).map_err(|e| {
+                        SimError::Udf {
+                            job: spec.name.clone(),
+                            udf: comb.name.clone(),
+                            source: e,
+                        }
                     })?;
                 comb_ops += stats.ops as f64;
                 comb_out_records += comb_out.len() as f64;
@@ -293,8 +299,7 @@ pub fn analyze(
     // Overall sample→logical scale for intermediate data.
     let sample_tasks = per_task.len() as f64;
     let inter_scale = if total_sample_out_bytes > 0.0 {
-        (per_task.iter().map(|t| t.out_bytes).sum::<f64>() / sample_tasks)
-            * num_map_tasks as f64
+        (per_task.iter().map(|t| t.out_bytes).sum::<f64>() / sample_tasks) * num_map_tasks as f64
             / total_sample_out_bytes
     } else {
         1.0
@@ -418,8 +423,8 @@ fn distinct_growth_alpha(pairs: &[(Value, Value)], half_idx: usize) -> f64 {
         // No growth in the second half: saturated key space.
         return 0.05;
     }
-    let alpha = ((d_full as f64 / d_half as f64).ln())
-        / ((pairs.len() as f64 / half_idx as f64).ln());
+    let alpha =
+        ((d_full as f64 / d_half as f64).ln()) / ((pairs.len() as f64 / half_idx as f64).ln());
     if !alpha.is_finite() {
         return 1.0;
     }

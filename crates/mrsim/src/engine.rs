@@ -8,6 +8,8 @@
 //!    `mapred.reduce.slowstart.completed.maps` and by shuffle completion),
 //! 5. returns a [`JobReport`] with everything the profiler needs.
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,13 +19,17 @@ use crate::cluster::{ClusterSpec, CostRates};
 use crate::config::JobConfig;
 use crate::dataflow::{analyze, Dataflow};
 use crate::error::SimError;
-use crate::phases::{
-    map_task_costs, reduce_task_costs, MapTaskInputs, ReduceTaskInputs,
-};
+use crate::faults::FaultStats;
+use crate::phases::{map_task_costs, reduce_task_costs, MapTaskInputs, ReduceTaskInputs};
 use crate::report::{JobReport, MapTaskReport, ReduceTaskReport};
 
 /// Fixed job-level overhead (submission, setup, commit), in ms.
 const JOB_OVERHEAD_MS: f64 = 4_000.0;
+
+/// Salt for the fault-decision RNG stream. Fault draws come from their own
+/// stream (distinct from the `seed ^ 0x5eed` noise stream) so enabling
+/// fault injection never perturbs the per-task noise sequence.
+const FAULT_SEED_SALT: u64 = 0x00fa_17ed;
 
 /// In-memory inflation of deserialized container values (Java object
 /// overhead); drives the OOM model for Map/List-valued intermediate data.
@@ -76,8 +82,25 @@ pub fn simulate_with_dataflow(
 ) -> Result<JobReport, SimError> {
     config.validate()?;
     check_memory(spec, dataflow, cluster, config)?;
+    if cluster.faults.is_inert() && cluster.is_uniform_speed() {
+        simulate_clean(spec, dataflow, dataset_name, cluster, config, seed)
+    } else {
+        simulate_faulty(spec, dataflow, dataset_name, cluster, config, seed)
+    }
+}
 
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee_d);
+/// The legacy fault-free scheduler. Kept byte-for-byte in behavior: with
+/// `FaultSpec::default()` and no straggler nodes the public entry points
+/// land here, which is what the pinned `to_bits` regression tests assert.
+fn simulate_clean(
+    spec: &JobSpec,
+    dataflow: &Dataflow,
+    dataset_name: &str,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+    seed: u64,
+) -> Result<JobReport, SimError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
     let sigma = cluster.heterogeneity;
 
     // ---- Map wave scheduling -------------------------------------------
@@ -124,6 +147,8 @@ pub fn simulate_with_dataflow(
             num_spills: costs.num_spills,
             observed_rates: rates,
             map_cpu_ops: flow.map_ops,
+            attempt: 1,
+            speculative: false,
         });
     }
 
@@ -150,14 +175,13 @@ pub fn simulate_with_dataflow(
         // Aggregating reducers cannot emit more records than they consume;
         // the output estimate (distinct-key based) and the combined-input
         // estimate are extrapolated separately, so reconcile them here.
-        let (total_out_records, total_out_bytes) = if red.out_records < red.in_records
-            && red.out_records > total_in_records
-        {
-            let shrink = total_in_records / red.out_records;
-            (total_in_records, red.out_bytes * shrink)
-        } else {
-            (red.out_records, red.out_bytes)
-        };
+        let (total_out_records, total_out_bytes) =
+            if red.out_records < red.in_records && red.out_records > total_in_records {
+                let shrink = total_in_records / red.out_records;
+                (total_in_records, red.out_bytes * shrink)
+            } else {
+                (red.out_records, red.out_bytes)
+            };
         for (task_id, share) in shares.iter().enumerate() {
             let io_f = lognormal(&mut rng, sigma);
             let cpu_f = lognormal(&mut rng, sigma);
@@ -200,6 +224,7 @@ pub fn simulate_with_dataflow(
                 out_bytes: inputs.out_bytes,
                 observed_rates: rates,
                 reduce_ops_per_record: red.ops_per_record,
+                attempt: 1,
             });
         }
     }
@@ -217,7 +242,460 @@ pub fn simulate_with_dataflow(
         maps_done_ms,
         map_tasks: map_reports,
         reduce_tasks: reduce_reports,
+        faults: FaultStats::default(),
     })
+}
+
+/// The fault-aware scheduler: bounded task retries, straggler nodes,
+/// whole-node loss with re-execution of lost map output, and speculative
+/// backups for the slowest map stragglers.
+///
+/// Fault decisions come from a dedicated `chaos` RNG stream; per-attempt
+/// noise comes from the same noise stream the clean path uses (but draws
+/// happen per *attempt*, so retry patterns shift the sequence — only the
+/// inert path is bit-identical to the legacy engine, which is the
+/// guarantee the regression tests pin down).
+fn simulate_faulty(
+    spec: &JobSpec,
+    dataflow: &Dataflow,
+    dataset_name: &str,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+    seed: u64,
+) -> Result<JobReport, SimError> {
+    let faults = cluster.faults.clamped();
+    let sigma = cluster.heterogeneity;
+    let mut noise = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut chaos = StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT);
+    let mut stats = FaultStats::default();
+
+    let m = dataflow.num_map_tasks;
+    let spn = cluster.map_slots_per_node.max(1) as usize;
+    let workers = cluster.workers.max(1) as usize;
+    let has_reduce = dataflow.reduce.is_some();
+
+    // ---- Node death schedule -------------------------------------------
+    // Deaths are placed uniformly inside a rough fault-free makespan
+    // estimate; a death drawn past the real end simply never fires.
+    let est = estimate_makespan_ms(dataflow, cluster, config, has_reduce);
+    let mut node_death = vec![f64::INFINITY; workers];
+    for d in node_death.iter_mut() {
+        if chaos.gen::<f64>() < faults.node_loss_prob {
+            *d = chaos.gen::<f64>() * est;
+        }
+    }
+    stats.nodes_lost = node_death.iter().filter(|d| d.is_finite()).count() as u32;
+
+    // ---- Map attempts ---------------------------------------------------
+    struct MapWin {
+        report: MapTaskReport,
+        node: usize,
+        final_uncomp: f64,
+    }
+    let mut winners: Vec<Option<MapWin>> = (0..m).map(|_| None).collect();
+    let mut slot_free = vec![0.0f64; cluster.map_slots().max(1) as usize];
+    let mut pending: VecDeque<(u32, u32)> = (0..m).map(|t| (t, 1)).collect();
+
+    // One scheduling step for the queue of pending (task, attempt) pairs.
+    // Each attempt draws fresh noise, may fail partway (injected), may be
+    // killed by losing its node, or completes and becomes the task's
+    // current winner.
+    macro_rules! drain_map_queue {
+        () => {
+            while let Some((task_id, attempt)) = pending.pop_front() {
+                if attempt > config.max_map_attempts {
+                    return Err(SimError::TaskAttemptsExhausted {
+                        job: spec.job_id(),
+                        task: format!("map-{task_id}"),
+                        attempts: config.max_map_attempts,
+                    });
+                }
+                let Some(slot) = earliest_alive_slot(&slot_free, &node_death, spn) else {
+                    return Err(SimError::ClusterLost { job: spec.job_id() });
+                };
+                let node = slot / spn;
+                let start = slot_free[slot];
+                let io_f = lognormal(&mut noise, sigma);
+                let cpu_f = lognormal(&mut noise, sigma);
+                let slow = cluster.node_slowdown_factor(node);
+                let rates = cluster.rates.jittered(io_f * slow, cpu_f * slow);
+                let flow = &dataflow.per_task[task_id as usize % dataflow.per_task.len()];
+                let inputs = MapTaskInputs {
+                    input_bytes: flow.input_bytes,
+                    input_records: flow.input_records,
+                    out_records: flow.out_records,
+                    out_bytes: flow.out_bytes,
+                    map_cpu_ops: flow.map_ops,
+                    combine: dataflow.combine,
+                };
+                let costs = map_task_costs(config, &rates, &inputs);
+                let dur_ms = costs.total_ns() / 1e6;
+                stats.scheduled_attempts += 1;
+                if chaos.gen::<f64>() < faults.task_failure_prob {
+                    // Injected attempt failure partway through the run.
+                    let died_at = (start + dur_ms * chaos.gen::<f64>()).min(node_death[node]);
+                    stats.failed_attempts += 1;
+                    stats.wasted_ms += died_at - start;
+                    slot_free[slot] = died_at;
+                    pending.push_back((task_id, attempt + 1));
+                    continue;
+                }
+                let end = start + dur_ms;
+                if node_death[node] < end {
+                    // Node died under the attempt; the kill does not count
+                    // against the task's attempt budget (as in Hadoop).
+                    stats.failed_attempts += 1;
+                    stats.wasted_ms += node_death[node] - start;
+                    slot_free[slot] = node_death[node];
+                    pending.push_back((task_id, attempt));
+                    continue;
+                }
+                stats.successful_attempts += 1;
+                slot_free[slot] = end;
+                winners[task_id as usize] = Some(MapWin {
+                    report: MapTaskReport {
+                        task_id,
+                        start_ms: start,
+                        end_ms: end,
+                        phases: costs.phases,
+                        input_records: flow.input_records,
+                        input_bytes: flow.input_bytes,
+                        out_records: flow.out_records,
+                        out_bytes: flow.out_bytes,
+                        final_out_records: costs.final_out_records,
+                        final_out_bytes: costs.final_out_bytes,
+                        num_spills: costs.num_spills,
+                        observed_rates: rates,
+                        map_cpu_ops: flow.map_ops,
+                        attempt,
+                        speculative: false,
+                    },
+                    node,
+                    final_uncomp: costs.final_out_bytes_uncompressed,
+                });
+            }
+        };
+    }
+    drain_map_queue!();
+
+    // ---- Speculative backups for map stragglers ------------------------
+    if faults.speculation && m > 1 {
+        let mut durs: Vec<f64> = winners
+            .iter()
+            .map(|w| w.as_ref().map(|w| w.report.duration_ms()).unwrap_or(0.0))
+            .collect();
+        durs.sort_by(|a, b| a.total_cmp(b));
+        let median = durs[durs.len() / 2];
+        let threshold = median * faults.speculation_threshold;
+        let max_backups = ((m as f64) * faults.speculation_cap).ceil() as usize;
+        // Slowest first, bounded by the speculation cap.
+        let mut stragglers: Vec<u32> = (0..m)
+            .filter(|t| {
+                winners[*t as usize]
+                    .as_ref()
+                    .map(|w| w.report.duration_ms() > threshold)
+                    .unwrap_or(false)
+            })
+            .collect();
+        stragglers.sort_by(|a, b| {
+            let da = winners[*a as usize].as_ref().unwrap().report.duration_ms();
+            let db = winners[*b as usize].as_ref().unwrap().report.duration_ms();
+            db.total_cmp(&da)
+        });
+        stragglers.truncate(max_backups);
+        for task_id in stragglers {
+            let (orig_start, orig_end, orig_attempt) = {
+                let w = winners[task_id as usize].as_ref().unwrap();
+                (w.report.start_ms, w.report.end_ms, w.report.attempt)
+            };
+            let Some(slot) = earliest_alive_slot(&slot_free, &node_death, spn) else {
+                break; // cluster nearly gone; no capacity to speculate
+            };
+            let start = slot_free[slot].max(orig_start);
+            if start >= orig_end {
+                continue; // original finished before a backup could launch
+            }
+            let node = slot / spn;
+            let io_f = lognormal(&mut noise, sigma);
+            let cpu_f = lognormal(&mut noise, sigma);
+            let slow = cluster.node_slowdown_factor(node);
+            let rates = cluster.rates.jittered(io_f * slow, cpu_f * slow);
+            let flow = &dataflow.per_task[task_id as usize % dataflow.per_task.len()];
+            let inputs = MapTaskInputs {
+                input_bytes: flow.input_bytes,
+                input_records: flow.input_records,
+                out_records: flow.out_records,
+                out_bytes: flow.out_bytes,
+                map_cpu_ops: flow.map_ops,
+                combine: dataflow.combine,
+            };
+            let costs = map_task_costs(config, &rates, &inputs);
+            let dur_ms = costs.total_ns() / 1e6;
+            stats.scheduled_attempts += 1;
+            if chaos.gen::<f64>() < faults.task_failure_prob {
+                let died_at = (start + dur_ms * chaos.gen::<f64>()).min(node_death[node]);
+                stats.failed_attempts += 1;
+                stats.wasted_ms += died_at - start;
+                slot_free[slot] = died_at;
+                continue; // the original result stands
+            }
+            let end = start + dur_ms;
+            if node_death[node] < end {
+                stats.failed_attempts += 1;
+                stats.wasted_ms += node_death[node] - start;
+                slot_free[slot] = node_death[node];
+                continue;
+            }
+            slot_free[slot] = end;
+            if end < orig_end {
+                // Backup wins: the backup counts as the success and the
+                // original attempt — already tallied as a success when the
+                // wave drained — is reclassified as the speculative kill,
+                // so `successful_attempts` nets out unchanged.
+                stats.speculative_kills += 1;
+                stats.speculative_wins += 1;
+                stats.wasted_ms += end - orig_start;
+                winners[task_id as usize] = Some(MapWin {
+                    report: MapTaskReport {
+                        task_id,
+                        start_ms: start,
+                        end_ms: end,
+                        phases: costs.phases,
+                        input_records: flow.input_records,
+                        input_bytes: flow.input_bytes,
+                        out_records: flow.out_records,
+                        out_bytes: flow.out_bytes,
+                        final_out_records: costs.final_out_records,
+                        final_out_bytes: costs.final_out_bytes,
+                        num_spills: costs.num_spills,
+                        observed_rates: rates,
+                        map_cpu_ops: flow.map_ops,
+                        attempt: orig_attempt + 1,
+                        speculative: true,
+                    },
+                    node,
+                    final_uncomp: costs.final_out_bytes_uncompressed,
+                });
+            } else {
+                // Original wins: the completed backup is discarded.
+                stats.speculative_kills += 1;
+                stats.wasted_ms += end - start;
+            }
+        }
+    }
+
+    // ---- Node loss: re-execute map output lost with its node -----------
+    // Map output lives on the local disk of the node that ran the task;
+    // when that node is (or will be) lost and a reduce phase still needs
+    // the output, the task re-executes elsewhere. Iterate until every
+    // winning attempt sits on a surviving node.
+    if has_reduce {
+        loop {
+            let mut lost = false;
+            for t in 0..m {
+                let relaunch = {
+                    let w = winners[t as usize].as_ref().unwrap();
+                    node_death[w.node].is_finite()
+                };
+                if relaunch {
+                    stats.map_tasks_reexecuted += 1;
+                    {
+                        let w = winners[t as usize].as_ref().unwrap();
+                        stats.wasted_ms += w.report.duration_ms();
+                    }
+                    pending.push_back((t, 1));
+                    lost = true;
+                }
+            }
+            if !lost {
+                break;
+            }
+            drain_map_queue!();
+        }
+    }
+
+    let map_reports: Vec<MapTaskReport> = winners
+        .iter()
+        .map(|w| w.as_ref().unwrap().report.clone())
+        .collect();
+    let total_final_bytes_disk: f64 = map_reports.iter().map(|t| t.final_out_bytes).sum();
+    let total_final_records: f64 = map_reports.iter().map(|t| t.final_out_records).sum();
+    let total_final_bytes_uncomp: f64 = winners
+        .iter()
+        .map(|w| w.as_ref().unwrap().final_uncomp)
+        .sum();
+
+    let mut map_ends: Vec<f64> = map_reports.iter().map(|t| t.end_ms).collect();
+    map_ends.sort_by(|a, b| a.total_cmp(b));
+    let maps_done_ms = *map_ends.last().unwrap_or(&0.0);
+    let slowstart_idx =
+        ((config.reduce_slowstart * m as f64).ceil() as usize).clamp(1, map_ends.len().max(1));
+    let reducers_eligible_ms = if map_ends.is_empty() {
+        0.0
+    } else {
+        map_ends[slowstart_idx - 1]
+    };
+
+    // ---- Reduce attempts ------------------------------------------------
+    let mut reduce_reports = Vec::new();
+    if let Some(red) = &dataflow.reduce {
+        let r = config.num_reduce_tasks;
+        let shares = red.partition_shares(r, spec.partitioner);
+        let rspn = cluster.reduce_slots_per_node.max(1) as usize;
+        let mut rslot_free = vec![reducers_eligible_ms; cluster.reduce_slots().max(1) as usize];
+        let total_in_records = if config.use_combiner && dataflow.combine.is_some() {
+            total_final_records
+        } else {
+            red.in_records
+        };
+        let (total_out_records, total_out_bytes) =
+            if red.out_records < red.in_records && red.out_records > total_in_records {
+                let shrink = total_in_records / red.out_records;
+                (total_in_records, red.out_bytes * shrink)
+            } else {
+                (red.out_records, red.out_bytes)
+            };
+        let mut rpending: VecDeque<(usize, u32)> = (0..shares.len()).map(|t| (t, 1)).collect();
+        while let Some((task_id, attempt)) = rpending.pop_front() {
+            if attempt > config.max_reduce_attempts {
+                return Err(SimError::TaskAttemptsExhausted {
+                    job: spec.job_id(),
+                    task: format!("reduce-{task_id}"),
+                    attempts: config.max_reduce_attempts,
+                });
+            }
+            let Some(slot) = earliest_alive_slot(&rslot_free, &node_death, rspn) else {
+                return Err(SimError::ClusterLost { job: spec.job_id() });
+            };
+            let node = slot / rspn;
+            let start = rslot_free[slot];
+            let share = shares[task_id];
+            let io_f = lognormal(&mut noise, sigma);
+            let cpu_f = lognormal(&mut noise, sigma);
+            let slow = cluster.node_slowdown_factor(node);
+            let rates = cluster.rates.jittered(io_f * slow, cpu_f * slow);
+            let inputs = ReduceTaskInputs {
+                shuffle_bytes_disk: total_final_bytes_disk * share,
+                shuffle_bytes: total_final_bytes_uncomp * share,
+                in_records: total_in_records * share,
+                num_segments: m,
+                reduce_ops_per_record: red.ops_per_record,
+                out_bytes: total_out_bytes * share,
+                out_records: total_out_records * share,
+                heap_bytes: cluster.heap_bytes() as f64,
+                map_compressed: config.compress_map_output,
+            };
+            let costs = reduce_task_costs(config, &rates, &inputs);
+            let shuffle_ns: f64 = costs
+                .phases
+                .iter()
+                .filter(|(p, _)| matches!(p, crate::phases::ReducePhase::Shuffle))
+                .map(|(_, t)| t)
+                .sum();
+            let post_shuffle_ns = costs.total_ns() - shuffle_ns;
+            let shuffle_end = (start + shuffle_ns / 1e6).max(maps_done_ms);
+            let end = shuffle_end + post_shuffle_ns / 1e6;
+            let dur_ms = end - start;
+            stats.scheduled_attempts += 1;
+            if chaos.gen::<f64>() < faults.task_failure_prob {
+                let died_at = (start + dur_ms * chaos.gen::<f64>()).min(node_death[node]);
+                stats.failed_attempts += 1;
+                stats.wasted_ms += died_at - start;
+                rslot_free[slot] = died_at;
+                rpending.push_back((task_id, attempt + 1));
+                continue;
+            }
+            if node_death[node] < end {
+                stats.failed_attempts += 1;
+                stats.wasted_ms += node_death[node] - start;
+                rslot_free[slot] = node_death[node];
+                rpending.push_back((task_id, attempt));
+                continue;
+            }
+            stats.successful_attempts += 1;
+            rslot_free[slot] = end;
+            reduce_reports.push(ReduceTaskReport {
+                task_id: task_id as u32,
+                start_ms: start,
+                end_ms: end,
+                phases: costs.phases,
+                shuffle_bytes: inputs.shuffle_bytes,
+                in_records: inputs.in_records,
+                out_records: inputs.out_records,
+                out_bytes: inputs.out_bytes,
+                observed_rates: rates,
+                reduce_ops_per_record: red.ops_per_record,
+                attempt,
+            });
+        }
+        reduce_reports.sort_by_key(|t| t.task_id);
+    }
+
+    let last_end = reduce_reports
+        .iter()
+        .map(|t| t.end_ms)
+        .fold(maps_done_ms, f64::max);
+
+    Ok(JobReport {
+        job_id: spec.job_id(),
+        dataset: dataset_name.to_string(),
+        config: config.clone(),
+        runtime_ms: last_end + JOB_OVERHEAD_MS,
+        maps_done_ms,
+        map_tasks: map_reports,
+        reduce_tasks: reduce_reports,
+        faults: stats,
+    })
+}
+
+/// Rough fault-free makespan estimate used to place node deaths inside
+/// the job's lifetime. Accuracy only shapes *where* deaths land; any
+/// deterministic estimate keeps the simulation reproducible.
+fn estimate_makespan_ms(
+    dataflow: &Dataflow,
+    cluster: &ClusterSpec,
+    config: &JobConfig,
+    has_reduce: bool,
+) -> f64 {
+    let rates = cluster.rates.jittered(1.0, 1.0);
+    let per_flow: Vec<f64> = dataflow
+        .per_task
+        .iter()
+        .map(|flow| {
+            let inputs = MapTaskInputs {
+                input_bytes: flow.input_bytes,
+                input_records: flow.input_records,
+                out_records: flow.out_records,
+                out_bytes: flow.out_bytes,
+                map_cpu_ops: flow.map_ops,
+                combine: dataflow.combine,
+            };
+            map_task_costs(config, &rates, &inputs).total_ns() / 1e6
+        })
+        .collect();
+    let mut total = 0.0;
+    for task_id in 0..dataflow.num_map_tasks {
+        total += per_flow[task_id as usize % per_flow.len()];
+    }
+    let wave = total / f64::from(cluster.map_slots().max(1));
+    wave * if has_reduce { 3.0 } else { 1.5 } + JOB_OVERHEAD_MS
+}
+
+/// The earliest-free slot whose node is still alive when the slot frees;
+/// `None` when every surviving node is gone.
+fn earliest_alive_slot(slot_free: &[f64], node_death: &[f64], spn: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, t) in slot_free.iter().enumerate() {
+        if node_death[i / spn] <= *t {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if *t < slot_free[b] => best = Some(i),
+            _ => {}
+        }
+    }
+    best
 }
 
 /// Predict only the job runtime (ms) from a pre-measured dataflow,
@@ -240,10 +718,9 @@ pub fn simulate_runtime_ms(
     config: &JobConfig,
     seed: u64,
 ) -> Result<f64, SimError> {
-    if cluster.heterogeneity > 0.0 {
+    if cluster.heterogeneity > 0.0 || !cluster.faults.is_inert() || !cluster.is_uniform_speed() {
         return Ok(
-            simulate_with_dataflow(spec, dataflow, dataset_name, cluster, config, seed)?
-                .runtime_ms,
+            simulate_with_dataflow(spec, dataflow, dataset_name, cluster, config, seed)?.runtime_ms,
         );
     }
     config.validate()?;
@@ -312,49 +789,46 @@ pub fn simulate_runtime_ms(
         } else {
             red.in_records
         };
-        let (total_out_records, total_out_bytes) = if red.out_records < red.in_records
-            && red.out_records > total_in_records
-        {
-            let shrink = total_in_records / red.out_records;
-            (total_in_records, red.out_bytes * shrink)
-        } else {
-            (red.out_records, red.out_bytes)
-        };
+        let (total_out_records, total_out_bytes) =
+            if red.out_records < red.in_records && red.out_records > total_in_records {
+                let shrink = total_in_records / red.out_records;
+                (total_in_records, red.out_bytes * shrink)
+            } else {
+                (red.out_records, red.out_bytes)
+            };
         // The what-if dataflow partitions uniformly (and real hash
         // partitions repeat shares), so identical shares produce identical
         // task costs — price each distinct share once and replay.
         let mut share_costs: Vec<(u64, f64, f64)> = Vec::with_capacity(2);
         for share in shares.iter() {
             let bits = share.to_bits();
-            let (shuffle_ns, post_shuffle_ns) = match share_costs
-                .iter()
-                .find(|(b, _, _)| *b == bits)
-            {
-                Some((_, s, p)) => (*s, *p),
-                None => {
-                    let inputs = ReduceTaskInputs {
-                        shuffle_bytes_disk: total_final_bytes_disk * share,
-                        shuffle_bytes: total_final_bytes_uncomp * share,
-                        in_records: total_in_records * share,
-                        num_segments: m,
-                        reduce_ops_per_record: red.ops_per_record,
-                        out_bytes: total_out_bytes * share,
-                        out_records: total_out_records * share,
-                        heap_bytes: cluster.heap_bytes() as f64,
-                        map_compressed: config.compress_map_output,
-                    };
-                    let costs = reduce_task_costs(config, &rates, &inputs);
-                    let shuffle_ns: f64 = costs
-                        .phases
-                        .iter()
-                        .filter(|(p, _)| matches!(p, crate::phases::ReducePhase::Shuffle))
-                        .map(|(_, t)| t)
-                        .sum();
-                    let post_shuffle_ns = costs.total_ns() - shuffle_ns;
-                    share_costs.push((bits, shuffle_ns, post_shuffle_ns));
-                    (shuffle_ns, post_shuffle_ns)
-                }
-            };
+            let (shuffle_ns, post_shuffle_ns) =
+                match share_costs.iter().find(|(b, _, _)| *b == bits) {
+                    Some((_, s, p)) => (*s, *p),
+                    None => {
+                        let inputs = ReduceTaskInputs {
+                            shuffle_bytes_disk: total_final_bytes_disk * share,
+                            shuffle_bytes: total_final_bytes_uncomp * share,
+                            in_records: total_in_records * share,
+                            num_segments: m,
+                            reduce_ops_per_record: red.ops_per_record,
+                            out_bytes: total_out_bytes * share,
+                            out_records: total_out_records * share,
+                            heap_bytes: cluster.heap_bytes() as f64,
+                            map_compressed: config.compress_map_output,
+                        };
+                        let costs = reduce_task_costs(config, &rates, &inputs);
+                        let shuffle_ns: f64 = costs
+                            .phases
+                            .iter()
+                            .filter(|(p, _)| matches!(p, crate::phases::ReducePhase::Shuffle))
+                            .map(|(_, t)| t)
+                            .sum();
+                        let post_shuffle_ns = costs.total_ns() - shuffle_ns;
+                        share_costs.push((bits, shuffle_ns, post_shuffle_ns));
+                        (shuffle_ns, post_shuffle_ns)
+                    }
+                };
             let slot = earliest_slot(&rslot_free);
             let start = rslot_free[slot];
             let shuffle_end = (start + shuffle_ns / 1e6).max(maps_done_ms);
@@ -537,9 +1011,8 @@ mod tests {
                 let full =
                     simulate_with_dataflow(&spec, &dataflow, &ds.name, &zero_het, &config, 11)
                         .unwrap();
-                let fast =
-                    simulate_runtime_ms(&spec, &dataflow, &ds.name, &zero_het, &config, 11)
-                        .unwrap();
+                let fast = simulate_runtime_ms(&spec, &dataflow, &ds.name, &zero_het, &config, 11)
+                    .unwrap();
                 assert_eq!(
                     full.runtime_ms.to_bits(),
                     fast.to_bits(),
@@ -562,8 +1035,7 @@ mod tests {
             simulate_with_dataflow(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 7)
                 .unwrap();
         let fast =
-            simulate_runtime_ms(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 7)
-                .unwrap();
+            simulate_runtime_ms(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 7).unwrap();
         assert_eq!(full.runtime_ms.to_bits(), fast.to_bits());
     }
 
@@ -597,5 +1069,187 @@ mod tests {
         };
         let err = simulate(&jobs::word_count(), &ds, &cluster(), &bad, 1).unwrap_err();
         assert!(matches!(err, SimError::Config(_)));
+    }
+
+    /// Pinned pre-fault-injection outputs: `FaultSpec::default()` must keep
+    /// `simulate()` bit-identical to the engine before the fault layer
+    /// existed. The `to_bits` values were captured from that build.
+    #[test]
+    fn inert_faults_are_bit_identical_to_pre_fault_engine() {
+        let cl = cluster();
+        assert!(cl.faults.is_inert() && cl.is_uniform_speed());
+        let cases: [(mrjobs::JobSpec, mrjobs::Dataset, u64, u64); 5] = [
+            (
+                jobs::word_count(),
+                corpus::random_text_1g(),
+                7,
+                0x40e49dc854e6c38e,
+            ),
+            (
+                jobs::word_count(),
+                corpus::random_text_1g(),
+                11,
+                0x40e1d78e7dbfdb23,
+            ),
+            (
+                jobs::word_cooccurrence_pairs(2),
+                corpus::wikipedia_35g(),
+                3,
+                0x419484c1f41df7fb,
+            ),
+            (jobs::sort(), corpus::teragen_1g(), 5, 0x40fe239266270300),
+            (jobs::join(), corpus::tpch_1g(), 13, 0x410793788fc667a0),
+        ];
+        for (spec, ds, seed, bits) in &cases {
+            let rep = simulate(spec, ds, &cl, &JobConfig::default(), *seed).unwrap();
+            assert_eq!(
+                rep.runtime_ms.to_bits(),
+                *bits,
+                "{} on {} seed {seed}: {} != pinned",
+                spec.job_id(),
+                ds.name,
+                rep.runtime_ms
+            );
+            assert_eq!(rep.faults, crate::faults::FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn task_failures_are_retried_and_accounted() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let cl = ClusterSpec {
+            faults: crate::faults::FaultSpec {
+                task_failure_prob: 0.3,
+                ..crate::faults::FaultSpec::default()
+            },
+            ..cluster()
+        };
+        let rep = simulate(&spec, &ds, &cl, &JobConfig::default(), 42).unwrap();
+        assert!(rep.faults.failed_attempts > 0, "{:?}", rep.faults);
+        assert!(rep.faults.wasted_ms > 0.0);
+        assert!(rep.faults.is_conserved(), "{:?}", rep.faults);
+        assert!(rep.map_tasks.iter().any(|t| t.attempt > 1));
+        // All 16 map tasks still produced a winning attempt.
+        assert_eq!(rep.map_tasks.len(), 16);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let cl = ClusterSpec {
+            faults: crate::faults::FaultSpec {
+                task_failure_prob: 0.999,
+                ..crate::faults::FaultSpec::default()
+            },
+            ..cluster()
+        };
+        let err = simulate(&spec, &ds, &cl, &JobConfig::default(), 1).unwrap_err();
+        assert!(
+            matches!(err, SimError::TaskAttemptsExhausted { .. }),
+            "{err}"
+        );
+        assert!(err.is_fault());
+    }
+
+    #[test]
+    fn losing_every_node_loses_the_cluster() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let cl = ClusterSpec {
+            faults: crate::faults::FaultSpec {
+                node_loss_prob: 1.0,
+                ..crate::faults::FaultSpec::default()
+            },
+            ..cluster()
+        };
+        let err = simulate(&spec, &ds, &cl, &JobConfig::default(), 2).unwrap_err();
+        assert!(matches!(err, SimError::ClusterLost { .. }), "{err}");
+        assert!(err.is_fault());
+    }
+
+    #[test]
+    fn occasional_node_loss_reexecutes_lost_map_output() {
+        let ds = corpus::wikipedia_35g();
+        let spec = jobs::word_count();
+        // Scan seeds for a run where a node dies *after* completing map
+        // work, forcing re-execution of its lost output; a node that dies
+        // before finishing any map triggers nothing (legitimately).
+        let mut saw_reexecution = false;
+        for seed in 0..64 {
+            let cl = ClusterSpec {
+                faults: crate::faults::FaultSpec {
+                    node_loss_prob: 0.08,
+                    ..crate::faults::FaultSpec::default()
+                },
+                ..cluster()
+            };
+            if let Ok(rep) = simulate(&spec, &ds, &cl, &JobConfig::default(), seed) {
+                assert!(rep.faults.is_conserved(), "seed {seed}: {:?}", rep.faults);
+                if rep.faults.map_tasks_reexecuted > 0 {
+                    assert!(rep.faults.nodes_lost > 0, "{:?}", rep.faults);
+                    assert!(rep.faults.wasted_ms > 0.0);
+                    saw_reexecution = true;
+                }
+            }
+        }
+        assert!(
+            saw_reexecution,
+            "no seed in 0..64 re-executed lost map output"
+        );
+    }
+
+    #[test]
+    fn speculation_rescues_straggler_nodes() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let mut slow = vec![1.0; 15];
+        slow[0] = 4.0; // slots 0 and 1 run 4x slower
+        let base = ClusterSpec {
+            node_slowdown: slow.clone(),
+            heterogeneity: 0.0,
+            ..cluster()
+        };
+        let spec_on = ClusterSpec {
+            faults: crate::faults::FaultSpec {
+                speculation: true,
+                ..crate::faults::FaultSpec::default()
+            },
+            ..base.clone()
+        };
+        let plain = simulate(&spec, &ds, &base, &JobConfig::default(), 9).unwrap();
+        let rescued = simulate(&spec, &ds, &spec_on, &JobConfig::default(), 9).unwrap();
+        assert!(rescued.faults.speculative_wins > 0, "{:?}", rescued.faults);
+        assert!(rescued.faults.is_conserved(), "{:?}", rescued.faults);
+        assert!(
+            rescued.maps_done_ms < plain.maps_done_ms,
+            "speculation did not help: {} vs {}",
+            rescued.maps_done_ms,
+            plain.maps_done_ms
+        );
+        assert!(rescued.map_tasks.iter().any(|t| t.speculative));
+    }
+
+    #[test]
+    fn runtime_only_path_falls_back_under_faults() {
+        let ds = corpus::random_text_1g();
+        let spec = jobs::word_count();
+        let cl = ClusterSpec {
+            heterogeneity: 0.0,
+            faults: crate::faults::FaultSpec {
+                task_failure_prob: 0.2,
+                ..crate::faults::FaultSpec::default()
+            },
+            ..cluster()
+        };
+        let dataflow = analyze(&spec, &ds, &cl).unwrap();
+        let full =
+            simulate_with_dataflow(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 3)
+                .unwrap();
+        let fast =
+            simulate_runtime_ms(&spec, &dataflow, &ds.name, &cl, &JobConfig::default(), 3).unwrap();
+        assert_eq!(full.runtime_ms.to_bits(), fast.to_bits());
+        assert!(full.faults.scheduled_attempts > 0);
     }
 }

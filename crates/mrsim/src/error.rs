@@ -26,6 +26,17 @@ pub enum SimError {
         needed_bytes: u64,
         heap_bytes: u64,
     },
+    /// Fault injection: a task kept failing until it exhausted its
+    /// configured attempt cap (`mapred.{map,reduce}.max.attempts`), which
+    /// fails the whole job, as in Hadoop.
+    TaskAttemptsExhausted {
+        job: String,
+        task: String,
+        attempts: u32,
+    },
+    /// Fault injection: every worker node was lost before the job could
+    /// finish — nowhere left to schedule attempts.
+    ClusterLost { job: String },
 }
 
 impl fmt::Display for SimError {
@@ -45,7 +56,26 @@ impl fmt::Display for SimError {
                 f,
                 "job `{job}`: {task} exceeded heap: needs ~{needed_bytes} bytes, heap is {heap_bytes}"
             ),
+            SimError::TaskAttemptsExhausted { job, task, attempts } => {
+                write!(f, "job `{job}`: {task} failed all {attempts} attempts")
+            }
+            SimError::ClusterLost { job } => {
+                write!(f, "job `{job}`: all worker nodes lost before completion")
+            }
         }
+    }
+}
+
+impl SimError {
+    /// True for errors produced by injected cluster faults (transient: a
+    /// retry with a different seed or a laxer attempt cap may succeed), as
+    /// opposed to deterministic modelling errors (bad config, UDF failure,
+    /// OOM) that recur on every retry.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::TaskAttemptsExhausted { .. } | SimError::ClusterLost { .. }
+        )
     }
 }
 

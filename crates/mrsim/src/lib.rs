@@ -13,6 +13,8 @@
 //! * [`phases`] — the pure per-task phase cost model (shared with the
 //!   What-If engine in the `whatif` crate).
 //! * [`engine`] — OOM model, per-task noise, slot scheduling, reports.
+//! * [`faults`] — seedable fault injection: attempt failures, bounded
+//!   retries, straggler nodes, speculation, and whole-node loss.
 //! * [`report`] — per-task and per-job execution reports.
 
 pub mod cluster;
@@ -20,6 +22,7 @@ pub mod config;
 pub mod dataflow;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod phases;
 pub mod report;
 
@@ -28,5 +31,6 @@ pub use config::{ConfigError, JobConfig};
 pub use dataflow::{analyze, CombineFlow, Dataflow, ReduceFlow, SplitFlow};
 pub use engine::{simulate, simulate_runtime_ms, simulate_with_dataflow};
 pub use error::SimError;
+pub use faults::{FaultSpec, FaultStats};
 pub use phases::{MapPhase, ReducePhase};
 pub use report::{JobReport, MapTaskReport, ReduceTaskReport};

@@ -180,8 +180,8 @@ pub fn map_task_costs(
             final_bytes_uncomp *= shrink_size;
             final_bytes_disk *= shrink_size;
         }
-        let per_pass_io = final_bytes_disk
-            * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte);
+        let per_pass_io =
+            final_bytes_disk * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte);
         let per_pass_codec = if config.compress_map_output {
             final_bytes_disk * rates.decompress_ns_per_byte
                 + final_bytes_uncomp * rates.compress_ns_per_byte
@@ -274,14 +274,12 @@ pub fn reduce_task_costs(
         // worth per segment; the inmem threshold caps how many map outputs
         // accumulate per flush.
         let by_bytes = (disk_resident / merge_trigger.max(1.0)).ceil();
-        let by_segments =
-            (inputs.num_segments as f64 / config.inmem_merge_threshold as f64).ceil();
+        let by_segments = (inputs.num_segments as f64 / config.inmem_merge_threshold as f64).ceil();
         let segments = by_bytes.max(by_segments).max(1.0) as u32;
         if segments > 1 {
             let passes = merge_passes(segments, config.io_sort_factor);
             sort_ns += passes as f64
-                * (disk_resident
-                    * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte)
+                * (disk_resident * (rates.read_local_ns_per_byte + rates.write_local_ns_per_byte)
                     + inputs.in_records * rates.sort_ns_per_record);
         }
     }
@@ -290,7 +288,9 @@ pub fn reduce_task_costs(
     // REDUCE: read input (from memory where the reduce input buffer
     // allows, from disk otherwise) and run the UDF.
     let reduce_mem_cap = inputs.heap_bytes * config.reduce_input_buffer_percent + mem_resident;
-    let from_disk = (inputs.shuffle_bytes - reduce_mem_cap).max(0.0).min(disk_resident);
+    let from_disk = (inputs.shuffle_bytes - reduce_mem_cap)
+        .max(0.0)
+        .min(disk_resident);
     let reduce_ns = from_disk * rates.read_local_ns_per_byte
         + inputs.shuffle_bytes * rates.serde_ns_per_byte
         + inputs.in_records * inputs.reduce_ops_per_record * rates.cpu_ns_per_op;

@@ -7,6 +7,7 @@
 
 use crate::cluster::CostRates;
 use crate::config::JobConfig;
+use crate::faults::FaultStats;
 use crate::phases::{MapPhase, ReducePhase};
 
 /// Report of one simulated map task.
@@ -31,6 +32,12 @@ pub struct MapTaskReport {
     pub observed_rates: CostRates,
     /// Interpreter ops of the map UDF.
     pub map_cpu_ops: f64,
+    /// 1-based attempt number of the winning attempt (1 on the fault-free
+    /// path; higher after retries).
+    pub attempt: u32,
+    /// True when this result came from a speculative backup that beat the
+    /// original attempt.
+    pub speculative: bool,
 }
 
 impl MapTaskReport {
@@ -62,6 +69,8 @@ pub struct ReduceTaskReport {
     pub observed_rates: CostRates,
     /// Interpreter ops per reduce input record.
     pub reduce_ops_per_record: f64,
+    /// 1-based attempt number of the winning attempt.
+    pub attempt: u32,
 }
 
 impl ReduceTaskReport {
@@ -93,15 +102,31 @@ pub struct JobReport {
     pub maps_done_ms: f64,
     pub map_tasks: Vec<MapTaskReport>,
     pub reduce_tasks: Vec<ReduceTaskReport>,
+    /// Fault-injection accounting; all-zero on the fault-free path.
+    pub faults: FaultStats,
 }
 
 impl JobReport {
+    /// Fraction of scheduled attempts that ran to completion — 1.0 on the
+    /// fault-free path (nothing goes through the fault machinery). The
+    /// profiler uses this as the confidence of profiles built from the run.
+    pub fn attempt_success_rate(&self) -> f64 {
+        if self.faults.scheduled_attempts == 0 {
+            1.0
+        } else {
+            f64::from(self.faults.successful_attempts) / f64::from(self.faults.scheduled_attempts)
+        }
+    }
+
     /// Mean duration of the map tasks, ms.
     pub fn avg_map_ms(&self) -> f64 {
         if self.map_tasks.is_empty() {
             return 0.0;
         }
-        self.map_tasks.iter().map(MapTaskReport::duration_ms).sum::<f64>()
+        self.map_tasks
+            .iter()
+            .map(MapTaskReport::duration_ms)
+            .sum::<f64>()
             / self.map_tasks.len() as f64
     }
 
@@ -122,7 +147,10 @@ impl JobReport {
         if self.map_tasks.is_empty() {
             return 0.0;
         }
-        self.map_tasks.iter().map(|t| t.phase_ms(phase)).sum::<f64>()
+        self.map_tasks
+            .iter()
+            .map(|t| t.phase_ms(phase))
+            .sum::<f64>()
             / self.map_tasks.len() as f64
     }
 

@@ -107,7 +107,11 @@ fn config_key(cfg: &JobConfig, has_combiner: bool, has_reduce: bool) -> ConfigKe
         } else {
             0
         },
-        if has_reduce { cfg.num_reduce_tasks as u64 } else { 0 },
+        if has_reduce {
+            cfg.num_reduce_tasks as u64
+        } else {
+            0
+        },
         if has_reduce {
             cfg.shuffle_input_buffer_percent.to_bits()
         } else {
@@ -296,12 +300,20 @@ mod tests {
         let spec = jobs::word_cooccurrence_pairs(2);
         let (profile, _) =
             collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();
-        let rec = optimize(&spec, &profile, ds.logical_bytes, &cl(), &CboOptions::default())
-            .unwrap();
+        let rec = optimize(
+            &spec,
+            &profile,
+            ds.logical_bytes,
+            &cl(),
+            &CboOptions::default(),
+        )
+        .unwrap();
         let default_run = simulate(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 5)
             .unwrap()
             .runtime_ms;
-        let tuned_run = simulate(&spec, &ds, &cl(), &rec.config, 5).unwrap().runtime_ms;
+        let tuned_run = simulate(&spec, &ds, &cl(), &rec.config, 5)
+            .unwrap()
+            .runtime_ms;
         let speedup = default_run / tuned_run;
         assert!(speedup > 3.0, "speedup {speedup}");
         assert!(rec.config.num_reduce_tasks > 1);
@@ -313,8 +325,14 @@ mod tests {
         let spec = jobs::word_count();
         let (profile, _) =
             collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();
-        let rec = optimize(&spec, &profile, ds.logical_bytes, &cl(), &CboOptions::default())
-            .unwrap();
+        let rec = optimize(
+            &spec,
+            &profile,
+            ds.logical_bytes,
+            &cl(),
+            &CboOptions::default(),
+        )
+        .unwrap();
         let submitted_pred = predict_runtime_ms(&WhatIfQuery {
             spec: &spec,
             profile: &profile,
@@ -362,8 +380,7 @@ mod tests {
         let ds = corpus::wikipedia_1g();
         for spec in [jobs::word_count(), jobs::word_cooccurrence_pairs(2)] {
             let (profile, _) =
-                collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3)
-                    .unwrap();
+                collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();
             let serial = optimize(
                 &spec,
                 &profile,
@@ -403,19 +420,25 @@ mod tests {
     #[test]
     fn memo_key_separates_observable_fields() {
         let a = JobConfig::default();
-        let mut b = JobConfig::default();
-        b.num_reduce_tasks = 27;
+        let b = JobConfig {
+            num_reduce_tasks: 27,
+            ..JobConfig::default()
+        };
         // Reduce-side field: distinct keys for a reduce job, identical for
         // a map-only job.
         assert_ne!(config_key(&a, true, true), config_key(&b, true, true));
         assert_eq!(config_key(&a, true, false), config_key(&b, true, false));
-        let mut c = JobConfig::default();
-        c.use_combiner = false;
+        let c = JobConfig {
+            use_combiner: false,
+            ..JobConfig::default()
+        };
         assert_ne!(config_key(&a, true, true), config_key(&c, true, true));
         assert_eq!(config_key(&a, false, true), config_key(&c, false, true));
         // Map-side fields always discriminate.
-        let mut d = JobConfig::default();
-        d.io_sort_mb = 200;
+        let d = JobConfig {
+            io_sort_mb: 200,
+            ..JobConfig::default()
+        };
         assert_ne!(config_key(&a, false, false), config_key(&d, false, false));
     }
 }

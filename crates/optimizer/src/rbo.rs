@@ -117,7 +117,10 @@ mod tests {
         assert!(rec.config.compress_map_output);
         assert!(rec.config.io_sort_mb >= 100);
         assert_eq!(rec.config.num_reduce_tasks, 27);
-        assert!(rec.fired.iter().any(|r| r.name == "mapred.compress.map.output"));
+        assert!(rec
+            .fired
+            .iter()
+            .any(|r| r.name == "mapred.compress.map.output"));
     }
 
     #[test]

@@ -63,6 +63,10 @@ impl ConfigSpace {
             inmem_merge_threshold: lerp_u32(self.inmem_merge_threshold, x[11]),
             reduce_input_buffer_percent: lerp(self.reduce_input_buffer_percent, x[12]),
             compress_output: x[13] >= 0.5,
+            // Attempt caps are reliability knobs, not performance knobs:
+            // the what-if engine prices fault-free executions, so the CBO
+            // leaves them at the Hadoop defaults rather than searching them.
+            ..JobConfig::default()
         }
     }
 

@@ -8,8 +8,8 @@
 //! profile, which is what allows PStorM to *compose* a profile for an
 //! unseen job from two different stored profiles (§4.3).
 
-use mrsim::{Dataflow, JobReport, MapPhase, ReducePhase};
 use mrjobs::JobSpec;
+use mrsim::{Dataflow, JobReport, MapPhase, ReducePhase};
 
 /// The Table 4.2 cost factors, as estimated from observed task executions.
 /// IO costs are ns/byte; CPU costs are ns/record.
@@ -160,6 +160,13 @@ pub struct JobProfile {
     pub num_map_tasks: u32,
     pub map: MapProfile,
     pub reduce: Option<ReduceProfile>,
+    /// How trustworthy this profile is, in `(0, 1]`: the fraction of
+    /// scheduled task attempts in the source run that ran to completion.
+    /// 1.0 for fault-free runs; lower when the run was perturbed by
+    /// failures, speculative kills, or node loss — the matcher widens its
+    /// stage-1 tolerance for low-confidence probes instead of trusting
+    /// their noisy features outright.
+    pub confidence: f64,
 }
 
 impl JobProfile {
@@ -182,6 +189,8 @@ impl JobProfile {
             num_map_tasks: map_source.num_map_tasks,
             map: map_source.map.clone(),
             reduce: reduce_source.reduce.clone(),
+            // A composite is only as trustworthy as its weakest source.
+            confidence: map_source.confidence.min(reduce_source.confidence),
         }
     }
 
@@ -237,10 +246,16 @@ pub fn profile_from_run(spec: &JobSpec, dataflow: &Dataflow, report: &JobReport)
 
     let cost_factors = CostFactors {
         read_hdfs_io_cost: avg_rates(|r| r.read_hdfs_ns_per_byte),
-        write_hdfs_io_cost: reduce_rates(|r| r.write_hdfs_ns_per_byte, avg_rates(|r| r.write_hdfs_ns_per_byte)),
+        write_hdfs_io_cost: reduce_rates(
+            |r| r.write_hdfs_ns_per_byte,
+            avg_rates(|r| r.write_hdfs_ns_per_byte),
+        ),
         read_local_io_cost: avg_rates(|r| r.read_local_ns_per_byte),
         write_local_io_cost: avg_rates(|r| r.write_local_ns_per_byte),
-        network_cost: reduce_rates(|r| r.network_ns_per_byte, avg_rates(|r| r.network_ns_per_byte)),
+        network_cost: reduce_rates(
+            |r| r.network_ns_per_byte,
+            avg_rates(|r| r.network_ns_per_byte),
+        ),
         map_cpu_cost: map_ops_per_record * map_cpu_ns_per_op,
         reduce_cpu_cost: {
             let ops = report
@@ -327,6 +342,10 @@ pub fn profile_from_run(spec: &JobSpec, dataflow: &Dataflow, report: &JobReport)
         num_map_tasks: dataflow.num_map_tasks,
         map,
         reduce,
+        // Profiles aggregated from runs perturbed by failures, speculative
+        // kills, or node loss are marked partial instead of being silently
+        // averaged in at full weight.
+        confidence: report.attempt_success_rate(),
     }
 }
 
@@ -389,10 +408,7 @@ mod tests {
     #[test]
     fn composition_stitches_sides() {
         let wc = full_profile(&jobs::word_count(), &corpus::random_text_1g());
-        let co = full_profile(
-            &jobs::word_cooccurrence_pairs(2),
-            &corpus::random_text_1g(),
-        );
+        let co = full_profile(&jobs::word_cooccurrence_pairs(2), &corpus::random_text_1g());
         let comp = JobProfile::compose(&co, &wc);
         assert!(comp.is_composite());
         assert_eq!(comp.map.source_job, co.job_id);
@@ -410,10 +426,40 @@ mod tests {
     }
 
     #[test]
+    fn clean_runs_yield_full_confidence_faulted_runs_partial() {
+        let clean = full_profile(&jobs::word_count(), &corpus::random_text_1g());
+        assert_eq!(clean.confidence, 1.0);
+
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        let cl = ClusterSpec {
+            faults: mrsim::FaultSpec {
+                task_failure_prob: 0.3,
+                ..mrsim::FaultSpec::default()
+            },
+            ..ClusterSpec::ec2_c1_medium_16()
+        };
+        let flow = analyze(&spec, &ds, &cl).unwrap();
+        let report =
+            simulate_with_dataflow(&spec, &flow, &ds.name, &cl, &JobConfig::default(), 42).unwrap();
+        assert!(report.faults.failed_attempts > 0);
+        let p = profile_from_run(&spec, &flow, &report);
+        assert!(p.confidence < 1.0, "confidence {}", p.confidence);
+        assert!(p.confidence > 0.0);
+
+        // Composition keeps the weakest source's confidence.
+        let comp = JobProfile::compose(&clean, &p);
+        assert_eq!(comp.confidence, p.confidence);
+    }
+
+    #[test]
     fn dynamic_feature_vectors_have_fixed_length() {
         let p = full_profile(&jobs::word_count(), &corpus::random_text_1g());
         assert_eq!(p.map.dynamic_features().len(), 4);
         assert_eq!(p.reduce.as_ref().unwrap().dynamic_features().len(), 2);
-        assert_eq!(CostFactors::names().len(), p.map.cost_factors.as_vec().len());
+        assert_eq!(
+            CostFactors::names().len(),
+            p.map.cost_factors.as_vec().len()
+        );
     }
 }

@@ -165,11 +165,21 @@ mod tests {
         let ds = corpus::wikipedia_35g();
         let spec = jobs::word_cooccurrence_pairs(2);
         let one = collect_sample_profile(
-            &spec, &ds, &cl(), &JobConfig::default(), SampleSize::OneTask, 1,
+            &spec,
+            &ds,
+            &cl(),
+            &JobConfig::default(),
+            SampleSize::OneTask,
+            1,
         )
         .unwrap();
         let ten = collect_sample_profile(
-            &spec, &ds, &cl(), &JobConfig::default(), SampleSize::Fraction(0.10), 1,
+            &spec,
+            &ds,
+            &cl(),
+            &JobConfig::default(),
+            SampleSize::Fraction(0.10),
+            1,
         )
         .unwrap();
         assert!(one.runtime_ms < ten.runtime_ms);
@@ -181,11 +191,15 @@ mod tests {
         // across samples (§4.1.1).
         let ds = corpus::wikipedia_35g();
         let spec = jobs::word_count();
-        let (full, _) =
-            collect_full_profile(&spec, &ds, &cl(), &JobConfig::default(), 42).unwrap();
+        let (full, _) = collect_full_profile(&spec, &ds, &cl(), &JobConfig::default(), 42).unwrap();
         for seed in 0..5 {
             let run = collect_sample_profile(
-                &spec, &ds, &cl(), &JobConfig::default(), SampleSize::OneTask, seed,
+                &spec,
+                &ds,
+                &cl(),
+                &JobConfig::default(),
+                SampleSize::OneTask,
+                seed,
             )
             .unwrap();
             let rel = (run.profile.map.size_selectivity - full.map.size_selectivity).abs()
@@ -203,7 +217,12 @@ mod tests {
         let mut cpus = vec![];
         for seed in 0..8 {
             let run = collect_sample_profile(
-                &spec, &ds, &cl(), &JobConfig::default(), SampleSize::OneTask, seed,
+                &spec,
+                &ds,
+                &cl(),
+                &JobConfig::default(),
+                SampleSize::OneTask,
+                seed,
             )
             .unwrap();
             sels.push(run.profile.map.size_selectivity);

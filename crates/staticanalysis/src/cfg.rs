@@ -217,7 +217,12 @@ impl Builder {
 
     /// Reuse the open basic block if control hasn't branched since it was
     /// opened; otherwise open a new one.
-    fn ensure_basic(&mut self, current: &mut Vec<usize>, basic: Option<usize>, emits: bool) -> usize {
+    fn ensure_basic(
+        &mut self,
+        current: &mut Vec<usize>,
+        basic: Option<usize>,
+        emits: bool,
+    ) -> usize {
         if let Some(idx) = basic {
             if current.len() == 1 && current[0] == idx {
                 return idx;
@@ -259,10 +264,7 @@ mod tests {
         let cfg = Cfg::from_udf(&word_cooccurrence_pairs(2).map_udf);
         assert_eq!(cfg.loop_count(), 2);
         assert_eq!(cfg.max_loop_depth(), 2);
-        assert!(cfg
-            .nodes
-            .iter()
-            .any(|n| n.kind == NodeKind::Branch));
+        assert!(cfg.nodes.iter().any(|n| n.kind == NodeKind::Branch));
     }
 
     #[test]

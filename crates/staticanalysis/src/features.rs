@@ -47,13 +47,8 @@ impl SideFeatures {
     /// each other.
     pub fn cfg_match(&self, other: &SideFeatures) -> f64 {
         match (&self.cfg, &other.cfg) {
-            (Some(a), Some(b)) => {
-                if a.matches(b) {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
+            (Some(a), Some(b)) if a.matches(b) => 1.0,
+            (Some(_), Some(_)) => 0.0,
             (None, None) => 1.0,
             _ => 0.0,
         }

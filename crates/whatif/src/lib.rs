@@ -54,8 +54,17 @@ impl<'a> WhatIfPlan<'a> {
         let flow = dataflow_from_profile(profile, input_bytes, cluster);
         let mut cluster = cluster.clone();
         cluster.heterogeneity = 0.0;
+        // The WIF prices idealized executions: no fault injection, no
+        // straggler nodes. Keeps predictions deterministic and on the
+        // engine's runtime-only fast path even for a faulty home cluster.
+        cluster.faults = mrsim::FaultSpec::default();
+        cluster.node_slowdown.clear();
         cluster.rates = rates_from_profile(profile, &cluster.rates);
-        WhatIfPlan { spec, flow, cluster }
+        WhatIfPlan {
+            spec,
+            flow,
+            cluster,
+        }
     }
 
     /// Whether the reconstructed dataflow has a combiner. Configuration
@@ -99,6 +108,8 @@ pub fn predict_runtime_ms_unplanned(q: &WhatIfQuery<'_>) -> Result<f64, SimError
     let flow = dataflow_from_profile(q.profile, q.input_bytes, q.cluster);
     let mut cluster = q.cluster.clone();
     cluster.heterogeneity = 0.0;
+    cluster.faults = mrsim::FaultSpec::default();
+    cluster.node_slowdown.clear();
     cluster.rates = rates_from_profile(q.profile, &q.cluster.rates);
     let report = simulate_with_dataflow(q.spec, &flow, "what-if", &cluster, q.config, 0)?;
     Ok(report.runtime_ms)
@@ -229,7 +240,10 @@ mod tests {
         .unwrap();
         let actual = simulate(&spec, &ds, &cl(), &cfg, 99).unwrap().runtime_ms;
         let rel = (predicted - actual).abs() / actual;
-        assert!(rel < 0.35, "predicted {predicted} vs actual {actual} ({rel})");
+        assert!(
+            rel < 0.35,
+            "predicted {predicted} vs actual {actual} ({rel})"
+        );
     }
 
     #[test]
@@ -257,8 +271,13 @@ mod tests {
         };
         let p_default = q(&default_cfg);
         let p_tuned = q(&tuned);
-        assert!(p_tuned < p_default / 2.0, "tuned {p_tuned} default {p_default}");
-        let a_default = simulate(&spec, &ds, &cl(), &default_cfg, 7).unwrap().runtime_ms;
+        assert!(
+            p_tuned < p_default / 2.0,
+            "tuned {p_tuned} default {p_default}"
+        );
+        let a_default = simulate(&spec, &ds, &cl(), &default_cfg, 7)
+            .unwrap()
+            .runtime_ms;
         let a_tuned = simulate(&spec, &ds, &cl(), &tuned, 7).unwrap().runtime_ms;
         assert!(a_tuned < a_default, "simulator agrees on the direction");
     }

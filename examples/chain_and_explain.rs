@@ -35,7 +35,9 @@ fn main() {
     };
 
     println!("first chain submission (cold store, every stage profiled):");
-    let first = daemon.submit_chain("fim-nightly", &chain(), 7).expect("chain");
+    let first = daemon
+        .submit_chain("fim-nightly", &chain(), 7)
+        .expect("chain");
     println!(
         "  total {:.1} virtual min over {} stages",
         first.total_runtime_ms() / 60_000.0,
@@ -43,7 +45,9 @@ fn main() {
     );
 
     println!("second chain submission (every stage matched and tuned):");
-    let second = daemon.submit_chain("fim-nightly", &chain(), 8).expect("chain");
+    let second = daemon
+        .submit_chain("fim-nightly", &chain(), 8)
+        .expect("chain");
     println!(
         "  total {:.1} virtual min — {:.2}x vs first pass",
         second.total_runtime_ms() / 60_000.0,
@@ -59,8 +63,7 @@ fn main() {
     let cl = ClusterSpec::ec2_c1_medium_16();
     let ds = corpus::wikipedia_35g();
     let profiled = |spec: &mrjobs::JobSpec| {
-        let (p, _) =
-            collect_full_profile(spec, &ds, &cl, &JobConfig::submitted(spec), 9).unwrap();
+        let (p, _) = collect_full_profile(spec, &ds, &cl, &JobConfig::submitted(spec), 9).unwrap();
         (p, StaticFeatures::extract(spec))
     };
     let (pa, sa) = profiled(&jobs::word_cooccurrence_pairs(2));

@@ -59,7 +59,10 @@ fn main() {
         println!(
             "  {}: map_dyn = {:?}",
             d.job_id,
-            d.map_dyn.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            d.map_dyn
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
     println!(
@@ -75,7 +78,10 @@ fn main() {
     // Eviction.
     let victim = store.job_ids().unwrap().swap_remove(0);
     store.delete_job(&victim).expect("delete");
-    println!("\nevicted `{victim}`; {} profiles remain", store.len().unwrap());
+    println!(
+        "\nevicted `{victim}`; {} profiles remain",
+        store.len().unwrap()
+    );
 }
 
 fn round3(v: &[f64]) -> Vec<f64> {

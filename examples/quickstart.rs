@@ -38,7 +38,9 @@ fn main() {
     }
 
     // Second submission: PStorM matches the stored profile and tunes.
-    let second = daemon.submit(&spec, &dataset, 2).expect("second submission");
+    let second = daemon
+        .submit(&spec, &dataset, 2)
+        .expect("second submission");
     match &second.outcome {
         SubmissionOutcome::Tuned {
             matched,

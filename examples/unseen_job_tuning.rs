@@ -14,8 +14,8 @@
 use datagen::{corpus, SizeClass};
 use mrjobs::jobs;
 use mrsim::{simulate, ClusterSpec, JobConfig};
-use pstorm::{PStorM, SubmissionOutcome};
 use profiler::collect_full_profile;
+use pstorm::{PStorM, SubmissionOutcome};
 use staticanalysis::StaticFeatures;
 
 fn main() {
@@ -29,13 +29,9 @@ fn main() {
             continue;
         }
         let ds = corpus::input_for(&spec.name, SizeClass::Large);
-        let Ok((mut profile, _)) = collect_full_profile(
-            &spec,
-            &ds,
-            &cluster,
-            &JobConfig::submitted(&spec),
-            7,
-        ) else {
+        let Ok((mut profile, _)) =
+            collect_full_profile(&spec, &ds, &cluster, &JobConfig::submitted(&spec), 7)
+        else {
             continue; // jobs that cannot run at this scale are skipped
         };
         profile.job_id = format!("{}@{}", spec.job_id(), ds.name);
@@ -88,6 +84,9 @@ fn main() {
         }
         SubmissionOutcome::ProfiledAndStored { failure } => {
             println!("no match found ({failure:?}); profile collected for next time");
+        }
+        SubmissionOutcome::Degraded { reason, .. } => {
+            println!("cluster faults degraded this submission: {reason}");
         }
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: the exact gate a change must pass before merging.
+#   ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -11,9 +11,7 @@ use cfstore::{MiniStore, Put, Scan};
 #[test]
 fn concurrent_writers_and_scanners_agree() {
     let store = Arc::new(MiniStore::new());
-    store
-        .create_table_with_threshold("t", &["f"], 32)
-        .unwrap();
+    store.create_table_with_threshold("t", &["f"], 32).unwrap();
     let writers = 4usize;
     let per_writer = 500usize;
 
@@ -128,8 +126,7 @@ fn concurrent_profile_store_matching_while_inserting() {
                 let spec = jobs::pigmix(n);
                 let ds = corpus::input_for(&spec.name, SizeClass::Small);
                 let (profile, _) =
-                    collect_full_profile(&spec, &ds, &cl, &JobConfig::submitted(&spec), 5)
-                        .unwrap();
+                    collect_full_profile(&spec, &ds, &cl, &JobConfig::submitted(&spec), 5).unwrap();
                 store
                     .put_profile(&StaticFeatures::extract(&spec), &profile)
                     .unwrap();

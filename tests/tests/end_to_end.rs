@@ -52,7 +52,11 @@ fn dd_submission_reuses_the_twin_profile() {
     // A contrasting job first, so the store's normalization bounds are
     // non-degenerate (a store with a single profile cannot normalize).
     daemon
-        .submit(&jobs::sort(), &corpus::input_for("sort", SizeClass::Small), 0)
+        .submit(
+            &jobs::sort(),
+            &corpus::input_for("sort", SizeClass::Small),
+            0,
+        )
         .unwrap();
 
     // Profile collected on the small dataset only.
@@ -125,7 +129,11 @@ fn submissions_are_deterministic_in_seed() {
 #[test]
 fn profiles_survive_store_roundtrips_bitwise() {
     let store = pstorm::ProfileStore::new().unwrap();
-    for spec in [jobs::cloudburst(12), jobs::pigmix(5), jobs::cf_user_vectors()] {
+    for spec in [
+        jobs::cloudburst(12),
+        jobs::pigmix(5),
+        jobs::cf_user_vectors(),
+    ] {
         let ds = corpus::input_for(&spec.name, SizeClass::Small);
         let (profile, _) =
             collect_full_profile(&spec, &ds, &cl(), &JobConfig::submitted(&spec), 3).unwrap();

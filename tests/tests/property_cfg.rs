@@ -20,8 +20,12 @@ fn arb_stmts(depth: u32) -> impl Strategy<Value = Vec<Stmt>> {
         let block = prop::collection::vec(inner.clone(), 1..3);
         prop_oneof![
             (block.clone(), block.clone()).prop_map(|(t, e)| if_else(lt(var("x"), c_int(3)), t, e)),
-            block.clone().prop_map(|b| if_then(lt(var("x"), c_int(3)), b)),
-            block.clone().prop_map(|b| while_loop(lt(var("x"), c_int(0)), b)),
+            block
+                .clone()
+                .prop_map(|b| if_then(lt(var("x"), c_int(3)), b)),
+            block
+                .clone()
+                .prop_map(|b| while_loop(lt(var("x"), c_int(0)), b)),
             block.prop_map(|b| for_each("i", var("xs"), b)),
         ]
     });

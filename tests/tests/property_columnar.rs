@@ -43,7 +43,13 @@ fn seeds() -> &'static Vec<(StaticFeatures, JobProfile)> {
 type Perturb = (usize, f64, f64, f64, bool);
 
 fn arb_perturb() -> impl Strategy<Value = Perturb> {
-    (0usize..4, 0.2f64..3.0, 0.2f64..3.0, 0.2f64..3.0, any::<bool>())
+    (
+        0usize..4,
+        0.2f64..3.0,
+        0.2f64..3.0,
+        0.2f64..3.0,
+        any::<bool>(),
+    )
 }
 
 fn store_of(perturbs: &[Perturb]) -> ProfileStore {

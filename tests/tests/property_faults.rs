@@ -1,0 +1,160 @@
+//! Chaos property tests for the fault-injection layer and the daemon's
+//! graceful degradation:
+//!
+//! (a) a zero-fault `FaultSpec` is bit-identical to the fault-free engine;
+//! (b) every faulted run either completes or returns a typed fault error —
+//!     never a panic;
+//! (c) attempt accounting is conserved: successes + failures + speculative
+//!     kills == scheduled attempts;
+//! plus a 1000-seed daemon sweep with faults on, asserting every
+//! submission is served with a `SubmissionOutcome`.
+
+use datagen::corpus;
+use mrjobs::jobs;
+use mrsim::{simulate, ClusterSpec, FaultSpec, JobConfig};
+use optimizer::CboOptions;
+use proptest::prelude::*;
+use pstorm::{PStorM, SubmissionOutcome};
+
+fn job_for(idx: u8) -> mrjobs::JobSpec {
+    match idx % 4 {
+        0 => jobs::word_count(),
+        1 => jobs::word_cooccurrence_pairs(2),
+        2 => jobs::sort(),
+        _ => jobs::inverted_index(),
+    }
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultSpec> {
+    (
+        0.0f64..0.4,
+        0.0f64..0.15,
+        any::<bool>(),
+        1.0f64..3.0,
+        0.0f64..0.5,
+    )
+        .prop_map(
+            |(task_failure_prob, node_loss_prob, speculation, threshold, cap)| FaultSpec {
+                task_failure_prob,
+                node_loss_prob,
+                speculation,
+                speculation_threshold: threshold,
+                speculation_cap: cap,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Property (a): a spec whose fault mechanisms are all disabled routes
+    // to the legacy scheduling path and reproduces the fault-free engine
+    // bit for bit, whatever the tuning knobs say.
+    #[test]
+    fn zero_fault_spec_is_bit_identical(
+        seed in 0u64..1_000_000,
+        job_idx in 0u8..4,
+        threshold in 1.0f64..5.0,
+        cap in 0.0f64..1.0,
+    ) {
+        let spec = job_for(job_idx);
+        let ds = corpus::random_text_1g();
+        let config = JobConfig::submitted(&spec);
+
+        let baseline = ClusterSpec::ec2_c1_medium_16();
+        let mut zero_fault = ClusterSpec::ec2_c1_medium_16();
+        zero_fault.faults = FaultSpec {
+            task_failure_prob: 0.0,
+            node_loss_prob: 0.0,
+            speculation: false,
+            speculation_threshold: threshold,
+            speculation_cap: cap,
+        };
+
+        let a = simulate(&spec, &ds, &baseline, &config, seed).unwrap();
+        let b = simulate(&spec, &ds, &zero_fault, &config, seed).unwrap();
+        prop_assert_eq!(a.runtime_ms.to_bits(), b.runtime_ms.to_bits());
+        prop_assert_eq!(b.faults.scheduled_attempts, 0);
+    }
+
+    // Properties (b) + (c): under arbitrary (bounded) fault rates the
+    // simulation never panics — it completes or fails with a typed fault
+    // error — and completed runs conserve their attempt accounting.
+    #[test]
+    fn faulted_runs_complete_or_fail_typed_and_conserve_attempts(
+        seed in 0u64..1_000_000,
+        job_idx in 0u8..4,
+        faults in arb_faults(),
+    ) {
+        let spec = job_for(job_idx);
+        let ds = corpus::random_text_1g();
+        let config = JobConfig::submitted(&spec);
+        let mut cluster = ClusterSpec::ec2_c1_medium_16();
+        cluster.faults = faults;
+
+        match simulate(&spec, &ds, &cluster, &config, seed) {
+            Ok(report) => {
+                prop_assert!(report.runtime_ms.is_finite() && report.runtime_ms > 0.0);
+                prop_assert!(
+                    report.faults.is_conserved(),
+                    "attempt accounting violated: {:?}",
+                    report.faults
+                );
+                prop_assert!(report.faults.wasted_ms >= 0.0);
+                prop_assert!(
+                    report.faults.speculative_wins <= report.faults.speculative_kills
+                );
+            }
+            Err(e) => prop_assert!(e.is_fault(), "non-fault error under injected faults: {e}"),
+        }
+    }
+}
+
+/// The acceptance sweep: 1000 seeds against a flaky cluster; every daemon
+/// submission must come back as a `SubmissionOutcome` — injected faults
+/// must never surface as an unhandled error.
+#[test]
+fn thousand_seed_daemon_sweep_under_faults() {
+    let mut daemon = PStorM::new().unwrap();
+    daemon.cluster.faults = FaultSpec {
+        task_failure_prob: 0.05,
+        node_loss_prob: 0.01,
+        speculation: true,
+        ..FaultSpec::default()
+    };
+    // Keep the CBO search small: the sweep exercises robustness, not
+    // tuning quality.
+    daemon.cbo = CboOptions {
+        budget: 30,
+        rounds: 1,
+        ..CboOptions::default()
+    };
+    let ds = corpus::random_text_1g();
+    let specs = [jobs::word_count(), jobs::sort(), jobs::inverted_index()];
+
+    let (mut tuned, mut profiled, mut degraded) = (0u32, 0u32, 0u32);
+    for seed in 0..1000u64 {
+        let spec = &specs[(seed % specs.len() as u64) as usize];
+        let report = daemon
+            .submit(spec, &ds, seed)
+            .expect("moderate fault rates must always be served, not errored");
+        assert!(report.run.runtime_ms.is_finite() && report.run.runtime_ms > 0.0);
+        assert!(
+            report.run.faults.is_conserved(),
+            "seed {seed}: {:?}",
+            report.run.faults
+        );
+        match report.outcome {
+            SubmissionOutcome::Tuned { .. } => tuned += 1,
+            SubmissionOutcome::ProfiledAndStored { .. } => profiled += 1,
+            SubmissionOutcome::Degraded { ref reason, .. } => {
+                assert!(!reason.is_empty());
+                degraded += 1;
+            }
+        }
+    }
+    assert_eq!(tuned + profiled + degraded, 1000);
+    // After the first few profiling runs the store serves matches.
+    assert!(tuned > 500, "tuned only {tuned} of 1000");
+    assert!(profiled >= specs.len() as u32);
+}

@@ -6,7 +6,9 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use cfstore::encoding::{decode_f64, decode_f64_vec, decode_str, encode_f64, encode_f64_vec, encode_str};
+use cfstore::encoding::{
+    decode_f64, decode_f64_vec, decode_str, encode_f64, encode_f64_vec, encode_str,
+};
 use cfstore::{MiniStore, Put, Scan};
 use proptest::prelude::*;
 

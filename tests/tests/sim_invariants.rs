@@ -3,9 +3,7 @@
 
 use datagen::{corpus, SizeClass};
 use mrjobs::{Value, ValueType};
-use mrsim::{
-    analyze, simulate_with_dataflow, ClusterSpec, CombineFlow, JobConfig, SimError,
-};
+use mrsim::{analyze, simulate_with_dataflow, ClusterSpec, CombineFlow, JobConfig, SimError};
 use proptest::prelude::*;
 
 fn cl() -> ClusterSpec {

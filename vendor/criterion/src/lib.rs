@@ -123,7 +123,12 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    pub fn bench_with_input<F, T: ?Sized>(&mut self, id: BenchmarkId, input: &T, mut f: F) -> &mut Self
+    pub fn bench_with_input<F, T: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &T),
     {

@@ -94,8 +94,12 @@ pub trait SampleRange<T> {
 /// per numeric type; `SampleRange` stays a single generic impl so integer
 /// literal inference works like upstream `rand`.
 pub trait SampleUniform: Sized {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
@@ -132,7 +136,12 @@ macro_rules! uniform_int {
 uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
         let v = lo + f64::sample(rng) * (hi - lo);
         if !inclusive && v >= hi {
             // Guard against FP rounding landing exactly on the excluded end.
@@ -144,7 +153,12 @@ impl SampleUniform for f64 {
 }
 
 impl SampleUniform for f32 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
         let v = lo + f32::sample(rng) * (hi - lo);
         if !inclusive && v >= hi {
             hi - (hi - lo) * f32::EPSILON
@@ -190,10 +204,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -221,7 +232,7 @@ pub mod seq {
 
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
             for i in (1..self.len()).rev() {
-                let j = (&mut *rng).gen_range(0..=i);
+                let j = (*rng).gen_range(0..=i);
                 self.swap(i, j);
             }
         }
