@@ -1,0 +1,41 @@
+//! Deterministic trace demo: fixed-seed daemon submissions with the
+//! observability layer (`obs`) enabled, rendered as a per-submission span
+//! tree — the `--trace` view referenced in the README quick-start.
+//!
+//! The first submission is a store miss (profiled and stored); the second
+//! matches the stored profile and runs CBO-tuned, so the output shows the
+//! whole instrumented surface: sampling, matcher stages, CBO rounds,
+//! simulated phase spans, store counters, and task-duration histograms.
+//!
+//! All timestamps are *virtual* (the simulator's clock), so this output is
+//! byte-identical on every machine; `tests/tests/trace_snapshot.rs` pins
+//! the JSON form of the same scenario as a golden file.
+//!
+//! Usage: `cargo run --release -p pstorm-bench --bin trace_report [--json]`
+
+use datagen::corpus;
+use mrjobs::jobs;
+use pstorm::PStorM;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    let mut daemon = PStorM::new().expect("fresh store");
+    let reg = obs::Registry::new();
+    daemon.set_obs(reg.clone());
+
+    let spec = jobs::word_count();
+    let ds = corpus::random_text_1g();
+    for seed in [1, 2] {
+        daemon
+            .submit(&spec, &ds, seed)
+            .expect("fault-free cluster must serve the submission");
+    }
+
+    let snap = reg.snapshot();
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print!("{}", snap.render_text());
+    }
+}

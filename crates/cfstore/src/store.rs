@@ -129,16 +129,29 @@ pub struct MiniStore {
     next_region_id: AtomicU64,
     /// Simulated region-server count for META assignment reporting.
     region_servers: u32,
+    /// Observability sink for the `cfstore.*` counters (DESIGN.md §10);
+    /// disabled (a single branch per operation) unless a caller attaches
+    /// an enabled registry via [`MiniStore::set_obs`].
+    obs: obs::Registry,
 }
 
 impl MiniStore {
+    /// An empty store with no tables and observability disabled.
     pub fn new() -> Self {
         MiniStore {
             tables: RwLock::new(BTreeMap::new()),
             clock: AtomicU64::new(1),
             next_region_id: AtomicU64::new(1),
             region_servers: 4,
+            obs: obs::Registry::disabled(),
         }
+    }
+
+    /// Attach an observability registry. Subsequent operations count
+    /// puts, gets, scans, scanned/returned rows, and checksum-verified
+    /// cells against it (`cfstore.*` counters).
+    pub fn set_obs(&mut self, obs: obs::Registry) {
+        self.obs = obs;
     }
 
     /// Create a table with a fixed set of column families.
@@ -183,6 +196,7 @@ impl MiniStore {
 
     /// Write one cell.
     pub fn put(&self, table: &str, put: Put) -> Result<(), StoreError> {
+        self.obs.incr("cfstore.puts", 1);
         let t = self.table(table)?;
         if !t.families.iter().any(|f| f == &put.family) {
             return Err(StoreError::NoSuchColumnFamily {
@@ -223,12 +237,18 @@ impl MiniStore {
 
     /// Read one row (checksum-verified).
     pub fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
+        self.obs.incr("cfstore.gets", 1);
         let t = self.table(table)?;
         let regions = t.regions.read();
-        match regions.iter().find(|r| r.contains_key(row)) {
-            Some(r) => r.get(row),
-            None => Ok(None),
+        let result = match regions.iter().find(|r| r.contains_key(row)) {
+            Some(r) => r.get(row)?,
+            None => None,
+        };
+        if let Some(row) = &result {
+            self.obs
+                .incr("cfstore.cells_verified", row.cell_count() as u64);
         }
+        Ok(result)
     }
 
     /// Chaos hook: corrupt the latest version of one stored cell in place
@@ -316,6 +336,14 @@ impl MiniStore {
             metrics.merge(m);
         }
         rows.sort_by(|a, b| a.row.cmp(&b.row));
+        // Counters are recorded once per scan from the merged metrics, so
+        // parallel region scans never contend on the registry mutex.
+        self.obs.incr("cfstore.scans", 1);
+        self.obs.incr("cfstore.rows_scanned", metrics.rows_scanned);
+        self.obs
+            .incr("cfstore.rows_returned", metrics.rows_returned);
+        self.obs
+            .incr("cfstore.cells_verified", metrics.cells_scanned);
         Ok((rows, metrics))
     }
 

@@ -20,7 +20,7 @@
 
 use mrjobs::{Dataset, JobSpec};
 use mrsim::{simulate, ClusterSpec, JobConfig, JobReport, SimError};
-use optimizer::{optimize, recommend, CboOptions};
+use optimizer::{optimize_traced, recommend, CboOptions};
 use profiler::{collect_full_profile, collect_sample_profile, JobProfile, SampleSize};
 use staticanalysis::StaticFeatures;
 
@@ -134,6 +134,9 @@ pub struct PStorM {
     pub matcher: MatcherConfig,
     pub cbo: CboOptions,
     pub policy: DegradationPolicy,
+    /// Observability registry; disabled by default. Use
+    /// [`PStorM::set_obs`] so the store shares the same trace.
+    obs: obs::Registry,
 }
 
 /// Seed used for retry `i` of a fault-killed run. The simulator is fully
@@ -153,7 +156,23 @@ impl PStorM {
             matcher: MatcherConfig::default(),
             cbo: CboOptions::default(),
             policy: DegradationPolicy::default(),
+            obs: obs::Registry::disabled(),
         })
+    }
+
+    /// Record every subsystem — daemon lifecycle, profile store, matcher,
+    /// CBO search, and simulated runs — into clones of `reg`, producing
+    /// one coherent per-submission trace on the simulator's virtual clock
+    /// (DESIGN.md §10). Pass [`obs::Registry::disabled`] to turn tracing
+    /// back off.
+    pub fn set_obs(&mut self, reg: obs::Registry) {
+        self.store.set_obs(reg.clone());
+        self.obs = reg;
+    }
+
+    /// The registry submissions are recorded into.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.obs
     }
 
     /// Pre-load a full profile (e.g. from a prior profiling run).
@@ -171,12 +190,41 @@ impl PStorM {
     /// degradation rung can still serve the job; only deterministic
     /// failures (bad config, UDF bugs, OOM under the user's own settings)
     /// and pathologically hostile clusters return `Err`.
+    ///
+    /// # Examples
+    ///
+    /// The first sighting of a job profiles and stores it; resubmitting
+    /// the same job matches the stored profile and runs CBO-tuned:
+    ///
+    /// ```
+    /// use pstorm::daemon::{PStorM, SubmissionOutcome};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let daemon = PStorM::new()?;
+    /// let spec = mrjobs::jobs::word_count();
+    /// let ds = datagen::corpus::random_text_1g();
+    ///
+    /// let first = daemon.submit(&spec, &ds, 1)?;
+    /// assert!(matches!(
+    ///     first.outcome,
+    ///     SubmissionOutcome::ProfiledAndStored { .. }
+    /// ));
+    ///
+    /// let second = daemon.submit(&spec, &ds, 2)?;
+    /// assert!(matches!(second.outcome, SubmissionOutcome::Tuned { .. }));
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn submit(
         &self,
         spec: &JobSpec,
         dataset: &Dataset,
         seed: u64,
     ) -> Result<SubmissionReport, DaemonError> {
+        let reg = self.obs.clone();
+        let span = reg.span("daemon.submit");
+        span.attr("job_id", spec.job_id());
+        span.attr("dataset", dataset.name.as_str());
+        span.attr("seed", seed);
         let submitted_config = JobConfig::submitted(spec);
 
         // Step 1: the 1-task probe, retried with capped exponential
@@ -184,26 +232,41 @@ impl PStorM {
         let mut sampling_ms = 0.0;
         let mut sample = None;
         let mut sample_fault: Option<SimError> = None;
-        for i in 0..=self.policy.sample_retries {
-            if i > 0 {
-                sampling_ms += self.policy.backoff_base_ms * f64::from(1u32 << (i - 1).min(16));
-            }
-            match collect_sample_profile(
-                spec,
-                dataset,
-                &self.cluster,
-                &submitted_config,
-                SampleSize::OneTask,
-                retry_seed(seed, i),
-            ) {
-                Ok(s) => {
-                    sampling_ms += s.runtime_ms;
-                    sample = Some(s);
-                    break;
+        {
+            let sample_span = reg.span("daemon.sample");
+            let mut attempts = 0u32;
+            for i in 0..=self.policy.sample_retries {
+                attempts = i + 1;
+                if i > 0 {
+                    let backoff = self.policy.backoff_base_ms * f64::from(1u32 << (i - 1).min(16));
+                    sampling_ms += backoff;
+                    reg.event(
+                        "daemon.sample.retry",
+                        &[("attempt", i.into()), ("backoff_ms", backoff.into())],
+                    );
+                    reg.advance_ms(backoff);
                 }
-                Err(e) if e.is_fault() => sample_fault = Some(e),
-                Err(e) => return Err(e.into()),
+                match collect_sample_profile(
+                    spec,
+                    dataset,
+                    &self.cluster,
+                    &submitted_config,
+                    SampleSize::OneTask,
+                    retry_seed(seed, i),
+                ) {
+                    Ok(s) => {
+                        sampling_ms += s.runtime_ms;
+                        reg.advance_ms(s.runtime_ms);
+                        sample = Some(s);
+                        break;
+                    }
+                    Err(e) if e.is_fault() => sample_fault = Some(e),
+                    Err(e) => return Err(e.into()),
+                }
             }
+            sample_span.attr("attempts", attempts);
+            sample_span.attr("sampling_ms", sampling_ms);
+            sample_span.attr("ok", sample.is_some());
         }
         let Some(sample) = sample else {
             // Rung 1 exhausted: no dynamic features, so matching is off
@@ -211,6 +274,8 @@ impl PStorM {
             let fault = sample_fault.expect("sampling loop ran at least once");
             let (config, run, rung) =
                 self.degraded_production_run(spec, dataset, &submitted_config, None, seed)?;
+            reg.incr("daemon.degraded", 1);
+            span.attr("outcome", "degraded");
             return Ok(SubmissionReport {
                 job_id: spec.job_id(),
                 outcome: SubmissionOutcome::Degraded {
@@ -235,24 +300,30 @@ impl PStorM {
         match match_profile(&self.store, &q, &self.matcher)? {
             Ok(matched) => {
                 // Step 3: CBO with the matched profile; run tuned.
-                let rec = optimize(
+                let rec = optimize_traced(
                     spec,
                     &matched.profile,
                     dataset.logical_bytes,
                     &self.cluster,
                     &self.cbo,
+                    &reg,
                 )?;
                 match simulate(spec, dataset, &self.cluster, &rec.config, seed ^ 0x47) {
-                    Ok(run) => Ok(SubmissionReport {
-                        job_id: spec.job_id(),
-                        outcome: SubmissionOutcome::Tuned {
-                            matched,
-                            tuned_config: rec.config,
-                            predicted_ms: rec.predicted_ms,
-                        },
-                        run,
-                        sampling_ms,
-                    }),
+                    Ok(run) => {
+                        mrsim::trace::record_report(&reg, &run);
+                        reg.incr("daemon.tuned", 1);
+                        span.attr("outcome", "tuned");
+                        Ok(SubmissionReport {
+                            job_id: spec.job_id(),
+                            outcome: SubmissionOutcome::Tuned {
+                                matched,
+                                tuned_config: rec.config,
+                                predicted_ms: rec.predicted_ms,
+                            },
+                            run,
+                            sampling_ms,
+                        })
+                    }
                     Err(e) if e.is_fault() || matches!(e, SimError::OutOfMemory { .. }) => {
                         // The tuned run died. OOM here means the CBO's
                         // settings (not the user's) were too aggressive
@@ -265,6 +336,8 @@ impl PStorM {
                             Some(&rec.config),
                             seed,
                         )?;
+                        reg.incr("daemon.degraded", 1);
+                        span.attr("outcome", "degraded");
                         Ok(SubmissionReport {
                             job_id: spec.job_id(),
                             outcome: SubmissionOutcome::Degraded {
@@ -296,13 +369,22 @@ impl PStorM {
                             profiled = Some(pr);
                             break;
                         }
-                        Err(e) if e.is_fault() => last_fault = Some(e),
+                        Err(e) if e.is_fault() => {
+                            reg.event(
+                                "daemon.profile.retry",
+                                &[("attempt", i.into()), ("fault", e.to_string().into())],
+                            );
+                            last_fault = Some(e);
+                        }
                         Err(e) => return Err(e.into()),
                     }
                 }
                 match profiled {
                     Some((profile, run)) => {
+                        mrsim::trace::record_report(&reg, &run);
                         self.store.put_profile(&q.statics, &profile)?;
+                        reg.incr("daemon.profiled", 1);
+                        span.attr("outcome", "profiled_and_stored");
                         Ok(SubmissionReport {
                             job_id: spec.job_id(),
                             outcome: SubmissionOutcome::ProfiledAndStored { failure },
@@ -321,6 +403,8 @@ impl PStorM {
                             None,
                             seed,
                         )?;
+                        reg.incr("daemon.degraded", 1);
+                        span.attr("outcome", "degraded");
                         Ok(SubmissionReport {
                             job_id: spec.job_id(),
                             outcome: SubmissionOutcome::Degraded {
@@ -374,11 +458,17 @@ impl PStorM {
             false,
         ));
 
+        let reg = &self.obs;
+        let ladder_span = reg.span("daemon.degrade");
         let mut attempt_no = 0u32;
         let mut last_fault: Option<SimError> = None;
         for (config, label, oom_falls_through) in rungs {
             for _ in 0..=self.policy.run_retries {
                 attempt_no += 1;
+                reg.event(
+                    "daemon.degrade.attempt",
+                    &[("rung", label.into()), ("attempt", attempt_no.into())],
+                );
                 match simulate(
                     spec,
                     dataset,
@@ -387,6 +477,13 @@ impl PStorM {
                     retry_seed(seed ^ 0x47, attempt_no),
                 ) {
                     Ok(run) => {
+                        reg.event(
+                            "daemon.degrade.served",
+                            &[("rung", label.into()), ("attempts", attempt_no.into())],
+                        );
+                        ladder_span.attr("served_by", label);
+                        ladder_span.attr("attempts", attempt_no);
+                        mrsim::trace::record_report(reg, &run);
                         let rung =
                             format!("served by {label} after {attempt_no} fallback run attempt(s)");
                         return Ok((config, run, rung));
@@ -401,6 +498,7 @@ impl PStorM {
                 }
             }
         }
+        ladder_span.attr("served_by", "none");
         // Every rung exhausted — the cluster is hostile beyond what the
         // policy tolerates. Surface the last fault as a typed error.
         Err(DaemonError::Sim(

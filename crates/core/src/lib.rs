@@ -13,6 +13,11 @@
 //! * [`matcher`] — the Fig. 4.4 multi-stage matching workflow.
 //! * [`daemon`] — the end-to-end PStorM daemon.
 //! * [`codec`] — cell-value encodings for profiles and CFGs.
+//!
+//! Every subsystem records spans, counters, and events into a shared
+//! deterministic [`obs::Registry`] when one is installed via
+//! [`PStorM::set_obs`] (off by default); see DESIGN.md §10 and the
+//! `trace_report` binary for the rendered per-submission span tree.
 
 pub mod altmodels;
 pub mod codec;

@@ -112,6 +112,16 @@ pub enum Side {
     Reduce,
 }
 
+impl Side {
+    /// Lower-case label used in traces and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Map => "map",
+            Side::Reduce => "reduce",
+        }
+    }
+}
+
 /// How one side's winner was found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SideMatch {
@@ -143,12 +153,56 @@ impl MatchResult {
 }
 
 /// Run the Fig. 4.4 workflow against the store.
+///
+/// The outer `Result` carries store/IO errors; the inner one is the
+/// matching verdict. Decisions are recorded into the store's
+/// [`obs::Registry`] (see [`ProfileStore::set_obs`]) as a `matcher.match`
+/// span with one `matcher.side` child per matched side.
+///
+/// # Examples
+///
+/// A job whose own profile is stored matches itself:
+///
+/// ```
+/// use pstorm::matcher::{match_profile, MatcherConfig, SubmittedJob};
+/// use pstorm::store::ProfileStore;
+/// use profiler::SampleSize;
+/// use staticanalysis::StaticFeatures;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cluster = mrsim::ClusterSpec::ec2_c1_medium_16();
+/// let spec = mrjobs::jobs::word_count();
+/// let ds = datagen::corpus::random_text_1g();
+/// let config = mrsim::JobConfig::submitted(&spec);
+///
+/// let store = ProfileStore::new()?;
+/// let (profile, _) = profiler::collect_full_profile(&spec, &ds, &cluster, &config, 7)?;
+/// store.put_profile(&StaticFeatures::extract(&spec), &profile)?;
+///
+/// let sample =
+///     profiler::collect_sample_profile(&spec, &ds, &cluster, &config, SampleSize::OneTask, 3)?;
+/// let q = SubmittedJob {
+///     spec: spec.clone(),
+///     statics: StaticFeatures::extract(&spec),
+///     sample: sample.profile,
+///     input_bytes: ds.logical_bytes,
+/// };
+/// let matched = match_profile(&store, &q, &MatcherConfig::default())?
+///     .expect("the job's own profile is a perfect match");
+/// assert_eq!(matched.map.source_job, spec.job_id());
+/// # Ok(())
+/// # }
+/// ```
 pub fn match_profile(
     store: &ProfileStore,
     q: &SubmittedJob,
     cfg: &MatcherConfig,
 ) -> Result<Result<MatchResult, MatchFailure>, ProfileStoreError> {
+    let reg = store.obs().clone();
+    let span = reg.span("matcher.match");
+    span.attr("job_id", q.spec.job_id());
     if store.is_empty()? {
+        reg.incr("matcher.no_match", 1);
+        span.attr("outcome", "empty_store");
         return Ok(Err(MatchFailure::EmptyStore));
     }
     let bounds = store.normalization_bounds()?;
@@ -169,7 +223,11 @@ pub fn match_profile(
         index.as_deref(),
     )? {
         Ok(m) => m,
-        Err(f) => return Ok(Err(f)),
+        Err(f) => {
+            reg.incr("matcher.no_match", 1);
+            span.attr("outcome", "no_map_match");
+            return Ok(Err(f));
+        }
     };
 
     // ---- Reduce side ----------------------------------------------------
@@ -184,7 +242,11 @@ pub fn match_profile(
             index.as_deref(),
         )? {
             Ok(m) => Some(m),
-            Err(f) => return Ok(Err(f)),
+            Err(f) => {
+                reg.incr("matcher.no_match", 1);
+                span.attr("outcome", "no_reduce_match");
+                return Ok(Err(f));
+            }
         }
     } else {
         None
@@ -192,6 +254,8 @@ pub fn match_profile(
 
     if let Some(r) = &reduce_side {
         if !cfg.allow_composition && r.source_job != map_side.source_job {
+            reg.incr("matcher.no_match", 1);
+            span.attr("outcome", "composition_disabled");
             return Ok(Err(MatchFailure::CompositionDisabled {
                 map_source: map_side.source_job.clone(),
                 reduce_source: r.source_job.clone(),
@@ -218,11 +282,19 @@ pub fn match_profile(
         }
     };
 
-    Ok(Ok(MatchResult {
+    let result = MatchResult {
         profile,
         map: map_side,
         reduce: reduce_side,
-    }))
+    };
+    reg.incr("matcher.matched", 1);
+    span.attr("outcome", "matched");
+    span.attr("map_source", result.map.source_job.as_str());
+    if let Some(r) = &result.reduce {
+        span.attr("reduce_source", r.source_job.as_str());
+    }
+    span.attr("composite", result.is_composite());
+    Ok(Ok(result))
 }
 
 /// A stage-1 survivor, borrowing its features from whichever backing the
@@ -263,6 +335,23 @@ fn match_side(
     let widen = 1.0 + cfg.low_confidence_widen * (1.0 - q.sample.confidence.clamp(0.0, 1.0));
     let theta = cfg.theta_eucl_fraction * (q_dyn.len() as f64).sqrt() * widen;
 
+    let reg = store.obs().clone();
+    let side_span = reg.span("matcher.side");
+    side_span.attr("side", side.label());
+    side_span.attr("theta", theta);
+    side_span.attr("columnar", index.is_some());
+    if widen > 1.0 {
+        reg.event(
+            "matcher.confidence_widen",
+            &[
+                ("side", side.label().into()),
+                ("confidence", q.sample.confidence.into()),
+                ("widen", widen.into()),
+            ],
+        );
+        reg.incr("matcher.confidence_widened", 1);
+    }
+
     // Stage 1: dynamic-feature Euclidean filter — a vectorized sweep of
     // the columnar index, or the legacy pushed-down region scan. Both call
     // the same `MinMaxNormalizer::distance` and visit rows in the same
@@ -270,8 +359,10 @@ fn match_side(
     let scan_rows: Vec<DynamicRow>;
     let mut scan_statics: HashMap<String, StoredStatics> = HashMap::new();
     let mut stage1: Vec<Candidate<'_>> = Vec::new();
+    let candidates_in: usize;
     match index {
         Some(ix) => {
+            candidates_in = ix.len();
             let rows = match side {
                 Side::Map => ix.sweep_map_dyn(dyn_bounds, &q_dyn, theta),
                 Side::Reduce => ix.sweep_red_dyn(dyn_bounds, &q_dyn, theta),
@@ -293,7 +384,7 @@ fn match_side(
         None => {
             let bounds = dyn_bounds.clone();
             let q_dyn_cl = q_dyn.clone();
-            let (rows, _metrics) = store.filter_dynamic(move |row: &DynamicRow| {
+            let (rows, metrics) = store.filter_dynamic(move |row: &DynamicRow| {
                 let stored: Option<&[f64]> = match side {
                     Side::Map => Some(&row.map_dyn),
                     Side::Reduce => row.red_dyn.as_deref(),
@@ -303,6 +394,7 @@ fn match_side(
                     None => false, // map-only rows cannot serve a reduce side
                 }
             })?;
+            candidates_in = metrics.rows_scanned as usize;
             scan_rows = rows;
             // One batched prefix scan for the statics the later stages
             // need, instead of a point-get per surviving row.
@@ -367,7 +459,12 @@ fn match_side(
             q_side.cfg_match(stored_side) == 1.0 && q_side.jaccard(stored_side) >= cfg.theta_jacc
         });
     }
+    reg.incr("matcher.stage1.candidates_in", candidates_in as u64);
+    reg.incr("matcher.stage1.survivors", stage1.len() as u64);
+    side_span.attr("candidates_in", candidates_in);
+    side_span.attr("stage1", stage1.len());
     if stage1.is_empty() {
+        side_span.attr("outcome", "no_dynamic_match");
         return Ok(Err(MatchFailure::NoDynamicMatch { side }));
     }
 
@@ -414,6 +511,11 @@ fn match_side(
             .to_string()
     };
 
+    reg.incr("matcher.stage2.survivors", stage2.len() as u64);
+    reg.incr("matcher.stage3.survivors", stage3.len() as u64);
+    side_span.attr("stage2", stage2.len());
+    side_span.attr("stage3", stage3.len());
+
     if !stage3.is_empty() {
         // Among Jaccard survivors, the most statically similar candidates
         // win before the input-size tie-break: a full static match (the
@@ -428,8 +530,12 @@ fn match_side(
             .filter(|(_, j)| (*j - best_jacc).abs() < 1e-9)
             .map(|(c, _)| *c)
             .collect();
+        let source_job = pick(&finalists);
+        side_span.attr("outcome", "matched");
+        side_span.attr("winner", source_job.as_str());
+        side_span.attr("via_fallback", false);
         return Ok(Ok(SideMatch {
-            source_job: pick(&finalists),
+            source_job,
             survivors: (stage1.len(), stage2.len(), stage3.len()),
             via_fallback: false,
         }));
@@ -453,11 +559,18 @@ fn match_side(
             }
         })
         .collect();
+    reg.incr("matcher.fallback.survivors", fallback.len() as u64);
+    side_span.attr("fallback", fallback.len());
     if fallback.is_empty() {
+        side_span.attr("outcome", "no_cost_factor_match");
         return Ok(Err(MatchFailure::NoCostFactorMatch { side }));
     }
+    let source_job = pick(&fallback);
+    side_span.attr("outcome", "matched");
+    side_span.attr("winner", source_job.as_str());
+    side_span.attr("via_fallback", true);
     Ok(Ok(SideMatch {
-        source_job: pick(&fallback),
+        source_job,
         survivors: (stage1.len(), stage2.len(), stage3.len()),
         via_fallback: true,
     }))

@@ -105,6 +105,10 @@ pub struct ProfileStore {
     index: RwLock<Option<Arc<ColumnarIndex>>>,
     /// Decoded `Meta/normalization` row, invalidated on every insert.
     bounds_cache: RwLock<Option<NormalizationBounds>>,
+    /// Observability registry ([`obs::Registry::disabled`] by default);
+    /// the matcher reads it through [`ProfileStore::obs`] so one enabled
+    /// registry covers the whole store + matcher path.
+    obs: obs::Registry,
 }
 
 impl ProfileStore {
@@ -116,7 +120,22 @@ impl ProfileStore {
             store,
             index: RwLock::new(None),
             bounds_cache: RwLock::new(None),
+            obs: obs::Registry::disabled(),
         })
+    }
+
+    /// Route this store's (and the underlying [`MiniStore`]'s) metrics
+    /// into `reg`. Pass a clone of the daemon's registry to collect one
+    /// coherent trace; see DESIGN.md §10.
+    pub fn set_obs(&mut self, reg: obs::Registry) {
+        self.store.set_obs(reg.clone());
+        self.obs = reg;
+    }
+
+    /// The registry this store records into (disabled unless
+    /// [`Self::set_obs`] was called).
+    pub fn obs(&self) -> &obs::Registry {
+        &self.obs
     }
 
     /// Chaos hook: bit-flip one stored cell (e.g. `Profile/<job>`'s
@@ -129,11 +148,38 @@ impl ProfileStore {
 
     /// Insert (or replace) a job's profile and features, maintaining the
     /// normalization bounds.
+    ///
+    /// # Examples
+    ///
+    /// Profile a run and store it; the profile comes back by job id:
+    ///
+    /// ```
+    /// use pstorm::store::ProfileStore;
+    /// use staticanalysis::StaticFeatures;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let spec = mrjobs::jobs::word_count();
+    /// let ds = datagen::corpus::random_text_1g();
+    /// let (profile, _run) = profiler::collect_full_profile(
+    ///     &spec,
+    ///     &ds,
+    ///     &mrsim::ClusterSpec::ec2_c1_medium_16(),
+    ///     &mrsim::JobConfig::submitted(&spec),
+    ///     7,
+    /// )?;
+    ///
+    /// let store = ProfileStore::new()?;
+    /// store.put_profile(&StaticFeatures::extract(&spec), &profile)?;
+    /// assert_eq!(store.len()?, 1);
+    /// assert_eq!(store.get_profile(&profile.job_id)?.unwrap(), profile);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn put_profile(
         &self,
         statics: &StaticFeatures,
         profile: &JobProfile,
     ) -> Result<(), ProfileStoreError> {
+        self.obs.incr("store.put_profile", 1);
         let job_id = &profile.job_id;
 
         // Static/<job>: categorical features + CFG cells.
@@ -329,6 +375,7 @@ impl ProfileStore {
 
     /// Fetch the full profile of a job.
     pub fn get_profile(&self, job_id: &str) -> Result<Option<JobProfile>, ProfileStoreError> {
+        self.obs.incr("store.get_profile", 1);
         let row = self.store.get(TABLE, row_key("Profile", job_id).as_ref())?;
         match row {
             Some(row) => {
@@ -450,10 +497,12 @@ impl ProfileStore {
     /// afterwards.
     pub fn columnar_index(&self) -> Result<Arc<ColumnarIndex>, ProfileStoreError> {
         if let Some(index) = self.index.read().as_ref() {
+            self.obs.incr("store.index_hits", 1);
             return Ok(index.clone());
         }
         let index = Arc::new(self.build_columnar_index()?);
         *self.index.write() = Some(index.clone());
+        self.obs.incr("store.index_rebuilds", 1);
         Ok(index)
     }
 

@@ -16,6 +16,8 @@
 //! * [`faults`] — seedable fault injection: attempt failures, bounded
 //!   retries, straggler nodes, speculation, and whole-node loss.
 //! * [`report`] — per-task and per-job execution reports.
+//! * [`trace`] — replaying a [`JobReport`]'s virtual timeline into the
+//!   deterministic observability layer (`obs`).
 
 pub mod cluster;
 pub mod config;
@@ -25,6 +27,7 @@ pub mod error;
 pub mod faults;
 pub mod phases;
 pub mod report;
+pub mod trace;
 
 pub use cluster::{ClusterSpec, CostRates, COMPRESSION_RATIO};
 pub use config::{ConfigError, JobConfig};

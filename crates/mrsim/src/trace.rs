@@ -1,0 +1,184 @@
+//! Recording simulated executions into an [`obs::Registry`].
+//!
+//! A [`JobReport`] *is* the job's virtual timeline: task start/end times
+//! and per-phase costs are all in simulated milliseconds. This module
+//! replays that timeline into the observability layer — `sim.job` /
+//! `sim.maps` / `sim.reduces` spans with phase breakdowns, task-duration
+//! histograms, and fault counters — and advances the registry's virtual
+//! clock by the job's runtime, so a daemon trace strings successive runs
+//! end to end on one deterministic clock. No wall-clock time is involved
+//! anywhere (DESIGN.md §10).
+
+use obs::{ms_to_ns, Registry, Value};
+
+use crate::phases::{MapPhase, ReducePhase};
+use crate::report::JobReport;
+
+/// All phases, in the fixed order they are reported in span attributes.
+const MAP_PHASES: [(MapPhase, &str); 6] = [
+    (MapPhase::Read, "read_ms"),
+    (MapPhase::Map, "map_ms"),
+    (MapPhase::Collect, "collect_ms"),
+    (MapPhase::Spill, "spill_ms"),
+    (MapPhase::Merge, "merge_ms"),
+    (MapPhase::Setup, "setup_ms"),
+];
+const REDUCE_PHASES: [(ReducePhase, &str); 5] = [
+    (ReducePhase::Shuffle, "shuffle_ms"),
+    (ReducePhase::Sort, "sort_ms"),
+    (ReducePhase::Reduce, "reduce_ms"),
+    (ReducePhase::Write, "write_ms"),
+    (ReducePhase::Setup, "setup_ms"),
+];
+
+/// Record a finished simulated run under the registry's current open span
+/// and advance the virtual clock by `report.runtime_ms`.
+///
+/// Emits one `sim.job` span covering the run, with `sim.maps` (submission
+/// to last map finish) and, for reduce jobs, `sim.reduces` (first reduce
+/// start to last reduce end) children. Each carries average per-task
+/// phase times as attributes; per-task durations feed the
+/// `sim.map_task_ms` / `sim.reduce_task_ms` histograms, and the
+/// `sim.*` counters accumulate task and fault totals.
+pub fn record_report(reg: &Registry, report: &JobReport) {
+    if !reg.is_enabled() {
+        return;
+    }
+    let t0 = reg.now_ns();
+    let end = t0 + ms_to_ns(report.runtime_ms);
+    {
+        let job = reg.span("sim.job");
+        job.attr("job_id", report.job_id.as_str());
+        job.attr("dataset", report.dataset.as_str());
+        job.attr("runtime_ms", report.runtime_ms);
+        job.attr("map_tasks", report.map_tasks.len());
+        job.attr("reduce_tasks", report.reduce_tasks.len());
+        if report.faults.scheduled_attempts > 0 {
+            job.attr("attempt_success_rate", report.attempt_success_rate());
+        }
+
+        let mut map_attrs: Vec<(&str, Value)> = vec![
+            ("tasks", Value::U64(report.map_tasks.len() as u64)),
+            ("avg_task_ms", Value::F64(report.avg_map_ms())),
+        ];
+        for (phase, label) in MAP_PHASES {
+            map_attrs.push((label, Value::F64(report.avg_map_phase_ms(phase))));
+        }
+        reg.record_span(
+            "sim.maps",
+            t0,
+            t0 + ms_to_ns(report.maps_done_ms),
+            &map_attrs,
+        );
+
+        if !report.reduce_tasks.is_empty() {
+            let first_start = report
+                .reduce_tasks
+                .iter()
+                .map(|t| t.start_ms)
+                .fold(f64::INFINITY, f64::min);
+            let last_end = report
+                .reduce_tasks
+                .iter()
+                .map(|t| t.end_ms)
+                .fold(0.0, f64::max);
+            let mut red_attrs: Vec<(&str, Value)> = vec![
+                ("tasks", Value::U64(report.reduce_tasks.len() as u64)),
+                ("avg_task_ms", Value::F64(report.avg_reduce_ms())),
+            ];
+            for (phase, label) in REDUCE_PHASES {
+                red_attrs.push((label, Value::F64(report.avg_reduce_phase_ms(phase))));
+            }
+            reg.record_span(
+                "sim.reduces",
+                t0 + ms_to_ns(first_start),
+                t0 + ms_to_ns(last_end),
+                &red_attrs,
+            );
+        }
+
+        for t in &report.map_tasks {
+            reg.observe("sim.map_task_ms", t.duration_ms());
+        }
+        for t in &report.reduce_tasks {
+            reg.observe("sim.reduce_task_ms", t.duration_ms());
+        }
+        reg.incr("sim.jobs", 1);
+        reg.incr("sim.map_tasks", report.map_tasks.len() as u64);
+        reg.incr("sim.reduce_tasks", report.reduce_tasks.len() as u64);
+        if report.faults.scheduled_attempts > 0 {
+            reg.incr(
+                "sim.fault.scheduled_attempts",
+                u64::from(report.faults.scheduled_attempts),
+            );
+            reg.incr(
+                "sim.fault.failed_attempts",
+                u64::from(report.faults.failed_attempts),
+            );
+            reg.incr("sim.fault.nodes_lost", u64::from(report.faults.nodes_lost));
+        }
+
+        // Move the shared clock to the job's end so the `sim.job` span —
+        // closed when `job` drops — covers exactly [t0, t0+runtime], and
+        // whatever the caller records next starts after this run.
+        reg.advance_ms(report.runtime_ms);
+    }
+    debug_assert_eq!(reg.now_ns(), end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, ClusterSpec, JobConfig};
+    use datagen::corpus;
+    use mrjobs::jobs;
+
+    #[test]
+    fn report_recording_replays_the_virtual_timeline() {
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        let cl = ClusterSpec::ec2_c1_medium_16();
+        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), 7).unwrap();
+
+        let reg = Registry::new();
+        reg.advance_ms(100.0); // pre-existing virtual time
+        record_report(&reg, &report);
+        let snap = reg.snapshot();
+
+        let job = snap.spans.iter().find(|s| s.name == "sim.job").unwrap();
+        assert_eq!(job.start_ns, ms_to_ns(100.0));
+        assert_eq!(
+            job.end_ns,
+            Some(ms_to_ns(100.0) + ms_to_ns(report.runtime_ms))
+        );
+        let maps = snap.spans.iter().find(|s| s.name == "sim.maps").unwrap();
+        assert_eq!(maps.parent, Some(job.id));
+        assert_eq!(
+            maps.end_ns.unwrap() - maps.start_ns,
+            ms_to_ns(report.maps_done_ms)
+        );
+        assert_eq!(snap.counters["sim.jobs"], 1);
+        assert_eq!(
+            snap.counters["sim.map_tasks"],
+            report.map_tasks.len() as u64
+        );
+        assert_eq!(
+            snap.histograms["sim.map_task_ms"].count,
+            report.map_tasks.len() as u64
+        );
+        // Clock advanced by exactly the runtime.
+        assert_eq!(snap.clock_ns, ms_to_ns(100.0) + ms_to_ns(report.runtime_ms));
+    }
+
+    #[test]
+    fn disabled_registry_is_untouched() {
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        let cl = ClusterSpec::ec2_c1_medium_16();
+        let report = simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), 7).unwrap();
+        let reg = Registry::disabled();
+        record_report(&reg, &report);
+        assert_eq!(reg.now_ns(), 0);
+        assert!(reg.snapshot().spans.is_empty());
+    }
+}

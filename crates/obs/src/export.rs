@@ -1,0 +1,320 @@
+//! Trace exporters: canonical JSON and a human-readable span tree.
+//!
+//! Both renderers are fully deterministic: spans and events appear in
+//! recording order, counters and histograms in lexicographic name order
+//! (they live in `BTreeMap`s), and floats go through Rust's shortest
+//! round-trip formatting, which is platform-independent. A snapshot of a
+//! seeded run therefore serializes to the same bytes everywhere — the
+//! property the golden-trace test pins down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{EventData, Histogram, SpanData, Value};
+
+/// An immutable copy of a registry's recorded state, ready to export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// Final virtual clock value in ns.
+    pub clock_ns: u64,
+    /// Spans in creation order.
+    pub spans: Vec<SpanData>,
+    /// Events in recording order.
+    pub events: Vec<EventData>,
+    /// Counters, name-sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms, name-sorted.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Shortest round-trip formatting: deterministic across platforms.
+        let _ = write!(out, "{v}");
+        // `1.0` formats as "1"; that is still valid JSON.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_value(v: &Value, out: &mut String) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => json_f64(*f, out),
+        Value::Str(s) => escape_json(s, out),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn json_attrs(attrs: &[(String, Value)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json(k, out);
+        out.push(':');
+        json_value(v, out);
+    }
+    out.push('}');
+}
+
+fn display_value(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(f) => format!("{f}"),
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+impl TraceSnapshot {
+    /// Serialize the snapshot as canonical single-line JSON.
+    ///
+    /// Key order is fixed (`clock_ns`, `spans`, `events`, `counters`,
+    /// `histograms`); within each section the ordering rules in the
+    /// module docs apply. Two snapshots of identical recordings produce
+    /// identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(out, "{{\"clock_ns\":{},\"spans\":[", self.clock_ns);
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"parent\":", s.id);
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            escape_json(&s.name, &mut out);
+            let _ = write!(out, ",\"start_ns\":{},\"end_ns\":", s.start_ns);
+            match s.end_ns {
+                Some(e) => {
+                    let _ = write!(out, "{e}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"attrs\":");
+            json_attrs(&s.attrs, &mut out);
+            out.push('}');
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"ts_ns\":{},\"name\":", e.ts_ns);
+            escape_json(&e.name, &mut out);
+            out.push_str(",\"attrs\":");
+            json_attrs(&e.attrs, &mut out);
+            out.push('}');
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json(k, &mut out);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json(k, &mut out);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_f64(*b, &mut out);
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":", h.count);
+            json_f64(h.sum, &mut out);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Render the trace as an indented, human-readable report: the span
+    /// tree (with virtual start/duration and attributes), then events,
+    /// counters, and histogram summaries.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(
+            out,
+            "trace: virtual clock {} ms, {} span(s), {} event(s)",
+            crate::ns_to_ms_string(self.clock_ns),
+            self.spans.len(),
+            self.events.len()
+        );
+
+        // Children of each span, in creation order.
+        let mut children: BTreeMap<u64, Vec<&SpanData>> = BTreeMap::new();
+        let mut roots: Vec<&SpanData> = Vec::new();
+        for s in &self.spans {
+            match s.parent {
+                Some(p) => children.entry(p).or_default().push(s),
+                None => roots.push(s),
+            }
+        }
+        fn render_span(
+            s: &SpanData,
+            depth: usize,
+            children: &BTreeMap<u64, Vec<&SpanData>>,
+            out: &mut String,
+        ) {
+            let indent = "  ".repeat(depth);
+            let dur = match s.end_ns {
+                Some(end) => format!("{} ms", crate::ns_to_ms_string(end - s.start_ns)),
+                None => "open".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{indent}- {} @{} ms ({dur})",
+                s.name,
+                crate::ns_to_ms_string(s.start_ns)
+            );
+            for (k, v) in &s.attrs {
+                let _ = write!(out, " {k}={}", display_value(v));
+            }
+            out.push('\n');
+            for c in children.get(&s.id).into_iter().flatten() {
+                render_span(c, depth + 1, children, out);
+            }
+        }
+        for root in roots {
+            render_span(root, 0, &children, &mut out);
+        }
+
+        if !self.events.is_empty() {
+            out.push_str("events:\n");
+            for e in &self.events {
+                let _ = write!(out, "  @{} ms {}", crate::ns_to_ms_string(e.ts_ns), e.name);
+                for (k, v) in &e.attrs {
+                    let _ = write!(out, " {k}={}", display_value(v));
+                }
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                let mean = if h.count > 0 {
+                    h.sum / h.count as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "  {k}: count={} sum={} mean={mean:.3}", h.count, h.sum);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let reg = Registry::new();
+        let span = reg.span("a \"quoted\"\nname");
+        span.attr("f", 0.5);
+        span.attr("s", "x\ty");
+        reg.advance_ms(1.0);
+        drop(span);
+        reg.incr("c", 1);
+        let a = reg.snapshot().to_json();
+        let b = reg.snapshot().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"quoted\\\"\\nname"));
+        assert!(a.contains("\"f\":0.5"));
+        assert!(a.contains("\"s\":\"x\\ty\""));
+        assert!(a.contains("\"counters\":{\"c\":1}"));
+    }
+
+    #[test]
+    fn nonfinite_floats_export_as_null() {
+        let reg = Registry::new();
+        let span = reg.span("s");
+        span.attr("bad", f64::NAN);
+        drop(span);
+        assert!(reg.snapshot().to_json().contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn text_renders_tree_and_metrics() {
+        let reg = Registry::new();
+        {
+            let outer = reg.span("daemon.submit");
+            outer.attr("job_id", "wc");
+            reg.advance_ms(2.0);
+            let _inner = reg.span("matcher.match");
+        }
+        reg.incr("store.gets", 4);
+        reg.observe("h", 2.0);
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("- daemon.submit @0.000 ms"));
+        assert!(text.contains("  - matcher.match @2.000 ms"));
+        assert!(text.contains("store.gets = 4"));
+        assert!(text.contains("h: count=1"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let snap = Registry::disabled().snapshot();
+        assert_eq!(
+            snap.to_json(),
+            "{\"clock_ns\":0,\"spans\":[],\"events\":[],\"counters\":{},\"histograms\":{}}"
+        );
+        assert!(snap
+            .render_text()
+            .starts_with("trace: virtual clock 0.000 ms"));
+    }
+}

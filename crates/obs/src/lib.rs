@@ -1,0 +1,85 @@
+//! # obs — deterministic tracing and metrics for PStorM-rs
+//!
+//! The observability substrate threaded through the daemon, matcher, CBO,
+//! profile store, and simulator (DESIGN.md §10). It exists because the
+//! paper's pitch is *explainable* feedback-based tuning (§2.3.2 motivates
+//! PStorM over PerfXplain-style post-hoc explanation): every submission
+//! should be able to answer "which matcher stage pruned which candidates,
+//! how many what-if evaluations did the CBO spend, and where did the
+//! simulated time go?" without a debugger.
+//!
+//! Three properties shape the design:
+//!
+//! 1. **Deterministic.** Timestamps come from a *virtual clock* advanced
+//!    explicitly with simulated durations (never [`std::time::Instant`]),
+//!    so the trace of a seeded run is byte-identical across machines and
+//!    can be snapshot-tested (`tests/tests/trace_snapshot.rs`).
+//! 2. **Zero-dependency and cheap when off.** The crate depends only on
+//!    `std`. A [`Registry::disabled`] registry is a `None` behind an
+//!    `Option<Arc<..>>`: every recording call reduces to one branch, so
+//!    instrumented hot paths stay within noise of the uninstrumented ones
+//!    (enforced by `perf_report` against `BENCH_tuning_latency.json`).
+//! 3. **Structured.** Hierarchical [spans](Registry::span) with
+//!    attributes, monotonic [counters](Registry::incr), fixed-bucket
+//!    [histograms](Registry::observe), and timestamped
+//!    [events](Registry::event) — exported as an indented text tree
+//!    ([`TraceSnapshot::render_text`]) or canonical JSON
+//!    ([`TraceSnapshot::to_json`]).
+//!
+//! # Example
+//!
+//! ```
+//! use obs::Registry;
+//!
+//! let reg = Registry::new();
+//! {
+//!     let span = reg.span("daemon.submit");
+//!     span.attr("job_id", "word-count");
+//!     reg.incr("store.gets", 3);
+//!     reg.advance_ms(1500.0); // simulated time elapsing
+//!     reg.observe("sim.map_task_ms", 420.0);
+//! } // span closes at the current virtual time
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters["store.gets"], 3);
+//! assert_eq!(snap.spans[0].name, "daemon.submit");
+//! assert_eq!(snap.spans[0].end_ns, Some(1_500_000_000));
+//! // Deterministic: same recording, same bytes.
+//! assert_eq!(snap.to_json(), reg.snapshot().to_json());
+//! ```
+//!
+//! A disabled registry accepts the same calls and records nothing:
+//!
+//! ```
+//! use obs::Registry;
+//!
+//! let reg = Registry::disabled();
+//! let span = reg.span("matcher.match"); // no-op guard
+//! span.attr("stage1_survivors", 7u64);
+//! reg.incr("cfstore.gets", 1);
+//! drop(span);
+//! assert!(!reg.is_enabled());
+//! assert!(reg.snapshot().spans.is_empty());
+//! ```
+
+mod export;
+mod registry;
+
+pub use export::TraceSnapshot;
+pub use registry::{EventData, Histogram, Registry, Span, SpanData, Value};
+
+/// Convert a duration in virtual milliseconds to integer nanoseconds, the
+/// unit all recorded timestamps use. Rounding to integer ns keeps traces
+/// free of float-formatting drift.
+pub fn ms_to_ns(ms: f64) -> u64 {
+    if ms.is_finite() && ms > 0.0 {
+        (ms * 1e6).round() as u64
+    } else {
+        0
+    }
+}
+
+/// Format integer nanoseconds as fractional milliseconds for human output.
+pub fn ns_to_ms_string(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}

@@ -1,0 +1,473 @@
+//! The thread-safe recording core: virtual clock, spans, counters,
+//! histograms, and events behind a single mutex.
+//!
+//! All state lives in one [`Mutex`]-guarded block shared by every clone of
+//! a [`Registry`]. Instrumented subsystems (daemon, store, matcher, CBO,
+//! simulator) therefore write into one coherent trace as long as they were
+//! handed clones of the same registry. A disabled registry carries no
+//! state at all and every method returns after a single branch.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::export::TraceSnapshot;
+
+/// Default histogram bucket upper bounds, shared by every histogram that
+/// is not given explicit bounds. Decade buckets from 10⁻³ to 10⁸ cover
+/// everything the instrumentation records: sub-millisecond phase times,
+/// multi-minute job runtimes (in ms), and candidate/row counts.
+pub(crate) const DEFAULT_BOUNDS: [f64; 12] = [
+    1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+];
+
+/// An attribute value on a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, seeds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (virtual durations, selectivities). Must be finite to appear
+    /// in JSON as a number; non-finite values export as `null`.
+    F64(f64),
+    /// String (job ids, rung labels, outcome tags).
+    Str(String),
+    /// Boolean (flags such as `via_fallback`).
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One recorded span: a named interval of virtual time with attributes
+/// and a parent link forming the per-submission span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    /// 1-based id in creation order (0 is "no parent").
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Dotted span name, e.g. `daemon.submit` (naming scheme: DESIGN.md §10).
+    pub name: String,
+    /// Virtual start time in ns.
+    pub start_ns: u64,
+    /// Virtual end time in ns; `None` if never closed (a trace exported
+    /// mid-flight).
+    pub end_ns: Option<u64>,
+    /// Attributes in recording order.
+    pub attrs: Vec<(String, Value)>,
+}
+
+/// One timestamped structured event (`key=value` payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventData {
+    /// Virtual timestamp in ns.
+    pub ts_ns: u64,
+    /// Dotted event name, e.g. `daemon.degrade.attempt`.
+    pub name: String,
+    /// Attributes in recording order.
+    pub attrs: Vec<(String, Value)>,
+}
+
+/// A fixed-bucket histogram: counts of observations per bucket plus the
+/// exact sum/count, so means stay available even with coarse buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of each bucket (an observation lands in the first
+    /// bucket whose bound is `>=` the value); values above the last bound
+    /// land in the implicit overflow bucket.
+    pub bounds: Vec<f64>,
+    /// One count per bound, plus one trailing overflow count.
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct State {
+    pub(crate) clock_ns: u64,
+    pub(crate) spans: Vec<SpanData>,
+    /// Stack of currently open span ids; the top is the parent for new
+    /// spans and events created on any thread sharing the registry.
+    pub(crate) open: Vec<u64>,
+    pub(crate) events: Vec<EventData>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) histograms: BTreeMap<String, Histogram>,
+}
+
+/// A handle to the shared trace state — or a no-op shell.
+///
+/// Cloning is cheap and clones share state: hand clones of one enabled
+/// registry to the daemon, store, and simulator to collect one coherent
+/// trace. [`Registry::disabled`] is the hot-path default; it carries no
+/// allocation and every method is a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+impl Registry {
+    /// An enabled registry with an empty trace and the virtual clock at 0.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+        }
+    }
+
+    /// The no-op registry: records nothing, costs one branch per call.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current virtual time in ns (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.lock().unwrap().clock_ns,
+            None => 0,
+        }
+    }
+
+    /// Advance the virtual clock by a simulated duration in milliseconds.
+    /// This is the **only** way time passes: callers charge simulated
+    /// costs (job runtimes, backoff waits) explicitly, and wall-clock
+    /// never leaks into the trace.
+    pub fn advance_ms(&self, ms: f64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().clock_ns += crate::ms_to_ns(ms);
+        }
+    }
+
+    /// Open a span starting now, child of the innermost open span. The
+    /// returned guard closes the span (stamping the then-current virtual
+    /// time) when dropped.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                reg: Registry::disabled(),
+                id: None,
+            };
+        };
+        let id = {
+            let mut st = inner.lock().unwrap();
+            let id = st.spans.len() as u64 + 1;
+            let parent = st.open.last().copied();
+            let start_ns = st.clock_ns;
+            st.spans.push(SpanData {
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns,
+                end_ns: None,
+                attrs: Vec::new(),
+            });
+            st.open.push(id);
+            id
+        };
+        Span {
+            reg: self.clone(),
+            id: Some(id),
+        }
+    }
+
+    /// Record an already-timed span `[start_ns, end_ns]` (used by the
+    /// simulator, whose task timeline is known only after the run). The
+    /// span is closed immediately and parented under the innermost open
+    /// span; it never joins the open stack.
+    pub fn record_span(&self, name: &str, start_ns: u64, end_ns: u64, attrs: &[(&str, Value)]) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock().unwrap();
+            let id = st.spans.len() as u64 + 1;
+            let parent = st.open.last().copied();
+            st.spans.push(SpanData {
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns,
+                end_ns: Some(end_ns),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Record a structured event at the current virtual time.
+    pub fn event(&self, name: &str, attrs: &[(&str, Value)]) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock().unwrap();
+            let ts_ns = st.clock_ns;
+            st.events.push(EventData {
+                ts_ns,
+                name: name.to_string(),
+                attrs: attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Add `n` to a monotonic counter (created at 0 on first use).
+    pub fn incr(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            *inner
+                .lock()
+                .unwrap()
+                .counters
+                .entry(name.to_string())
+                .or_insert(0) += n;
+        }
+    }
+
+    /// Record an observation into the named fixed-bucket histogram
+    /// (decade buckets 10⁻³..10⁸; see [`Registry::observe_with_bounds`]
+    /// for custom bounds).
+    pub fn observe(&self, name: &str, v: f64) {
+        self.observe_with_bounds(name, v, &DEFAULT_BOUNDS);
+    }
+
+    /// Record an observation into a histogram with explicit bucket upper
+    /// bounds. The bounds are fixed by the histogram's **first**
+    /// observation; later calls reuse them.
+    pub fn observe_with_bounds(&self, name: &str, v: f64, bounds: &[f64]) {
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .unwrap()
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(v);
+        }
+    }
+
+    /// A consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        match &self.inner {
+            Some(inner) => {
+                let st = inner.lock().unwrap();
+                TraceSnapshot {
+                    clock_ns: st.clock_ns,
+                    spans: st.spans.clone(),
+                    events: st.events.clone(),
+                    counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    histograms: st
+                        .histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                }
+            }
+            None => TraceSnapshot::default(),
+        }
+    }
+
+    /// Forget everything recorded and reset the clock to 0 (the registry
+    /// stays enabled). Lets one long-lived daemon export per-submission
+    /// traces.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            *inner.lock().unwrap() = State::default();
+        }
+    }
+}
+
+/// Guard for an open span: set attributes while open; dropping closes the
+/// span at the then-current virtual time.
+#[derive(Debug)]
+pub struct Span {
+    reg: Registry,
+    id: Option<u64>,
+}
+
+impl Span {
+    /// Attach an attribute (no-op on a disabled registry).
+    pub fn attr(&self, key: &str, value: impl Into<Value>) {
+        let (Some(inner), Some(id)) = (&self.reg.inner, self.id) else {
+            return;
+        };
+        let mut st = inner.lock().unwrap();
+        let span = &mut st.spans[(id - 1) as usize];
+        span.attrs.push((key.to_string(), value.into()));
+    }
+
+    /// This span's id, if recording.
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let (Some(inner), Some(id)) = (&self.reg.inner, self.id) else {
+            return;
+        };
+        let mut st = inner.lock().unwrap();
+        let now = st.clock_ns;
+        st.spans[(id - 1) as usize].end_ns = Some(now);
+        st.open.retain(|open| *open != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_in_virtual_time() {
+        let reg = Registry::new();
+        {
+            let outer = reg.span("outer");
+            reg.advance_ms(1.0);
+            {
+                let inner = reg.span("inner");
+                inner.attr("k", 3u64);
+                reg.advance_ms(2.0);
+            }
+            outer.attr("done", true);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.start_ns, 0);
+        assert_eq!(inner.start_ns, 1_000_000);
+        assert_eq!(inner.end_ns, Some(3_000_000));
+        assert_eq!(outer.end_ns, Some(3_000_000));
+        assert_eq!(snap.clock_ns, 3_000_000);
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let reg = Registry::new();
+        reg.incr("a", 2);
+        reg.incr("a", 3);
+        reg.observe("h", 0.5);
+        reg.observe("h", 50.0);
+        reg.observe("h", 1e9); // overflow bucket
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 5);
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert_eq!(h.sum, 0.5 + 50.0 + 1e9);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        let span = reg.span("x");
+        span.attr("k", 1u64);
+        reg.incr("c", 1);
+        reg.observe("h", 1.0);
+        reg.event("e", &[]);
+        reg.advance_ms(10.0);
+        drop(span);
+        assert_eq!(reg.now_ns(), 0);
+        let snap = reg.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.incr("c", 1);
+        b.incr("c", 1);
+        assert_eq!(a.snapshot().counters["c"], 2);
+        b.reset();
+        assert!(a.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn record_span_is_closed_and_parented() {
+        let reg = Registry::new();
+        let outer = reg.span("outer");
+        reg.record_span("timed", 5, 9, &[("n", Value::U64(1))]);
+        drop(outer);
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans[1].parent, Some(snap.spans[0].id));
+        assert_eq!(snap.spans[1].start_ns, 5);
+        assert_eq!(snap.spans[1].end_ns, Some(9));
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_virtual_clock() {
+        let reg = Registry::new();
+        reg.advance_ms(2.5);
+        reg.event("e", &[("why", Value::Str("test".into()))]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.events[0].ts_ns, 2_500_000);
+        assert_eq!(snap.events[0].name, "e");
+    }
+}

@@ -173,8 +173,25 @@ fn predict_batch(
         .collect()
 }
 
+/// Per-round evaluation bookkeeping surfaced through the observability
+/// layer (`cbo.round` span attributes and `cbo.*` counters).
+#[derive(Debug, Default, Clone, Copy)]
+struct RoundStats {
+    /// Candidates considered this round (what-if *calls*).
+    candidates: usize,
+    /// Candidates served from the memo (or duplicated within the round).
+    memo_hits: usize,
+    /// Distinct predictions actually simulated.
+    evals: usize,
+    /// Candidates rejected by configuration validation.
+    invalid: usize,
+}
+
 /// Search for the best configuration for `spec` on `input_bytes` of data,
 /// trusting `profile`.
+///
+/// Convenience wrapper over [`optimize_traced`] with observability
+/// disabled — the hot path most callers (and all benchmarks) use.
 pub fn optimize(
     spec: &JobSpec,
     profile: &JobProfile,
@@ -182,9 +199,37 @@ pub fn optimize(
     cluster: &ClusterSpec,
     opts: &CboOptions,
 ) -> Result<Recommendation, SimError> {
+    optimize_traced(
+        spec,
+        profile,
+        input_bytes,
+        cluster,
+        opts,
+        &obs::Registry::disabled(),
+    )
+}
+
+/// [`optimize`], recording the search into `reg`: a `cbo.search` span
+/// with one `cbo.round` child per round (candidates, memo hits, distinct
+/// evaluations, incumbent after the round) plus the `cbo.*` counters.
+/// With a disabled registry this *is* `optimize` — the instrumentation
+/// reduces to one branch per round, far below measurement noise.
+pub fn optimize_traced(
+    spec: &JobSpec,
+    profile: &JobProfile,
+    input_bytes: u64,
+    cluster: &ClusterSpec,
+    opts: &CboOptions,
+    reg: &obs::Registry,
+) -> Result<Recommendation, SimError> {
     let space = ConfigSpace::for_cluster(cluster);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut wif_calls = 0usize;
+
+    let search_span = reg.span("cbo.search");
+    search_span.attr("job_id", spec.job_id());
+    search_span.attr("budget", opts.budget);
+    search_span.attr("rounds", opts.rounds);
 
     let plan = WhatIfPlan::new(spec, profile, input_bytes, cluster);
     let has_combiner = plan.has_combiner();
@@ -194,8 +239,14 @@ pub fn optimize(
     // Evaluate one round's candidates: validate serially, look up the
     // memo, run the distinct misses (possibly in parallel), and hand back
     // per-candidate results in candidate order.
-    let mut eval_round = |cands: &[JobConfig], calls: &mut usize| -> Vec<Result<f64, SimError>> {
+    let mut eval_round = |cands: &[JobConfig],
+                          calls: &mut usize|
+     -> (Vec<Result<f64, SimError>>, RoundStats) {
         *calls += cands.len();
+        let mut stats = RoundStats {
+            candidates: cands.len(),
+            ..RoundStats::default()
+        };
         let keys: Vec<Result<ConfigKey, SimError>> = cands
             .iter()
             .map(|cfg| match cfg.validate() {
@@ -203,6 +254,7 @@ pub fn optimize(
                 Err(e) => Err(SimError::Config(e)),
             })
             .collect();
+        stats.invalid = keys.iter().filter(|k| k.is_err()).count();
         let mut missing: Vec<(ConfigKey, &JobConfig)> = Vec::new();
         for (cfg, key) in cands.iter().zip(&keys) {
             if let Ok(key) = key {
@@ -211,6 +263,8 @@ pub fn optimize(
                 }
             }
         }
+        stats.evals = missing.len();
+        stats.memo_hits = cands.len() - stats.invalid - stats.evals;
         let miss_cfgs: Vec<&JobConfig> = missing.iter().map(|(_, cfg)| *cfg).collect();
         for ((key, _), res) in missing
             .iter()
@@ -218,12 +272,31 @@ pub fn optimize(
         {
             memo.insert(*key, res);
         }
-        keys.into_iter()
+        let results = keys
+            .into_iter()
             .map(|key| match key {
                 Ok(key) => memo[&key].clone(),
                 Err(e) => Err(e),
             })
-            .collect()
+            .collect();
+        (results, stats)
+    };
+
+    let record_round = |reg: &obs::Registry, label: &str, stats: RoundStats, best_ms: f64| {
+        if !reg.is_enabled() {
+            return;
+        }
+        let span = reg.span("cbo.round");
+        span.attr("round", label);
+        span.attr("candidates", stats.candidates);
+        span.attr("memo_hits", stats.memo_hits);
+        span.attr("evals", stats.evals);
+        span.attr("invalid", stats.invalid);
+        span.attr("best_ms", best_ms);
+        reg.incr("cbo.wif_calls", stats.candidates as u64);
+        reg.incr("cbo.memo_hits", stats.memo_hits as u64);
+        reg.incr("cbo.evals", stats.evals as u64);
+        reg.incr("cbo.invalid_configs", stats.invalid as u64);
     };
 
     // Seed the incumbent with the job's own submitted configuration, so
@@ -231,9 +304,10 @@ pub fn optimize(
     // own prediction).
     let submitted = JobConfig::submitted(spec);
     let mut best_cfg = submitted.clone();
-    let mut best_ms = eval_round(std::slice::from_ref(&submitted), &mut wif_calls)
-        .pop()
-        .expect("one result for one candidate")?;
+    let (mut seed_results, seed_stats) =
+        eval_round(std::slice::from_ref(&submitted), &mut wif_calls);
+    let mut best_ms = seed_results.pop().expect("one result for one candidate")?;
+    record_round(reg, "seed", seed_stats, best_ms);
     let mut best_x: Option<[f64; ConfigSpace::DIMS]> = None;
 
     let per_round = (opts.budget.saturating_sub(1) / (opts.rounds + 1)).max(1);
@@ -262,7 +336,7 @@ pub fn optimize(
             })
             .collect();
         let cfgs: Vec<JobConfig> = xs.iter().map(|x| space.decode(x)).collect();
-        let results = eval_round(&cfgs, &mut wif_calls);
+        let (results, stats) = eval_round(&cfgs, &mut wif_calls);
         for ((x, cfg), res) in xs.into_iter().zip(cfgs).zip(results) {
             if let Ok(ms) = res {
                 if ms < best_ms {
@@ -272,8 +346,11 @@ pub fn optimize(
                 }
             }
         }
+        record_round(reg, &round.to_string(), stats, best_ms);
     }
 
+    search_span.attr("wif_calls", wif_calls);
+    search_span.attr("predicted_ms", best_ms);
     Ok(Recommendation {
         config: best_cfg,
         predicted_ms: best_ms,

@@ -10,6 +10,6 @@ pub mod cbo;
 pub mod rbo;
 pub mod space;
 
-pub use cbo::{optimize, CboOptions, Recommendation};
+pub use cbo::{optimize, optimize_traced, CboOptions, Recommendation};
 pub use rbo::{recommend, FiredRule, RboRecommendation};
 pub use space::ConfigSpace;

@@ -16,4 +16,15 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Documentation gate: first-party crates must build rustdoc warning-free
+# (broken intra-doc links, missing code-block languages, ...). Scoped with
+# -p so the vendored dependency stand-ins are not held to the same bar.
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p obs -p mrjobs -p datagen -p staticanalysis -p mrsim -p profiler \
+  -p whatif -p optimizer -p cfstore -p mlmatch -p pstorm -p pstorm-bench
+
+echo "==> trace snapshot (fixed-seed trace must be bit-identical)"
+cargo test -q -p pstorm-tests --test trace_snapshot
+
 echo "CI OK"

@@ -1,0 +1,110 @@
+//! Golden-snapshot test for the observability layer's determinism claim
+//! (DESIGN.md §10): a fixed-seed submission sequence exports a
+//! byte-identical JSON trace on every run and every machine, because all
+//! recorded timestamps come from the simulator's virtual clock.
+//!
+//! Regenerate the golden file after intentional instrumentation changes:
+//!
+//! ```text
+//! UPDATE_TRACE_SNAPSHOT=1 cargo test -p pstorm-tests --test trace_snapshot
+//! ```
+
+use datagen::corpus;
+use mrjobs::jobs;
+use pstorm::PStorM;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/trace_snapshot.json");
+
+/// The trace_report scenario: one store miss (profile-and-store), then one
+/// match-and-tune of the same job, on one enabled registry.
+fn collect_trace() -> String {
+    let mut daemon = PStorM::new().unwrap();
+    let reg = obs::Registry::new();
+    daemon.set_obs(reg.clone());
+    let spec = jobs::word_count();
+    let ds = corpus::random_text_1g();
+    daemon.submit(&spec, &ds, 1).unwrap();
+    daemon.submit(&spec, &ds, 2).unwrap();
+    reg.snapshot().to_json()
+}
+
+#[test]
+fn fixed_seed_trace_is_bit_identical_and_matches_golden() {
+    let first = collect_trace();
+    let second = collect_trace();
+    assert_eq!(
+        first, second,
+        "two identical fixed-seed runs must export identical traces"
+    );
+
+    if std::env::var_os("UPDATE_TRACE_SNAPSHOT").is_some() {
+        std::fs::write(GOLDEN, format!("{first}\n")).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect(
+        "golden trace missing — regenerate with UPDATE_TRACE_SNAPSHOT=1 \
+         cargo test -p pstorm-tests --test trace_snapshot",
+    );
+    assert_eq!(
+        golden.trim_end(),
+        first,
+        "trace drifted from tests/golden/trace_snapshot.json; if the \
+         instrumentation change is intentional, regenerate with \
+         UPDATE_TRACE_SNAPSHOT=1"
+    );
+}
+
+#[test]
+fn trace_covers_every_instrumented_subsystem() {
+    let mut daemon = PStorM::new().unwrap();
+    let reg = obs::Registry::new();
+    daemon.set_obs(reg.clone());
+    let spec = jobs::word_count();
+    let ds = corpus::random_text_1g();
+    daemon.submit(&spec, &ds, 1).unwrap();
+    daemon.submit(&spec, &ds, 2).unwrap();
+    let snap = reg.snapshot();
+
+    for name in [
+        "daemon.submit",
+        "daemon.sample",
+        "matcher.match",
+        "matcher.side",
+        "cbo.search",
+        "cbo.round",
+        "sim.job",
+        "sim.maps",
+    ] {
+        assert!(
+            snap.spans.iter().any(|s| s.name == name),
+            "missing span {name}"
+        );
+    }
+    for counter in [
+        "daemon.profiled",
+        "daemon.tuned",
+        "matcher.matched",
+        "cbo.wif_calls",
+        "store.put_profile",
+        "cfstore.puts",
+        "cfstore.scans",
+        "sim.jobs",
+    ] {
+        assert!(snap.counters.contains_key(counter), "missing {counter}");
+    }
+    // Every span is closed, and children stay inside their parents on the
+    // virtual timeline.
+    for s in &snap.spans {
+        let end = s.end_ns.expect("exported trace has no open spans");
+        assert!(s.start_ns <= end, "span {} runs backwards", s.name);
+        if let Some(parent) = s.parent {
+            let p = &snap.spans[(parent - 1) as usize];
+            assert!(
+                p.start_ns <= s.start_ns && end <= p.end_ns.unwrap(),
+                "span {} escapes its parent {}",
+                s.name,
+                p.name
+            );
+        }
+    }
+}
