@@ -1,0 +1,140 @@
+//! `store_fsck` — scrub a durable cfstore directory and print what a
+//! recovery would find (DESIGN.md §11).
+//!
+//! ```text
+//! store_fsck <dir>            # read-only scrub: manifest, segments, WAL
+//! store_fsck <dir> --repair   # additionally run real recovery, which
+//!                             # truncates any torn WAL tail in place
+//! ```
+//!
+//! The scrub never mutates the directory: segments are checksum-verified
+//! block by block, the WAL is scanned up to its first torn/corrupt frame,
+//! and the resulting [`RecoveryReport`] is rendered exactly as the daemon
+//! logs it on startup. Exit status is non-zero when the directory cannot
+//! be recovered at all (corrupt manifest or a corrupt *referenced*
+//! segment — torn WAL tails and orphan segments are expected crash
+//! artifacts, not errors).
+
+use cfstore::recovery::{read_manifest, RecoveryReport};
+use cfstore::segment::verify_segment;
+use cfstore::wal::{read_wal, WAL_FILE};
+use cfstore::MiniStore;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
+    let mut report = RecoveryReport::default();
+
+    // 1. The manifest: which segments and flush mark do we trust?
+    let manifest = match read_manifest(dir) {
+        Ok(m) => m,
+        Err(e) => return Err(format!("manifest: {e}")),
+    };
+    let (flushed_lsn, trusted): (u64, Vec<String>) = match &manifest {
+        Some(m) => {
+            println!(
+                "manifest            : generation {}, flushed_lsn {}, {} table(s), {} segment(s)",
+                m.generation,
+                m.flushed_lsn,
+                m.tables.len(),
+                m.segments.len()
+            );
+            (m.flushed_lsn, m.segments.clone())
+        }
+        None => {
+            println!("manifest            : none (store never flushed)");
+            (0, Vec::new())
+        }
+    };
+
+    // 2. Every trusted segment must verify end to end.
+    for name in &trusted {
+        match verify_segment(&dir.join(name)) {
+            Ok(meta) => {
+                println!(
+                    "segment {name}: ok — table {}, region {}, {} row(s), {} block(s)",
+                    meta.table,
+                    meta.region_id,
+                    meta.row_count,
+                    meta.blocks.len()
+                );
+                report.segments_loaded += 1;
+                report.segment_rows += meta.row_count;
+            }
+            Err(e) => return Err(format!("segment {name}: {e}")),
+        }
+    }
+
+    // 3. Orphans: segment files a crashed flush left behind. Not trusted,
+    // not an error — the WAL still covers their contents.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("seg-") && name.ends_with(".seg") && !trusted.contains(&name) {
+                report.orphan_segments.push(name);
+            }
+        }
+        report.orphan_segments.sort();
+    }
+
+    // 4. The WAL tail: count what replays and what a crash tore off.
+    let scan = read_wal(&dir.join(WAL_FILE)).map_err(|e| format!("wal: {e}"))?;
+    report.wal_bytes_valid = scan.valid_bytes;
+    report.wal_bytes_dropped = scan.total_bytes - scan.valid_bytes;
+    report.truncation = scan.truncation;
+    for frame in &scan.frames {
+        if frame.lsn <= flushed_lsn {
+            report.frames_skipped += 1;
+        } else {
+            report.frames_replayed += 1;
+            report.records_replayed += frame.records.len() as u64;
+        }
+    }
+
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, repair) = match args.as_slice() {
+        [dir] => (dir.clone(), false),
+        [dir, flag] if flag == "--repair" => (dir.clone(), true),
+        _ => {
+            eprintln!("usage: store_fsck <store-dir> [--repair]");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = Path::new(&dir);
+    if !dir.is_dir() {
+        eprintln!("store_fsck: {} is not a directory", dir.display());
+        return ExitCode::from(2);
+    }
+
+    println!("scrubbing {}", dir.display());
+    let report = match scrub(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("store_fsck: unrecoverable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_text());
+
+    if repair {
+        // Real recovery: replays the WAL and truncates the torn tail.
+        match MiniStore::open(dir) {
+            Ok((store, rep)) => {
+                println!("--- repair (recovery) ---");
+                print!("{}", rep.render_text());
+                for entry in store.meta_entries() {
+                    println!("{entry:?}");
+                }
+            }
+            Err(e) => {
+                eprintln!("store_fsck: recovery failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

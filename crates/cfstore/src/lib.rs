@@ -5,22 +5,40 @@
 //! catalog, multi-version cells, and — crucially for PStorM — *server-side
 //! filter pushdown* with parallel region scans (§5.3 of the paper).
 //!
+//! Since PR 4 the store is also durable (DESIGN.md §11): mutations are
+//! write-ahead logged before they apply, flushes persist immutable
+//! checksummed segment files per region behind an atomically swapped
+//! MANIFEST, and reopening a store directory replays the WAL tail over
+//! the loaded segments — truncating (and accounting for) any torn tail a
+//! crash left behind. Crash points are injected deterministically via
+//! [`CrashSpec`] so property tests can enumerate "crash anywhere,
+//! reopen, invariants hold".
+//!
 //! * [`kv`] — cells, puts, row results.
 //! * [`filter`] — pushdown predicates (`RowPrefixFilter`,
 //!   `SingleColumnValueFilter`, arbitrary predicates, conjunctions).
 //! * [`region`] — sorted row partitions with scan metrics and splits.
-//! * [`store`] — tables, META, the client API.
+//! * [`store`] — tables, META, the client API, durable mode.
+//! * [`wal`] — the length+CRC-framed write-ahead log and crash injection.
+//! * [`segment`] — immutable sorted segment files with block checksums.
+//! * [`recovery`] — the reopen path: manifest, replay, `RecoveryReport`.
 //! * [`encoding`] — the binary codec for cell values.
 
 pub mod encoding;
 pub mod filter;
 pub mod kv;
+pub mod recovery;
 pub mod region;
+pub mod segment;
 pub mod store;
+pub mod wal;
 
 pub use filter::{
     CompareOp, Filter, FilterList, PredicateFilter, RowPrefixFilter, SingleColumnValueFilter,
 };
 pub use kv::{CellVersion, Put, RowResult};
-pub use region::{KeyRange, Region, ScanMetrics};
+pub use recovery::{Manifest, RecoveryError, RecoveryReport};
+pub use region::{KeyRange, Region, RowData, ScanMetrics};
+pub use segment::SegmentError;
 pub use store::{MetaEntry, MiniStore, Scan, StoreError};
+pub use wal::{CrashSpec, SyncPolicy, WalTruncation};

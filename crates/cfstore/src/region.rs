@@ -17,11 +17,12 @@ use crate::kv::{CellVersion, Put, RowResult};
 use crate::store::StoreError;
 
 /// Maximum cell versions retained per column, like HBase's default.
-const MAX_VERSIONS: usize = 3;
+pub(crate) const MAX_VERSIONS: usize = 3;
 
 /// Key of one stored row inside a region: family → column → versions
-/// (newest first).
-type RowData = BTreeMap<String, BTreeMap<Bytes, Vec<CellVersion>>>;
+/// (newest first). Public because segment files and recovery move rows
+/// in and out of regions in this shape.
+pub type RowData = BTreeMap<String, BTreeMap<Bytes, Vec<CellVersion>>>;
 
 /// A half-open row-key range `[start, end)`; `None` end means unbounded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,7 +113,16 @@ impl Region {
             .or_default()
             .entry(put.column)
             .or_default();
-        versions.insert(0, CellVersion::new(timestamp, put.value));
+        // Keep versions sorted by timestamp descending regardless of
+        // arrival order, so a WAL replay (which re-applies writes in log
+        // order) lands bit-identical to the live write path. In the
+        // common monotonic case the insert position is 0, exactly the
+        // old behaviour.
+        let pos = versions
+            .iter()
+            .position(|v| v.timestamp <= timestamp)
+            .unwrap_or(versions.len());
+        versions.insert(pos, CellVersion::new(timestamp, put.value));
         versions.truncate(MAX_VERSIONS);
         true
     }
@@ -203,27 +213,60 @@ impl Region {
         self.rows.read().len()
     }
 
-    /// Split this region at its median row key, returning the new upper
-    /// region. Returns `None` when the region has fewer than 2 rows.
-    pub fn split(&self, new_id: u64) -> Option<Region> {
-        let mut rows = self.rows.write();
+    /// The median row key — the point `split` would cut at. Returns
+    /// `None` when the region has fewer than 2 rows. Exposed separately
+    /// so the durable store can write-ahead-log the split point *before*
+    /// applying it (log-then-apply, like every other mutation).
+    pub fn median_key(&self) -> Option<Bytes> {
+        let rows = self.rows.read();
         if rows.len() < 2 {
             return None;
         }
-        let median = rows.keys().nth(rows.len() / 2).cloned()?;
-        let upper_rows = rows.split_off(&median);
+        rows.keys().nth(rows.len() / 2).cloned()
+    }
+
+    /// Split this region at its median row key, returning the new upper
+    /// region. Returns `None` when the region has fewer than 2 rows.
+    pub fn split(&self, new_id: u64) -> Option<Region> {
+        let median = self.median_key()?;
+        self.split_at(&median, new_id)
+    }
+
+    /// Split this region at an explicit key (used both by `split` and by
+    /// WAL replay, which must reproduce the logged split point exactly).
+    /// Returns `None` if the key is empty or outside this region's range.
+    pub fn split_at(&self, key: &Bytes, new_id: u64) -> Option<Region> {
+        let mut rows = self.rows.write();
         let mut my_range = self.range.write();
+        if !my_range.contains(key) || key.is_empty() {
+            return None;
+        }
+        let upper_rows = rows.split_off(key);
         let upper = Region {
             id: new_id,
             range: RwLock::new(KeyRange {
-                start: median.clone(),
+                start: key.clone(),
                 end: my_range.end.clone(),
             }),
             rows: RwLock::new(upper_rows),
         };
         // Shrink this region's range to end at the split point.
-        my_range.end = Some(median);
+        my_range.end = Some(key.clone());
         Some(upper)
+    }
+
+    /// Rebuild a region from recovered parts (segment load + WAL replay).
+    pub fn from_parts(id: u64, range: KeyRange, rows: BTreeMap<Bytes, RowData>) -> Self {
+        Region {
+            id,
+            range: RwLock::new(range),
+            rows: RwLock::new(rows),
+        }
+    }
+
+    /// Snapshot this region's rows for a segment flush.
+    pub fn export_rows(&self) -> BTreeMap<Bytes, RowData> {
+        self.rows.read().clone()
     }
 }
 

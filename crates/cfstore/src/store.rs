@@ -1,22 +1,39 @@
 //! The store: tables, the META catalog, region assignment, and the
 //! client API (create/put/get/scan/delete) with server-side filter
-//! pushdown and parallel region scans.
+//! pushdown, parallel region scans, and an optional HBase-shaped
+//! durability layer (write-ahead log + flushed segments + recovery).
+//!
+//! A store opened with [`MiniStore::new`] is purely in-memory, exactly
+//! as before. A store opened with [`MiniStore::open`] is backed by a
+//! directory: every mutation is written to the WAL *before* it touches
+//! memory (log-then-apply), [`MiniStore::flush`] persists each region as
+//! an immutable segment file and swaps the MANIFEST atomically, and
+//! reopening the directory replays the WAL tail over the loaded
+//! segments. Durable mutations are serialized under one lock so the WAL
+//! order is exactly the apply order — replay is then a faithful rerun.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::filter::Filter;
 use crate::kv::{Put, RowResult};
+use crate::recovery::{self, Manifest, ManifestTable, RecoveryError, RecoveryReport};
 use crate::region::{KeyRange, Region, ScanMetrics};
+use crate::segment;
+use crate::wal::{CrashSpec, SyncPolicy, WalError, WalRecord, WalWriter, WAL_FILE};
 
 /// Rows per region before a split is triggered.
 const DEFAULT_SPLIT_THRESHOLD: usize = 256;
 
-/// Store errors.
+/// Store errors. Kept `Clone + Eq` (I/O failures are carried as rendered
+/// strings) so callers and property tests can compare outcomes; the
+/// richer typed chain for reopen failures lives in
+/// [`crate::recovery::RecoveryError`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     TableExists(String),
@@ -31,6 +48,12 @@ pub enum StoreError {
         row: String,
         column: String,
     },
+    /// An injected [`CrashSpec`] point fired (or a previous one already
+    /// poisoned the store). The store refuses all further durable
+    /// mutations until the directory is reopened through recovery.
+    Crashed,
+    /// A real I/O failure underneath the durability layer.
+    Io(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -52,10 +75,23 @@ impl std::fmt::Display for StoreError {
                      stored cell is corrupt"
                 )
             }
+            StoreError::Crashed => {
+                write!(f, "store crashed (injected crash point); reopen to recover")
+            }
+            StoreError::Io(detail) => write!(f, "store I/O failure: {detail}"),
         }
     }
 }
 impl std::error::Error for StoreError {}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        match e {
+            WalError::Crashed => StoreError::Crashed,
+            WalError::Io(io) => StoreError::Io(io.to_string()),
+        }
+    }
+}
 
 /// A scan request.
 pub struct Scan {
@@ -122,6 +158,15 @@ pub struct MetaEntry {
     pub region_server: u32,
 }
 
+/// The durable half of a store: the WAL writer plus flush bookkeeping.
+/// All durable mutations lock this, so WAL order == apply order.
+struct DurableState {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Flush generation; names the next batch of segment files.
+    generation: u64,
+}
+
 /// The miniature column-family store.
 pub struct MiniStore {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
@@ -133,6 +178,9 @@ pub struct MiniStore {
     /// disabled (a single branch per operation) unless a caller attaches
     /// an enabled registry via [`MiniStore::set_obs`].
     obs: obs::Registry,
+    /// `Some` when the store is backed by a directory (WAL + segments);
+    /// `None` for the classic in-memory store.
+    durable: Option<Mutex<DurableState>>,
 }
 
 impl MiniStore {
@@ -144,7 +192,84 @@ impl MiniStore {
             next_region_id: AtomicU64::new(1),
             region_servers: 4,
             obs: obs::Registry::disabled(),
+            durable: None,
         }
+    }
+
+    /// Open (or create) a durable store at `dir`, running recovery:
+    /// load manifest-referenced segments, verify every checksum, replay
+    /// the WAL tail, and truncate any torn tail. Returns the store plus
+    /// the [`RecoveryReport`] accounting for every replayed and dropped
+    /// byte.
+    pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), RecoveryError> {
+        Self::open_with(dir, SyncPolicy::EveryOp, CrashSpec::default())
+    }
+
+    /// [`MiniStore::open`] with an explicit sync policy and crash spec
+    /// (the property tests' entry point).
+    pub fn open_with(
+        dir: &Path,
+        policy: SyncPolicy,
+        crash: CrashSpec,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        std::fs::create_dir_all(dir).map_err(|e| RecoveryError::Io {
+            path: dir.display().to_string(),
+            source: e,
+        })?;
+        let (state, report) = recovery::recover(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = WalWriter::open(&wal_path, state.wal_len, state.next_lsn, policy, crash)
+            .map_err(|e| RecoveryError::Io {
+                path: wal_path.display().to_string(),
+                source: match e {
+                    WalError::Io(io) => io,
+                    WalError::Crashed => std::io::Error::other("crash during open"),
+                },
+            })?;
+        let mut tables = BTreeMap::new();
+        for t in state.tables {
+            let regions: Vec<Arc<Region>> = t
+                .regions
+                .into_iter()
+                .map(|r| Arc::new(Region::from_parts(r.id, r.range, r.rows)))
+                .collect();
+            tables.insert(
+                t.name,
+                Arc::new(Table {
+                    families: t.families,
+                    regions: RwLock::new(regions),
+                    split_threshold: t.split_threshold as usize,
+                }),
+            );
+        }
+        Ok((
+            MiniStore {
+                tables: RwLock::new(tables),
+                clock: AtomicU64::new(state.clock),
+                next_region_id: AtomicU64::new(state.next_region_id),
+                region_servers: 4,
+                obs: obs::Registry::disabled(),
+                durable: Some(Mutex::new(DurableState {
+                    dir: dir.to_path_buf(),
+                    wal,
+                    generation: state.generation,
+                })),
+            },
+            report,
+        ))
+    }
+
+    /// Whether this store is backed by a directory.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Whether an injected crash point has poisoned the store.
+    pub fn is_crashed(&self) -> bool {
+        self.durable
+            .as_ref()
+            .map(|m| m.lock().wal.is_crashed())
+            .unwrap_or(false)
     }
 
     /// Attach an observability registry. Subsequent operations count
@@ -167,14 +292,23 @@ impl MiniStore {
         families: &[&str],
         split_threshold: usize,
     ) -> Result<(), StoreError> {
+        // Lock order everywhere: durable state first, then the catalog,
+        // then region internals — so flushes and mutations never deadlock.
+        let mut durable = self.durable.as_ref().map(|m| m.lock());
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             return Err(StoreError::TableExists(name.to_string()));
         }
-        let region = Arc::new(Region::new(
-            self.next_region_id.fetch_add(1, Ordering::Relaxed),
-            KeyRange::all(),
-        ));
+        let root_region_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = durable.as_mut() {
+            d.wal.append(&[WalRecord::CreateTable {
+                name: name.to_string(),
+                families: families.iter().map(|f| f.to_string()).collect(),
+                split_threshold: split_threshold as u64,
+                root_region_id,
+            }])?;
+        }
+        let region = Arc::new(Region::new(root_region_id, KeyRange::all()));
         tables.insert(
             name.to_string(),
             Arc::new(Table {
@@ -194,21 +328,76 @@ impl MiniStore {
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
-    /// Write one cell.
+    /// Write one cell. In durable mode the cell is WAL-logged (and, under
+    /// [`SyncPolicy::EveryOp`], durable) before it becomes visible.
     pub fn put(&self, table: &str, put: Put) -> Result<(), StoreError> {
-        self.obs.incr("cfstore.puts", 1);
+        self.put_batch(table, vec![put])
+    }
+
+    /// Write a batch of cells as one atomic unit: in durable mode the
+    /// whole batch is a single WAL frame, so recovery replays all of it
+    /// or none of it — multi-row values (a whole profile) never reappear
+    /// half-written after a crash.
+    pub fn put_batch(&self, table: &str, puts: Vec<Put>) -> Result<(), StoreError> {
+        self.obs.incr("cfstore.puts", puts.len() as u64);
         let t = self.table(table)?;
-        if !t.families.iter().any(|f| f == &put.family) {
-            return Err(StoreError::NoSuchColumnFamily {
-                table: table.to_string(),
-                family: put.family.clone(),
-            });
+        for put in &puts {
+            if !t.families.iter().any(|f| f == &put.family) {
+                return Err(StoreError::NoSuchColumnFamily {
+                    table: table.to_string(),
+                    family: put.family.clone(),
+                });
+            }
         }
-        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
-        // A concurrent split can shrink the chosen region's range between
-        // lookup and write; `Region::put` detects this under its lock and
-        // we retry against the refreshed region list.
-        let region = loop {
+        let mut durable = self.durable.as_ref().map(|m| m.lock());
+        let mut stamped = Vec::with_capacity(puts.len());
+        if let Some(d) = durable.as_mut() {
+            // Log-then-apply: stamp every cell, frame the whole batch,
+            // and only touch memory once the log accepted it. A torn
+            // frame means the caller never saw an ack and recovery drops
+            // the tail — nothing to undo.
+            let mut records = Vec::with_capacity(puts.len());
+            for put in puts {
+                let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+                records.push(WalRecord::Put {
+                    table: table.to_string(),
+                    row: put.row.clone(),
+                    family: put.family.clone(),
+                    column: put.column.clone(),
+                    value: put.value.clone(),
+                    timestamp: ts,
+                });
+                stamped.push((put, ts));
+            }
+            d.wal.append(&records)?;
+        } else {
+            for put in puts {
+                let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+                stamped.push((put, ts));
+            }
+        }
+        let mut touched: Vec<Arc<Region>> = Vec::new();
+        for (put, ts) in stamped {
+            let region = Self::apply_put(&t, put, ts);
+            if !touched.iter().any(|r| r.id == region.id) {
+                touched.push(region);
+            }
+        }
+        // Split check (amortized: only when a region grew large).
+        for region in touched {
+            if region.row_count() > t.split_threshold {
+                self.split_region(table, &t, &region, durable.as_deref_mut())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one stamped cell to the region owning its row. A concurrent
+    /// split can shrink the chosen region's range between lookup and
+    /// write; `Region::put` detects this under its lock and we retry
+    /// against the refreshed region list.
+    fn apply_put(t: &Table, put: Put, ts: u64) -> Arc<Region> {
+        loop {
             let region = {
                 let regions = t.regions.read();
                 regions
@@ -218,20 +407,51 @@ impl MiniStore {
                     .expect("region ranges cover the key space")
             };
             if region.put(put.clone(), ts) {
-                break region;
-            }
-        };
-        // Split check (amortized: only when the region grew large).
-        if region.row_count() > t.split_threshold {
-            let mut regions = t.regions.write();
-            if let Some(upper) = region.split(self.next_region_id.fetch_add(1, Ordering::Relaxed)) {
-                let pos = regions
-                    .iter()
-                    .position(|r| r.id == region.id)
-                    .expect("region still registered");
-                regions.insert(pos + 1, Arc::new(upper));
+                return region;
             }
         }
+    }
+
+    /// Split one oversized region at its median key. In durable mode the
+    /// split point and new region id are WAL-logged *before* the split is
+    /// applied, so replay reproduces the exact region topology.
+    fn split_region(
+        &self,
+        table: &str,
+        t: &Table,
+        region: &Arc<Region>,
+        durable: Option<&mut DurableState>,
+    ) -> Result<(), StoreError> {
+        let mut regions = t.regions.write();
+        let Some(split_key) = region.median_key() else {
+            return Ok(());
+        };
+        let new_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = durable {
+            d.wal.append(&[WalRecord::RegionSplit {
+                table: table.to_string(),
+                parent_id: region.id,
+                new_id,
+                split_key: split_key.clone(),
+            }])?;
+        }
+        let Some(upper) = region.split_at(&split_key, new_id) else {
+            return Ok(());
+        };
+        let pos = regions
+            .iter()
+            .position(|r| r.id == region.id)
+            .expect("region still registered");
+        regions.insert(pos + 1, Arc::new(upper));
+        self.obs.event(
+            "cfstore.region.split",
+            &[
+                ("table", obs::Value::from(table)),
+                ("parent", obs::Value::from(region.id)),
+                ("new", obs::Value::from(new_id)),
+            ],
+        );
+        self.obs.incr("cfstore.region.splits", 1);
         Ok(())
     }
 
@@ -272,6 +492,13 @@ impl MiniStore {
     /// Delete one row.
     pub fn delete_row(&self, table: &str, row: &[u8]) -> Result<bool, StoreError> {
         let t = self.table(table)?;
+        let mut durable = self.durable.as_ref().map(|m| m.lock());
+        if let Some(d) = durable.as_mut() {
+            d.wal.append(&[WalRecord::DeleteRow {
+                table: table.to_string(),
+                row: Bytes::copy_from_slice(row),
+            }])?;
+        }
         loop {
             let region = {
                 let regions = t.regions.read();
@@ -285,6 +512,89 @@ impl MiniStore {
                 return Ok(existed);
             }
         }
+    }
+
+    /// Flush every region to an immutable segment file and swap the
+    /// MANIFEST atomically; the WAL is truncated afterwards (its frames
+    /// are now captured by segments). A no-op for in-memory stores.
+    ///
+    /// Superseded segments from earlier generations are deleted after the
+    /// swap — the wholesale-rewrite analog of a major compaction.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let Some(m) = &self.durable else {
+            return Ok(());
+        };
+        let mut d = m.lock();
+        // Push any group-commit tail out first: everything logged must be
+        // durable before the manifest claims to supersede it.
+        d.wal.sync()?;
+        let flushed_lsn = d.wal.next_lsn() - 1;
+        let generation = d.generation + 1;
+        let tables = self.tables.read();
+        let mut manifest_tables = Vec::new();
+        let mut seg_names = Vec::new();
+        for (name, t) in tables.iter() {
+            manifest_tables.push(ManifestTable {
+                name: name.clone(),
+                families: t.families.clone(),
+                split_threshold: t.split_threshold as u64,
+            });
+            for r in t.regions.read().iter() {
+                let rows = r.export_rows();
+                let bytes = segment::encode_segment(name, r.id, &r.range(), &rows);
+                let file = recovery::segment_file_name(generation, r.id);
+                let path = d.dir.join(&file);
+                match d.wal.check_flush_crash() {
+                    Ok(()) => {
+                        std::fs::write(&path, &bytes).map_err(|e| StoreError::Io(e.to_string()))?;
+                        d.wal.segments_written += 1;
+                        seg_names.push(file);
+                    }
+                    Err(WalError::Crashed) => {
+                        // Tear the victim segment halfway and die: the
+                        // manifest never swaps, so recovery sees this
+                        // file only as an orphan.
+                        let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+                        return Err(StoreError::Crashed);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        let manifest = Manifest {
+            flushed_lsn,
+            clock: self.clock.load(Ordering::Relaxed),
+            next_region_id: self.next_region_id.load(Ordering::Relaxed),
+            generation,
+            tables: manifest_tables,
+            segments: seg_names.clone(),
+        };
+        recovery::write_manifest(&d.dir, &manifest).map_err(|e| StoreError::Io(e.to_string()))?;
+        d.wal.reset_after_flush()?;
+        d.generation = generation;
+        let mut superseded = 0u64;
+        if let Ok(entries) = std::fs::read_dir(&d.dir) {
+            for entry in entries.flatten() {
+                let fname = entry.file_name().to_string_lossy().into_owned();
+                if fname.starts_with("seg-")
+                    && fname.ends_with(".seg")
+                    && !seg_names.contains(&fname)
+                    && std::fs::remove_file(entry.path()).is_ok()
+                {
+                    superseded += 1;
+                }
+            }
+        }
+        self.obs.event(
+            "cfstore.flush",
+            &[
+                ("segments", obs::Value::from(seg_names.len())),
+                ("superseded", obs::Value::from(superseded)),
+                ("flushed_lsn", obs::Value::from(flushed_lsn)),
+            ],
+        );
+        self.obs.incr("cfstore.flushes", 1);
+        Ok(())
     }
 
     /// Scan with server-side filtering; regions are scanned in parallel
@@ -327,6 +637,22 @@ impl MiniStore {
             .expect("scan scope");
             for result in results {
                 partials.push(result?);
+            }
+        }
+        // Per-region read-amplification counters (rows each region
+        // touched vs returned), recorded before the merge flattens the
+        // partials. Key formatting is gated so the disabled-registry
+        // fast path stays allocation-free.
+        if self.obs.is_enabled() {
+            for (region, (_, m)) in regions.iter().zip(&partials) {
+                self.obs.incr(
+                    &format!("cfstore.region.{}.rows_scanned", region.id),
+                    m.rows_scanned,
+                );
+                self.obs.incr(
+                    &format!("cfstore.region.{}.rows_returned", region.id),
+                    m.rows_returned,
+                );
             }
         }
         let mut rows = Vec::new();
@@ -392,6 +718,7 @@ fn range_overlaps(range: &KeyRange, start: &[u8], stop: Option<&[u8]>) -> bool {
 mod tests {
     use super::*;
     use crate::filter::{PredicateFilter, RowPrefixFilter};
+    use crate::wal::WAL_FILE;
 
     fn bput(row: &str, col: &str, val: &str) -> Put {
         Put::new(
@@ -537,6 +864,192 @@ mod tests {
         sorted.sort();
         assert_eq!(keys, sorted);
         assert_eq!(rows.len(), 100);
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cfstore-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_store_replays_wal_after_reopen() {
+        let dir = tmp_dir("replay");
+        {
+            let (store, report) = MiniStore::open(&dir).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            store.create_table("t", &["f"]).unwrap();
+            for i in 0..10 {
+                store
+                    .put("t", bput(&format!("r{i}"), "c", &format!("v{i}")))
+                    .unwrap();
+            }
+            store.delete_row("t", b"r3").unwrap();
+        } // dropped without flush: everything lives in the WAL
+        let (store, report) = MiniStore::open(&dir).unwrap();
+        assert_eq!(report.frames_replayed, 12);
+        assert!(report.truncation.is_none());
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|r| r.row.as_ref() != b"r3"));
+        assert_eq!(
+            store
+                .get("t", b"r7")
+                .unwrap()
+                .unwrap()
+                .value("f", b"c")
+                .unwrap()
+                .as_ref(),
+            b"v7"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_moves_rows_into_segments_and_truncates_the_wal() {
+        let dir = tmp_dir("flush");
+        {
+            let (store, _) = MiniStore::open(&dir).unwrap();
+            store.create_table("t", &["f"]).unwrap();
+            for i in 0..20 {
+                store.put("t", bput(&format!("r{i:02}"), "c", "v")).unwrap();
+            }
+            store.flush().unwrap();
+            assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+            // Post-flush writes land in the fresh WAL.
+            store.put("t", bput("zz", "c", "late")).unwrap();
+        }
+        let (store, report) = MiniStore::open(&dir).unwrap();
+        assert_eq!(report.segments_loaded, 1);
+        assert_eq!(report.segment_rows, 20);
+        assert_eq!(report.frames_replayed, 1);
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        assert_eq!(rows.len(), 21);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn splits_and_region_topology_survive_reopen() {
+        let dir = tmp_dir("topology");
+        let before = {
+            let (store, _) = MiniStore::open(&dir).unwrap();
+            store.create_table_with_threshold("t", &["f"], 8).unwrap();
+            for i in 0..60 {
+                store.put("t", bput(&format!("k{i:03}"), "c", "v")).unwrap();
+            }
+            store.meta_entries()
+        };
+        assert!(before.len() > 1, "the table must actually have split");
+        let (store, _) = MiniStore::open(&dir).unwrap();
+        assert_eq!(store.meta_entries(), before);
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        assert_eq!(rows.len(), 60);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_store_is_poisoned_and_recovers_without_the_torn_tail() {
+        let dir = tmp_dir("poison");
+        let mut acked = Vec::new();
+        {
+            let (store, _) =
+                MiniStore::open_with(&dir, SyncPolicy::EveryOp, CrashSpec::after_wal_bytes(700))
+                    .unwrap();
+            store.create_table("t", &["f"]).unwrap();
+            for i in 0..50 {
+                let key = format!("r{i:02}");
+                match store.put("t", bput(&key, "c", "v")) {
+                    Ok(()) => acked.push(key),
+                    Err(StoreError::Crashed) => break,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            assert!(store.is_crashed());
+            // Every further durable mutation fails fast.
+            assert_eq!(
+                store.put("t", bput("x", "c", "v")),
+                Err(StoreError::Crashed)
+            );
+            assert_eq!(store.flush(), Err(StoreError::Crashed));
+        }
+        let (store, report) = MiniStore::open(&dir).unwrap();
+        assert!(report.wal_bytes_dropped > 0);
+        assert!(report.truncation.is_some());
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        let got: Vec<String> = rows
+            .iter()
+            .map(|r| String::from_utf8_lossy(&r.row).into_owned())
+            .collect();
+        assert_eq!(got, acked, "recovered rows are exactly the acked writes");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_flush_leaves_an_orphan_and_loses_nothing() {
+        let dir = tmp_dir("midflush");
+        {
+            let (store, _) = MiniStore::open_with(
+                &dir,
+                SyncPolicy::EveryOp,
+                CrashSpec {
+                    during_flush_segment: Some(0),
+                    ..CrashSpec::default()
+                },
+            )
+            .unwrap();
+            store.create_table("t", &["f"]).unwrap();
+            for i in 0..10 {
+                store.put("t", bput(&format!("r{i}"), "c", "v")).unwrap();
+            }
+            assert_eq!(store.flush(), Err(StoreError::Crashed));
+        }
+        let (store, report) = MiniStore::open(&dir).unwrap();
+        assert_eq!(report.segments_loaded, 0, "manifest never swapped");
+        assert_eq!(report.orphan_segments.len(), 1, "torn segment is an orphan");
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        assert_eq!(rows.len(), 10, "the WAL still covers every acked write");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_crash_loses_at_most_the_unsynced_tail() {
+        let dir = tmp_dir("groupcrash");
+        let mut acked = 0usize;
+        {
+            let (store, _) = MiniStore::open_with(
+                &dir,
+                SyncPolicy::GroupCommit(4),
+                CrashSpec::after_wal_bytes(600),
+            )
+            .unwrap();
+            store.create_table("t", &["f"]).unwrap();
+            for i in 0..50 {
+                match store.put("t", bput(&format!("r{i:02}"), "c", "v")) {
+                    Ok(()) => acked += 1,
+                    Err(StoreError::Crashed) => break,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+        let (store, _) = MiniStore::open(&dir).unwrap();
+        let (rows, _) = store.scan("t", &Scan::all()).unwrap();
+        // A synced prefix is never lost; an unsynced tail of < group size
+        // may be.
+        assert!(rows.len() <= acked);
+        assert!(acked - rows.len() < 4, "lost more than one commit group");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_flush_is_a_noop() {
+        let store = MiniStore::new();
+        assert!(!store.is_durable());
+        assert!(!store.is_crashed());
+        store.flush().unwrap();
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! task attempt caps — every rung reported through
 //! [`SubmissionOutcome::Degraded`].
 
+use std::path::Path;
+
+use cfstore::{RecoveryReport, StoreError};
 use mrjobs::{Dataset, JobSpec};
 use mrsim::{simulate, ClusterSpec, JobConfig, JobReport, SimError};
 use optimizer::{optimize_traced, recommend, CboOptions};
@@ -26,6 +29,13 @@ use staticanalysis::StaticFeatures;
 
 use crate::matcher::{match_profile, MatchFailure, MatchResult, MatcherConfig, SubmittedJob};
 use crate::store::{ProfileStore, ProfileStoreError};
+
+/// Deterministic virtual cost of replaying one WAL record during
+/// recovery (charged to the obs clock, like every other simulated cost).
+const RECOVERY_MS_PER_RECORD: f64 = 0.002;
+/// Deterministic virtual cost of loading + checksum-verifying one
+/// segment file.
+const RECOVERY_MS_PER_SEGMENT: f64 = 0.05;
 
 /// Errors surfaced by the daemon.
 #[derive(Debug)]
@@ -158,6 +168,64 @@ impl PStorM {
             policy: DegradationPolicy::default(),
             obs: obs::Registry::disabled(),
         })
+    }
+
+    /// Start a daemon over a durable store directory, running crash
+    /// recovery first. A torn WAL tail (the fingerprint of a crash) is
+    /// truncated and reported, not an error — see the returned
+    /// [`RecoveryReport`].
+    pub fn reopen(dir: &Path) -> Result<(Self, RecoveryReport), ProfileStoreError> {
+        Self::reopen_traced(dir, obs::Registry::disabled())
+    }
+
+    /// [`Self::reopen`] recording `recovery.*` counters, events, and a
+    /// `recovery.reopen` span into `reg`, and attaching `reg` to the
+    /// daemon. Recovery's virtual time is a deterministic function of the
+    /// replayed work (per-record and per-segment constants), so
+    /// fixed-seed traces stay byte-identical across machines
+    /// (DESIGN.md §11).
+    pub fn reopen_traced(
+        dir: &Path,
+        reg: obs::Registry,
+    ) -> Result<(Self, RecoveryReport), ProfileStoreError> {
+        let (mut store, report) = {
+            let span = reg.span("recovery.reopen");
+            let (store, report) = ProfileStore::reopen(dir)?;
+            let virtual_ms = report.records_replayed as f64 * RECOVERY_MS_PER_RECORD
+                + report.segments_loaded as f64 * RECOVERY_MS_PER_SEGMENT;
+            reg.advance_ms(virtual_ms);
+            reg.incr("recovery.segments_loaded", report.segments_loaded);
+            reg.incr("recovery.frames_replayed", report.frames_replayed);
+            reg.incr("recovery.records_replayed", report.records_replayed);
+            reg.incr("recovery.wal_bytes_valid", report.wal_bytes_valid);
+            reg.incr("recovery.wal_bytes_truncated", report.wal_bytes_dropped);
+            if let Some(t) = &report.truncation {
+                reg.event(
+                    "recovery.truncated",
+                    &[
+                        ("reason", t.to_string().into()),
+                        ("offset", t.offset().into()),
+                    ],
+                );
+            }
+            span.attr("records_replayed", report.records_replayed);
+            span.attr("segments_loaded", report.segments_loaded);
+            span.attr("wal_bytes_truncated", report.wal_bytes_dropped);
+            span.attr("recovery_ms", virtual_ms);
+            (store, report)
+        };
+        store.set_obs(reg.clone());
+        Ok((
+            PStorM {
+                store,
+                cluster: ClusterSpec::ec2_c1_medium_16(),
+                matcher: MatcherConfig::default(),
+                cbo: CboOptions::default(),
+                policy: DegradationPolicy::default(),
+                obs: reg,
+            },
+            report,
+        ))
     }
 
     /// Record every subsystem — daemon lifecycle, profile store, matcher,
@@ -382,15 +450,47 @@ impl PStorM {
                 match profiled {
                     Some((profile, run)) => {
                         mrsim::trace::record_report(&reg, &run);
-                        self.store.put_profile(&q.statics, &profile)?;
-                        reg.incr("daemon.profiled", 1);
-                        span.attr("outcome", "profiled_and_stored");
-                        Ok(SubmissionReport {
-                            job_id: spec.job_id(),
-                            outcome: SubmissionOutcome::ProfiledAndStored { failure },
-                            run,
-                            sampling_ms,
-                        })
+                        match self.store.put_profile(&q.statics, &profile) {
+                            Ok(()) => {
+                                reg.incr("daemon.profiled", 1);
+                                span.attr("outcome", "profiled_and_stored");
+                                Ok(SubmissionReport {
+                                    job_id: spec.job_id(),
+                                    outcome: SubmissionOutcome::ProfiledAndStored { failure },
+                                    run,
+                                    sampling_ms,
+                                })
+                            }
+                            // A crashed/unreachable store must not fail a
+                            // job that already ran to completion: serve the
+                            // run, report the lost persistence as a
+                            // degradation. Matching keeps working from the
+                            // in-memory state; the profile is re-collected
+                            // on the next submission after a reopen.
+                            Err(ProfileStoreError::Store(
+                                e @ (StoreError::Crashed | StoreError::Io(_)),
+                            )) => {
+                                reg.incr("daemon.degraded", 1);
+                                reg.event(
+                                    "daemon.store_unavailable",
+                                    &[("error", e.to_string().into())],
+                                );
+                                span.attr("outcome", "degraded");
+                                Ok(SubmissionReport {
+                                    job_id: spec.job_id(),
+                                    outcome: SubmissionOutcome::Degraded {
+                                        config: submitted_config.clone(),
+                                        reason: format!(
+                                            "job served, but the profile store rejected the \
+                                             collected profile ({e}); nothing persisted"
+                                        ),
+                                    },
+                                    run,
+                                    sampling_ms,
+                                })
+                            }
+                            Err(e) => Err(e.into()),
+                        }
                     }
                     None => {
                         // Profiling kept faulting: serve the job without
@@ -557,6 +657,46 @@ mod tests {
 
         let e = DaemonError::Store(ProfileStoreError::Corrupt("dyn:vec".into()));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    /// A corrupt manifest must surface from `PStorM::reopen` as a typed
+    /// `RecoveryError` whose full cause chain walks from the daemon down
+    /// to the recovery layer — not as a panic or a flattened string.
+    #[test]
+    fn recovery_error_chain_walks_from_daemon_to_store_layer() {
+        let dir = std::env::temp_dir().join(format!(
+            "pstorm-daemon-badmanifest-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST"), b"not a manifest at all").unwrap();
+
+        let err = match PStorM::reopen(&dir) {
+            Err(e) => DaemonError::from(e),
+            Ok(_) => panic!("reopen over a corrupt manifest must fail"),
+        };
+        assert!(
+            matches!(
+                &err,
+                DaemonError::Store(ProfileStoreError::Recovery(
+                    cfstore::RecoveryError::ManifestCorrupt { .. }
+                ))
+            ),
+            "expected a typed ManifestCorrupt, got {err:?}"
+        );
+        // Each level adds its own context…
+        assert!(err.to_string().contains("profile store operation failed"));
+        // …and the chain stays walkable to the recovery layer.
+        let store_err = std::error::Error::source(&err).expect("daemon -> store");
+        assert!(store_err.to_string().contains("store recovery failed"));
+        let recovery_err = std::error::Error::source(store_err).expect("store -> recovery");
+        assert!(
+            recovery_err.to_string().contains("manifest"),
+            "recovery layer lost detail: {recovery_err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -16,13 +16,17 @@
 //! the locality argument of §5.1.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use cfstore::encoding::{decode_f64, decode_f64_vec, encode_f64, encode_f64_vec};
-use cfstore::{MiniStore, Put, RowResult, Scan, ScanMetrics, StoreError};
+use cfstore::wal::{CrashSpec, SyncPolicy};
+use cfstore::{
+    MiniStore, Put, RecoveryError, RecoveryReport, RowResult, Scan, ScanMetrics, StoreError,
+};
 use mlmatch::MinMaxNormalizer;
 use profiler::{CostFactors, JobProfile};
 use staticanalysis::{Cfg, SideFeatures, StaticFeatures};
@@ -51,6 +55,10 @@ pub enum ProfileStoreError {
     Store(StoreError),
     Codec(cfstore::encoding::CodecError),
     Corrupt(String),
+    /// The reopen path failed: at-rest corruption of committed data or
+    /// I/O trouble (torn WAL tails are *not* errors — they are truncated
+    /// and reported in the [`RecoveryReport`]).
+    Recovery(RecoveryError),
 }
 
 impl std::fmt::Display for ProfileStoreError {
@@ -59,6 +67,7 @@ impl std::fmt::Display for ProfileStoreError {
             ProfileStoreError::Store(e) => write!(f, "{e}"),
             ProfileStoreError::Codec(e) => write!(f, "codec: {e}"),
             ProfileStoreError::Corrupt(s) => write!(f, "corrupt store row: {s}"),
+            ProfileStoreError::Recovery(e) => write!(f, "store recovery failed: {e}"),
         }
     }
 }
@@ -68,12 +77,18 @@ impl std::error::Error for ProfileStoreError {
             ProfileStoreError::Store(e) => Some(e),
             ProfileStoreError::Codec(e) => Some(e),
             ProfileStoreError::Corrupt(_) => None,
+            ProfileStoreError::Recovery(e) => Some(e),
         }
     }
 }
 impl From<StoreError> for ProfileStoreError {
     fn from(e: StoreError) -> Self {
         ProfileStoreError::Store(e)
+    }
+}
+impl From<RecoveryError> for ProfileStoreError {
+    fn from(e: RecoveryError) -> Self {
+        ProfileStoreError::Recovery(e)
     }
 }
 impl From<cfstore::encoding::CodecError> for ProfileStoreError {
@@ -122,6 +137,55 @@ impl ProfileStore {
             bounds_cache: RwLock::new(None),
             obs: obs::Registry::disabled(),
         })
+    }
+
+    /// Open (or create) a durable store at `dir`, running crash recovery
+    /// and eagerly rebuilding the stage-1 columnar index from the
+    /// recovered rows. Returns the store plus the [`RecoveryReport`].
+    pub fn reopen(dir: &Path) -> Result<(Self, RecoveryReport), ProfileStoreError> {
+        Self::reopen_with(dir, SyncPolicy::EveryOp, CrashSpec::default())
+    }
+
+    /// [`Self::reopen`] with an explicit sync policy and crash spec (the
+    /// crash-recovery property tests' entry point).
+    pub fn reopen_with(
+        dir: &Path,
+        policy: SyncPolicy,
+        crash: CrashSpec,
+    ) -> Result<(Self, RecoveryReport), ProfileStoreError> {
+        let (store, report) = MiniStore::open_with(dir, policy, crash)?;
+        match store.create_table(TABLE, &[FAMILY]) {
+            Ok(()) | Err(StoreError::TableExists(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        let ps = ProfileStore {
+            store,
+            index: RwLock::new(None),
+            bounds_cache: RwLock::new(None),
+            obs: obs::Registry::disabled(),
+        };
+        // The first matcher query must not pay the rebuild; surface any
+        // half-recovered row inconsistency now rather than mid-match.
+        ps.columnar_index()?;
+        Ok((ps, report))
+    }
+
+    /// Flush the underlying store's memstores to segment files (no-op for
+    /// in-memory stores). Puts since the last flush survive crashes via
+    /// the WAL either way; flushing bounds WAL replay length.
+    pub fn flush(&self) -> Result<(), ProfileStoreError> {
+        Ok(self.store.flush()?)
+    }
+
+    /// Whether this store is backed by a directory.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// Whether an injected crash point has poisoned the underlying store
+    /// (every further durable operation fails fast until [`Self::reopen`]).
+    pub fn is_crashed(&self) -> bool {
+        self.store.is_crashed()
     }
 
     /// Route this store's (and the underlying [`MiniStore`]'s) metrics
@@ -182,6 +246,13 @@ impl ProfileStore {
         self.obs.incr("store.put_profile", 1);
         let job_id = &profile.job_id;
 
+        // The whole profile — statics, dynamics, cost factors, the blob,
+        // and the refreshed normalization bounds — is written as ONE
+        // atomic batch (a single WAL frame in durable mode), so recovery
+        // can never surface a half-written profile: either every row of
+        // the job replays or none does.
+        let mut puts: Vec<Put> = Vec::new();
+
         // Static/<job>: categorical features + CFG cells.
         for (name, value) in statics
             .map
@@ -189,111 +260,73 @@ impl ProfileStore {
             .iter()
             .chain(&statics.reduce.categorical)
         {
-            self.store.put(
-                TABLE,
-                Put::new(
-                    row_key("Static", job_id),
-                    FAMILY,
-                    Bytes::copy_from_slice(name.as_bytes()),
-                    Bytes::copy_from_slice(value.as_bytes()),
-                ),
-            )?;
+            puts.push(Put::new(
+                row_key("Static", job_id),
+                FAMILY,
+                Bytes::copy_from_slice(name.as_bytes()),
+                Bytes::copy_from_slice(value.as_bytes()),
+            ));
         }
         if let Some(cfg) = &statics.map.cfg {
-            self.store.put(
-                TABLE,
-                Put::new(
-                    row_key("Static", job_id),
-                    FAMILY,
-                    "MAP_CFG",
-                    encode_cfg(cfg),
-                ),
-            )?;
+            puts.push(Put::new(
+                row_key("Static", job_id),
+                FAMILY,
+                "MAP_CFG",
+                encode_cfg(cfg),
+            ));
         }
         if let Some(cfg) = &statics.reduce.cfg {
-            self.store.put(
-                TABLE,
-                Put::new(
-                    row_key("Static", job_id),
-                    FAMILY,
-                    "RED_CFG",
-                    encode_cfg(cfg),
-                ),
-            )?;
+            puts.push(Put::new(
+                row_key("Static", job_id),
+                FAMILY,
+                "RED_CFG",
+                encode_cfg(cfg),
+            ));
         }
 
         // Dynamic/<job>: dataflow statistics + input size + reduce flag.
         let map_dyn = profile.map.dynamic_features();
         for (name, v) in MAP_DYNAMIC_COLUMNS.iter().zip(&map_dyn) {
-            self.put_f64("Dynamic", job_id, name, *v)?;
+            puts.push(f64_put("Dynamic", job_id, name, *v));
         }
         if let Some(red) = &profile.reduce {
             for (name, v) in RED_DYNAMIC_COLUMNS
                 .iter()
                 .zip(red.dynamic_features().iter())
             {
-                self.put_f64("Dynamic", job_id, name, *v)?;
+                puts.push(f64_put("Dynamic", job_id, name, *v));
             }
         }
-        self.put_f64("Dynamic", job_id, INPUT_BYTES_COLUMN, profile.input_bytes)?;
-        self.put_f64(
+        puts.push(f64_put(
+            "Dynamic",
+            job_id,
+            INPUT_BYTES_COLUMN,
+            profile.input_bytes,
+        ));
+        puts.push(f64_put(
             "Dynamic",
             job_id,
             HAS_REDUCE_COLUMN,
             profile.reduce.is_some() as u8 as f64,
-        )?;
+        ));
 
         // CostFactor/<job>.
         for (name, v) in CostFactors::names()
             .iter()
             .zip(profile.map.cost_factors.as_vec())
         {
-            self.put_f64("CostFactor", job_id, name, v)?;
+            puts.push(f64_put("CostFactor", job_id, name, v));
         }
 
         // Profile/<job>: the full blob.
-        self.store.put(
-            TABLE,
-            Put::new(
-                row_key("Profile", job_id),
-                FAMILY,
-                "blob",
-                encode_profile(profile),
-            ),
-        )?;
+        puts.push(Put::new(
+            row_key("Profile", job_id),
+            FAMILY,
+            "blob",
+            encode_profile(profile),
+        ));
 
         // Meta/normalization: extend min/max bounds.
-        self.update_normalization(&map_dyn, profile)?;
-
-        // The columnar projection no longer reflects the table.
-        *self.index.write() = None;
-        Ok(())
-    }
-
-    fn put_f64(
-        &self,
-        prefix: &str,
-        job_id: &str,
-        column: &str,
-        v: f64,
-    ) -> Result<(), ProfileStoreError> {
-        self.store.put(
-            TABLE,
-            Put::new(
-                row_key(prefix, job_id),
-                FAMILY,
-                Bytes::copy_from_slice(column.as_bytes()),
-                encode_f64(v),
-            ),
-        )?;
-        Ok(())
-    }
-
-    fn update_normalization(
-        &self,
-        map_dyn: &[f64],
-        profile: &JobProfile,
-    ) -> Result<(), ProfileStoreError> {
         let mut bounds = self.normalization_bounds()?;
         let red_dyn = profile
             .reduce
@@ -301,37 +334,34 @@ impl ProfileStore {
             .map(|r| r.dynamic_features())
             .unwrap_or_else(|| vec![1.0, 1.0]);
         let cost = profile.map.cost_factors.as_vec();
-        bounds.map_dyn.observe(map_dyn);
+        bounds.map_dyn.observe(&map_dyn);
         bounds.red_dyn.observe(&red_dyn);
         bounds.cost.observe(&cost);
-        self.store.put(
-            TABLE,
-            Put::new(
-                "Meta/normalization",
-                FAMILY,
-                "map_dyn",
-                encode_bounds(&bounds.map_dyn),
-            ),
-        )?;
-        self.store.put(
-            TABLE,
-            Put::new(
-                "Meta/normalization",
-                FAMILY,
-                "red_dyn",
-                encode_bounds(&bounds.red_dyn),
-            ),
-        )?;
-        self.store.put(
-            TABLE,
-            Put::new(
-                "Meta/normalization",
-                FAMILY,
-                "cost",
-                encode_bounds(&bounds.cost),
-            ),
-        )?;
+        puts.push(Put::new(
+            "Meta/normalization",
+            FAMILY,
+            "map_dyn",
+            encode_bounds(&bounds.map_dyn),
+        ));
+        puts.push(Put::new(
+            "Meta/normalization",
+            FAMILY,
+            "red_dyn",
+            encode_bounds(&bounds.red_dyn),
+        ));
+        puts.push(Put::new(
+            "Meta/normalization",
+            FAMILY,
+            "cost",
+            encode_bounds(&bounds.cost),
+        ));
+
+        self.store.put_batch(TABLE, puts)?;
+
+        // Caches update only after the batch is acknowledged, so a torn
+        // (never-acked) write leaves both consistent with the table.
         *self.bounds_cache.write() = Some(bounds);
+        *self.index.write() = None;
         Ok(())
     }
 
@@ -782,6 +812,15 @@ fn row_key(prefix: &str, job_id: &str) -> Bytes {
     Bytes::from(format!("{prefix}/{job_id}"))
 }
 
+fn f64_put(prefix: &str, job_id: &str, column: &str, v: f64) -> Put {
+    Put::new(
+        row_key(prefix, job_id),
+        FAMILY,
+        Bytes::copy_from_slice(column.as_bytes()),
+        encode_f64(v),
+    )
+}
+
 impl Default for ProfileStore {
     fn default() -> Self {
         Self::new().expect("fresh store")
@@ -1014,6 +1053,47 @@ mod tests {
             assert_eq!(a.map.jaccard(&b.map), 1.0);
             assert_eq!(a.reduce.jaccard(&b.reduce), 1.0);
         }
+    }
+
+    #[test]
+    fn durable_profile_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "pstorm-store-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = corpus::random_text_1g();
+        let (s1, p1) = profile_of(&jobs::word_count(), &text);
+        let (s2, p2) = profile_of(&jobs::word_cooccurrence_pairs(2), &text);
+        let (bounds_before, index_len) = {
+            let (store, report) = ProfileStore::reopen(&dir).unwrap();
+            assert!(store.is_durable());
+            assert_eq!(report.frames_replayed, 0);
+            store.put_profile(&s1, &p1).unwrap();
+            store.flush().unwrap();
+            store.put_profile(&s2, &p2).unwrap(); // lives only in the WAL
+            (
+                store.normalization_bounds().unwrap(),
+                store.columnar_index().unwrap().len(),
+            )
+        };
+        let (store, report) = ProfileStore::reopen(&dir).unwrap();
+        assert_eq!(report.segments_loaded, 1);
+        assert!(
+            report.frames_replayed >= 1,
+            "second profile replays from WAL"
+        );
+        assert!(report.truncation.is_none());
+        assert_eq!(store.get_profile(&p1.job_id).unwrap().unwrap(), p1);
+        assert_eq!(store.get_profile(&p2.job_id).unwrap().unwrap(), p2);
+        let index = store.columnar_index().unwrap();
+        assert_eq!(index.len(), index_len);
+        let bounds_after = store.normalization_bounds().unwrap();
+        assert_eq!(bounds_after.map_dyn.mins, bounds_before.map_dyn.mins);
+        assert_eq!(bounds_after.map_dyn.maxs, bounds_before.map_dyn.maxs);
+        assert_eq!(bounds_after.cost.maxs, bounds_before.cost.maxs);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

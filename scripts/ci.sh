@@ -27,4 +27,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 echo "==> trace snapshot (fixed-seed trace must be bit-identical)"
 cargo test -q -p pstorm-tests --test trace_snapshot
 
+# Budget regression gate: hard thresholds over the golden trace's
+# counters — CBO what-if/memo accounting and ceiling, the matcher's
+# per-stage survivor funnel, and per-region read-amplification sums.
+# Regenerating the snapshot does NOT loosen these; see budget_gate.rs.
+echo "==> budget gate (search budget + matcher funnel envelopes)"
+cargo test -q -p pstorm-tests --test budget_gate
+
 echo "CI OK"

@@ -8,13 +8,21 @@
 //!     kills == scheduled attempts;
 //! plus a 1000-seed daemon sweep with faults on, asserting every
 //! submission is served with a `SubmissionOutcome`.
+//!
+//! Since PR 4 the sweep also carries a crash-recovery dimension: the
+//! daemon runs on a *durable* store and deterministic `CrashSpec` crash
+//! points (WAL byte budgets and mid-flush kills) are interleaved with the
+//! submissions. A crashed store degrades submissions (never errors,
+//! never panics), and every recovery must bring back every profile the
+//! daemon acked as stored.
 
+use cfstore::{CrashSpec, SyncPolicy};
 use datagen::corpus;
 use mrjobs::jobs;
 use mrsim::{simulate, ClusterSpec, FaultSpec, JobConfig};
 use optimizer::CboOptions;
 use proptest::prelude::*;
-use pstorm::{PStorM, SubmissionOutcome};
+use pstorm::{PStorM, ProfileStore, SubmissionOutcome};
 
 fn job_for(idx: u8) -> mrjobs::JobSpec {
     match idx % 4 {
@@ -110,12 +118,18 @@ proptest! {
     }
 }
 
-/// The acceptance sweep: 1000 seeds against a flaky cluster; every daemon
-/// submission must come back as a `SubmissionOutcome` — injected faults
-/// must never surface as an unhandled error.
+/// The acceptance sweep: 1000 seeds against a flaky cluster, on a
+/// *durable* store with crash injection interleaved. Every daemon
+/// submission must come back as a `SubmissionOutcome` — injected cluster
+/// faults and store crashes must never surface as an unhandled error —
+/// and every recovery must serve back every acked profile.
 #[test]
-fn thousand_seed_daemon_sweep_under_faults() {
+fn thousand_seed_daemon_sweep_under_faults_and_crashes() {
+    let dir = std::env::temp_dir().join(format!("pstorm-chaos-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     let mut daemon = PStorM::new().unwrap();
+    let (store, _) = ProfileStore::reopen(&dir).unwrap();
+    daemon.store = store;
     daemon.cluster.faults = FaultSpec {
         task_failure_prob: 0.05,
         node_loss_prob: 0.01,
@@ -132,8 +146,56 @@ fn thousand_seed_daemon_sweep_under_faults() {
     let ds = corpus::random_text_1g();
     let specs = [jobs::word_count(), jobs::sort(), jobs::inverted_index()];
 
+    // xorshift for crash-point placement — deterministic, seed-free.
+    let mut rng_state = 0xC0FF_EE00_D15E_A5E5u64;
+    let mut rng = move || {
+        rng_state ^= rng_state >> 12;
+        rng_state ^= rng_state << 25;
+        rng_state ^= rng_state >> 27;
+        rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let wal_len = |dir: &std::path::Path| {
+        std::fs::metadata(dir.join(cfstore::wal::WAL_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    };
+
     let (mut tuned, mut profiled, mut degraded) = (0u32, 0u32, 0u32);
+    let mut persisted: Vec<String> = Vec::new();
+    let mut recoveries = 0u32;
     for seed in 0..1000u64 {
+        // Crash dimension 1: every 200 seeds, rearm the store with a WAL
+        // byte budget a little past the current log size — whatever
+        // profile write comes next is torn at a pseudo-random offset.
+        if seed % 200 == 31 {
+            let budget = wal_len(&dir) + 64 + rng() % 4096;
+            let (store, _) = ProfileStore::reopen_with(
+                &dir,
+                SyncPolicy::EveryOp,
+                CrashSpec::after_wal_bytes(budget),
+            )
+            .expect("rearm reopen");
+            daemon.store = store;
+        }
+        // Crash dimension 2: every 200 seeds, kill the store mid-flush
+        // (segment 0 is always written, so this one fires immediately).
+        if seed % 200 == 131 {
+            let (store, _) = ProfileStore::reopen_with(
+                &dir,
+                SyncPolicy::EveryOp,
+                CrashSpec {
+                    during_flush_segment: Some(0),
+                    ..CrashSpec::default()
+                },
+            )
+            .expect("rearm reopen");
+            daemon.store = store;
+            match daemon.store.flush() {
+                Err(pstorm::ProfileStoreError::Store(cfstore::StoreError::Crashed)) => {}
+                other => panic!("mid-flush crash should fire, got {other:?}"),
+            }
+        }
+
         let spec = &specs[(seed % specs.len() as u64) as usize];
         let report = daemon
             .submit(spec, &ds, seed)
@@ -146,15 +208,54 @@ fn thousand_seed_daemon_sweep_under_faults() {
         );
         match report.outcome {
             SubmissionOutcome::Tuned { .. } => tuned += 1,
-            SubmissionOutcome::ProfiledAndStored { .. } => profiled += 1,
+            SubmissionOutcome::ProfiledAndStored { .. } => {
+                profiled += 1;
+                if !persisted.contains(&report.job_id) {
+                    persisted.push(report.job_id.clone());
+                }
+            }
             SubmissionOutcome::Degraded { ref reason, .. } => {
                 assert!(!reason.is_empty());
                 degraded += 1;
             }
+        }
+
+        // Recovery: a poisoned store keeps serving reads (submissions
+        // degrade at worst, asserted above); reopen it and check that
+        // every profile the daemon acked as stored survived the crash.
+        if daemon.store.is_crashed() {
+            recoveries += 1;
+            let (store, report) = ProfileStore::reopen(&dir).expect("recovery reopen");
+            assert!(report.truncation.is_none() || report.wal_bytes_dropped > 0);
+            for id in &persisted {
+                assert!(
+                    store.get_profile(id).expect("get after recovery").is_some(),
+                    "acked profile {id} lost across crash recovery {recoveries}"
+                );
+            }
+            daemon.store = store;
+        }
+        // Periodic flushes keep WAL replay bounded and exercise the
+        // segment path under the fault mix.
+        if seed % 100 == 87 {
+            daemon.store.flush().expect("healthy flush");
         }
     }
     assert_eq!(tuned + profiled + degraded, 1000);
     // After the first few profiling runs the store serves matches.
     assert!(tuned > 500, "tuned only {tuned} of 1000");
     assert!(profiled >= specs.len() as u32);
+    // The mid-flush kills alone guarantee recovery cycles ran.
+    assert!(recoveries >= 5, "only {recoveries} crash-recovery cycles");
+
+    // Final reopen: everything acked across the whole sweep is intact.
+    let (store, _) = ProfileStore::reopen(&dir).expect("final reopen");
+    for id in &persisted {
+        assert!(
+            store.get_profile(id).unwrap().is_some(),
+            "{id} lost at end of sweep"
+        );
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
