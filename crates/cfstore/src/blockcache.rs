@@ -1,0 +1,236 @@
+//! A bounded, deterministic LRU cache over segment blocks.
+//!
+//! Since PR 6 a reopened store no longer materializes flushed rows into
+//! memstores: clean regions stay backed by their segment file and read
+//! ≤[`crate::segment::BLOCK_ROWS`]-row blocks on demand through this
+//! cache (DESIGN.md §12). The cache is shared by every region of one
+//! store, keyed by `(reader id, block index)`, and charged the *framed
+//! on-disk size* of each block so the byte budget tracks real I/O saved.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Correctness is the reader's job.** The cache never caches
+//!    un-verified bytes: a fill goes through
+//!    [`SegmentReader::read_block`], which CRC-checks the block, so a hit
+//!    can only ever serve rows that passed the same verification the
+//!    eager path ran. Corruption is *not* cached — a failed fill leaves
+//!    no entry, and the next read re-attempts (and re-fails, typed).
+//! 2. **Deterministic.** Recency is a logical tick, not a wall clock;
+//!    eviction order is a pure function of the access sequence. The
+//!    property tests replay identical workloads at different budgets and
+//!    require bit-identical reads, and the budget gate pins hit/miss
+//!    accounting.
+//! 3. **Bounded.** `used + incoming > budget` evicts least-recently-used
+//!    entries until the block fits; a block larger than the whole budget
+//!    (or any block under a 0-byte budget) is served but never admitted,
+//!    so the budget is a hard ceiling, not a hint.
+//!
+//! Counters (recorded against the store's `obs` registry):
+//! `cfstore.block_cache.hits`, `.misses`, `.evictions`, `.fill_bytes`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::region::RowData;
+use crate::segment::{SegmentError, SegmentReader};
+
+/// Decoded rows of one block, shared between the cache and its readers.
+pub type BlockRows = Arc<BTreeMap<Bytes, RowData>>;
+
+/// Cache key: (process-unique reader id, block index).
+type Key = (u64, u32);
+
+struct Entry {
+    rows: BlockRows,
+    /// Framed on-disk size of the block (the byte cost charged).
+    bytes: u64,
+    /// Recency tick; also the key into `order`.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    /// LRU order: tick → key, oldest first. Ticks are unique, so this is
+    /// a total order and eviction is deterministic.
+    order: BTreeMap<u64, Key>,
+    used: u64,
+    next_tick: u64,
+}
+
+/// Point-in-time cache occupancy, for fsck and bench reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    pub entries: usize,
+    pub used_bytes: u64,
+    pub budget_bytes: u64,
+}
+
+/// The shared segment block cache. See the module docs for the policy.
+pub struct BlockCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+    /// Observability sink, swapped in by `MiniStore::set_obs` after open
+    /// (recovery-time fills run against the disabled default).
+    obs: RwLock<obs::Registry>,
+}
+
+impl BlockCache {
+    /// A cache admitting at most `budget` bytes of framed blocks.
+    pub fn new(budget: u64) -> Self {
+        BlockCache {
+            budget,
+            inner: Mutex::new(Inner::default()),
+            obs: RwLock::new(obs::Registry::disabled()),
+        }
+    }
+
+    /// Attach the registry the hit/miss/eviction counters record against.
+    pub fn set_obs(&self, obs: obs::Registry) {
+        *self.obs.write() = obs;
+    }
+
+    /// Byte budget this cache was built with.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Current occupancy.
+    pub fn stats(&self) -> BlockCacheStats {
+        let inner = self.inner.lock();
+        BlockCacheStats {
+            entries: inner.map.len(),
+            used_bytes: inner.used,
+            budget_bytes: self.budget,
+        }
+    }
+
+    /// Serve block `idx` of `reader`, from cache or by a CRC-verified
+    /// fill. The cache lock is held across the fill, so concurrent
+    /// readers of the same block never duplicate the I/O.
+    pub fn get_or_load(
+        &self,
+        reader: &SegmentReader,
+        idx: usize,
+    ) -> Result<BlockRows, SegmentError> {
+        let key: Key = (reader.id(), idx as u32);
+        let obs = self.obs.read().clone();
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.map.get(&key) {
+            let (old_tick, rows) = (entry.tick, entry.rows.clone());
+            let tick = inner.next_tick;
+            inner.next_tick += 1;
+            inner.order.remove(&old_tick);
+            inner.order.insert(tick, key);
+            inner.map.get_mut(&key).expect("entry present").tick = tick;
+            obs.incr("cfstore.block_cache.hits", 1);
+            return Ok(rows);
+        }
+        obs.incr("cfstore.block_cache.misses", 1);
+        let bytes = reader.block_bytes(idx);
+        let rows: BlockRows = Arc::new(reader.read_block(idx)?);
+        obs.incr("cfstore.block_cache.fill_bytes", bytes);
+        if bytes <= self.budget {
+            while inner.used + bytes > self.budget {
+                let (&victim_tick, &victim_key) =
+                    inner.order.iter().next().expect("used > 0 implies entries");
+                inner.order.remove(&victim_tick);
+                let evicted = inner.map.remove(&victim_key).expect("order and map agree");
+                inner.used -= evicted.bytes;
+                obs.incr("cfstore.block_cache.evictions", 1);
+            }
+            let tick = inner.next_tick;
+            inner.next_tick += 1;
+            inner.order.insert(tick, key);
+            inner.map.insert(
+                key,
+                Entry {
+                    rows: rows.clone(),
+                    bytes,
+                    tick,
+                },
+            );
+            inner.used += bytes;
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::KeyRange;
+    use crate::segment::write_segment;
+    use bytes::Bytes;
+    use std::collections::BTreeMap;
+
+    fn sample_segment(tag: &str, rows: usize) -> (std::path::PathBuf, SegmentReader) {
+        let path = std::env::temp_dir().join(format!(
+            "cfstore-bc-{tag}-{}-{:?}.seg",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut data = BTreeMap::new();
+        for i in 0..rows {
+            let mut cols = BTreeMap::new();
+            cols.insert(
+                Bytes::from("c"),
+                vec![crate::kv::CellVersion::new(
+                    i as u64 + 1,
+                    Bytes::from(format!("v{i}")),
+                )],
+            );
+            let mut row: RowData = BTreeMap::new();
+            row.insert("f".to_string(), cols);
+            data.insert(Bytes::from(format!("row{i:04}")), row);
+        }
+        write_segment(&path, "t", 1, &KeyRange::all(), &data).unwrap();
+        let reader = SegmentReader::open(&path).unwrap();
+        (path, reader)
+    }
+
+    #[test]
+    fn hits_after_first_fill_and_lru_eviction_under_budget() {
+        let (path, reader) = sample_segment("lru", 100);
+        assert!(reader.block_count() >= 3);
+        let per_block = reader.block_bytes(0);
+        // Budget holds roughly two blocks.
+        let cache = BlockCache::new(per_block * 2 + 4);
+        let obs = obs::Registry::new();
+        cache.set_obs(obs.clone());
+
+        let a = cache.get_or_load(&reader, 0).unwrap();
+        let b = cache.get_or_load(&reader, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second read is a cache hit");
+        cache.get_or_load(&reader, 1).unwrap();
+        cache.get_or_load(&reader, 2).unwrap(); // evicts block 0 (LRU)
+        cache.get_or_load(&reader, 0).unwrap(); // miss again
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["cfstore.block_cache.hits"], 1);
+        assert_eq!(snap.counters["cfstore.block_cache.misses"], 4);
+        assert!(snap.counters["cfstore.block_cache.evictions"] >= 1);
+        assert!(cache.stats().used_bytes <= cache.budget());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_serves_reads_but_admits_nothing() {
+        let (path, reader) = sample_segment("zero", 40);
+        let cache = BlockCache::new(0);
+        let obs = obs::Registry::new();
+        cache.set_obs(obs.clone());
+        let first = cache.get_or_load(&reader, 0).unwrap();
+        let second = cache.get_or_load(&reader, 0).unwrap();
+        assert_eq!(first, second, "reads are identical even when uncached");
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().used_bytes, 0);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["cfstore.block_cache.misses"], 2);
+        assert_eq!(snap.counters.get("cfstore.block_cache.hits"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -14,6 +14,13 @@
 //! [`CrashSpec`] so property tests can enumerate "crash anywhere,
 //! reopen, invariants hold".
 //!
+//! Since PR 6 the read and write hot paths are lazy and asynchronous:
+//! reopening a flushed store keeps clean regions *segment-backed* — rows
+//! are read block-at-a-time through a bounded LRU [`BlockCache`] instead
+//! of being materialized wholesale — and flushes can run on a background
+//! flusher thread with a compaction policy that rewrites only dirty
+//! regions, reusing clean segments by reference (DESIGN.md §12).
+//!
 //! * [`kv`] — cells, puts, row results.
 //! * [`filter`] — pushdown predicates (`RowPrefixFilter`,
 //!   `SingleColumnValueFilter`, arbitrary predicates, conjunctions).
@@ -21,9 +28,11 @@
 //! * [`store`] — tables, META, the client API, durable mode.
 //! * [`wal`] — the length+CRC-framed write-ahead log and crash injection.
 //! * [`segment`] — immutable sorted segment files with block checksums.
+//! * [`blockcache`] — the bounded deterministic LRU over segment blocks.
 //! * [`recovery`] — the reopen path: manifest, replay, `RecoveryReport`.
 //! * [`encoding`] — the binary codec for cell values.
 
+pub mod blockcache;
 pub mod encoding;
 pub mod filter;
 pub mod kv;
@@ -33,12 +42,13 @@ pub mod segment;
 pub mod store;
 pub mod wal;
 
+pub use blockcache::{BlockCache, BlockCacheStats};
 pub use filter::{
     CompareOp, Filter, FilterList, PredicateFilter, RowPrefixFilter, SingleColumnValueFilter,
 };
 pub use kv::{CellVersion, Put, RowResult};
 pub use recovery::{Manifest, RecoveryError, RecoveryReport};
 pub use region::{KeyRange, Region, RowData, ScanMetrics};
-pub use segment::SegmentError;
-pub use store::{MetaEntry, MiniStore, Scan, StoreError};
+pub use segment::{SegmentError, SegmentReader};
+pub use store::{MetaEntry, MiniStore, Scan, StoreError, StoreOptions};
 pub use wal::{CrashSpec, SyncPolicy, WalTruncation};

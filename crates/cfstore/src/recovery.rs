@@ -16,9 +16,13 @@
 //!    typed [`RecoveryError::ManifestCorrupt`], because the manifest is
 //!    swapped in atomically and cannot be *torn* by a crash — damage
 //!    means at-rest rot);
-//! 2. load every referenced segment, verifying block and trailer
-//!    checksums ([`RecoveryError::Segment`] on failure — committed data
-//!    must never rot silently);
+//! 2. open every referenced segment *lazily*: the header, footer, and
+//!    trailer index are checksum-verified up front, but block bodies stay
+//!    on disk — a clean region is rebuilt segment-backed, reading blocks
+//!    on demand through the store's [`BlockCache`]. Block CRCs are
+//!    verified on fill, so rot still surfaces as a typed
+//!    [`RecoveryError::Segment`]/[`crate::StoreError`] the moment the
+//!    data is actually read (and `store_fsck` scrubs every block);
 //! 3. scan the WAL, replaying only frames with `lsn > flushed_lsn`
 //!    (frames at or below it are already inside segments — the replay is
 //!    idempotent across the flush/truncate race), and **truncate** at the
@@ -36,12 +40,14 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::blockcache::BlockCache;
 use crate::encoding::crc32;
 use crate::region::{KeyRange, RowData};
-use crate::segment::{self, SegmentError};
+use crate::segment::{SegmentError, SegmentReader};
 use crate::wal::{self, WalRecord, WalTruncation, WAL_FILE};
 
 /// Manifest file name inside a store directory.
@@ -243,12 +249,17 @@ pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, RecoveryError> {
         })
 }
 
-/// One recovered region: its identity, range, and materialized rows.
+/// One recovered region: its identity, range, and rows — either
+/// materialized (WAL replay touched it) or still backed by an open
+/// segment reader (`base` is `Some` and `rows` is empty).
 #[derive(Debug)]
 pub struct RecoveredRegion {
     pub id: u64,
     pub range: KeyRange,
     pub rows: BTreeMap<Bytes, RowData>,
+    /// The verified-but-unread segment this region is lazily backed by.
+    /// Invariant: `base.is_some()` implies `rows.is_empty()`.
+    pub base: Option<Arc<SegmentReader>>,
 }
 
 /// One recovered table.
@@ -281,10 +292,18 @@ pub struct RecoveredState {
 /// length before truncation — no byte goes unaccounted.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
-    /// Segment files loaded and fully checksum-verified.
+    /// Segment files opened (header/footer/trailer checksum-verified).
     pub segments_loaded: u64,
-    /// Rows materialized out of segments.
+    /// Rows the loaded segments hold (from trailer metadata — *not*
+    /// materialized; blocks are read on demand through the cache).
     pub segment_rows: u64,
+    /// Blocks indexed across all loaded segments.
+    pub segment_blocks: u64,
+    /// Blocks recovery actually read (CRC-verified on fill) to promote
+    /// regions the WAL replay mutated. The read-amplification proof:
+    /// `segment_blocks_read ≤ segment_blocks`, with equality only when
+    /// every region was written after its flush.
+    pub segment_blocks_read: u64,
     /// WAL frames replayed (lsn above the manifest's flush mark).
     pub frames_replayed: u64,
     /// Records inside replayed frames.
@@ -309,6 +328,10 @@ impl RecoveryReport {
         out.push_str(&format!(
             "segments loaded     : {} ({} rows)\n",
             self.segments_loaded, self.segment_rows
+        ));
+        out.push_str(&format!(
+            "segment blocks      : {} indexed, {} read for replay\n",
+            self.segment_blocks, self.segment_blocks_read
         ));
         out.push_str(&format!(
             "wal frames replayed : {} ({} records)\n",
@@ -338,8 +361,14 @@ impl RecoveryReport {
 
 /// Recover a store directory. Returns the rebuilt state and the report;
 /// also physically truncates the WAL to its valid prefix so subsequent
-/// appends never interleave with a torn tail.
-pub fn recover(dir: &Path) -> Result<(RecoveredState, RecoveryReport), RecoveryError> {
+/// appends never interleave with a torn tail. Clean regions come back
+/// segment-backed; `cache` serves the block reads replay needs to
+/// promote the regions it mutates (and is the same cache the reopened
+/// store keeps using).
+pub fn recover(
+    dir: &Path,
+    cache: &Arc<BlockCache>,
+) -> Result<(RecoveredState, RecoveryReport), RecoveryError> {
     let mut report = RecoveryReport::default();
 
     // 1. The committed catalog.
@@ -360,23 +389,25 @@ pub fn recover(dir: &Path) -> Result<(RecoveredState, RecoveryReport), RecoveryE
     }
     let mut max_region_id = 0u64;
     for seg_name in &manifest.segments {
-        let loaded = segment::read_segment(&dir.join(seg_name))?;
+        let reader = Arc::new(SegmentReader::open(&dir.join(seg_name))?);
+        let meta = reader.meta().clone();
         report.segments_loaded += 1;
-        report.segment_rows += loaded.rows.len() as u64;
-        max_region_id = max_region_id.max(loaded.meta.region_id);
-        let table =
-            tables
-                .get_mut(&loaded.meta.table)
-                .ok_or_else(|| RecoveryError::InconsistentLog {
-                    detail: format!(
-                        "segment `{seg_name}` references unknown table `{}`",
-                        loaded.meta.table
-                    ),
-                })?;
+        report.segment_rows += meta.row_count;
+        report.segment_blocks += reader.block_count() as u64;
+        max_region_id = max_region_id.max(meta.region_id);
+        let table = tables
+            .get_mut(&meta.table)
+            .ok_or_else(|| RecoveryError::InconsistentLog {
+                detail: format!(
+                    "segment `{seg_name}` references unknown table `{}`",
+                    meta.table
+                ),
+            })?;
         table.regions.push(RecoveredRegion {
-            id: loaded.meta.region_id,
-            range: loaded.meta.range,
-            rows: loaded.rows,
+            id: meta.region_id,
+            range: meta.range,
+            rows: BTreeMap::new(),
+            base: Some(reader),
         });
     }
     if let Ok(entries) = std::fs::read_dir(dir) {
@@ -410,7 +441,14 @@ pub fn recover(dir: &Path) -> Result<(RecoveredState, RecoveryReport), RecoveryE
         report.frames_replayed += 1;
         for record in &frame.records {
             report.records_replayed += 1;
-            apply_record(&mut tables, record, &mut clock, &mut max_region_id)?;
+            apply_record(
+                &mut tables,
+                record,
+                &mut clock,
+                &mut max_region_id,
+                cache,
+                &mut report,
+            )?;
         }
     }
 
@@ -433,6 +471,7 @@ pub fn recover(dir: &Path) -> Result<(RecoveredState, RecoveryReport), RecoveryE
                 id: next_region_id,
                 range: KeyRange::all(),
                 rows: BTreeMap::new(),
+                base: None,
             });
             next_region_id += 1;
         }
@@ -454,13 +493,38 @@ pub fn recover(dir: &Path) -> Result<(RecoveredState, RecoveryReport), RecoveryE
     ))
 }
 
-/// Apply one replayed record to the recovered table map. Pure in-memory;
-/// never writes to the log (recovery must not re-log what it replays).
+/// Promote a segment-backed recovered region before replay mutates it:
+/// read every block once (CRC-verified, through the shared cache) into
+/// `rows` and drop the base. No-op for materialized regions.
+fn promote(
+    region: &mut RecoveredRegion,
+    cache: &BlockCache,
+    report: &mut RecoveryReport,
+) -> Result<(), RecoveryError> {
+    let Some(reader) = region.base.take() else {
+        return Ok(());
+    };
+    debug_assert!(region.rows.is_empty(), "lazy regions carry no rows");
+    for idx in 0..reader.block_count() {
+        let block = cache.get_or_load(&reader, idx)?;
+        report.segment_blocks_read += 1;
+        for (key, data) in block.iter() {
+            region.rows.insert(key.clone(), data.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Apply one replayed record to the recovered table map. Pure in-memory
+/// except for block reads that promote segment-backed regions; never
+/// writes to the log (recovery must not re-log what it replays).
 fn apply_record(
     tables: &mut BTreeMap<String, RecoveredTable>,
     record: &WalRecord,
     clock: &mut u64,
     max_region_id: &mut u64,
+    cache: &BlockCache,
+    report: &mut RecoveryReport,
 ) -> Result<(), RecoveryError> {
     match record {
         WalRecord::CreateTable {
@@ -482,6 +546,7 @@ fn apply_record(
                         id: *root_region_id,
                         range: KeyRange::all(),
                         rows: BTreeMap::new(),
+                        base: None,
                     }],
                 });
             Ok(())
@@ -497,6 +562,7 @@ fn apply_record(
             *clock = (*clock).max(*timestamp);
             let t = lookup(tables, table)?;
             let region = region_for(t, row, table)?;
+            promote(region, cache, report)?;
             let versions = region
                 .rows
                 .entry(row.clone())
@@ -518,6 +584,7 @@ fn apply_record(
         WalRecord::DeleteRow { table, row } => {
             let t = lookup(tables, table)?;
             let region = region_for(t, row, table)?;
+            promote(region, cache, report)?;
             region.rows.remove(row);
             Ok(())
         }
@@ -534,6 +601,7 @@ fn apply_record(
                     detail: format!("split of unknown region {parent_id} in `{table}`"),
                 });
             };
+            promote(parent, cache, report)?;
             let upper_rows = parent.rows.split_off(split_key);
             let upper = RecoveredRegion {
                 id: *new_id,
@@ -542,6 +610,7 @@ fn apply_record(
                     end: parent.range.end.clone(),
                 },
                 rows: upper_rows,
+                base: None,
             };
             parent.range.end = Some(split_key.clone());
             t.regions.push(upper);
@@ -665,7 +734,8 @@ mod tests {
     #[test]
     fn empty_directory_recovers_to_empty_state() {
         let dir = tmp_dir("empty");
-        let (state, report) = recover(&dir).unwrap();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let (state, report) = recover(&dir, &cache).unwrap();
         assert!(state.tables.is_empty());
         assert_eq!(report.frames_replayed, 0);
         assert_eq!(report.wal_bytes_dropped, 0);

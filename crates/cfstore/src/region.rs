@@ -5,15 +5,31 @@
 //! "in rows by horizontal partitioning" (§5 of the paper). Each region is
 //! independently lockable, so scans of disjoint regions proceed in
 //! parallel.
+//!
+//! Since PR 6 a region is in one of two states (DESIGN.md §12):
+//!
+//! * **Materialized** — all rows live in the in-memory memstore, exactly
+//!   the pre-PR-6 behaviour. Every mutable region is in this state.
+//! * **Segment-backed (lazy)** — the region was recovered from a flushed
+//!   segment and has not been written since. Reads go block-at-a-time
+//!   through the shared [`BlockCache`]; nothing is materialized beyond
+//!   the blocks a read actually touches. The *first mutation* promotes
+//!   the region to materialized (reading every block once, through the
+//!   cache), so the memstore invariants — and the WAL-covers-memstore
+//!   durability contract — are untouched for anything that can change.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::blockcache::BlockCache;
 use crate::filter::Filter;
 use crate::kv::{CellVersion, Put, RowResult};
+use crate::segment::SegmentReader;
 use crate::store::StoreError;
 
 /// Maximum cell versions retained per column, like HBase's default.
@@ -48,11 +64,31 @@ impl KeyRange {
     }
 }
 
+/// A lazily read segment backing a clean recovered region.
+struct SegmentBase {
+    reader: Arc<SegmentReader>,
+    cache: Arc<BlockCache>,
+}
+
 /// A region: a contiguous, sorted slice of a table's rows.
+///
+/// Lock order (matching the store's durable → catalog → region order):
+/// `base` before `rows` before `range`. No path acquires them the other
+/// way around.
 pub struct Region {
     pub id: u64,
     range: RwLock<KeyRange>,
+    /// The memstore. Empty while `base` is `Some` (lazy state): a region
+    /// never splits its rows between memory and segment.
     rows: RwLock<BTreeMap<Bytes, RowData>>,
+    /// `Some` while segment-backed; dropped on promotion.
+    base: RwLock<Option<SegmentBase>>,
+    /// Mutated since the segment named by `flushed_as` captured it. The
+    /// flush compaction policy rewrites only dirty regions.
+    dirty: AtomicBool,
+    /// Segment file whose contents equal this region's current rows
+    /// (when clean) — the file a compacting flush reuses by reference.
+    flushed_as: Mutex<Option<String>>,
 }
 
 /// Scan bookkeeping (cells touched, rows matched), the §5.2/5.3
@@ -82,7 +118,75 @@ impl Region {
             id,
             range: RwLock::new(range),
             rows: RwLock::new(BTreeMap::new()),
+            base: RwLock::new(None),
+            dirty: AtomicBool::new(true),
+            flushed_as: Mutex::new(None),
         }
+    }
+
+    /// Rebuild a clean region lazily from its flushed segment: no rows
+    /// are materialized until a read touches their block or a write
+    /// promotes the whole region.
+    pub fn from_segment(
+        id: u64,
+        range: KeyRange,
+        reader: Arc<SegmentReader>,
+        cache: Arc<BlockCache>,
+    ) -> Self {
+        let file = reader.file_name().to_string();
+        Region {
+            id,
+            range: RwLock::new(range),
+            rows: RwLock::new(BTreeMap::new()),
+            base: RwLock::new(Some(SegmentBase { reader, cache })),
+            dirty: AtomicBool::new(false),
+            flushed_as: Mutex::new(Some(file)),
+        }
+    }
+
+    /// Whether this region is still segment-backed (no read-triggered
+    /// materialization, no mutation since recovery).
+    pub fn is_lazy(&self) -> bool {
+        self.base.read().is_some()
+    }
+
+    /// Whether this region mutated since its `flushed_as` segment was
+    /// written (a compacting flush must rewrite it).
+    pub(crate) fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    /// The segment file whose contents equal this region's rows, if any.
+    pub(crate) fn flushed_file(&self) -> Option<String> {
+        self.flushed_as.lock().clone()
+    }
+
+    /// Record that `file` now captures this region's exact contents
+    /// (called after the manifest swap, so a crash mid-flush leaves the
+    /// region dirty and the next flush retries).
+    pub(crate) fn mark_flushed(&self, file: String) {
+        *self.flushed_as.lock() = Some(file);
+        self.dirty.store(false, Ordering::Release);
+    }
+
+    /// Promote a segment-backed region to materialized: read every block
+    /// once (through the cache) into the memstore and drop the base.
+    /// Idempotent; a no-op for materialized regions.
+    fn ensure_materialized(&self) -> Result<(), StoreError> {
+        let mut base = self.base.write();
+        let Some(b) = base.as_ref() else {
+            return Ok(());
+        };
+        let mut rows = self.rows.write();
+        debug_assert!(rows.is_empty(), "lazy regions have empty memstores");
+        for idx in 0..b.reader.block_count() {
+            let block = b.cache.get_or_load(&b.reader, idx)?;
+            for (key, data) in block.iter() {
+                rows.insert(key.clone(), data.clone());
+            }
+        }
+        *base = None;
+        Ok(())
     }
 
     /// This region's current row-key range.
@@ -95,17 +199,20 @@ impl Region {
         self.range.read().contains(key)
     }
 
-    /// Write a cell. Returns `false` when the row no longer belongs to
-    /// this region (a concurrent split moved the key range) — the caller
-    /// must re-resolve the region and retry. The range check happens under
-    /// the rows write lock, which `split` also holds while shrinking the
-    /// range, so the answer cannot go stale.
-    #[must_use]
-    pub fn put(&self, put: Put, timestamp: u64) -> bool {
+    /// Write a cell. Returns `Ok(false)` when the row no longer belongs
+    /// to this region (a concurrent split moved the key range) — the
+    /// caller must re-resolve the region and retry. The range check
+    /// happens under the rows write lock, which `split` also holds while
+    /// shrinking the range, so the answer cannot go stale. A write to a
+    /// segment-backed region promotes it first (which can surface a
+    /// typed corruption error from the segment).
+    pub fn put(&self, put: Put, timestamp: u64) -> Result<bool, StoreError> {
+        self.ensure_materialized()?;
         let mut rows = self.rows.write();
         if !self.range.read().contains(&put.row) {
-            return false;
+            return Ok(false);
         }
+        self.dirty.store(true, Ordering::Release);
         let versions = rows
             .entry(put.row)
             .or_default()
@@ -124,11 +231,26 @@ impl Region {
             .unwrap_or(versions.len());
         versions.insert(pos, CellVersion::new(timestamp, put.value));
         versions.truncate(MAX_VERSIONS);
-        true
+        Ok(true)
     }
 
     /// Read one row (latest versions only), verifying cell checksums.
+    /// On a segment-backed region this reads exactly one block through
+    /// the cache; it never materializes the region.
     pub fn get(&self, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
+        {
+            let base = self.base.read();
+            if let Some(b) = base.as_ref() {
+                let Some(idx) = b.reader.block_for(row) else {
+                    return Ok(None);
+                };
+                let block = b.cache.get_or_load(&b.reader, idx)?;
+                return block
+                    .get(row)
+                    .map(|data| materialize(row, data))
+                    .transpose();
+            }
+        }
         let rows = self.rows.read();
         rows.get(row).map(|data| materialize(row, data)).transpose()
     }
@@ -136,24 +258,31 @@ impl Region {
     /// Delete one row entirely. Returns `None` when the row key no longer
     /// belongs to this region (concurrent split — retry), otherwise
     /// whether the row existed.
-    pub fn delete_row(&self, row: &[u8]) -> Option<bool> {
+    pub fn delete_row(&self, row: &[u8]) -> Result<Option<bool>, StoreError> {
+        self.ensure_materialized()?;
         let mut rows = self.rows.write();
         if !self.range.read().contains(row) {
-            return None;
+            return Ok(None);
         }
-        Some(rows.remove(row).is_some())
+        let existed = rows.remove(row).is_some();
+        if existed {
+            self.dirty.store(true, Ordering::Release);
+        }
+        Ok(Some(existed))
     }
 
     /// Scan rows in `[start, end)` ∩ this region, applying a server-side
     /// filter and verifying cell checksums. Returns matching rows and the
-    /// scan metrics, or the first corruption encountered.
+    /// scan metrics, or the first corruption encountered. On a
+    /// segment-backed region only the blocks overlapping the range are
+    /// read (through the cache); the row-level visit order, filtering,
+    /// and metrics are bit-identical to the materialized path.
     pub fn scan(
         &self,
         start: &[u8],
         end: Option<&[u8]>,
         filter: Option<&dyn Filter>,
     ) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
-        let rows = self.rows.read();
         let lower = Bound::Included(Bytes::copy_from_slice(start));
         let upper = match end {
             Some(e) => Bound::Excluded(Bytes::copy_from_slice(e)),
@@ -164,29 +293,34 @@ impl Region {
             regions_visited: 1,
             ..ScanMetrics::default()
         };
-        for (key, data) in rows.range::<Bytes, _>((lower, upper)) {
-            metrics.rows_scanned += 1;
-            let result = materialize(key, data)?;
-            metrics.cells_scanned += result.cell_count() as u64;
-            let passes = filter.map(|f| f.matches(&result)).unwrap_or(true);
-            if passes {
-                metrics.rows_returned += 1;
-                metrics.bytes_returned += result
-                    .families
-                    .values()
-                    .flat_map(|cols| cols.values())
-                    .map(|c| c.value.len() as u64)
-                    .sum::<u64>();
-                out.push(result);
+        {
+            let base = self.base.read();
+            if let Some(b) = base.as_ref() {
+                for idx in b.reader.blocks_overlapping(start, end) {
+                    let block = b.cache.get_or_load(&b.reader, idx)?;
+                    for (key, data) in block.range::<Bytes, _>((lower.clone(), upper.clone())) {
+                        visit_row(key, data, filter, &mut out, &mut metrics)?;
+                    }
+                }
+                return Ok((out, metrics));
             }
+        }
+        let rows = self.rows.read();
+        for (key, data) in rows.range::<Bytes, _>((lower, upper)) {
+            visit_row(key, data, filter, &mut out, &mut metrics)?;
         }
         Ok((out, metrics))
     }
 
     /// Test/chaos hook: flip one byte of the latest stored version of a
     /// cell *without* refreshing its checksum, simulating at-rest bit rot.
-    /// Returns whether a cell was actually hit.
+    /// Returns whether a cell was actually hit. Corrupting is a mutation,
+    /// so a segment-backed region is promoted first (an unreadable
+    /// segment means there is nothing in memory to corrupt: `false`).
     pub fn corrupt_cell(&self, row: &[u8], family: &str, column: &[u8]) -> bool {
+        if self.ensure_materialized().is_err() {
+            return false;
+        }
         let mut rows = self.rows.write();
         let Some(versions) = rows
             .get_mut(row)
@@ -205,11 +339,17 @@ impl Region {
             v[0] ^= 0xff;
         }
         latest.value = Bytes::from(v);
+        self.dirty.store(true, Ordering::Release);
         true
     }
 
-    /// Number of rows stored.
+    /// Number of rows stored. For a segment-backed region this is the
+    /// segment trailer's exact row count — the region is clean, so the
+    /// segment *is* its contents and no block needs reading.
     pub fn row_count(&self) -> usize {
+        if let Some(b) = self.base.read().as_ref() {
+            return b.reader.meta().row_count as usize;
+        }
         self.rows.read().len()
     }
 
@@ -217,7 +357,14 @@ impl Region {
     /// `None` when the region has fewer than 2 rows. Exposed separately
     /// so the durable store can write-ahead-log the split point *before*
     /// applying it (log-then-apply, like every other mutation).
+    ///
+    /// A segment-backed region reports `None`: splits only ever follow
+    /// threshold-crossing puts, and a put promotes the region first, so a
+    /// lazy region can never be split-eligible.
     pub fn median_key(&self) -> Option<Bytes> {
+        if self.base.read().is_some() {
+            return None;
+        }
         let rows = self.rows.read();
         if rows.len() < 2 {
             return None;
@@ -234,8 +381,13 @@ impl Region {
 
     /// Split this region at an explicit key (used both by `split` and by
     /// WAL replay, which must reproduce the logged split point exactly).
-    /// Returns `None` if the key is empty or outside this region's range.
+    /// Returns `None` if the key is empty or outside this region's range,
+    /// or if a segment-backed region cannot be promoted (unreadable
+    /// segment — the subsequent read will surface the typed error).
     pub fn split_at(&self, key: &Bytes, new_id: u64) -> Option<Region> {
+        if self.ensure_materialized().is_err() {
+            return None;
+        }
         let mut rows = self.rows.write();
         let mut my_range = self.range.write();
         if !my_range.contains(key) || key.is_empty() {
@@ -249,25 +401,63 @@ impl Region {
                 end: my_range.end.clone(),
             }),
             rows: RwLock::new(upper_rows),
+            base: RwLock::new(None),
+            dirty: AtomicBool::new(true),
+            flushed_as: Mutex::new(None),
         };
-        // Shrink this region's range to end at the split point.
+        // Shrink this region's range to end at the split point. Both
+        // halves diverge from any flushed segment.
         my_range.end = Some(key.clone());
+        self.dirty.store(true, Ordering::Release);
         Some(upper)
     }
 
-    /// Rebuild a region from recovered parts (segment load + WAL replay).
+    /// Rebuild a materialized region from recovered parts (segment load +
+    /// WAL replay touched it, so it is dirty relative to any segment).
     pub fn from_parts(id: u64, range: KeyRange, rows: BTreeMap<Bytes, RowData>) -> Self {
         Region {
             id,
             range: RwLock::new(range),
             rows: RwLock::new(rows),
+            base: RwLock::new(None),
+            dirty: AtomicBool::new(true),
+            flushed_as: Mutex::new(None),
         }
     }
 
-    /// Snapshot this region's rows for a segment flush.
-    pub fn export_rows(&self) -> BTreeMap<Bytes, RowData> {
-        self.rows.read().clone()
+    /// Snapshot this region's rows for a segment flush, promoting a
+    /// segment-backed region first.
+    pub fn export_rows(&self) -> Result<BTreeMap<Bytes, RowData>, StoreError> {
+        self.ensure_materialized()?;
+        Ok(self.rows.read().clone())
     }
+}
+
+/// The shared per-row scan body: materialize (verifying checksums),
+/// filter, account. Factored out so the segment-backed and materialized
+/// scan paths are bit-identical by construction.
+fn visit_row(
+    key: &Bytes,
+    data: &RowData,
+    filter: Option<&dyn Filter>,
+    out: &mut Vec<RowResult>,
+    metrics: &mut ScanMetrics,
+) -> Result<(), StoreError> {
+    metrics.rows_scanned += 1;
+    let result = materialize(key, data)?;
+    metrics.cells_scanned += result.cell_count() as u64;
+    let passes = filter.map(|f| f.matches(&result)).unwrap_or(true);
+    if passes {
+        metrics.rows_returned += 1;
+        metrics.bytes_returned += result
+            .families
+            .values()
+            .flat_map(|cols| cols.values())
+            .map(|c| c.value.len() as u64)
+            .sum::<u64>();
+        out.push(result);
+    }
+    Ok(())
 }
 
 fn materialize(row: &[u8], data: &RowData) -> Result<RowResult, StoreError> {
@@ -294,15 +484,17 @@ mod tests {
     use super::*;
 
     fn put(region: &Region, row: &str, col: &str, val: &str, ts: u64) {
-        assert!(region.put(
-            Put::new(
-                Bytes::copy_from_slice(row.as_bytes()),
-                "cf",
-                Bytes::copy_from_slice(col.as_bytes()),
-                Bytes::copy_from_slice(val.as_bytes()),
-            ),
-            ts,
-        ));
+        assert!(region
+            .put(
+                Put::new(
+                    Bytes::copy_from_slice(row.as_bytes()),
+                    "cf",
+                    Bytes::copy_from_slice(col.as_bytes()),
+                    Bytes::copy_from_slice(val.as_bytes()),
+                ),
+                ts,
+            )
+            .unwrap());
     }
 
     #[test]
@@ -434,8 +626,8 @@ mod tests {
     fn delete_row_removes() {
         let r = Region::new(1, KeyRange::all());
         put(&r, "x", "c", "v", 1);
-        assert_eq!(r.delete_row(b"x"), Some(true));
-        assert_eq!(r.delete_row(b"x"), Some(false));
+        assert_eq!(r.delete_row(b"x").unwrap(), Some(true));
+        assert_eq!(r.delete_row(b"x").unwrap(), Some(false));
         assert!(r.get(b"x").unwrap().is_none());
     }
 }

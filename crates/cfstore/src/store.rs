@@ -6,11 +6,21 @@
 //! A store opened with [`MiniStore::new`] is purely in-memory, exactly
 //! as before. A store opened with [`MiniStore::open`] is backed by a
 //! directory: every mutation is written to the WAL *before* it touches
-//! memory (log-then-apply), [`MiniStore::flush`] persists each region as
-//! an immutable segment file and swaps the MANIFEST atomically, and
-//! reopening the directory replays the WAL tail over the loaded
-//! segments. Durable mutations are serialized under one lock so the WAL
-//! order is exactly the apply order — replay is then a faithful rerun.
+//! memory (log-then-apply), [`MiniStore::flush`] persists dirty regions
+//! as immutable segment files and swaps the MANIFEST atomically, and
+//! reopening the directory replays the WAL tail over lazily opened
+//! segments (clean regions stay segment-backed, reading blocks through
+//! a shared [`BlockCache`]). Durable mutations are serialized under one
+//! lock so the WAL order is exactly the apply order — replay is then a
+//! faithful rerun.
+//!
+//! [`StoreOptions::background_flush_wal_bytes`] moves flushing off the
+//! write path: a background flusher thread wakes whenever the WAL grows
+//! past the threshold and runs the same compacting flush a caller
+//! would. Because every flush happens under the durable lock and the
+//! WAL always covers the memstore, flush *timing* is irrelevant to
+//! crash safety — the crash-at-every-WAL-byte property tests run with
+//! the flusher enabled.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -20,11 +30,12 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
+use crate::blockcache::{BlockCache, BlockCacheStats};
 use crate::filter::Filter;
 use crate::kv::{Put, RowResult};
 use crate::recovery::{self, Manifest, ManifestTable, RecoveryError, RecoveryReport};
 use crate::region::{KeyRange, Region, ScanMetrics};
-use crate::segment;
+use crate::segment::{self, SegmentError};
 use crate::wal::{CrashSpec, SyncPolicy, WalError, WalRecord, WalWriter, WAL_FILE};
 
 /// Rows per region before a split is triggered.
@@ -54,6 +65,13 @@ pub enum StoreError {
     Crashed,
     /// A real I/O failure underneath the durability layer.
     Io(String),
+    /// A segment block failed its CRC when a lazy read finally touched
+    /// it — at-rest corruption of flushed data, surfaced on the read
+    /// path (the reopen path only verifies segment metadata up front).
+    SegmentCorrupt {
+        file: String,
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -79,6 +97,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "store crashed (injected crash point); reopen to recover")
             }
             StoreError::Io(detail) => write!(f, "store I/O failure: {detail}"),
+            StoreError::SegmentCorrupt { file, detail } => {
+                write!(f, "segment `{file}` is corrupt: {detail}")
+            }
         }
     }
 }
@@ -89,6 +110,15 @@ impl From<WalError> for StoreError {
         match e {
             WalError::Crashed => StoreError::Crashed,
             WalError::Io(io) => StoreError::Io(io.to_string()),
+        }
+    }
+}
+
+impl From<SegmentError> for StoreError {
+    fn from(e: SegmentError) -> Self {
+        match e {
+            SegmentError::Corrupt { file, detail } => StoreError::SegmentCorrupt { file, detail },
+            SegmentError::Io(io) => StoreError::Io(format!("segment I/O: {io}")),
         }
     }
 }
@@ -165,10 +195,59 @@ struct DurableState {
     wal: WalWriter,
     /// Flush generation; names the next batch of segment files.
     generation: u64,
+    /// `wal.bytes_written()` at the last flush reset (the WAL byte
+    /// counter is cumulative across flushes — it is the crash-budget
+    /// currency); the background-flush trigger measures growth against
+    /// this baseline.
+    wal_bytes_at_reset: u64,
 }
 
-/// The miniature column-family store.
-pub struct MiniStore {
+/// How to open a durable store: sync policy, crash injection, block
+/// cache budget, and the optional background flusher.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// WAL sync policy (default: [`SyncPolicy::EveryOp`]).
+    pub sync: SyncPolicy,
+    /// Injected crash points (default: never fires).
+    pub crash: CrashSpec,
+    /// Byte budget of the shared segment [`BlockCache`] (default 8 MiB).
+    /// `0` disables caching: lazy reads still work, block-at-a-time,
+    /// but nothing is retained.
+    pub block_cache_bytes: u64,
+    /// When `Some(n)`, a background flusher thread runs [`MiniStore::flush`]
+    /// whenever the WAL has grown `n` bytes past the last flush, taking
+    /// segment writing off the put path. `None` (the default) keeps
+    /// flushing fully caller-driven.
+    pub background_flush_wal_bytes: Option<u64>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            sync: SyncPolicy::EveryOp,
+            crash: CrashSpec::default(),
+            block_cache_bytes: 8 << 20,
+            background_flush_wal_bytes: None,
+        }
+    }
+}
+
+/// Wake-up state shared between writers and the background flusher.
+#[derive(Default)]
+struct FlushSignal {
+    flush_pending: bool,
+    shutdown: bool,
+}
+
+/// std primitives here (not `parking_lot`) because the wake-up needs a
+/// condition variable paired with its mutex.
+struct FlusherShared {
+    signal: std::sync::Mutex<FlushSignal>,
+    cv: std::sync::Condvar,
+}
+
+/// Everything the store owns, shareable with the background flusher.
+struct StoreInner {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
     clock: AtomicU64,
     next_region_id: AtomicU64,
@@ -176,62 +255,135 @@ pub struct MiniStore {
     region_servers: u32,
     /// Observability sink for the `cfstore.*` counters (DESIGN.md §10);
     /// disabled (a single branch per operation) unless a caller attaches
-    /// an enabled registry via [`MiniStore::set_obs`].
-    obs: obs::Registry,
+    /// an enabled registry via [`MiniStore::set_obs`]. Behind a lock so
+    /// the flusher thread sees registry swaps; reads clone the (cheap,
+    /// `Arc`-backed) registry.
+    obs: RwLock<obs::Registry>,
+    /// The shared segment block cache every lazy region reads through.
+    cache: Arc<BlockCache>,
     /// `Some` when the store is backed by a directory (WAL + segments);
     /// `None` for the classic in-memory store.
     durable: Option<Mutex<DurableState>>,
+    /// WAL-growth threshold that triggers a background flush.
+    background_flush_wal_bytes: Option<u64>,
+    /// Present iff a background flusher thread is running.
+    flush_shared: Option<Arc<FlusherShared>>,
+}
+
+/// The miniature column-family store. A thin handle around the shared
+/// `StoreInner`; dropping the handle shuts down and joins the
+/// background flusher (when one is configured).
+pub struct MiniStore {
+    inner: Arc<StoreInner>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The background flusher: wait for a WAL-growth signal, run the same
+/// compacting flush a caller would, repeat. Flush failures (an injected
+/// crash point, real I/O trouble) poison the store for writers exactly
+/// as a foreground flush would; the flusher just waits for the next
+/// signal (which a poisoned store never sends).
+fn flusher_loop(inner: Arc<StoreInner>, shared: Arc<FlusherShared>) {
+    loop {
+        {
+            let mut g = shared.signal.lock().expect("flusher signal lock");
+            while !g.flush_pending && !g.shutdown {
+                g = shared.cv.wait(g).expect("flusher signal wait");
+            }
+            if g.shutdown {
+                return;
+            }
+            g.flush_pending = false;
+        }
+        if inner.flush().is_ok() {
+            inner.obs().incr("cfstore.flush.background", 1);
+        }
+    }
 }
 
 impl MiniStore {
     /// An empty store with no tables and observability disabled.
     pub fn new() -> Self {
         MiniStore {
-            tables: RwLock::new(BTreeMap::new()),
-            clock: AtomicU64::new(1),
-            next_region_id: AtomicU64::new(1),
-            region_servers: 4,
-            obs: obs::Registry::disabled(),
-            durable: None,
+            inner: Arc::new(StoreInner {
+                tables: RwLock::new(BTreeMap::new()),
+                clock: AtomicU64::new(1),
+                next_region_id: AtomicU64::new(1),
+                region_servers: 4,
+                obs: RwLock::new(obs::Registry::disabled()),
+                cache: Arc::new(BlockCache::new(0)),
+                durable: None,
+                background_flush_wal_bytes: None,
+                flush_shared: None,
+            }),
+            flusher: None,
         }
     }
 
     /// Open (or create) a durable store at `dir`, running recovery:
-    /// load manifest-referenced segments, verify every checksum, replay
-    /// the WAL tail, and truncate any torn tail. Returns the store plus
-    /// the [`RecoveryReport`] accounting for every replayed and dropped
-    /// byte.
+    /// open manifest-referenced segments (metadata checksum-verified,
+    /// blocks lazy), replay the WAL tail, and truncate any torn tail.
+    /// Returns the store plus the [`RecoveryReport`] accounting for
+    /// every replayed and dropped byte.
     pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), RecoveryError> {
-        Self::open_with(dir, SyncPolicy::EveryOp, CrashSpec::default())
+        Self::open_with_opts(dir, StoreOptions::default())
     }
 
     /// [`MiniStore::open`] with an explicit sync policy and crash spec
-    /// (the property tests' entry point).
+    /// (the property tests' historical entry point).
     pub fn open_with(
         dir: &Path,
         policy: SyncPolicy,
         crash: CrashSpec,
     ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        Self::open_with_opts(
+            dir,
+            StoreOptions {
+                sync: policy,
+                crash,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// [`MiniStore::open`] with full [`StoreOptions`] control.
+    pub fn open_with_opts(
+        dir: &Path,
+        opts: StoreOptions,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
         std::fs::create_dir_all(dir).map_err(|e| RecoveryError::Io {
             path: dir.display().to_string(),
             source: e,
         })?;
-        let (state, report) = recovery::recover(dir)?;
+        let cache = Arc::new(BlockCache::new(opts.block_cache_bytes));
+        let (state, report) = recovery::recover(dir, &cache)?;
         let wal_path = dir.join(WAL_FILE);
-        let wal = WalWriter::open(&wal_path, state.wal_len, state.next_lsn, policy, crash)
-            .map_err(|e| RecoveryError::Io {
-                path: wal_path.display().to_string(),
-                source: match e {
-                    WalError::Io(io) => io,
-                    WalError::Crashed => std::io::Error::other("crash during open"),
-                },
-            })?;
+        let wal = WalWriter::open(
+            &wal_path,
+            state.wal_len,
+            state.next_lsn,
+            opts.sync,
+            opts.crash,
+        )
+        .map_err(|e| RecoveryError::Io {
+            path: wal_path.display().to_string(),
+            source: match e {
+                WalError::Io(io) => io,
+                WalError::Crashed => std::io::Error::other("crash during open"),
+            },
+        })?;
+        let wal_bytes_at_reset = wal.bytes_written();
         let mut tables = BTreeMap::new();
         for t in state.tables {
             let regions: Vec<Arc<Region>> = t
                 .regions
                 .into_iter()
-                .map(|r| Arc::new(Region::from_parts(r.id, r.range, r.rows)))
+                .map(|r| match r.base {
+                    Some(reader) => {
+                        Arc::new(Region::from_segment(r.id, r.range, reader, cache.clone()))
+                    }
+                    None => Arc::new(Region::from_parts(r.id, r.range, r.rows)),
+                })
                 .collect();
             tables.insert(
                 t.name,
@@ -242,41 +394,63 @@ impl MiniStore {
                 }),
             );
         }
-        Ok((
-            MiniStore {
-                tables: RwLock::new(tables),
-                clock: AtomicU64::new(state.clock),
-                next_region_id: AtomicU64::new(state.next_region_id),
-                region_servers: 4,
-                obs: obs::Registry::disabled(),
-                durable: Some(Mutex::new(DurableState {
-                    dir: dir.to_path_buf(),
-                    wal,
-                    generation: state.generation,
-                })),
-            },
-            report,
-        ))
+        let flush_shared = opts.background_flush_wal_bytes.map(|_| {
+            Arc::new(FlusherShared {
+                signal: std::sync::Mutex::new(FlushSignal::default()),
+                cv: std::sync::Condvar::new(),
+            })
+        });
+        let inner = Arc::new(StoreInner {
+            tables: RwLock::new(tables),
+            clock: AtomicU64::new(state.clock),
+            next_region_id: AtomicU64::new(state.next_region_id),
+            region_servers: 4,
+            obs: RwLock::new(obs::Registry::disabled()),
+            cache,
+            durable: Some(Mutex::new(DurableState {
+                dir: dir.to_path_buf(),
+                wal,
+                generation: state.generation,
+                wal_bytes_at_reset,
+            })),
+            background_flush_wal_bytes: opts.background_flush_wal_bytes,
+            flush_shared: flush_shared.clone(),
+        });
+        let flusher = flush_shared.map(|shared| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("cfstore-flusher".to_string())
+                .spawn(move || flusher_loop(inner, shared))
+                .expect("spawn background flusher")
+        });
+        Ok((MiniStore { inner, flusher }, report))
     }
 
     /// Whether this store is backed by a directory.
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        self.inner.durable.is_some()
     }
 
     /// Whether an injected crash point has poisoned the store.
     pub fn is_crashed(&self) -> bool {
-        self.durable
+        self.inner
+            .durable
             .as_ref()
             .map(|m| m.lock().wal.is_crashed())
             .unwrap_or(false)
     }
 
     /// Attach an observability registry. Subsequent operations count
-    /// puts, gets, scans, scanned/returned rows, and checksum-verified
-    /// cells against it (`cfstore.*` counters).
+    /// puts, gets, scans, scanned/returned rows, checksum-verified
+    /// cells, and block-cache traffic against it (`cfstore.*` counters).
     pub fn set_obs(&mut self, obs: obs::Registry) {
-        self.obs = obs;
+        self.inner.cache.set_obs(obs.clone());
+        *self.inner.obs.write() = obs;
+    }
+
+    /// Occupancy of the shared segment block cache.
+    pub fn cache_stats(&self) -> BlockCacheStats {
+        self.inner.cache.stats()
     }
 
     /// Create a table with a fixed set of column families.
@@ -287,6 +461,102 @@ impl MiniStore {
     /// Create a table with a custom region-split threshold (used by the
     /// store-scalability benchmarks).
     pub fn create_table_with_threshold(
+        &self,
+        name: &str,
+        families: &[&str],
+        split_threshold: usize,
+    ) -> Result<(), StoreError> {
+        self.inner
+            .create_table_with_threshold(name, families, split_threshold)
+    }
+
+    /// Write one cell. In durable mode the cell is WAL-logged (and, under
+    /// [`SyncPolicy::EveryOp`], durable) before it becomes visible.
+    pub fn put(&self, table: &str, put: Put) -> Result<(), StoreError> {
+        self.put_batch(table, vec![put])
+    }
+
+    /// Write a batch of cells as one atomic unit: in durable mode the
+    /// whole batch is a single WAL frame, so recovery replays all of it
+    /// or none of it — multi-row values (a whole profile) never reappear
+    /// half-written after a crash.
+    pub fn put_batch(&self, table: &str, puts: Vec<Put>) -> Result<(), StoreError> {
+        self.inner.put_batch(table, puts)
+    }
+
+    /// Read one row (checksum-verified).
+    pub fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
+        self.inner.get(table, row)
+    }
+
+    /// Chaos hook: corrupt the latest version of one stored cell in place
+    /// (bit-flip without a checksum update), so the next read of that row
+    /// fails with [`StoreError::Corruption`]. Returns whether a cell was
+    /// actually hit.
+    pub fn corrupt_cell(
+        &self,
+        table: &str,
+        row: &[u8],
+        family: &str,
+        column: &[u8],
+    ) -> Result<bool, StoreError> {
+        self.inner.corrupt_cell(table, row, family, column)
+    }
+
+    /// Delete one row.
+    pub fn delete_row(&self, table: &str, row: &[u8]) -> Result<bool, StoreError> {
+        self.inner.delete_row(table, row)
+    }
+
+    /// Flush dirty regions to immutable segment files and swap the
+    /// MANIFEST atomically; clean regions' existing segments are reused
+    /// by reference (size-tiered compaction's degenerate-but-correct
+    /// base case), and the WAL is truncated afterwards. A no-op for
+    /// in-memory stores.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.inner.flush()
+    }
+
+    /// Scan with server-side filtering; regions are scanned in parallel
+    /// (one logical region server each) and results merged in key order.
+    pub fn scan(
+        &self,
+        table: &str,
+        scan: &Scan,
+    ) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
+        self.inner.scan(table, scan)
+    }
+
+    /// The META catalog: one entry per region, keyed like §5.2.2 describes.
+    pub fn meta_entries(&self) -> Vec<MetaEntry> {
+        self.inner.meta_entries()
+    }
+
+    /// Number of regions backing a table.
+    pub fn region_count(&self, table: &str) -> Result<usize, StoreError> {
+        self.inner.region_count(table)
+    }
+}
+
+impl Drop for MiniStore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.flusher.take() {
+            if let Some(shared) = &self.inner.flush_shared {
+                shared.signal.lock().expect("flusher signal lock").shutdown = true;
+                shared.cv.notify_all();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl StoreInner {
+    /// Snapshot the current registry (cheap: `Arc` clone).
+    fn obs(&self) -> obs::Registry {
+        self.obs.read().clone()
+    }
+
+    fn create_table_with_threshold(
         &self,
         name: &str,
         families: &[&str],
@@ -328,18 +598,8 @@ impl MiniStore {
             .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
     }
 
-    /// Write one cell. In durable mode the cell is WAL-logged (and, under
-    /// [`SyncPolicy::EveryOp`], durable) before it becomes visible.
-    pub fn put(&self, table: &str, put: Put) -> Result<(), StoreError> {
-        self.put_batch(table, vec![put])
-    }
-
-    /// Write a batch of cells as one atomic unit: in durable mode the
-    /// whole batch is a single WAL frame, so recovery replays all of it
-    /// or none of it — multi-row values (a whole profile) never reappear
-    /// half-written after a crash.
-    pub fn put_batch(&self, table: &str, puts: Vec<Put>) -> Result<(), StoreError> {
-        self.obs.incr("cfstore.puts", puts.len() as u64);
+    fn put_batch(&self, table: &str, puts: Vec<Put>) -> Result<(), StoreError> {
+        self.obs().incr("cfstore.puts", puts.len() as u64);
         let t = self.table(table)?;
         for put in &puts {
             if !t.families.iter().any(|f| f == &put.family) {
@@ -370,6 +630,21 @@ impl MiniStore {
                 stamped.push((put, ts));
             }
             d.wal.append(&records)?;
+            // Wake the background flusher once the WAL has grown past
+            // the configured threshold since the last flush. Signalled
+            // under the durable lock (the flusher blocks on it), so the
+            // wake-up cannot race a concurrent flush's reset.
+            if let (Some(threshold), Some(shared)) =
+                (self.background_flush_wal_bytes, &self.flush_shared)
+            {
+                if d.wal.bytes_written() - d.wal_bytes_at_reset >= threshold {
+                    let mut g = shared.signal.lock().expect("flusher signal lock");
+                    if !g.flush_pending {
+                        g.flush_pending = true;
+                        shared.cv.notify_one();
+                    }
+                }
+            }
         } else {
             for put in puts {
                 let ts = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -378,7 +653,7 @@ impl MiniStore {
         }
         let mut touched: Vec<Arc<Region>> = Vec::new();
         for (put, ts) in stamped {
-            let region = Self::apply_put(&t, put, ts);
+            let region = Self::apply_put(&t, put, ts)?;
             if !touched.iter().any(|r| r.id == region.id) {
                 touched.push(region);
             }
@@ -395,8 +670,9 @@ impl MiniStore {
     /// Apply one stamped cell to the region owning its row. A concurrent
     /// split can shrink the chosen region's range between lookup and
     /// write; `Region::put` detects this under its lock and we retry
-    /// against the refreshed region list.
-    fn apply_put(t: &Table, put: Put, ts: u64) -> Arc<Region> {
+    /// against the refreshed region list. Writing to a segment-backed
+    /// region promotes it, which can surface a typed corruption error.
+    fn apply_put(t: &Table, put: Put, ts: u64) -> Result<Arc<Region>, StoreError> {
         loop {
             let region = {
                 let regions = t.regions.read();
@@ -406,8 +682,8 @@ impl MiniStore {
                     .cloned()
                     .expect("region ranges cover the key space")
             };
-            if region.put(put.clone(), ts) {
-                return region;
+            if region.put(put.clone(), ts)? {
+                return Ok(region);
             }
         }
     }
@@ -443,7 +719,8 @@ impl MiniStore {
             .position(|r| r.id == region.id)
             .expect("region still registered");
         regions.insert(pos + 1, Arc::new(upper));
-        self.obs.event(
+        let obs = self.obs();
+        obs.event(
             "cfstore.region.split",
             &[
                 ("table", obs::Value::from(table)),
@@ -451,13 +728,13 @@ impl MiniStore {
                 ("new", obs::Value::from(new_id)),
             ],
         );
-        self.obs.incr("cfstore.region.splits", 1);
+        obs.incr("cfstore.region.splits", 1);
         Ok(())
     }
 
-    /// Read one row (checksum-verified).
-    pub fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
-        self.obs.incr("cfstore.gets", 1);
+    fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
+        let obs = self.obs();
+        obs.incr("cfstore.gets", 1);
         let t = self.table(table)?;
         let regions = t.regions.read();
         let result = match regions.iter().find(|r| r.contains_key(row)) {
@@ -465,17 +742,12 @@ impl MiniStore {
             None => None,
         };
         if let Some(row) = &result {
-            self.obs
-                .incr("cfstore.cells_verified", row.cell_count() as u64);
+            obs.incr("cfstore.cells_verified", row.cell_count() as u64);
         }
         Ok(result)
     }
 
-    /// Chaos hook: corrupt the latest version of one stored cell in place
-    /// (bit-flip without a checksum update), so the next read of that row
-    /// fails with [`StoreError::Corruption`]. Returns whether a cell was
-    /// actually hit.
-    pub fn corrupt_cell(
+    fn corrupt_cell(
         &self,
         table: &str,
         row: &[u8],
@@ -489,8 +761,7 @@ impl MiniStore {
             .any(|r| r.contains_key(row) && r.corrupt_cell(row, family, column)))
     }
 
-    /// Delete one row.
-    pub fn delete_row(&self, table: &str, row: &[u8]) -> Result<bool, StoreError> {
+    fn delete_row(&self, table: &str, row: &[u8]) -> Result<bool, StoreError> {
         let t = self.table(table)?;
         let mut durable = self.durable.as_ref().map(|m| m.lock());
         if let Some(d) = durable.as_mut() {
@@ -508,19 +779,20 @@ impl MiniStore {
                 return Ok(false);
             };
             // `None` means a concurrent split moved the key: re-resolve.
-            if let Some(existed) = region.delete_row(row) {
+            if let Some(existed) = region.delete_row(row)? {
                 return Ok(existed);
             }
         }
     }
 
-    /// Flush every region to an immutable segment file and swap the
-    /// MANIFEST atomically; the WAL is truncated afterwards (its frames
-    /// are now captured by segments). A no-op for in-memory stores.
-    ///
-    /// Superseded segments from earlier generations are deleted after the
-    /// swap — the wholesale-rewrite analog of a major compaction.
-    pub fn flush(&self) -> Result<(), StoreError> {
+    /// The compacting flush (DESIGN.md §12): rewrite only *dirty*
+    /// regions; a clean region's existing segment file is carried into
+    /// the new manifest by name, so a manifest may mix generations.
+    /// Region dirty bits are cleared only after the manifest swap — a
+    /// crash mid-flush leaves every region dirty and the next flush
+    /// simply retries. Runs under the durable lock, whether called by a
+    /// client or by the background flusher.
+    fn flush(&self) -> Result<(), StoreError> {
         let Some(m) = &self.durable else {
             return Ok(());
         };
@@ -533,6 +805,8 @@ impl MiniStore {
         let tables = self.tables.read();
         let mut manifest_tables = Vec::new();
         let mut seg_names = Vec::new();
+        let mut newly_flushed: Vec<(Arc<Region>, String)> = Vec::new();
+        let mut reused = 0u64;
         for (name, t) in tables.iter() {
             manifest_tables.push(ManifestTable {
                 name: name.clone(),
@@ -540,7 +814,17 @@ impl MiniStore {
                 split_threshold: t.split_threshold as u64,
             });
             for r in t.regions.read().iter() {
-                let rows = r.export_rows();
+                if !r.is_dirty() {
+                    if let Some(file) = r.flushed_file() {
+                        // Clean region: its segment already captures the
+                        // exact current rows (no mutation since it was
+                        // written — splits and writes both mark dirty).
+                        seg_names.push(file);
+                        reused += 1;
+                        continue;
+                    }
+                }
+                let rows = r.export_rows()?;
                 let bytes = segment::encode_segment(name, r.id, &r.range(), &rows);
                 let file = recovery::segment_file_name(generation, r.id);
                 let path = d.dir.join(&file);
@@ -548,7 +832,8 @@ impl MiniStore {
                     Ok(()) => {
                         std::fs::write(&path, &bytes).map_err(|e| StoreError::Io(e.to_string()))?;
                         d.wal.segments_written += 1;
-                        seg_names.push(file);
+                        seg_names.push(file.clone());
+                        newly_flushed.push((r.clone(), file));
                     }
                     Err(WalError::Crashed) => {
                         // Tear the victim segment halfway and die: the
@@ -571,7 +856,15 @@ impl MiniStore {
         };
         recovery::write_manifest(&d.dir, &manifest).map_err(|e| StoreError::Io(e.to_string()))?;
         d.wal.reset_after_flush()?;
+        d.wal_bytes_at_reset = d.wal.bytes_written();
         d.generation = generation;
+        // Only after the manifest swap do the rewritten regions become
+        // clean (crash-safe ordering: an un-swapped manifest must leave
+        // them dirty so the retry rewrites them).
+        let written = newly_flushed.len() as u64;
+        for (r, file) in newly_flushed {
+            r.mark_flushed(file);
+        }
         let mut superseded = 0u64;
         if let Ok(entries) = std::fs::read_dir(&d.dir) {
             for entry in entries.flatten() {
@@ -585,25 +878,24 @@ impl MiniStore {
                 }
             }
         }
-        self.obs.event(
+        let obs = self.obs();
+        obs.event(
             "cfstore.flush",
             &[
                 ("segments", obs::Value::from(seg_names.len())),
+                ("written", obs::Value::from(written)),
+                ("reused", obs::Value::from(reused)),
                 ("superseded", obs::Value::from(superseded)),
                 ("flushed_lsn", obs::Value::from(flushed_lsn)),
             ],
         );
-        self.obs.incr("cfstore.flushes", 1);
+        obs.incr("cfstore.flushes", 1);
+        obs.incr("cfstore.flush.segments_written", written);
+        obs.incr("cfstore.flush.segments_reused", reused);
         Ok(())
     }
 
-    /// Scan with server-side filtering; regions are scanned in parallel
-    /// (one logical region server each) and results merged in key order.
-    pub fn scan(
-        &self,
-        table: &str,
-        scan: &Scan,
-    ) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
+    fn scan(&self, table: &str, scan: &Scan) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
         let t = self.table(table)?;
         let regions: Vec<Arc<Region>> = {
             let guard = t.regions.read();
@@ -643,13 +935,14 @@ impl MiniStore {
         // touched vs returned), recorded before the merge flattens the
         // partials. Key formatting is gated so the disabled-registry
         // fast path stays allocation-free.
-        if self.obs.is_enabled() {
+        let obs = self.obs();
+        if obs.is_enabled() {
             for (region, (_, m)) in regions.iter().zip(&partials) {
-                self.obs.incr(
+                obs.incr(
                     &format!("cfstore.region.{}.rows_scanned", region.id),
                     m.rows_scanned,
                 );
-                self.obs.incr(
+                obs.incr(
                     &format!("cfstore.region.{}.rows_returned", region.id),
                     m.rows_returned,
                 );
@@ -664,17 +957,14 @@ impl MiniStore {
         rows.sort_by(|a, b| a.row.cmp(&b.row));
         // Counters are recorded once per scan from the merged metrics, so
         // parallel region scans never contend on the registry mutex.
-        self.obs.incr("cfstore.scans", 1);
-        self.obs.incr("cfstore.rows_scanned", metrics.rows_scanned);
-        self.obs
-            .incr("cfstore.rows_returned", metrics.rows_returned);
-        self.obs
-            .incr("cfstore.cells_verified", metrics.cells_scanned);
+        obs.incr("cfstore.scans", 1);
+        obs.incr("cfstore.rows_scanned", metrics.rows_scanned);
+        obs.incr("cfstore.rows_returned", metrics.rows_returned);
+        obs.incr("cfstore.cells_verified", metrics.cells_scanned);
         Ok((rows, metrics))
     }
 
-    /// The META catalog: one entry per region, keyed like §5.2.2 describes.
-    pub fn meta_entries(&self) -> Vec<MetaEntry> {
+    fn meta_entries(&self) -> Vec<MetaEntry> {
         let tables = self.tables.read();
         let mut entries = Vec::new();
         for (name, t) in tables.iter() {
@@ -690,8 +980,7 @@ impl MiniStore {
         entries
     }
 
-    /// Number of regions backing a table.
-    pub fn region_count(&self, table: &str) -> Result<usize, StoreError> {
+    fn region_count(&self, table: &str) -> Result<usize, StoreError> {
         Ok(self.table(table)?.regions.read().len())
     }
 }

@@ -257,6 +257,14 @@ impl WalWriter {
         self.next_lsn
     }
 
+    /// Cumulative bytes that have reached the file since open. *Not*
+    /// reset by [`WalWriter::reset_after_flush`] (it is the crash-budget
+    /// currency), so callers tracking WAL growth between flushes must
+    /// remember their own baseline.
+    pub(crate) fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
     /// Append one frame holding `records` (atomic as a unit on replay).
     /// Returns the frame's LSN. Depending on the [`SyncPolicy`] the frame
     /// may still sit in the group-commit buffer when this returns.

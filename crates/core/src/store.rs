@@ -26,8 +26,9 @@ use cfstore::encoding::{decode_f64, decode_f64_vec, encode_f64, encode_f64_vec};
 use cfstore::wal::{CrashSpec, SyncPolicy};
 use cfstore::{
     MiniStore, Put, RecoveryError, RecoveryReport, RowResult, Scan, ScanMetrics, StoreError,
+    StoreOptions,
 };
-use mlmatch::MinMaxNormalizer;
+use mlmatch::{DimPrep, MinMaxNormalizer};
 use profiler::{CostFactors, JobProfile};
 use staticanalysis::{Cfg, SideFeatures, StaticFeatures};
 
@@ -153,7 +154,24 @@ impl ProfileStore {
         policy: SyncPolicy,
         crash: CrashSpec,
     ) -> Result<(Self, RecoveryReport), ProfileStoreError> {
-        let (store, report) = MiniStore::open_with(dir, policy, crash)?;
+        Self::reopen_with_opts(
+            dir,
+            StoreOptions {
+                sync: policy,
+                crash,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
+    /// [`Self::reopen`] with full [`StoreOptions`] control — block cache
+    /// budget and the background flusher (the hot-path benchmarks' entry
+    /// point).
+    pub fn reopen_with_opts(
+        dir: &Path,
+        opts: StoreOptions,
+    ) -> Result<(Self, RecoveryReport), ProfileStoreError> {
+        let (store, report) = MiniStore::open_with_opts(dir, opts)?;
         match store.create_table(TABLE, &[FAMILY]) {
             Ok(()) | Err(StoreError::TableExists(_)) => {}
             Err(e) => return Err(e.into()),
@@ -547,6 +565,8 @@ impl ProfileStore {
             job_ids: Vec::with_capacity(n),
             map_dyn: Vec::with_capacity(n * MAP_DYNAMIC_COLUMNS.len()),
             red_dyn: Vec::with_capacity(n * RED_DYNAMIC_COLUMNS.len()),
+            map_lanes: LaneMatrix::empty(MAP_DYNAMIC_COLUMNS.len()),
+            red_lanes: LaneMatrix::empty(RED_DYNAMIC_COLUMNS.len()),
             has_reduce: Vec::with_capacity(n),
             cost: Vec::with_capacity(n * cost_dims),
             input_bytes: Vec::with_capacity(n),
@@ -580,6 +600,8 @@ impl ProfileStore {
             index.statics.push(statics.remove(&parsed.job_id));
             index.job_ids.push(parsed.job_id);
         }
+        index.map_lanes = LaneMatrix::from_row_major(&index.map_dyn, MAP_DYNAMIC_COLUMNS.len(), n);
+        index.red_lanes = LaneMatrix::from_row_major(&index.red_dyn, RED_DYNAMIC_COLUMNS.len(), n);
         Ok(index)
     }
 
@@ -589,16 +611,113 @@ impl ProfileStore {
     }
 }
 
+/// Lane width of the chunked struct-of-arrays sweep matrices: eight f64s
+/// fill one 64-byte cache line and one AVX-512 register (two AVX2 ones),
+/// and LLVM reliably autovectorizes fixed-trip-count loops of this width.
+pub const SWEEP_LANES: usize = 8;
+
+/// A dense feature matrix blocked for the stage-1 sweep: rows are grouped
+/// into chunks of [`SWEEP_LANES`], and *within* a chunk values are stored
+/// dimension-major — a struct-of-arrays layout where each dimension's
+/// eight values are contiguous. The sweep then runs dimensions-outer /
+/// lanes-inner over fixed-width slices, which the compiler turns into
+/// packed SIMD without any explicit intrinsics.
+///
+/// Each row's distance still accumulates its dimensions in order and
+/// compares `acc.sqrt() <= theta`, exactly like the scalar
+/// [`MinMaxNormalizer::distance`]; only the loop nest is interchanged, so
+/// survivor sets are bit-identical (property-tested against the scan
+/// oracle in `tests/tests/property_columnar.rs`).
+#[derive(Debug, Clone)]
+struct LaneMatrix {
+    dims: usize,
+    len: usize,
+    /// `len.div_ceil(SWEEP_LANES) * dims * SWEEP_LANES` values; row `r`,
+    /// dimension `d` lives at
+    /// `(r / SWEEP_LANES * dims + d) * SWEEP_LANES + r % SWEEP_LANES`.
+    /// Padding rows hold 0.0 and are excluded by the `len` bound.
+    data: Vec<f64>,
+}
+
+impl LaneMatrix {
+    fn empty(dims: usize) -> LaneMatrix {
+        LaneMatrix {
+            dims,
+            len: 0,
+            data: Vec::new(),
+        }
+    }
+
+    fn from_row_major(rows: &[f64], dims: usize, len: usize) -> LaneMatrix {
+        debug_assert_eq!(rows.len(), dims * len);
+        let mut data = vec![0.0; len.div_ceil(SWEEP_LANES) * dims * SWEEP_LANES];
+        for r in 0..len {
+            for d in 0..dims {
+                data[(r / SWEEP_LANES * dims + d) * SWEEP_LANES + r % SWEEP_LANES] =
+                    rows[r * dims + d];
+            }
+        }
+        LaneMatrix { dims, len, data }
+    }
+
+    /// Rows whose distance to the prepared query is within `theta`, in row
+    /// order; rows where `mask` is false are dropped after the distance
+    /// check (matching the scalar sweeps, which also evaluate the masked
+    /// predicate per row).
+    fn sweep(&self, prep: &[DimPrep], theta: f64, mask: Option<&[bool]>) -> Vec<usize> {
+        let mut out = Vec::new();
+        let width = self.dims * SWEEP_LANES;
+        for (c, chunk) in self.data.chunks_exact(width).enumerate() {
+            let mut acc = [0.0f64; SWEEP_LANES];
+            for (d, p) in prep.iter().enumerate() {
+                let ys = &chunk[d * SWEEP_LANES..(d + 1) * SWEEP_LANES];
+                match *p {
+                    // The hot regime: branch-free per lane, vectorizes.
+                    DimPrep::Scaled { min, range, nx } => {
+                        for (a, y) in acc.iter_mut().zip(ys) {
+                            let dd = nx - ((y - min) / range).clamp(0.0, 1.0);
+                            *a += dd * dd;
+                        }
+                    }
+                    // Degenerate dimensions carry a data-dependent branch;
+                    // rare (near-empty stores), so scalar is fine.
+                    DimPrep::Degenerate { .. } => {
+                        for (a, y) in acc.iter_mut().zip(ys) {
+                            let dd = p.delta(*y);
+                            *a += dd * dd;
+                        }
+                    }
+                }
+            }
+            let base = c * SWEEP_LANES;
+            for (l, a) in acc.iter().enumerate() {
+                let row = base + l;
+                if row >= self.len {
+                    break;
+                }
+                if a.sqrt() <= theta && mask.is_none_or(|m| m[row]) {
+                    out.push(row);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// A columnar, contiguous in-memory projection of the store's numeric
 /// feature rows, in `Dynamic/` key (= lexicographic job id) order.
 ///
 /// Stage 1 of the matcher is a dense distance sweep over every stored
-/// profile; doing it over row-major `Vec<f64>` matrices replaces one
-/// B-tree traversal + column decode per row with a linear scan of a few
-/// cache lines per candidate. The statics and cost factors ride along so
-/// the later stages become array lookups instead of per-job point-gets.
-/// The [`MiniStore`] scan path remains the oracle: property tests assert
-/// both produce identical stage-1 survivor sets.
+/// profile; doing it over contiguous matrices replaces one B-tree
+/// traversal + column decode per row with a linear scan of a few cache
+/// lines per candidate. The dynamic-feature matrices are kept twice: a
+/// row-major copy serving the per-row accessors (and the scalar reference
+/// sweeps), and a `LaneMatrix` blocked for the vectorized sweep — a few
+/// dozen bytes per row buys the hot path its SIMD layout. The statics and
+/// cost factors ride along so the later stages become array lookups
+/// instead of per-job point-gets. The [`MiniStore`] scan path remains the
+/// oracle: property tests assert both produce identical stage-1 survivor
+/// sets.
 #[derive(Debug, Clone)]
 pub struct ColumnarIndex {
     job_ids: Vec<String>,
@@ -607,6 +726,10 @@ pub struct ColumnarIndex {
     /// Row-major `len() x RED_DYNAMIC_COLUMNS.len()`; zero-padded for
     /// map-only jobs (masked by `has_reduce`).
     red_dyn: Vec<f64>,
+    /// Lane-blocked copy of `map_dyn` (the vectorized sweep operand).
+    map_lanes: LaneMatrix,
+    /// Lane-blocked copy of `red_dyn`.
+    red_lanes: LaneMatrix,
     has_reduce: Vec<bool>,
     /// Row-major `len() x CostFactors::names().len()`.
     cost: Vec<f64>,
@@ -656,9 +779,32 @@ impl ColumnarIndex {
 
     /// Stage-1 sweep over the map-side dynamic features: rows whose
     /// normalized Euclidean distance to `q` is within `theta`, in store
-    /// order. Calls the same [`MinMaxNormalizer::distance`] the pushed-down
-    /// scan filter uses, so the survivor set is identical by construction.
+    /// order. The vectorized `LaneMatrix::sweep` performs the exact
+    /// floating-point operations of [`MinMaxNormalizer::distance`] (the
+    /// function the pushed-down scan filter calls) with the loop nest
+    /// interchanged, so the survivor set is bit-identical to the scan
+    /// path's and to [`Self::sweep_map_dyn_scalar`].
     pub fn sweep_map_dyn(&self, bounds: &MinMaxNormalizer, q: &[f64], theta: f64) -> Vec<usize> {
+        self.map_lanes.sweep(&bounds.prepare(q), theta, None)
+    }
+
+    /// Stage-1 sweep over the reduce-side dynamic features; map-only rows
+    /// never survive.
+    pub fn sweep_red_dyn(&self, bounds: &MinMaxNormalizer, q: &[f64], theta: f64) -> Vec<usize> {
+        self.red_lanes
+            .sweep(&bounds.prepare(q), theta, Some(&self.has_reduce))
+    }
+
+    /// The pre-vectorization map-side sweep: one scalar
+    /// [`MinMaxNormalizer::distance`] call per row-major row. Kept as the
+    /// reference implementation the property suite and `perf_report`
+    /// compare the lane-blocked sweep against.
+    pub fn sweep_map_dyn_scalar(
+        &self,
+        bounds: &MinMaxNormalizer,
+        q: &[f64],
+        theta: f64,
+    ) -> Vec<usize> {
         self.map_dyn
             .chunks_exact(MAP_DYNAMIC_COLUMNS.len())
             .enumerate()
@@ -667,9 +813,13 @@ impl ColumnarIndex {
             .collect()
     }
 
-    /// Stage-1 sweep over the reduce-side dynamic features; map-only rows
-    /// never survive.
-    pub fn sweep_red_dyn(&self, bounds: &MinMaxNormalizer, q: &[f64], theta: f64) -> Vec<usize> {
+    /// Scalar reference for [`Self::sweep_red_dyn`].
+    pub fn sweep_red_dyn_scalar(
+        &self,
+        bounds: &MinMaxNormalizer,
+        q: &[f64],
+        theta: f64,
+    ) -> Vec<usize> {
         self.red_dyn
             .chunks_exact(RED_DYNAMIC_COLUMNS.len())
             .enumerate()

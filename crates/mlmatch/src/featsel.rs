@@ -100,6 +100,64 @@ impl MinMaxNormalizer {
         }
         acc.sqrt()
     }
+
+    /// Hoist everything in [`Self::distance`] that depends only on the
+    /// bounds and the *query* vector out of the per-row loop: the branch
+    /// between the scaled and degenerate regimes, and the query's clamped
+    /// normalization on scaled dimensions. Sweeping one query against many
+    /// rows then costs one [`DimPrep::delta`] per dimension per row, with
+    /// exactly the same floating-point operations in the same order as
+    /// `distance` — the prepared path is bit-identical, not merely close.
+    pub fn prepare(&self, q: &[f64]) -> Vec<DimPrep> {
+        q.iter()
+            .zip(self.mins.iter().zip(&self.maxs))
+            .map(|(x, (min, max))| {
+                let range = max - min;
+                let span_floor = Self::RELATIVE_SPAN_EPSILON * min.abs().max(max.abs());
+                if range > span_floor {
+                    DimPrep::Scaled {
+                        min: *min,
+                        range,
+                        nx: ((x - min) / range).clamp(0.0, 1.0),
+                    }
+                } else {
+                    DimPrep::Degenerate { x: *x }
+                }
+            })
+            .collect()
+    }
+}
+
+/// One dimension of a prepared query (see [`MinMaxNormalizer::prepare`]):
+/// the per-dimension regime of [`MinMaxNormalizer::distance`], resolved
+/// once per sweep instead of once per row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DimPrep {
+    /// A normalizable dimension: the query's clamped normalized value is
+    /// precomputed; rows pay one subtract, divide, clamp, subtract.
+    Scaled { min: f64, range: f64, nx: f64 },
+    /// A degenerate span: relative-tolerance equality against the raw
+    /// query value.
+    Degenerate { x: f64 },
+}
+
+impl DimPrep {
+    /// The signed per-dimension difference `distance` would accumulate for
+    /// a stored value `y` on this dimension (callers square and sum).
+    #[inline(always)]
+    pub fn delta(&self, y: f64) -> f64 {
+        match *self {
+            DimPrep::Scaled { min, range, nx } => nx - ((y - min) / range).clamp(0.0, 1.0),
+            DimPrep::Degenerate { x } => {
+                let scale = x.abs().max(y.abs()).max(1e-12);
+                if (x - y).abs() / scale <= MinMaxNormalizer::DEGENERATE_TOLERANCE {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
 }
 
 /// All numeric features a Starfish *map* profile exposes, in a fixed
@@ -348,6 +406,42 @@ mod tests {
         let n = MinMaxNormalizer::fit(&[vec![5.0, 0.0], vec![5.0, 1.0]]);
         assert_eq!(n.distance(&[5.0, 0.0], &[5.0, 0.0]), 0.0);
         assert_eq!(n.distance(&[5.0, 0.0], &[5.0, 1.0]), 1.0);
+    }
+
+    /// The prepared sweep path must reproduce `distance` to the bit, on
+    /// both regimes (scaled, degenerate) and on awkward values (negative,
+    /// tiny, clamped out-of-range), because the columnar sweep's survivor
+    /// sets are asserted *equal* to the scan oracle's, not merely close.
+    #[test]
+    fn prepared_deltas_are_bit_identical_to_distance() {
+        // Dim 0: normal spread. Dim 1: zero spread (degenerate). Dim 2:
+        // sub-percent spread relative to magnitude (degenerate by the
+        // span-floor rule). Dim 3: negative range of values.
+        let n =
+            MinMaxNormalizer::fit(&[vec![0.0, 5.0, 1000.0, -8.0], vec![4.0, 5.0, 1000.5, -2.0]]);
+        let mut lcg: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((lcg >> 11) as f64 / (1u64 << 53) as f64) * 30.0 - 15.0
+        };
+        for _ in 0..200 {
+            let q = vec![next(), next(), next() + 1000.0, next()];
+            let row = vec![next(), next(), next() + 1000.0, next()];
+            let prep = n.prepare(&q);
+            let mut acc = 0.0;
+            for (p, y) in prep.iter().zip(&row) {
+                let d = p.delta(*y);
+                acc += d * d;
+            }
+            let direct = n.distance(&q, &row);
+            assert_eq!(
+                acc.sqrt().to_bits(),
+                direct.to_bits(),
+                "q={q:?} row={row:?}"
+            );
+        }
     }
 
     fn sample(numeric: Vec<f64>, categorical: Vec<&str>, class: usize) -> FeatureSample {

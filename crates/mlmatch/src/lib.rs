@@ -18,7 +18,7 @@ pub mod tree;
 
 pub use distance::{build_training_set, DistanceContext, DistanceVector, GbrtMatcher, StoredJob};
 pub use featsel::{
-    map_numeric_features, reduce_numeric_features, select_by_info_gain, FeatureSample,
+    map_numeric_features, reduce_numeric_features, select_by_info_gain, DimPrep, FeatureSample,
     MinMaxNormalizer, NnMatcher, SelectedFeature,
 };
 pub use gbrt::{GbrtModel, GbrtParams, Loss};

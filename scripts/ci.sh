@@ -29,9 +29,17 @@ cargo test -q -p pstorm-tests --test trace_snapshot
 
 # Budget regression gate: hard thresholds over the golden trace's
 # counters — CBO what-if/memo accounting and ceiling, the matcher's
-# per-stage survivor funnel, and per-region read-amplification sums.
+# per-stage survivor funnel, per-region read-amplification sums, and
+# the block-cache hit-rate / flush-compaction accounting ceilings.
 # Regenerating the snapshot does NOT loosen these; see budget_gate.rs.
-echo "==> budget gate (search budget + matcher funnel envelopes)"
+echo "==> budget gate (search budget + matcher funnel + cache/flush envelopes)"
 cargo test -q -p pstorm-tests --test budget_gate
+
+# Block-cache oracle: lazy segment-backed reads through the bounded
+# cache must be bit-identical to full materialization at every budget
+# (including 0 bytes), and a crash injected into the background flusher
+# mid-segment-write must lose nothing.
+echo "==> block cache property tests (cached reads vs materialized oracle)"
+cargo test -q -p pstorm-tests --test property_block_cache
 
 echo "CI OK"

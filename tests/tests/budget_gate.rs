@@ -96,6 +96,108 @@ fn matcher_stage_survivor_funnel_holds() {
     );
 }
 
+/// Block cache and flush/compaction accounting ceilings (PR 6). The
+/// golden trace is in-memory, so this gate drives its own deterministic
+/// durable workload and asserts the three envelopes the hot-path work
+/// bought:
+///
+/// 1. **Compaction**: after a one-row touch, a flush rewrites exactly one
+///    segment and reuses every other one by reference.
+/// 2. **Reopen read amplification**: a clean reopen reads zero segment
+///    block bodies.
+/// 3. **Cache hit rate**: with an ample budget, a warm re-scan is served
+///    entirely from cache — not one additional block fetch.
+#[test]
+fn block_cache_and_compaction_budgets_hold() {
+    use cfstore::{CrashSpec, MiniStore, Put, Scan, StoreError, SyncPolicy};
+
+    let dir = std::env::temp_dir().join(format!("pstorm-budget-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Session 1: 96 rows over a small split threshold (so several
+    // regions and several segments exist), flushed twice.
+    let obs = obs::Registry::new();
+    {
+        let (mut store, _) =
+            MiniStore::open_with(&dir, SyncPolicy::EveryOp, CrashSpec::default()).unwrap();
+        store.set_obs(obs.clone());
+        match store.create_table_with_threshold("t", &["f"], 8) {
+            Ok(()) | Err(StoreError::TableExists(_)) => {}
+            Err(e) => panic!("create_table: {e}"),
+        }
+        for i in 0..96u32 {
+            store
+                .put(
+                    "t",
+                    Put::new(format!("row-{i:04}"), "f", "c", i.to_be_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+        store.flush().unwrap();
+        let c = obs.snapshot().counters;
+        let first_written = *c.get("cfstore.flush.segments_written").unwrap();
+        assert!(
+            first_written >= 4,
+            "split threshold 8 over 96 rows must yield several segments, got {first_written}"
+        );
+        assert_eq!(
+            c.get("cfstore.flush.segments_reused").copied().unwrap_or(0),
+            0
+        );
+
+        // Touch one existing row, flush again: the compaction ceiling.
+        store
+            .put("t", Put::new("row-0000", "f", "c", vec![0xFF]))
+            .unwrap();
+        store.flush().unwrap();
+        let c = obs.snapshot().counters;
+        assert_eq!(
+            *c.get("cfstore.flush.segments_written").unwrap() - first_written,
+            1,
+            "a one-row touch must rewrite exactly one segment"
+        );
+        assert_eq!(
+            *c.get("cfstore.flush.segments_reused").unwrap(),
+            first_written - 1,
+            "every untouched segment must be reused by reference"
+        );
+    }
+
+    // Session 2: reopen lazily and measure the read path.
+    let (mut store, report) =
+        MiniStore::open_with(&dir, SyncPolicy::EveryOp, CrashSpec::default()).unwrap();
+    assert_eq!(
+        report.segment_blocks_read, 0,
+        "clean reopen must not read segment block bodies"
+    );
+    assert!(report.segment_blocks >= 4);
+    let obs = obs::Registry::new();
+    store.set_obs(obs.clone());
+
+    let cold = store.scan("t", &Scan::all()).unwrap().0;
+    assert_eq!(cold.len(), 96);
+    let c = obs.snapshot().counters;
+    let cold_misses = *c.get("cfstore.block_cache.misses").unwrap();
+    assert!(
+        cold_misses >= report.segment_blocks,
+        "cold scan must fetch every block ({cold_misses} < {})",
+        report.segment_blocks
+    );
+
+    let warm = store.scan("t", &Scan::all()).unwrap().0;
+    assert_eq!(warm, cold);
+    let c = obs.snapshot().counters;
+    assert_eq!(
+        *c.get("cfstore.block_cache.misses").unwrap(),
+        cold_misses,
+        "warm scan must not fetch a single additional block"
+    );
+    assert!(*c.get("cfstore.block_cache.hits").unwrap() >= cold_misses);
+
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Per-region read amplification (PR 4): the per-region counters must be
 /// present in enabled traces and must sum to the store-wide totals.
 #[test]

@@ -121,7 +121,9 @@ proptest! {
 
     #[test]
     fn columnar_sweep_matches_scan_survivors(
-        perturbs in prop::collection::vec(arb_perturb(), 1..12),
+        // 1..20 crosses the SWEEP_LANES=8 chunk boundary twice, so the
+        // sweep's full-lane fast path and remainder masking both run.
+        perturbs in prop::collection::vec(arb_perturb(), 1..20),
         mq in (0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0),
         rq in (0.0f64..3.0, 0.0f64..3.0),
         theta in 0.0f64..2.0,

@@ -177,8 +177,11 @@ fn thousand_seed_daemon_sweep_under_faults_and_crashes() {
             .expect("rearm reopen");
             daemon.store = store;
         }
-        // Crash dimension 2: every 200 seeds, kill the store mid-flush
-        // (segment 0 is always written, so this one fires immediately).
+        // Crash dimension 2: every 200 seeds, kill the store mid-flush.
+        // Compacting flushes skip clean regions, so dirty one first with
+        // a sentinel row (outside every profile key prefix) — then the
+        // flush must write at least one segment and the armed crash
+        // point fires on segment 0.
         if seed % 200 == 131 {
             let (store, _) = ProfileStore::reopen_with(
                 &dir,
@@ -190,6 +193,11 @@ fn thousand_seed_daemon_sweep_under_faults_and_crashes() {
             )
             .expect("rearm reopen");
             daemon.store = store;
+            daemon
+                .store
+                .inner()
+                .put("Jobs", cfstore::Put::new("chaos/dirty", "f", "c", "x"))
+                .expect("sentinel write");
             match daemon.store.flush() {
                 Err(pstorm::ProfileStoreError::Store(cfstore::StoreError::Crashed)) => {}
                 other => panic!("mid-flush crash should fire, got {other:?}"),
