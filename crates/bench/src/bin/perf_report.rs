@@ -361,6 +361,97 @@ fn bench_store(entries: &mut Vec<Entry>, seeds: &[(StaticFeatures, JobProfile)])
     read_amp
 }
 
+/// Sharded-store robustness costs (PR 7): what replication charges the
+/// read path (replicated gets, R-way scan amplification) and what a
+/// whole-shard rebuild costs, measured one-shot on a lost-and-rebuilt
+/// shard. Returns `(rows_scanned, rows_returned, healed_rows,
+/// rebuild_ns)` — the scan pair is the R× read-amplification proof, the
+/// heal pair sizes the repair path via the `cfstore.shard.<id>.heal.*`
+/// counters' own bookkeeping.
+fn bench_sharded(entries: &mut Vec<Entry>) -> (u64, u64, u64, u128) {
+    use cfstore::{ShardedMeta, ShardedStore};
+
+    let dir = std::env::temp_dir().join(format!("pstorm-perf-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    const ROWS: usize = 512;
+    let (store, _) = ShardedStore::open(&dir).unwrap();
+    store.create_table_with_threshold("t", &["f"], 64).unwrap();
+    for i in 0..ROWS {
+        store
+            .put(
+                "t",
+                Put::new(format!("row-{i:05}"), "f", "c", vec![7u8; 128]),
+            )
+            .unwrap();
+    }
+    store.flush().unwrap();
+    let ShardedMeta { replication, .. } = store.meta();
+
+    // Replicated point reads: served by the primary, failover armed.
+    let mut k = 0usize;
+    let samples = sample_ns(
+        || {
+            let key = format!("row-{:05}", k % ROWS);
+            k += 1;
+            std::hint::black_box(store.get("t", key.as_bytes()).unwrap());
+        },
+        200,
+        200_000,
+    );
+    let p50 = percentile(&samples, 0.50);
+    entries.push(Entry {
+        op: "shard_get",
+        variant: "replicated",
+        store_size: ROWS,
+        p50_ns: p50,
+        p95_ns: percentile(&samples, 0.95),
+        candidates_per_sec: Some(1e9 / p50 as f64),
+    });
+
+    // Merged scans: every replica of every row is visited (the read
+    // amplification of redundancy — R rows scanned per merged row).
+    let (rows, metrics) = store.scan("t", &Scan::all()).unwrap();
+    assert_eq!(rows.len(), ROWS);
+    assert_eq!(metrics.rows_scanned, replication as u64 * ROWS as u64);
+    let samples = sample_ns(
+        || {
+            std::hint::black_box(store.scan("t", &Scan::all()).unwrap());
+        },
+        20,
+        20_000,
+    );
+    let p50 = percentile(&samples, 0.50);
+    entries.push(Entry {
+        op: "shard_scan",
+        variant: "replicated",
+        store_size: ROWS,
+        p50_ns: p50,
+        p95_ns: percentile(&samples, 0.95),
+        candidates_per_sec: Some(ROWS as f64 / (p50 as f64 * 1e-9)),
+    });
+
+    // One-shot: lose a whole shard, time the rebuilding reopen.
+    let victim_dir = store.shard_dir(1);
+    drop(store);
+    std::fs::remove_dir_all(&victim_dir).unwrap();
+    let t = Instant::now();
+    let (store, report) = ShardedStore::open(&dir).unwrap();
+    let rebuild_ns = t.elapsed().as_nanos();
+    assert_eq!(report.lost_shards, vec![1]);
+    let healed = report.healed_rows;
+    entries.push(Entry {
+        op: "shard_rebuild",
+        variant: "whole_shard_loss",
+        store_size: ROWS,
+        p50_ns: rebuild_ns,
+        p95_ns: rebuild_ns,
+        candidates_per_sec: Some(healed as f64 / (rebuild_ns as f64 * 1e-9)),
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    (metrics.rows_scanned, ROWS as u64, healed, rebuild_ns)
+}
+
 fn bench_cbo(entries: &mut Vec<Entry>) {
     let text = corpus::random_text_1g();
     let spec = jobs::word_count();
@@ -487,6 +578,9 @@ fn main() {
     bench_matcher(&mut entries, &seeds);
     eprintln!("benchmarking durable store...");
     let (reopen_blocks, reopen_blocks_read) = bench_store(&mut entries, &seeds);
+    eprintln!("benchmarking sharded store...");
+    let (shard_scanned, shard_returned, shard_healed, shard_rebuild_ns) =
+        bench_sharded(&mut entries);
     eprintln!("benchmarking CBO...");
     bench_cbo(&mut entries);
 
@@ -507,6 +601,7 @@ fn main() {
         .and_then(|e| e.candidates_per_sec)
         .unwrap();
     let cbo_speedup = current_cps / legacy_cps;
+    let shard_rebuild_ms = shard_rebuild_ns as f64 * 1e-6;
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -523,7 +618,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"summary\": {{\n    \"matcher_stage1_speedup_at_1000\": {stage1_speedup:.1},\n    \"matcher_stage1_columnar_p50_at_1000_ns\": {stage1_p50:.0},\n    \"sweep_lane_vs_scalar_speedup_at_1000\": {lane_speedup:.1},\n    \"reopen_segment_blocks_indexed\": {reopen_blocks},\n    \"reopen_segment_blocks_read\": {reopen_blocks_read},\n    \"put_p95_inline_over_background\": {put_tail_ratio:.1},\n    \"cbo_search_candidates_per_sec_speedup\": {cbo_speedup:.1},\n    \"cbo_search_legacy_candidates_per_sec\": {legacy_cps:.1},\n    \"cbo_search_current_candidates_per_sec\": {current_cps:.1}\n  }}\n}}\n"
+        "  ],\n  \"summary\": {{\n    \"matcher_stage1_speedup_at_1000\": {stage1_speedup:.1},\n    \"matcher_stage1_columnar_p50_at_1000_ns\": {stage1_p50:.0},\n    \"sweep_lane_vs_scalar_speedup_at_1000\": {lane_speedup:.1},\n    \"reopen_segment_blocks_indexed\": {reopen_blocks},\n    \"reopen_segment_blocks_read\": {reopen_blocks_read},\n    \"put_p95_inline_over_background\": {put_tail_ratio:.1},\n    \"shard_scan_rows_scanned\": {shard_scanned},\n    \"shard_scan_rows_returned\": {shard_returned},\n    \"shard_rebuild_healed_rows\": {shard_healed},\n    \"shard_rebuild_ms\": {shard_rebuild_ms:.1},\n    \"cbo_search_candidates_per_sec_speedup\": {cbo_speedup:.1},\n    \"cbo_search_legacy_candidates_per_sec\": {legacy_cps:.1},\n    \"cbo_search_current_candidates_per_sec\": {current_cps:.1}\n  }}\n}}\n"
     );
 
     let path = concat!(
@@ -537,5 +632,9 @@ fn main() {
     println!("stage-1 lane-vectorized vs scalar sweep: {lane_speedup:.1}x");
     println!("lazy reopen read {reopen_blocks_read} of {reopen_blocks} segment blocks");
     println!("put p95 inline-flush / background-flush: {put_tail_ratio:.1}x");
+    println!(
+        "sharded scan read amplification: {shard_scanned} scanned for {shard_returned} returned"
+    );
+    println!("whole-shard rebuild: {shard_healed} rows healed in {shard_rebuild_ms:.1} ms");
     println!("CBO search throughput speedup: {cbo_speedup:.1}x");
 }

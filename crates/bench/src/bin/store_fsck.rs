@@ -1,29 +1,55 @@
 //! `store_fsck` — scrub a durable cfstore directory and print what a
-//! recovery would find (DESIGN.md §11).
+//! recovery would find (DESIGN.md §11, §13).
 //!
 //! ```text
 //! store_fsck <dir>            # read-only scrub: manifest, segments, WAL
 //! store_fsck <dir> --repair   # additionally run real recovery, which
-//!                             # truncates any torn WAL tail in place
+//!                             # truncates torn WAL tails in place (and,
+//!                             # for sharded stores, rebuilds lost shards
+//!                             # and aborts uncommitted batches)
 //! ```
 //!
 //! The scrub never mutates the directory: segments are checksum-verified
-//! block by block, the WAL is scanned up to its first torn/corrupt frame,
-//! and the resulting [`RecoveryReport`] is rendered exactly as the daemon
-//! logs it on startup. Exit status is non-zero when the directory cannot
-//! be recovered at all (corrupt manifest or a corrupt *referenced*
-//! segment — torn WAL tails and orphan segments are expected crash
-//! artifacts, not errors).
+//! block by block *and* cell by cell, the WAL is scanned up to its first
+//! torn/corrupt frame, and the resulting report is rendered exactly as
+//! the daemon logs it on startup. A directory whose root holds a
+//! `SHARDS` catalog is scrubbed shard by shard and the per-shard reports
+//! aggregated.
+//!
+//! Exit status:
+//!
+//! * `0` — clean: nothing a `--repair` run would change.
+//! * `1` — unrecoverable: corrupt manifest or corrupt referenced
+//!   segment in a single store (in a sharded store those make the shard
+//!   *lost*, which `--repair` heals from its replicas).
+//! * `2` — usage error.
+//! * `3` — corruption detected and `--repair` not given: torn WAL
+//!   tail, cell checksum mismatch, lost shard. The directory still
+//!   recovers — rerun with `--repair` to make it so on disk.
+//!
+//! Orphan segments (partial flushes a crash left behind) are expected
+//! crash artifacts, reported but never an error.
 
 use cfstore::recovery::{read_manifest, RecoveryReport};
+use cfstore::segment::verify_segment_deep;
+use cfstore::shard::{read_shards_file, SHARDS_FILE};
 use cfstore::wal::{read_wal, WAL_FILE};
-use cfstore::{BlockCache, MiniStore, SegmentReader};
+use cfstore::{BlockCache, MiniStore, SegmentReader, ShardedStore};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
+/// What one directory scrub concluded.
+struct Scrub {
+    report: RecoveryReport,
+    /// Anything a `--repair` run would change or heal: torn WAL tail,
+    /// cell-level checksum mismatch, lost shard.
+    corruption: Vec<String>,
+}
+
+fn scrub(dir: &Path, label: &str) -> Result<Scrub, String> {
     let mut report = RecoveryReport::default();
+    let mut corruption = Vec::new();
 
     // 1. The manifest: which segments and flush mark do we trust?
     let manifest = match read_manifest(dir) {
@@ -33,7 +59,7 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
     let (flushed_lsn, trusted): (u64, Vec<String>) = match &manifest {
         Some(m) => {
             println!(
-                "manifest            : generation {}, flushed_lsn {}, {} table(s), {} segment(s)",
+                "{label}manifest            : generation {}, flushed_lsn {}, {} table(s), {} segment(s)",
                 m.generation,
                 m.flushed_lsn,
                 m.tables.len(),
@@ -42,7 +68,7 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
             (m.flushed_lsn, m.segments.clone())
         }
         None => {
-            println!("manifest            : none (store never flushed)");
+            println!("{label}manifest            : none (store never flushed)");
             (0, Vec::new())
         }
     };
@@ -51,7 +77,9 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
     // through the exact production read path: open lazily (header +
     // trailer CRC only), then fetch every block body via the bounded
     // block cache — cold pass fills and CRC-verifies each block, warm
-    // pass must be served entirely from cache.
+    // pass must be served entirely from cache. A deep pass then checks
+    // every retained cell version against its write-time CRC, catching
+    // corruption introduced *before* the block frame was written.
     let cache = Arc::new(BlockCache::new(8 << 20));
     let obs = obs::Registry::new();
     cache.set_obs(obs.clone());
@@ -76,8 +104,15 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
                 ));
             }
         }
+        let deep = match verify_segment_deep(&dir.join(name)) {
+            Ok(_) => "cells ok",
+            Err(e) => {
+                corruption.push(format!("segment {name}: {e}"));
+                "CELL CORRUPTION"
+            }
+        };
         println!(
-            "segment {name}: ok — table {}, region {}, {} row(s), {} block(s)",
+            "{label}segment {name}: {deep} — table {}, region {}, {} row(s), {} block(s)",
             meta.table,
             meta.region_id,
             meta.row_count,
@@ -92,7 +127,7 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
         let counters = obs.snapshot().counters;
         let get = |k: &str| counters.get(k).copied().unwrap_or(0);
         println!(
-            "block cache         : {} miss(es) cold, {} hit(s) warm, {} fill byte(s), {} eviction(s)",
+            "{label}block cache         : {} miss(es) cold, {} hit(s) warm, {} fill byte(s), {} eviction(s)",
             get("cfstore.block_cache.misses"),
             get("cfstore.block_cache.hits"),
             get("cfstore.block_cache.fill_bytes"),
@@ -117,6 +152,12 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
     report.wal_bytes_valid = scan.valid_bytes;
     report.wal_bytes_dropped = scan.total_bytes - scan.valid_bytes;
     report.truncation = scan.truncation;
+    if let Some(t) = &report.truncation {
+        corruption.push(format!(
+            "wal: torn tail ({t}; {} byte(s) to truncate)",
+            report.wal_bytes_dropped
+        ));
+    }
     for frame in &scan.frames {
         if frame.lsn <= flushed_lsn {
             report.frames_skipped += 1;
@@ -126,7 +167,105 @@ fn scrub(dir: &Path) -> Result<RecoveryReport, String> {
         }
     }
 
-    Ok(report)
+    Ok(Scrub { report, corruption })
+}
+
+/// Scrub a single-store directory; with `--repair`, run real recovery.
+fn run_single(dir: &Path, repair: bool) -> ExitCode {
+    let scrubbed = match scrub(dir, "") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("store_fsck: unrecoverable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", scrubbed.report.render_text());
+
+    if repair {
+        // Real recovery: replays the WAL and truncates the torn tail.
+        match MiniStore::open(dir) {
+            Ok((store, rep)) => {
+                println!("--- repair (recovery) ---");
+                print!("{}", rep.render_text());
+                for entry in store.meta_entries() {
+                    println!("{entry:?}");
+                }
+            }
+            Err(e) => {
+                eprintln!("store_fsck: recovery failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    verdict(&scrubbed.corruption)
+}
+
+/// Scrub a sharded store directory shard by shard; with `--repair`, run
+/// shard-aware recovery (rebuilds lost shards, aborts uncommitted
+/// cross-shard batches).
+fn run_sharded(dir: &Path, shards: u32, replication: u32, repair: bool) -> ExitCode {
+    println!("sharded store       : {shards} shard(s), replication {replication}");
+    let mut corruption: Vec<String> = Vec::new();
+    let mut total = RecoveryReport::default();
+    for g in 0..shards {
+        let shard_dir = dir.join(format!("shard-{g:03}"));
+        println!("-- shard {g} ({}) --", shard_dir.display());
+        if !shard_dir.is_dir() {
+            corruption.push(format!("shard {g}: directory missing (lost shard)"));
+            println!("  LOST: directory missing");
+            continue;
+        }
+        match scrub(&shard_dir, "  ") {
+            Ok(s) => {
+                total.merge(&s.report);
+                corruption.extend(s.corruption.into_iter().map(|c| format!("shard {g}: {c}")));
+            }
+            // Unrecoverable for a single store = lost for a shard: the
+            // replicas can rebuild it.
+            Err(e) => {
+                corruption.push(format!("shard {g}: {e} (lost shard)"));
+                println!("  LOST: {e}");
+            }
+        }
+    }
+    println!("---- aggregate across shards ----");
+    print!("{}", total.render_text());
+
+    if repair {
+        match ShardedStore::open(dir) {
+            Ok((store, rep)) => {
+                println!("--- repair (shard-aware recovery) ---");
+                print!("{}", rep.render_text());
+                let meta = store.meta();
+                for (shard, entry) in &meta.regions {
+                    println!("shard {shard}: {entry:?}");
+                }
+            }
+            Err(e) => {
+                eprintln!("store_fsck: sharded recovery failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    verdict(&corruption)
+}
+
+fn verdict(corruption: &[String]) -> ExitCode {
+    if corruption.is_empty() {
+        println!("verdict             : clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "verdict             : {} corruption finding(s); rerun with --repair",
+            corruption.len()
+        );
+        for c in corruption {
+            eprintln!("store_fsck: corruption: {c}");
+        }
+        ExitCode::from(3)
+    }
 }
 
 fn main() -> ExitCode {
@@ -146,30 +285,12 @@ fn main() -> ExitCode {
     }
 
     println!("scrubbing {}", dir.display());
-    let report = match scrub(dir) {
-        Ok(r) => r,
+    match read_shards_file(dir) {
+        Ok(Some((shards, replication))) => run_sharded(dir, shards, replication, repair),
+        Ok(None) => run_single(dir, repair),
         Err(e) => {
-            eprintln!("store_fsck: unrecoverable: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    print!("{}", report.render_text());
-
-    if repair {
-        // Real recovery: replays the WAL and truncates the torn tail.
-        match MiniStore::open(dir) {
-            Ok((store, rep)) => {
-                println!("--- repair (recovery) ---");
-                print!("{}", rep.render_text());
-                for entry in store.meta_entries() {
-                    println!("{entry:?}");
-                }
-            }
-            Err(e) => {
-                eprintln!("store_fsck: recovery failed: {e}");
-                return ExitCode::FAILURE;
-            }
+            eprintln!("store_fsck: {SHARDS_FILE} catalog: {e}");
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

@@ -6,6 +6,9 @@
 //! matches the stored profile and runs CBO-tuned, so the output shows the
 //! whole instrumented surface: sampling, matcher stages, CBO rounds,
 //! simulated phase spans, store counters, and task-duration histograms.
+//! A fixed sharded-store episode (corrupt-and-heal one replica, lose and
+//! rebuild one shard) then adds the per-shard `cfstore.shard.<id>.heal.*`
+//! counters (DESIGN.md §13).
 //!
 //! All timestamps are *virtual* (the simulator's clock), so this output is
 //! byte-identical on every machine; `tests/tests/trace_snapshot.rs` pins
@@ -13,9 +16,42 @@
 //!
 //! Usage: `cargo run --release -p pstorm-bench --bin trace_report [--json]`
 
+use cfstore::{Put, ShardOptions, ShardedStore};
 use datagen::corpus;
 use mrjobs::jobs;
 use pstorm::PStorM;
+
+/// The same deterministic sharded episode `trace_snapshot.rs` pins: a
+/// replicated table, one corrupt-and-healed cell, one lost-and-rebuilt
+/// shard — all counts pure functions of the fixed keys and the placement
+/// hash.
+fn sharded_exercise(reg: &obs::Registry) {
+    let dir = std::env::temp_dir().join(format!("pstorm-trace-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let victim_dir = {
+        let (store, _) =
+            ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+        store.create_table_with_threshold("t", &["f"], 8).unwrap();
+        for i in 0..24u32 {
+            store
+                .put(
+                    "t",
+                    Put::new(format!("row-{i:04}"), "f", "c", i.to_be_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+        assert!(store.corrupt_cell("t", b"row-0007", "f", b"c").unwrap());
+        store.get("t", b"row-0007").unwrap().expect("healed read");
+        store.flush().unwrap();
+        store.shard_dir((store.primary_shard(b"row-0007") + 1) % store.shard_count())
+    };
+    std::fs::remove_dir_all(&victim_dir).unwrap();
+    let (store, report) =
+        ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+    assert_eq!(report.lost_shards.len(), 1, "the lost shard must rebuild");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
@@ -31,6 +67,7 @@ fn main() {
             .submit(&spec, &ds, seed)
             .expect("fault-free cluster must serve the submission");
     }
+    sharded_exercise(&reg);
 
     let snap = reg.snapshot();
     if json {

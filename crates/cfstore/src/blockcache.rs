@@ -108,6 +108,25 @@ impl BlockCache {
         }
     }
 
+    /// Drop every cached block of one reader. Called when a heal
+    /// replaces a corrupt segment: the reader id is process-unique and
+    /// never reused, so without this its admitted blocks would pin cache
+    /// budget until evicted by pressure.
+    pub fn evict_reader(&self, reader_id: u64) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<Key> = inner
+            .map
+            .keys()
+            .filter(|(rid, _)| *rid == reader_id)
+            .copied()
+            .collect();
+        for key in victims {
+            let entry = inner.map.remove(&key).expect("key just listed");
+            inner.order.remove(&entry.tick);
+            inner.used -= entry.bytes;
+        }
+    }
+
     /// Serve block `idx` of `reader`, from cache or by a CRC-verified
     /// fill. The cache lock is held across the fill, so concurrent
     /// readers of the same block never duplicate the I/O.

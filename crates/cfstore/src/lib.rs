@@ -26,6 +26,8 @@
 //!   `SingleColumnValueFilter`, arbitrary predicates, conjunctions).
 //! * [`region`] — sorted row partitions with scan metrics and splits.
 //! * [`store`] — tables, META, the client API, durable mode.
+//! * [`shard`] — N replicated store shards behind one API: commit rule,
+//!   read-path healing, whole-shard rebuild (DESIGN.md §13).
 //! * [`wal`] — the length+CRC-framed write-ahead log and crash injection.
 //! * [`segment`] — immutable sorted segment files with block checksums.
 //! * [`blockcache`] — the bounded deterministic LRU over segment blocks.
@@ -39,6 +41,7 @@ pub mod kv;
 pub mod recovery;
 pub mod region;
 pub mod segment;
+pub mod shard;
 pub mod store;
 pub mod wal;
 
@@ -50,5 +53,6 @@ pub use kv::{CellVersion, Put, RowResult};
 pub use recovery::{Manifest, RecoveryError, RecoveryReport};
 pub use region::{KeyRange, Region, RowData, ScanMetrics};
 pub use segment::{SegmentError, SegmentReader};
+pub use shard::{ShardOptions, ShardedMeta, ShardedRecoveryReport, ShardedStore};
 pub use store::{MetaEntry, MiniStore, Scan, StoreError, StoreOptions};
 pub use wal::{CrashSpec, SyncPolicy, WalTruncation};

@@ -322,6 +322,28 @@ pub struct RecoveryReport {
 }
 
 impl RecoveryReport {
+    /// Fold another shard's report into this one: numeric fields sum,
+    /// the first truncation seen wins (per-shard detail stays in the
+    /// per-shard reports), orphan lists concatenate. The sharded reopen
+    /// path aggregates every shard's recovery through this instead of
+    /// reporting whichever shard recovered last.
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.segments_loaded += other.segments_loaded;
+        self.segment_rows += other.segment_rows;
+        self.segment_blocks += other.segment_blocks;
+        self.segment_blocks_read += other.segment_blocks_read;
+        self.frames_replayed += other.frames_replayed;
+        self.records_replayed += other.records_replayed;
+        self.frames_skipped += other.frames_skipped;
+        self.wal_bytes_valid += other.wal_bytes_valid;
+        self.wal_bytes_dropped += other.wal_bytes_dropped;
+        if self.truncation.is_none() {
+            self.truncation = other.truncation.clone();
+        }
+        self.orphan_segments
+            .extend(other.orphan_segments.iter().cloned());
+    }
+
     /// Human-readable one-screen summary (used by `store_fsck`).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -616,6 +638,11 @@ fn apply_record(
             t.regions.push(upper);
             Ok(())
         }
+        // Commit markers are bookkeeping for the sharded pre-pass (which
+        // runs *before* per-shard recovery and truncates uncommitted
+        // batches); by the time a frame replays here its batch is known
+        // committed, so the marker itself applies nothing.
+        WalRecord::BatchMarker { .. } => Ok(()),
     }
 }
 

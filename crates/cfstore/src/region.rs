@@ -189,6 +189,15 @@ impl Region {
         Ok(())
     }
 
+    /// Force promotion ahead of a write. The sharded batch path calls
+    /// this *before* appending the batch to any WAL, so a segment-CRC
+    /// failure surfaces (and can be healed from a replica) while the
+    /// batch can still be cleanly rejected — once the frame is logged on
+    /// one shard, the in-memory apply must not be able to fail.
+    pub(crate) fn prepare_for_write(&self) -> Result<(), StoreError> {
+        self.ensure_materialized()
+    }
+
     /// This region's current row-key range.
     pub fn range(&self) -> KeyRange {
         self.range.read().clone()
@@ -430,6 +439,26 @@ impl Region {
     pub fn export_rows(&self) -> Result<BTreeMap<Bytes, RowData>, StoreError> {
         self.ensure_materialized()?;
         Ok(self.rows.read().clone())
+    }
+
+    /// Replace this region's contents wholesale with rows copied from a
+    /// healthy replica, *without reading the current base* — the whole
+    /// point of a heal is that the backing segment failed its CRC, so
+    /// promotion is off the table. Any cached blocks of the dropped
+    /// segment are evicted (the reader id will never be reused, but the
+    /// bytes would pin cache budget forever). The region comes out
+    /// materialized and dirty; the caller flushes to make the repair
+    /// durable and delete the corrupt file.
+    pub(crate) fn install_rows(&self, new_rows: BTreeMap<Bytes, RowData>) {
+        let mut base = self.base.write();
+        if let Some(b) = base.as_ref() {
+            b.cache.evict_reader(b.reader.id());
+        }
+        let mut rows = self.rows.write();
+        *rows = new_rows;
+        *base = None;
+        self.dirty.store(true, Ordering::Release);
+        *self.flushed_as.lock() = None;
     }
 }
 

@@ -39,7 +39,7 @@ use crate::segment::{self, SegmentError};
 use crate::wal::{CrashSpec, SyncPolicy, WalError, WalRecord, WalWriter, WAL_FILE};
 
 /// Rows per region before a split is triggered.
-const DEFAULT_SPLIT_THRESHOLD: usize = 256;
+pub(crate) const DEFAULT_SPLIT_THRESHOLD: usize = 256;
 
 /// Store errors. Kept `Clone + Eq` (I/O failures are carried as rendered
 /// strings) so callers and property tests can compare outcomes; the
@@ -186,6 +186,27 @@ pub struct MetaEntry {
     pub start_key: Bytes,
     pub region_id: u64,
     pub region_server: u32,
+}
+
+/// One logical operation inside a cross-shard batch, before the owning
+/// shard lowers it to [`WalRecord`]s (allocating region ids locally; cell
+/// timestamps were already stamped by the sharded store's global clock).
+#[derive(Debug, Clone)]
+pub(crate) enum ShardOp {
+    CreateTable {
+        name: String,
+        families: Vec<String>,
+        split_threshold: u64,
+    },
+    Put {
+        table: String,
+        put: Put,
+        timestamp: u64,
+    },
+    DeleteRow {
+        table: String,
+        row: Bytes,
+    },
 }
 
 /// The durable half of a store: the WAL writer plus flush bookkeeping.
@@ -535,6 +556,86 @@ impl MiniStore {
     /// Number of regions backing a table.
     pub fn region_count(&self, table: &str) -> Result<usize, StoreError> {
         self.inner.region_count(table)
+    }
+
+    // ---- sharded-mode support (crate-internal, driven by `shard.rs`) ----
+
+    /// Lower a cross-shard batch to WAL records (marker first) and append
+    /// them as one frame at `lsn_base = gsn * LSN_STRIDE`. Only the log is
+    /// touched — the sharded store appends to *every* participant before
+    /// applying anywhere, so a torn append on a later participant leaves
+    /// no half-applied memory to undo. Returns the lowered records for
+    /// the apply stage.
+    pub(crate) fn append_sharded_frame(
+        &self,
+        lsn_base: u64,
+        gsn: u64,
+        participants: &[u32],
+        ops: &[ShardOp],
+    ) -> Result<Vec<WalRecord>, StoreError> {
+        self.inner
+            .append_sharded_frame(lsn_base, gsn, participants, ops)
+    }
+
+    /// Apply the records of an already-appended sharded frame to memory,
+    /// running the usual split check afterwards (splits are WAL-logged at
+    /// the LSNs following the frame, inside the same gsn stride).
+    pub(crate) fn apply_sharded_records(&self, records: &[WalRecord]) -> Result<(), StoreError> {
+        self.inner.apply_sharded_records(records)
+    }
+
+    /// Materialize every region that owns one of `rows`, surfacing any
+    /// segment corruption *before* a batch is framed.
+    pub(crate) fn prepare_rows(&self, table: &str, rows: &[Bytes]) -> Result<(), StoreError> {
+        self.inner.prepare_rows(table, rows)
+    }
+
+    /// Replace a table's contents wholesale with rows copied from a
+    /// healthy replica (see [`Region::install_rows`]); not WAL-logged —
+    /// the caller makes the repair durable with an immediate flush.
+    /// Returns the number of rows installed.
+    pub(crate) fn heal_table(
+        &self,
+        table: &str,
+        rows: BTreeMap<Bytes, crate::region::RowData>,
+    ) -> Result<u64, StoreError> {
+        self.inner.heal_table(table, rows)
+    }
+
+    /// Export a table's full contents — every row, every retained cell
+    /// version — verifying each version's checksum so a heal never copies
+    /// corruption from its donor.
+    pub(crate) fn export_table_rows(
+        &self,
+        table: &str,
+    ) -> Result<BTreeMap<Bytes, crate::region::RowData>, StoreError> {
+        self.inner.export_table_rows(table)
+    }
+
+    /// `(name, families, split_threshold)` for every table — the schema a
+    /// shard rebuild replays onto a fresh replacement shard.
+    pub(crate) fn table_schemas(&self) -> Vec<(String, Vec<String>, usize)> {
+        self.inner.table_schemas()
+    }
+
+    /// Current logical-clock value (the next timestamp this store would
+    /// assign). The sharded store resumes its global clock from the max
+    /// across shards.
+    pub(crate) fn clock_value(&self) -> u64 {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// WAL growth since the last flush — the sharded flusher's per-shard
+    /// trigger currency.
+    pub(crate) fn wal_bytes_since_flush(&self) -> u64 {
+        self.inner
+            .durable
+            .as_ref()
+            .map(|m| {
+                let d = m.lock();
+                d.wal.bytes_written() - d.wal_bytes_at_reset
+            })
+            .unwrap_or(0)
     }
 }
 
@@ -982,6 +1083,232 @@ impl StoreInner {
 
     fn region_count(&self, table: &str) -> Result<usize, StoreError> {
         Ok(self.table(table)?.regions.read().len())
+    }
+
+    // ---- sharded-mode support ----
+
+    fn append_sharded_frame(
+        &self,
+        lsn_base: u64,
+        gsn: u64,
+        participants: &[u32],
+        ops: &[ShardOp],
+    ) -> Result<Vec<WalRecord>, StoreError> {
+        let mut records = Vec::with_capacity(ops.len() + 1);
+        records.push(WalRecord::BatchMarker {
+            gsn,
+            participants: participants.to_vec(),
+        });
+        for op in ops {
+            records.push(match op {
+                ShardOp::CreateTable {
+                    name,
+                    families,
+                    split_threshold,
+                } => WalRecord::CreateTable {
+                    name: name.clone(),
+                    families: families.clone(),
+                    split_threshold: *split_threshold,
+                    root_region_id: self.next_region_id.fetch_add(1, Ordering::Relaxed),
+                },
+                ShardOp::Put {
+                    table,
+                    put,
+                    timestamp,
+                } => WalRecord::Put {
+                    table: table.clone(),
+                    row: put.row.clone(),
+                    family: put.family.clone(),
+                    column: put.column.clone(),
+                    value: put.value.clone(),
+                    timestamp: *timestamp,
+                },
+                ShardOp::DeleteRow { table, row } => WalRecord::DeleteRow {
+                    table: table.clone(),
+                    row: row.clone(),
+                },
+            });
+        }
+        let mut d = self
+            .durable
+            .as_ref()
+            .expect("sharded shards are always durable")
+            .lock();
+        d.wal.append_at(lsn_base, &records)?;
+        Ok(records)
+    }
+
+    /// Apply an already-logged sharded frame. The batch path promoted
+    /// every target region *before* the frame was appended anywhere
+    /// ([`StoreInner::prepare_rows`]), so nothing here can fail with a
+    /// corruption error; the only fallible part is WAL-logging a split
+    /// this batch triggers, and by then the frame is durable on every
+    /// participant — recovery replays it whole.
+    fn apply_sharded_records(&self, records: &[WalRecord]) -> Result<(), StoreError> {
+        let mut durable = self.durable.as_ref().map(|m| m.lock());
+        let mut touched: Vec<(String, Arc<Table>, Arc<Region>)> = Vec::new();
+        let mut puts = 0u64;
+        for record in records {
+            match record {
+                WalRecord::BatchMarker { .. } => {}
+                WalRecord::CreateTable {
+                    name,
+                    families,
+                    split_threshold,
+                    root_region_id,
+                } => {
+                    let mut tables = self.tables.write();
+                    if tables.contains_key(name) {
+                        return Err(StoreError::TableExists(name.clone()));
+                    }
+                    let region = Arc::new(Region::new(*root_region_id, KeyRange::all()));
+                    tables.insert(
+                        name.clone(),
+                        Arc::new(Table {
+                            families: families.clone(),
+                            regions: RwLock::new(vec![region]),
+                            split_threshold: *split_threshold as usize,
+                        }),
+                    );
+                }
+                WalRecord::Put {
+                    table,
+                    row,
+                    family,
+                    column,
+                    value,
+                    timestamp,
+                } => {
+                    puts += 1;
+                    // Keep the shard's own clock (and therefore its
+                    // manifest's clock field) ahead of every globally
+                    // stamped timestamp it stores, so a reopened sharded
+                    // store resumes its global clock correctly even when
+                    // every frame was flushed out of the WALs.
+                    self.clock.fetch_max(*timestamp + 1, Ordering::Relaxed);
+                    let t = self.table(table)?;
+                    let put = Put {
+                        row: row.clone(),
+                        family: family.clone(),
+                        column: column.clone(),
+                        value: value.clone(),
+                    };
+                    let region = Self::apply_put(&t, put, *timestamp)?;
+                    if !touched
+                        .iter()
+                        .any(|(name, _, r)| name == table && r.id == region.id)
+                    {
+                        touched.push((table.clone(), t, region));
+                    }
+                }
+                WalRecord::DeleteRow { table, row } => {
+                    let t = self.table(table)?;
+                    loop {
+                        let region = {
+                            let regions = t.regions.read();
+                            regions.iter().find(|r| r.contains_key(row)).cloned()
+                        };
+                        let Some(region) = region else {
+                            break;
+                        };
+                        if region.delete_row(row)?.is_some() {
+                            break;
+                        }
+                    }
+                }
+                WalRecord::RegionSplit { .. } => {
+                    debug_assert!(false, "sharded frames never carry split records");
+                }
+            }
+        }
+        for (name, t, region) in touched {
+            if region.row_count() > t.split_threshold {
+                self.split_region(&name, &t, &region, durable.as_deref_mut())?;
+            }
+        }
+        if puts > 0 {
+            self.obs().incr("cfstore.puts", puts);
+        }
+        Ok(())
+    }
+
+    fn prepare_rows(&self, table: &str, rows: &[Bytes]) -> Result<(), StoreError> {
+        let t = self.table(table)?;
+        let regions = t.regions.read();
+        for row in rows {
+            if let Some(r) = regions.iter().find(|r| r.contains_key(row)) {
+                r.prepare_for_write()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn heal_table(
+        &self,
+        table: &str,
+        rows: BTreeMap<Bytes, crate::region::RowData>,
+    ) -> Result<u64, StoreError> {
+        let t = self.table(table)?;
+        // Hold the durable lock so no flush snapshots a half-installed
+        // table; the heal itself is deliberately *not* WAL-logged (a
+        // replay would try to promote the corrupt base this heal is
+        // replacing) — durability comes from the flush the caller runs
+        // right after.
+        let _durable = self.durable.as_ref().map(|m| m.lock());
+        let regions = t.regions.read();
+        let healed = rows.len() as u64;
+        for region in regions.iter() {
+            let range = region.range();
+            let lower = std::ops::Bound::Included(range.start.clone());
+            let upper = match &range.end {
+                Some(end) => std::ops::Bound::Excluded(end.clone()),
+                None => std::ops::Bound::Unbounded,
+            };
+            let mine: BTreeMap<Bytes, crate::region::RowData> = rows
+                .range::<Bytes, _>((lower, upper))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            region.install_rows(mine);
+        }
+        Ok(healed)
+    }
+
+    fn export_table_rows(
+        &self,
+        table: &str,
+    ) -> Result<BTreeMap<Bytes, crate::region::RowData>, StoreError> {
+        let t = self.table(table)?;
+        let regions: Vec<Arc<Region>> = t.regions.read().iter().cloned().collect();
+        let mut out = BTreeMap::new();
+        for r in regions {
+            for (key, data) in r.export_rows()? {
+                // A heal donor must be provably clean: verify *every*
+                // retained version, not just the latest a read would
+                // check, so corruption never propagates between replicas.
+                for cols in data.values() {
+                    for (col, versions) in cols {
+                        for v in versions {
+                            if !v.verify() {
+                                return Err(StoreError::Corruption {
+                                    row: String::from_utf8_lossy(&key).into_owned(),
+                                    column: String::from_utf8_lossy(col).into_owned(),
+                                });
+                            }
+                        }
+                    }
+                }
+                out.insert(key, data);
+            }
+        }
+        Ok(out)
+    }
+
+    fn table_schemas(&self) -> Vec<(String, Vec<String>, usize)> {
+        self.tables
+            .read()
+            .iter()
+            .map(|(name, t)| (name.clone(), t.families.clone(), t.split_threshold))
+            .collect()
     }
 }
 

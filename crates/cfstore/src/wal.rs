@@ -75,12 +75,23 @@ pub enum WalRecord {
         new_id: u64,
         split_key: Bytes,
     },
+    /// Sharded-mode commit marker, logged as the *first* record of every
+    /// frame a [`crate::shard::ShardedStore`] writes. `gsn` is the
+    /// store-wide global sequence number of the batch and `participants`
+    /// the shard ids the batch touched. Shard-aware recovery treats a
+    /// gsn as committed only when every participant holds its frame
+    /// (durable in its WAL, or already flushed past it) — otherwise the
+    /// whole cross-shard batch is dropped on every shard, keeping
+    /// multi-shard writes atomic. Replaying the marker itself is a
+    /// no-op.
+    BatchMarker { gsn: u64, participants: Vec<u32> },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
 const TAG_PUT: u8 = 2;
 const TAG_DELETE_ROW: u8 = 3;
 const TAG_REGION_SPLIT: u8 = 4;
+const TAG_BATCH_MARKER: u8 = 5;
 
 /// Why a WAL scan stopped before the end of the file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -307,6 +318,21 @@ impl WalWriter {
         Ok(lsn)
     }
 
+    /// Append one frame with a caller-assigned LSN. The sharded store
+    /// derives frame LSNs from the global sequence number (`gsn *
+    /// LSN_STRIDE + seq`), so per-shard LSNs jump forward rather than
+    /// incrementing — `lsn` must be ≥ the writer's current `next_lsn`
+    /// so replay order stays monotone within each shard's log.
+    pub fn append_at(&mut self, lsn: u64, records: &[WalRecord]) -> Result<u64, WalError> {
+        debug_assert!(
+            lsn >= self.next_lsn,
+            "append_at must not move the LSN backwards ({lsn} < {})",
+            self.next_lsn
+        );
+        self.next_lsn = lsn;
+        self.append(records)
+    }
+
     /// Force the group-commit buffer to the file. After `Ok`, every
     /// previously appended frame is durable.
     pub fn sync(&mut self) -> Result<(), WalError> {
@@ -439,6 +465,14 @@ fn encode_record(buf: &mut BytesMut, r: &WalRecord) {
             buf.put_u64(*new_id);
             put_bytes(buf, split_key);
         }
+        WalRecord::BatchMarker { gsn, participants } => {
+            buf.put_u8(TAG_BATCH_MARKER);
+            buf.put_u64(*gsn);
+            buf.put_u32(participants.len() as u32);
+            for p in participants {
+                buf.put_u32(*p);
+            }
+        }
     }
 }
 
@@ -514,6 +548,15 @@ fn decode_record(buf: &mut &[u8]) -> Result<WalRecord, String> {
             new_id: take_u64(buf)?,
             split_key: take_bytes(buf)?,
         }),
+        TAG_BATCH_MARKER => {
+            let gsn = take_u64(buf)?;
+            let n = take_u32(buf)? as usize;
+            let mut participants = Vec::with_capacity(n);
+            for _ in 0..n {
+                participants.push(take_u32(buf)?);
+            }
+            Ok(WalRecord::BatchMarker { gsn, participants })
+        }
         t => Err(format!("unknown record tag {t:#x}")),
     }
 }
@@ -530,6 +573,10 @@ pub struct WalFrame {
 #[derive(Debug)]
 pub struct WalScan {
     pub frames: Vec<WalFrame>,
+    /// Byte offset of each valid frame, parallel to `frames`. Shard-aware
+    /// recovery uses these to truncate a log at an exact frame boundary
+    /// when aborting an uncommitted cross-shard batch.
+    pub frame_offsets: Vec<u64>,
     /// Bytes covered by valid frames (the truncation point on recovery).
     pub valid_bytes: u64,
     /// Total file length; `total_bytes - valid_bytes` is the dropped tail.
@@ -548,6 +595,7 @@ pub fn read_wal(path: &Path) -> Result<WalScan, std::io::Error> {
     };
     let total_bytes = data.len() as u64;
     let mut frames = Vec::new();
+    let mut frame_offsets = Vec::new();
     let mut offset = 0usize;
     let mut truncation = None;
     while offset < data.len() {
@@ -574,7 +622,10 @@ pub fn read_wal(path: &Path) -> Result<WalScan, std::io::Error> {
             break;
         }
         match decode_frame_body(body) {
-            Ok(frame) => frames.push(frame),
+            Ok(frame) => {
+                frames.push(frame);
+                frame_offsets.push(offset as u64);
+            }
             Err(detail) => {
                 truncation = Some(WalTruncation::BadRecord {
                     offset: offset as u64,
@@ -587,6 +638,7 @@ pub fn read_wal(path: &Path) -> Result<WalScan, std::io::Error> {
     }
     Ok(WalScan {
         frames,
+        frame_offsets,
         valid_bytes: offset as u64,
         total_bytes,
         truncation,
@@ -648,6 +700,10 @@ mod tests {
                 new_id: 2,
                 split_key: Bytes::from("m"),
             },
+            WalRecord::BatchMarker {
+                gsn: 9,
+                participants: vec![0, 2, 3],
+            },
         ]
     }
 
@@ -662,11 +718,13 @@ mod tests {
         }
         w.append(&sample_records()).unwrap(); // multi-record frame
         let scan = read_wal(&path).unwrap();
-        assert_eq!(scan.frames.len(), 5);
+        assert_eq!(scan.frames.len(), 6);
+        assert_eq!(scan.frame_offsets.len(), 6);
+        assert_eq!(scan.frame_offsets[0], 0);
         assert!(scan.truncation.is_none());
         assert_eq!(scan.valid_bytes, scan.total_bytes);
         assert_eq!(scan.frames[0].lsn, 1);
-        assert_eq!(scan.frames[4].records, sample_records());
+        assert_eq!(scan.frames[5].records, sample_records());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -684,7 +742,7 @@ mod tests {
         // Tear 3 bytes off the last frame.
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
         let scan = read_wal(&path).unwrap();
-        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.frames.len(), 4);
         assert!(matches!(scan.truncation, Some(WalTruncation::Torn { .. })));
         assert_eq!(scan.total_bytes, (full.len() - 3) as u64);
         assert!(scan.valid_bytes < scan.total_bytes);

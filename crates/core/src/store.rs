@@ -25,8 +25,8 @@ use parking_lot::RwLock;
 use cfstore::encoding::{decode_f64, decode_f64_vec, encode_f64, encode_f64_vec};
 use cfstore::wal::{CrashSpec, SyncPolicy};
 use cfstore::{
-    MiniStore, Put, RecoveryError, RecoveryReport, RowResult, Scan, ScanMetrics, StoreError,
-    StoreOptions,
+    MiniStore, Put, RecoveryError, RecoveryReport, RowResult, Scan, ScanMetrics, ShardOptions,
+    ShardedRecoveryReport, ShardedStore, StoreError, StoreOptions,
 };
 use mlmatch::{DimPrep, MinMaxNormalizer};
 use profiler::{CostFactors, JobProfile};
@@ -113,9 +113,106 @@ pub struct StoredStatics {
     pub reduce: SideFeatures,
 }
 
+/// The storage engine behind a [`ProfileStore`]: one [`MiniStore`]
+/// (in-memory or single-directory durable), or a replicated
+/// [`ShardedStore`] that survives the loss of any single shard. The
+/// two expose the same table API, so everything above this enum —
+/// matcher, columnar index, what-if daemon — is backend-agnostic, and
+/// the property suite asserts matcher output is identical across
+/// backends.
+enum Backend {
+    Single(MiniStore),
+    Sharded(ShardedStore),
+}
+
+impl Backend {
+    fn create_table(&self, name: &str, families: &[&str]) -> Result<(), StoreError> {
+        match self {
+            Backend::Single(s) => s.create_table(name, families),
+            Backend::Sharded(s) => s.create_table(name, families),
+        }
+    }
+
+    fn put(&self, table: &str, put: Put) -> Result<(), StoreError> {
+        match self {
+            Backend::Single(s) => s.put(table, put),
+            Backend::Sharded(s) => s.put(table, put),
+        }
+    }
+
+    fn put_batch(&self, table: &str, puts: Vec<Put>) -> Result<(), StoreError> {
+        match self {
+            Backend::Single(s) => s.put_batch(table, puts),
+            Backend::Sharded(s) => s.put_batch(table, puts),
+        }
+    }
+
+    fn get(&self, table: &str, row: &[u8]) -> Result<Option<RowResult>, StoreError> {
+        match self {
+            Backend::Single(s) => s.get(table, row),
+            Backend::Sharded(s) => s.get(table, row),
+        }
+    }
+
+    fn scan(&self, table: &str, scan: &Scan) -> Result<(Vec<RowResult>, ScanMetrics), StoreError> {
+        match self {
+            Backend::Single(s) => s.scan(table, scan),
+            Backend::Sharded(s) => s.scan(table, scan),
+        }
+    }
+
+    fn delete_row(&self, table: &str, row: &[u8]) -> Result<bool, StoreError> {
+        match self {
+            Backend::Single(s) => s.delete_row(table, row),
+            Backend::Sharded(s) => s.delete_row(table, row),
+        }
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        match self {
+            Backend::Single(s) => s.flush(),
+            Backend::Sharded(s) => s.flush(),
+        }
+    }
+
+    fn is_durable(&self) -> bool {
+        match self {
+            Backend::Single(s) => s.is_durable(),
+            Backend::Sharded(_) => true,
+        }
+    }
+
+    fn is_crashed(&self) -> bool {
+        match self {
+            Backend::Single(s) => s.is_crashed(),
+            Backend::Sharded(s) => s.is_crashed(),
+        }
+    }
+
+    fn set_obs(&mut self, reg: obs::Registry) {
+        match self {
+            Backend::Single(s) => s.set_obs(reg),
+            Backend::Sharded(s) => s.set_obs(reg),
+        }
+    }
+
+    fn corrupt_cell(
+        &self,
+        table: &str,
+        row: &[u8],
+        family: &str,
+        column: &[u8],
+    ) -> Result<bool, StoreError> {
+        match self {
+            Backend::Single(s) => s.corrupt_cell(table, row, family, column),
+            Backend::Sharded(s) => s.corrupt_cell(table, row, family, column),
+        }
+    }
+}
+
 /// The PStorM profile store.
 pub struct ProfileStore {
-    store: MiniStore,
+    store: Backend,
     /// Columnar in-memory projection of the numeric feature rows, rebuilt
     /// lazily after writes. See [`ColumnarIndex`].
     index: RwLock<Option<Arc<ColumnarIndex>>>,
@@ -130,7 +227,7 @@ pub struct ProfileStore {
 impl ProfileStore {
     /// Create an empty store (one `Jobs` table, one family).
     pub fn new() -> Result<Self, ProfileStoreError> {
-        let store = MiniStore::new();
+        let store = Backend::Single(MiniStore::new());
         store.create_table(TABLE, &[FAMILY])?;
         Ok(ProfileStore {
             store,
@@ -172,6 +269,46 @@ impl ProfileStore {
         opts: StoreOptions,
     ) -> Result<(Self, RecoveryReport), ProfileStoreError> {
         let (store, report) = MiniStore::open_with_opts(dir, opts)?;
+        let ps = Self::finish_open(Backend::Single(store))?;
+        Ok((ps, report))
+    }
+
+    /// Open (or create) a *sharded, replicated* store at `dir`: N shard
+    /// subdirectories with R-way row replication, self-healing reads,
+    /// and recovery that rebuilds any single lost shard from its peers
+    /// (DESIGN.md §13). Everything above the storage layer — matcher,
+    /// columnar index, tuning loop — behaves identically to
+    /// [`Self::reopen`].
+    pub fn reopen_sharded(dir: &Path) -> Result<(Self, ShardedRecoveryReport), ProfileStoreError> {
+        Self::reopen_sharded_with_opts(dir, ShardOptions::default())
+    }
+
+    /// [`Self::reopen_sharded`] with explicit [`ShardOptions`] (shard
+    /// count, replication factor, crash injection for the chaos tests).
+    pub fn reopen_sharded_with_opts(
+        dir: &Path,
+        opts: ShardOptions,
+    ) -> Result<(Self, ShardedRecoveryReport), ProfileStoreError> {
+        Self::reopen_sharded_traced(dir, opts, obs::Registry::disabled())
+    }
+
+    /// [`Self::reopen_sharded_with_opts`] with an observability registry
+    /// attached from the first byte of recovery, so shard-rebuild and
+    /// heal counters (`cfstore.shard.<id>.heal.*`) are captured.
+    pub fn reopen_sharded_traced(
+        dir: &Path,
+        opts: ShardOptions,
+        reg: obs::Registry,
+    ) -> Result<(Self, ShardedRecoveryReport), ProfileStoreError> {
+        let (store, report) = ShardedStore::open_traced(dir, opts, reg.clone())?;
+        let mut ps = Self::finish_open(Backend::Sharded(store))?;
+        if reg.is_enabled() {
+            ps.obs = reg;
+        }
+        Ok((ps, report))
+    }
+
+    fn finish_open(store: Backend) -> Result<Self, ProfileStoreError> {
         match store.create_table(TABLE, &[FAMILY]) {
             Ok(()) | Err(StoreError::TableExists(_)) => {}
             Err(e) => return Err(e.into()),
@@ -185,7 +322,7 @@ impl ProfileStore {
         // The first matcher query must not pay the rebuild; surface any
         // half-recovered row inconsistency now rather than mid-match.
         ps.columnar_index()?;
-        Ok((ps, report))
+        Ok(ps)
     }
 
     /// Flush the underlying store's memstores to segment files (no-op for
@@ -605,9 +742,36 @@ impl ProfileStore {
         Ok(index)
     }
 
-    /// The underlying HBase (diagnostics and benches).
+    /// The underlying HBase (diagnostics and benches). Only available
+    /// on single-store backends; sharded stores have no single inner
+    /// [`MiniStore`] — use [`Self::sharded`] instead.
     pub fn inner(&self) -> &MiniStore {
-        &self.store
+        match &self.store {
+            Backend::Single(s) => s,
+            Backend::Sharded(_) => {
+                panic!("ProfileStore::inner() on a sharded backend; use sharded()")
+            }
+        }
+    }
+
+    /// The underlying sharded store, when this store was opened with
+    /// [`Self::reopen_sharded`] (`None` for single-store backends).
+    pub fn sharded(&self) -> Option<&ShardedStore> {
+        match &self.store {
+            Backend::Sharded(s) => Some(s),
+            Backend::Single(_) => None,
+        }
+    }
+
+    /// Backend-routed raw single-cell put into the `Jobs` table (the
+    /// workflow layer's plan rows ride on this).
+    pub(crate) fn raw_put(&self, put: Put) -> Result<(), ProfileStoreError> {
+        Ok(self.store.put(TABLE, put)?)
+    }
+
+    /// Backend-routed raw row get from the `Jobs` table.
+    pub(crate) fn raw_get(&self, row: &[u8]) -> Result<Option<RowResult>, ProfileStoreError> {
+        Ok(self.store.get(TABLE, row)?)
     }
 }
 

@@ -63,25 +63,19 @@ impl PStorM {
     /// prefix.
     fn record_plan(&self, chain_id: &str, stages: &[ChainStage]) -> Result<(), ProfileStoreError> {
         for (i, stage) in stages.iter().enumerate() {
-            self.store.inner().put(
-                "Jobs",
-                cfstore::Put::new(
-                    Bytes::from(format!("Plan/{chain_id}")),
-                    "f",
-                    Bytes::from(format!("stage{i:02}")),
-                    Bytes::from(stage.spec.job_id()),
-                ),
-            )?;
+            self.store.raw_put(cfstore::Put::new(
+                Bytes::from(format!("Plan/{chain_id}")),
+                "f",
+                Bytes::from(format!("stage{i:02}")),
+                Bytes::from(stage.spec.job_id()),
+            ))?;
         }
         Ok(())
     }
 
     /// Read back a stored plan: the ordered stage job ids.
     pub fn get_plan(&self, chain_id: &str) -> Result<Option<Vec<String>>, ProfileStoreError> {
-        let row = self
-            .store
-            .inner()
-            .get("Jobs", format!("Plan/{chain_id}").as_bytes())?;
+        let row = self.store.raw_get(format!("Plan/{chain_id}").as_bytes())?;
         Ok(row.map(|r| {
             r.columns("f")
                 .into_iter()

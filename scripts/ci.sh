@@ -42,4 +42,19 @@ cargo test -q -p pstorm-tests --test budget_gate
 echo "==> block cache property tests (cached reads vs materialized oracle)"
 cargo test -q -p pstorm-tests --test property_block_cache
 
+# Sharded-store gate (PR 7): crash/loss/heal properties — any single
+# shard killed at every WAL byte, whole-shard loss rebuilding an
+# identical META catalog, on-disk segment corruption healed from a
+# replica, matcher output unchanged across shard loss. The heal-counter
+# ceilings themselves are part of the budget gate above.
+echo "==> shard property tests (crash sweep + loss rebuild + heal)"
+cargo test -q -p pstorm-tests --test property_shards
+
+# Bounded shard-chaos sweep: each shard killed once at a sampled WAL
+# offset across several workload seeds. (The exhaustive every-byte sweep
+# already runs in the suite above; this keeps a second, differently
+# seeded pass in the gate without the full enumeration cost.)
+echo "==> bounded shard-chaos sweep"
+cargo test -q -p pstorm-tests --test property_shards -- --ignored
+
 echo "CI OK"

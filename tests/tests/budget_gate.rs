@@ -198,6 +198,119 @@ fn block_cache_and_compaction_budgets_hold() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Self-healing budget ceilings (PR 7). Healing is a repair path, not a
+/// steady state: a healthy sharded store must count **zero** heals, one
+/// injected corruption must cost exactly one heal read and one repair,
+/// and one lost shard must cost exactly one rebuild. A regression that
+/// makes reads heal spuriously (or rebuilds run twice) blows these
+/// envelopes long before it shows up as a performance problem.
+#[test]
+fn shard_heal_budgets_hold() {
+    use cfstore::{Put, Scan, ShardOptions, ShardedStore};
+
+    let dir = std::env::temp_dir().join(format!("pstorm-heal-budget-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let heal_counters = |reg: &obs::Registry| -> BTreeMap<String, u64> {
+        reg.snapshot()
+            .counters
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("cfstore.shard.") && k.contains(".heal."))
+            .collect()
+    };
+
+    // 1. A healthy store heals nothing: writes, scans, flush, reopen —
+    //    not one heal counter may move.
+    let rows = 48u32;
+    let reg = obs::Registry::new();
+    {
+        let (store, _) =
+            ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+        store.create_table_with_threshold("t", &["f"], 8).unwrap();
+        for i in 0..rows {
+            store
+                .put(
+                    "t",
+                    Put::new(format!("row-{i:04}"), "f", "c", i.to_be_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(
+            store.scan("t", &Scan::all()).unwrap().0.len(),
+            rows as usize
+        );
+        assert!(
+            heal_counters(&reg).is_empty(),
+            "healthy operation must not heal: {:?}",
+            heal_counters(&reg)
+        );
+    }
+
+    // 2. One corrupt cell costs exactly one heal read + one repair, and
+    //    the repaired rows stay within the victim shard's replica count.
+    let reg = obs::Registry::new();
+    let (store, report) =
+        ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+    assert!(report.lost_shards.is_empty());
+    assert!(heal_counters(&reg).is_empty(), "clean reopen must not heal");
+    let victim_row = b"row-0007";
+    let g = store.primary_shard(victim_row);
+    assert!(store.corrupt_cell("t", victim_row, "f", b"c").unwrap());
+    store.get("t", victim_row).unwrap().expect("healed read");
+    let c = heal_counters(&reg);
+    assert_eq!(c[&format!("cfstore.shard.{g}.heal.reads")], 1);
+    assert_eq!(c[&format!("cfstore.shard.{g}.heal.repairs")], 1);
+    let healed = c[&format!("cfstore.shard.{g}.heal.rows")];
+    assert!(
+        healed >= 1 && healed <= rows as u64,
+        "heal copied {healed} rows — outside [1, {rows}]"
+    );
+    // The heal is durable: a full scan afterwards repairs nothing more.
+    assert_eq!(
+        store.scan("t", &Scan::all()).unwrap().0.len(),
+        rows as usize
+    );
+    assert_eq!(heal_counters(&reg), c, "scan after heal must be heal-free");
+    let victim_dir = store.shard_dir((g + 1) % store.shard_count());
+    let lost = (g + 1) % store.shard_count();
+    drop(store);
+
+    // 3. One lost shard costs exactly one rebuild — and after it, reads
+    //    are heal-free again.
+    std::fs::remove_dir_all(&victim_dir).unwrap();
+    let reg = obs::Registry::new();
+    let (store, report) =
+        ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+    assert_eq!(report.lost_shards, vec![lost]);
+    let c = heal_counters(&reg);
+    assert_eq!(c[&format!("cfstore.shard.{lost}.heal.rebuilds")], 1);
+    let rebuild_rows = c[&format!("cfstore.shard.{lost}.heal.rows")];
+    assert!(
+        rebuild_rows >= 1 && rebuild_rows <= rows as u64,
+        "rebuild copied {rebuild_rows} rows — outside [1, {rows}]"
+    );
+    assert_eq!(
+        c.iter()
+            .filter(|(k, _)| k.ends_with(".heal.rebuilds"))
+            .count(),
+        1,
+        "exactly one shard may rebuild: {c:?}"
+    );
+    assert!(!c.contains_key(&format!("cfstore.shard.{lost}.heal.reads")));
+    let before = heal_counters(&reg);
+    assert_eq!(
+        store.scan("t", &Scan::all()).unwrap().0.len(),
+        rows as usize
+    );
+    assert_eq!(
+        heal_counters(&reg),
+        before,
+        "post-rebuild scan must be heal-free"
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Per-region read amplification (PR 4): the per-region counters must be
 /// present in enabled traces and must sum to the store-wide totals.
 #[test]

@@ -16,7 +16,9 @@ use pstorm::PStorM;
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/trace_snapshot.json");
 
 /// The trace_report scenario: one store miss (profile-and-store), then one
-/// match-and-tune of the same job, on one enabled registry.
+/// match-and-tune of the same job, on one enabled registry — followed by
+/// the deterministic sharded-store exercise, so the golden trace also pins
+/// the per-shard `cfstore.shard.<id>.heal.*` counters (DESIGN.md §13).
 fn collect_trace() -> String {
     let mut daemon = PStorM::new().unwrap();
     let reg = obs::Registry::new();
@@ -25,7 +27,46 @@ fn collect_trace() -> String {
     let ds = corpus::random_text_1g();
     daemon.submit(&spec, &ds, 1).unwrap();
     daemon.submit(&spec, &ds, 2).unwrap();
+    sharded_exercise(&reg);
     reg.snapshot().to_json()
+}
+
+/// A fixed sharded-store episode on the same registry: write a small
+/// replicated table, corrupt one replica and heal it on read, then lose
+/// a whole shard and rebuild it from its peers. Every count it produces
+/// (heal reads/repairs/rows, one rebuild) is a pure function of the fixed
+/// keys and the placement hash, so it snapshots byte-identically.
+fn sharded_exercise(reg: &obs::Registry) {
+    use cfstore::{Put, ShardOptions, ShardedStore};
+    let dir = std::env::temp_dir().join(format!(
+        "pstorm-trace-shards-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let victim_dir = {
+        let (store, _) =
+            ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+        store.create_table_with_threshold("t", &["f"], 8).unwrap();
+        for i in 0..24u32 {
+            store
+                .put(
+                    "t",
+                    Put::new(format!("row-{i:04}"), "f", "c", i.to_be_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+        assert!(store.corrupt_cell("t", b"row-0007", "f", b"c").unwrap());
+        store.get("t", b"row-0007").unwrap().expect("healed read");
+        store.flush().unwrap();
+        store.shard_dir((store.primary_shard(b"row-0007") + 1) % store.shard_count())
+    };
+    std::fs::remove_dir_all(&victim_dir).unwrap();
+    let (store, report) =
+        ShardedStore::open_traced(&dir, ShardOptions::default(), reg.clone()).unwrap();
+    assert_eq!(report.lost_shards.len(), 1, "the lost shard must rebuild");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
