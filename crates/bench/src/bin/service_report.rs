@@ -1,0 +1,130 @@
+//! Multi-tenant service demo (DESIGN.md §14): drives a `TuningService`
+//! through the incident catalogue — steady-state tenants, a hostile
+//! tenant tripping its circuit breaker, and a flooding tenant shedding
+//! down the degradation ladder — then prints the per-tenant outcome mix,
+//! the service counters/gauges, and the hostile tenant's dead letters.
+//!
+//! Outcome *variants* per tenant are deterministic (per-tenant FIFO
+//! scheduling makes each tenant's results a function of its own
+//! submission sequence); worker interleavings are not, so unlike
+//! `trace_report` this prints a summary, not a byte-pinned trace.
+//!
+//! Usage: `cargo run --release -p pstorm-bench --bin service_report`
+
+use std::collections::BTreeMap;
+
+use datagen::corpus;
+use mrjobs::jobs;
+use mrsim::{ClusterSpec, FaultSpec};
+use optimizer::CboOptions;
+use pstorm::{ProfileStore, ServiceConfig, ServiceOutcome, SubmissionOutcome, TuningService};
+
+fn main() {
+    let reg = obs::Registry::new();
+    let svc = TuningService::with_obs(
+        ProfileStore::new().expect("fresh store"),
+        ClusterSpec::ec2_c1_medium_16(),
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 4,
+            max_in_flight: 4,
+            cbo: CboOptions {
+                budget: 60,
+                rounds: 1,
+                ..CboOptions::default()
+            },
+            ..ServiceConfig::default()
+        },
+        reg.clone(),
+    );
+    let ds = corpus::random_text_1g();
+    let hostile = FaultSpec {
+        node_loss_prob: 1.0,
+        ..FaultSpec::default()
+    };
+
+    let mut tickets = Vec::new();
+    // Two steady tenants: profile on round 0, tune from then on.
+    for round in 0..4u64 {
+        for (tenant, spec) in [
+            ("team-search", jobs::word_count()),
+            ("team-ads", jobs::word_cooccurrence_pairs(2)),
+        ] {
+            tickets.push((tenant, svc.submit(tenant, &spec, &ds, round).unwrap()));
+        }
+        // A hostile tenant losing every node: fails, trips its breaker,
+        // then fast-fails into the dead-letter queue.
+        tickets.push((
+            "team-chaos",
+            svc.submit_with_faults(
+                "team-chaos",
+                &jobs::sort(),
+                &ds,
+                round,
+                Some(hostile.clone()),
+            )
+            .unwrap(),
+        ));
+    }
+    // A flood: 12 submissions into a 4-deep queue — the overflow sheds
+    // as Degraded on the caller's thread, and nobody else notices.
+    for i in 0..12u64 {
+        tickets.push((
+            "team-flood",
+            svc.submit("team-flood", &jobs::inverted_index(), &ds, 100 + i)
+                .unwrap(),
+        ));
+    }
+
+    let mut mix: BTreeMap<&str, BTreeMap<&str, u32>> = BTreeMap::new();
+    for (tenant, ticket) in tickets {
+        let label = match ticket.wait() {
+            ServiceOutcome::Served(r) => match r.outcome {
+                SubmissionOutcome::Tuned { .. } => "tuned",
+                SubmissionOutcome::ProfiledAndStored { .. } => "profiled",
+                SubmissionOutcome::Degraded { .. } => "degraded",
+            },
+            ServiceOutcome::Failed { .. } => "failed",
+            ServiceOutcome::Rejected { .. } => "rejected",
+        };
+        *mix.entry(tenant).or_default().entry(label).or_default() += 1;
+    }
+    svc.quiesce();
+
+    println!("service_report: per-tenant outcome mix");
+    for (tenant, outcomes) in &mix {
+        let line = outcomes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  {tenant:<12} {line}");
+    }
+
+    let dlq = svc.dead_letters("team-chaos");
+    println!("team-chaos dead letters: {} (showing up to 3)", dlq.len());
+    for d in dlq.iter().take(3) {
+        println!(
+            "  #{} job={} seed={} — {}",
+            d.seq, d.job_id, d.seed, d.reason
+        );
+    }
+
+    let snap = reg.snapshot();
+    println!("service counters:");
+    for (k, v) in snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("service.") || k.starts_with("tenant."))
+    {
+        println!("  {k} = {v}");
+    }
+    println!("service gauges:");
+    for (k, v) in snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("service.") || k.starts_with("tenant."))
+    {
+        println!("  {k} = {v}");
+    }
+}

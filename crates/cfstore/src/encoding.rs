@@ -15,6 +15,9 @@ pub enum CodecError {
     BadTag(u8),
     /// A string was not valid UTF-8.
     BadUtf8,
+    /// A tenant id failed [`validate_tenant`] (empty, too long, or
+    /// containing a character outside `[A-Za-z0-9_.-]`).
+    BadTenant(String),
 }
 
 impl std::fmt::Display for CodecError {
@@ -23,10 +26,89 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated value"),
             CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
             CodecError::BadUtf8 => write!(f, "invalid UTF-8 in encoded string"),
+            CodecError::BadTenant(t) => write!(
+                f,
+                "invalid tenant id {t:?} (want 1..={MAX_TENANT_LEN} chars of [A-Za-z0-9_.-])"
+            ),
         }
     }
 }
 impl std::error::Error for CodecError {}
+
+/// The implicit tenant that every legacy single-tenant path maps to. Its
+/// namespace prefix is the **empty string**, so default-tenant row keys
+/// are byte-for-byte the original single-tenant layout — golden traces
+/// and on-disk stores written before multi-tenancy keep working unchanged.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Maximum tenant id length accepted by [`validate_tenant`].
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Check that a tenant id is well-formed: non-empty, at most
+/// [`MAX_TENANT_LEN`] bytes, drawn from `[A-Za-z0-9_.-]`. The character
+/// set deliberately excludes `/` — the row-key namespace separator — so a
+/// tenant id can never smuggle extra path segments into a key.
+pub fn validate_tenant(tenant: &str) -> Result<(), CodecError> {
+    let ok = !tenant.is_empty()
+        && tenant.len() <= MAX_TENANT_LEN
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(CodecError::BadTenant(tenant.to_string()))
+    }
+}
+
+/// The row-key namespace prefix of a tenant.
+///
+/// [`DEFAULT_TENANT`] maps to the empty prefix (the legacy key layout);
+/// any other valid tenant `x` maps to `t/x/`. The `t/` envelope cannot
+/// collide with the feature-type prefixes (`Static/`, `Dynamic/`,
+/// `CostFactor/`, `Profile/`, `Meta/`, `Plan/`), and the trailing slash
+/// guarantees prefix-freedom between tenants (`t/a/` never prefixes
+/// `t/ab/...`).
+///
+/// # Examples
+///
+/// ```
+/// use cfstore::encoding::{split_tenant, tenant_prefix, DEFAULT_TENANT};
+///
+/// assert_eq!(tenant_prefix(DEFAULT_TENANT).unwrap(), "");
+/// assert_eq!(tenant_prefix("acme").unwrap(), "t/acme/");
+/// assert!(tenant_prefix("no/slashes").is_err());
+/// assert!(tenant_prefix("").is_err());
+///
+/// // The decode direction: every key splits into (tenant, legacy key).
+/// assert_eq!(split_tenant(b"t/acme/Profile/wc"), ("acme", &b"Profile/wc"[..]));
+/// assert_eq!(split_tenant(b"Profile/wc"), (DEFAULT_TENANT, &b"Profile/wc"[..]));
+/// ```
+pub fn tenant_prefix(tenant: &str) -> Result<String, CodecError> {
+    validate_tenant(tenant)?;
+    if tenant == DEFAULT_TENANT {
+        Ok(String::new())
+    } else {
+        Ok(format!("t/{tenant}/"))
+    }
+}
+
+/// Split a row key into `(tenant, namespace-relative key)` — the inverse
+/// of prepending [`tenant_prefix`]. Keys without a well-formed `t/<id>/`
+/// envelope (including every legacy key) belong to [`DEFAULT_TENANT`] and
+/// are returned whole.
+pub fn split_tenant(row: &[u8]) -> (&str, &[u8]) {
+    if let Some(rest) = row.strip_prefix(b"t/") {
+        if let Some(slash) = rest.iter().position(|b| *b == b'/') {
+            if let Ok(tenant) = std::str::from_utf8(&rest[..slash]) {
+                if validate_tenant(tenant).is_ok() {
+                    return (tenant, &rest[slash + 1..]);
+                }
+            }
+        }
+    }
+    (DEFAULT_TENANT, row)
+}
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
 /// compile time so the integrity checks need no runtime initialisation.
@@ -183,6 +265,44 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         // Single-bit flips change the checksum.
         assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+    }
+
+    #[test]
+    fn tenant_prefix_roundtrips_through_split() {
+        for tenant in ["acme", "zen-corp", "a", "T.9_x"] {
+            let prefix = tenant_prefix(tenant).unwrap();
+            let key = format!("{prefix}Profile/wc");
+            assert_eq!(split_tenant(key.as_bytes()), (tenant, &b"Profile/wc"[..]));
+        }
+        // The default tenant is the empty prefix: legacy layout.
+        assert_eq!(tenant_prefix(DEFAULT_TENANT).unwrap(), "");
+        assert_eq!(
+            split_tenant(b"Dynamic/wc"),
+            (DEFAULT_TENANT, &b"Dynamic/wc"[..])
+        );
+    }
+
+    #[test]
+    fn tenant_prefixes_are_prefix_free() {
+        let a = tenant_prefix("a").unwrap();
+        let ab = tenant_prefix("ab").unwrap();
+        assert!(!ab.starts_with(&a), "{a:?} must not prefix {ab:?}");
+    }
+
+    #[test]
+    fn bad_tenant_ids_are_rejected() {
+        for bad in ["", "a/b", "a b", "t/x", "ü", &"x".repeat(65)] {
+            assert!(
+                matches!(tenant_prefix(bad), Err(CodecError::BadTenant(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        // A malformed envelope decodes as a default-tenant key, whole.
+        assert_eq!(
+            split_tenant(b"t/no-close"),
+            (DEFAULT_TENANT, &b"t/no-close"[..])
+        );
+        assert_eq!(split_tenant(b"t//x"), (DEFAULT_TENANT, &b"t//x"[..]));
     }
 
     #[test]

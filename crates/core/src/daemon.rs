@@ -17,6 +17,10 @@
 //! submitted configuration, and a last-resort rung re-runs with lenient
 //! task attempt caps — every rung reported through
 //! [`SubmissionOutcome::Degraded`].
+//!
+//! A `PStorM` serves one caller at a time per tenant; the concurrent,
+//! multi-tenant front-end over many daemons is
+//! [`crate::service::TuningService`] (DESIGN.md §14).
 
 use std::path::Path;
 
@@ -160,14 +164,25 @@ fn retry_seed(base: u64, i: u32) -> u64 {
 impl PStorM {
     /// A daemon on the paper's cluster with default thresholds.
     pub fn new() -> Result<Self, ProfileStoreError> {
-        Ok(PStorM {
-            store: ProfileStore::new()?,
-            cluster: ClusterSpec::ec2_c1_medium_16(),
+        Ok(Self::with_store(
+            ProfileStore::new()?,
+            ClusterSpec::ec2_c1_medium_16(),
+        ))
+    }
+
+    /// A daemon over an existing store (e.g. a
+    /// [`ProfileStore::tenant_view`]) and cluster, with default matcher,
+    /// CBO, and degradation settings. The public fields can be adjusted
+    /// afterwards.
+    pub fn with_store(store: ProfileStore, cluster: ClusterSpec) -> Self {
+        PStorM {
+            store,
+            cluster,
             matcher: MatcherConfig::default(),
             cbo: CboOptions::default(),
             policy: DegradationPolicy::default(),
             obs: obs::Registry::disabled(),
-        })
+        }
     }
 
     /// Start a daemon over a durable store directory, running crash
@@ -522,13 +537,37 @@ impl PStorM {
         }
     }
 
-    /// Walk the run ladder until some configuration survives the cluster:
-    /// CBO-tuned settings (if any) → `optimizer::rbo` settings → the
-    /// submitted configuration → the submitted configuration with lenient
-    /// task attempt caps. Each rung gets `run_retries + 1` seeds; only
-    /// injected faults (and, on optimizer rungs, optimizer-induced OOM)
-    /// fall through to the next rung — deterministic errors return `Err`
-    /// immediately.
+    /// Serve a job **without** sampling, matching, or tuning: go straight
+    /// down the degradation ladder from the rule-based-optimizer rung.
+    /// This is the load-shedding path of
+    /// [`crate::service::TuningService`] — under admission-control
+    /// pressure a submission still runs and still resolves as
+    /// [`SubmissionOutcome::Degraded`] (never an overload error), it just
+    /// skips the store-touching feedback loop.
+    pub fn submit_untuned(
+        &self,
+        spec: &JobSpec,
+        dataset: &Dataset,
+        seed: u64,
+        why: &str,
+    ) -> Result<SubmissionReport, DaemonError> {
+        let submitted_config = JobConfig::submitted(spec);
+        let (config, run, rung) =
+            self.degraded_production_run(spec, dataset, &submitted_config, None, seed)?;
+        self.obs.incr("daemon.degraded", 1);
+        Ok(SubmissionReport {
+            job_id: spec.job_id(),
+            outcome: SubmissionOutcome::Degraded {
+                config,
+                reason: format!("{why}; {rung}"),
+            },
+            run,
+            sampling_ms: 0.0,
+        })
+    }
+
+    /// Walk the run ladder until some configuration survives the cluster
+    /// (see [`run_degradation_ladder`]).
     fn degraded_production_run(
         &self,
         spec: &JobSpec,
@@ -537,74 +576,106 @@ impl PStorM {
         tuned: Option<&JobConfig>,
         seed: u64,
     ) -> Result<(JobConfig, JobReport, String), DaemonError> {
-        let mut lenient = submitted.clone();
-        lenient.max_map_attempts = self.policy.lenient_attempt_cap;
-        lenient.max_reduce_attempts = self.policy.lenient_attempt_cap;
+        run_degradation_ladder(
+            &self.cluster,
+            &self.policy,
+            &self.obs,
+            spec,
+            dataset,
+            submitted,
+            tuned,
+            seed,
+        )
+    }
+}
 
-        // (config, label, does optimizer-induced OOM fall through?)
-        let mut rungs: Vec<(JobConfig, &str, bool)> = Vec::new();
-        if let Some(t) = tuned {
-            rungs.push((t.clone(), "CBO-tuned settings", true));
-        }
-        rungs.push((
-            recommend(spec, &self.cluster).config,
-            "rule-based optimizer settings",
-            true,
-        ));
-        rungs.push((submitted.clone(), "submitted configuration", false));
-        rungs.push((
-            lenient,
-            "submitted configuration with lenient attempt caps",
-            false,
-        ));
+/// Walk the run ladder until some configuration survives the cluster:
+/// CBO-tuned settings (if any) → `optimizer::rbo` settings → the
+/// submitted configuration → the submitted configuration with lenient
+/// task attempt caps. Each rung gets `run_retries + 1` seeds; only
+/// injected faults (and, on optimizer rungs, optimizer-induced OOM)
+/// fall through to the next rung — deterministic errors return `Err`
+/// immediately.
+///
+/// Free-standing so [`crate::service`] can shed load through the ladder
+/// without borrowing a tenant's daemon.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_degradation_ladder(
+    cluster: &ClusterSpec,
+    policy: &DegradationPolicy,
+    reg: &obs::Registry,
+    spec: &JobSpec,
+    dataset: &Dataset,
+    submitted: &JobConfig,
+    tuned: Option<&JobConfig>,
+    seed: u64,
+) -> Result<(JobConfig, JobReport, String), DaemonError> {
+    let mut lenient = submitted.clone();
+    lenient.max_map_attempts = policy.lenient_attempt_cap;
+    lenient.max_reduce_attempts = policy.lenient_attempt_cap;
 
-        let reg = &self.obs;
-        let ladder_span = reg.span("daemon.degrade");
-        let mut attempt_no = 0u32;
-        let mut last_fault: Option<SimError> = None;
-        for (config, label, oom_falls_through) in rungs {
-            for _ in 0..=self.policy.run_retries {
-                attempt_no += 1;
-                reg.event(
-                    "daemon.degrade.attempt",
-                    &[("rung", label.into()), ("attempt", attempt_no.into())],
-                );
-                match simulate(
-                    spec,
-                    dataset,
-                    &self.cluster,
-                    &config,
-                    retry_seed(seed ^ 0x47, attempt_no),
-                ) {
-                    Ok(run) => {
-                        reg.event(
-                            "daemon.degrade.served",
-                            &[("rung", label.into()), ("attempts", attempt_no.into())],
-                        );
-                        ladder_span.attr("served_by", label);
-                        ladder_span.attr("attempts", attempt_no);
-                        mrsim::trace::record_report(reg, &run);
-                        let rung =
-                            format!("served by {label} after {attempt_no} fallback run attempt(s)");
-                        return Ok((config, run, rung));
-                    }
-                    Err(e) if e.is_fault() => last_fault = Some(e),
-                    // OOM is seed-independent: no point retrying the rung.
-                    Err(e @ SimError::OutOfMemory { .. }) if oom_falls_through => {
-                        last_fault = Some(e);
-                        break;
-                    }
-                    Err(e) => return Err(e.into()),
+    // (config, label, does optimizer-induced OOM fall through?)
+    let mut rungs: Vec<(JobConfig, &str, bool)> = Vec::new();
+    if let Some(t) = tuned {
+        rungs.push((t.clone(), "CBO-tuned settings", true));
+    }
+    rungs.push((
+        recommend(spec, cluster).config,
+        "rule-based optimizer settings",
+        true,
+    ));
+    rungs.push((submitted.clone(), "submitted configuration", false));
+    rungs.push((
+        lenient,
+        "submitted configuration with lenient attempt caps",
+        false,
+    ));
+
+    let ladder_span = reg.span("daemon.degrade");
+    let mut attempt_no = 0u32;
+    let mut last_fault: Option<SimError> = None;
+    for (config, label, oom_falls_through) in rungs {
+        for _ in 0..=policy.run_retries {
+            attempt_no += 1;
+            reg.event(
+                "daemon.degrade.attempt",
+                &[("rung", label.into()), ("attempt", attempt_no.into())],
+            );
+            match simulate(
+                spec,
+                dataset,
+                cluster,
+                &config,
+                retry_seed(seed ^ 0x47, attempt_no),
+            ) {
+                Ok(run) => {
+                    reg.event(
+                        "daemon.degrade.served",
+                        &[("rung", label.into()), ("attempts", attempt_no.into())],
+                    );
+                    ladder_span.attr("served_by", label);
+                    ladder_span.attr("attempts", attempt_no);
+                    mrsim::trace::record_report(reg, &run);
+                    let rung =
+                        format!("served by {label} after {attempt_no} fallback run attempt(s)");
+                    return Ok((config, run, rung));
                 }
+                Err(e) if e.is_fault() => last_fault = Some(e),
+                // OOM is seed-independent: no point retrying the rung.
+                Err(e @ SimError::OutOfMemory { .. }) if oom_falls_through => {
+                    last_fault = Some(e);
+                    break;
+                }
+                Err(e) => return Err(e.into()),
             }
         }
-        ladder_span.attr("served_by", "none");
-        // Every rung exhausted — the cluster is hostile beyond what the
-        // policy tolerates. Surface the last fault as a typed error.
-        Err(DaemonError::Sim(
-            last_fault.expect("ladder has at least one rung"),
-        ))
     }
+    ladder_span.attr("served_by", "none");
+    // Every rung exhausted — the cluster is hostile beyond what the
+    // policy tolerates. Surface the last fault as a typed error.
+    Err(DaemonError::Sim(
+        last_fault.expect("ladder has at least one rung"),
+    ))
 }
 
 #[cfg(test)]

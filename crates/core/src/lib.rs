@@ -12,6 +12,9 @@
 //!   pushdown filtering and min/max normalization maintenance.
 //! * [`matcher`] — the Fig. 4.4 multi-stage matching workflow.
 //! * [`daemon`] — the end-to-end PStorM daemon.
+//! * [`service`] — the concurrent multi-tenant front-end over the
+//!   daemon: bounded queue, admission control, per-tenant circuit
+//!   breakers (DESIGN.md §14).
 //! * [`codec`] — cell-value encodings for profiles and CFGs.
 //!
 //! Every subsystem records spans, counters, and events into a shared
@@ -25,6 +28,7 @@ pub mod daemon;
 pub mod explain;
 pub mod extensions;
 pub mod matcher;
+pub mod service;
 pub mod store;
 pub mod workflow;
 
@@ -35,6 +39,7 @@ pub use extensions::{statics_with_params, transfer_profile};
 pub use matcher::{
     match_profile, MatchFailure, MatchResult, MatcherConfig, Side, SideMatch, SubmittedJob,
 };
+pub use service::{DeadLetter, ServiceConfig, ServiceOutcome, Ticket, TuningService};
 pub use store::{
     ColumnarIndex, DynamicRow, NormalizationBounds, ProfileStore, ProfileStoreError, StoredStatics,
 };

@@ -200,6 +200,11 @@ pub fn match_profile(
     let reg = store.obs().clone();
     let span = reg.span("matcher.match");
     span.attr("job_id", q.spec.job_id());
+    // Only non-default tenants are tagged, so single-tenant traces (and
+    // the golden trace) keep their pre-multi-tenancy bytes.
+    if store.tenant() != cfstore::encoding::DEFAULT_TENANT {
+        span.attr("tenant", store.tenant());
+    }
     if store.is_empty()? {
         reg.incr("matcher.no_match", 1);
         span.attr("outcome", "empty_store");

@@ -1,0 +1,1061 @@
+//! The multi-tenant tuning service (DESIGN.md §14).
+//!
+//! [`TuningService`] turns the single-caller [`PStorM`] daemon into a
+//! concurrent front-end: many tenants submit jobs through one bounded
+//! request queue, a worker pool drains it, and every tenant's traffic
+//! runs against a [`ProfileStore::tenant_view`] of one shared backing
+//! store — so profiles, matcher state, and normalization bounds are
+//! namespaced per tenant while store writes still commit through the
+//! same atomic `put_batch` frames.
+//!
+//! Three mechanisms keep tenants from hurting each other:
+//!
+//! 1. **Per-tenant FIFO scheduling.** Each tenant's submissions are
+//!    processed serially in submission order (tenants run in parallel
+//!    with each other), so a tenant's outcomes are a deterministic
+//!    function of its own submission sequence — the isolation invariant
+//!    the multi-tenant chaos sweep pins.
+//! 2. **Admission control.** Counting semaphores bound in-flight
+//!    tuning pipelines and their memory budget. When the queue or a
+//!    semaphore is exhausted the service *sheds*: the job still runs,
+//!    straight down the degradation ladder
+//!    ([`PStorM::submit_untuned`]), and resolves as
+//!    [`SubmissionOutcome::Degraded`] — overload never surfaces as an
+//!    error and never blocks another tenant's slot.
+//! 3. **Per-tenant circuit breakers.** `breaker_max_failures`
+//!    consecutive hard failures open a tenant's breaker: further
+//!    submissions are rejected fast into a bounded dead-letter queue
+//!    (no cluster work, no permits consumed) for `breaker_cooldown`
+//!    submissions, then a half-open trial decides whether to close it.
+//!    A tenant stuck in a failure loop costs the service almost
+//!    nothing.
+//!
+//! Everything is observable: `service.queue.*` / `service.admission.*`
+//! gauges and counters, and `tenant.<id>.*` counters per tenant.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mrjobs::{Dataset, JobSpec};
+use mrsim::{ClusterSpec, FaultSpec};
+
+use crate::daemon::{
+    run_degradation_ladder, DaemonError, PStorM, SubmissionOutcome, SubmissionReport,
+};
+use crate::store::{ProfileStore, ProfileStoreError};
+
+/// Tuning knobs of a [`TuningService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the request queue. Tenants run in
+    /// parallel up to this bound; one tenant never uses more than one
+    /// worker at a time.
+    pub workers: usize,
+    /// Bound on queued (accepted but not yet started) submissions **per
+    /// tenant** — a flooding tenant fills only its own queue and sheds
+    /// only its own submissions, never a quiet neighbour's. A full queue
+    /// sheds new submissions on the caller's thread instead of accepting
+    /// them.
+    pub queue_depth: usize,
+    /// Admission semaphore over concurrently *tuning* submissions (the
+    /// full sample → match → CBO pipeline). Exhausted permits shed the
+    /// submission down the degradation ladder.
+    pub max_in_flight: usize,
+    /// Admission semaphore over the memory charged to in-flight tuning
+    /// pipelines, in bytes.
+    pub memory_budget_bytes: u64,
+    /// Memory charged per tuning pipeline against
+    /// [`Self::memory_budget_bytes`] (sample profile + columnar index
+    /// snapshot + CBO search state).
+    pub submission_memory_bytes: u64,
+    /// Consecutive hard failures (not degradations) before a tenant's
+    /// circuit breaker opens.
+    pub breaker_max_failures: u32,
+    /// Submissions fast-failed to the DLQ while the breaker is open,
+    /// before a half-open trial is allowed.
+    pub breaker_cooldown: u32,
+    /// Bound on each tenant's dead-letter queue; the oldest entry is
+    /// dropped (and counted) on overflow.
+    pub dlq_capacity: usize,
+    /// Matcher settings every tenant daemon is built with.
+    pub matcher: crate::matcher::MatcherConfig,
+    /// CBO settings every tenant daemon is built with.
+    pub cbo: optimizer::CboOptions,
+    /// Degradation-ladder policy for tenant daemons *and* the queue-full
+    /// shed path.
+    pub policy: crate::daemon::DegradationPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_in_flight: 4,
+            memory_budget_bytes: 256 << 20,
+            submission_memory_bytes: 32 << 20,
+            breaker_max_failures: 3,
+            breaker_cooldown: 8,
+            dlq_capacity: 64,
+            matcher: crate::matcher::MatcherConfig::default(),
+            cbo: optimizer::CboOptions::default(),
+            policy: crate::daemon::DegradationPolicy::default(),
+        }
+    }
+}
+
+/// How the service resolved one submission.
+// One value per submission; the size spread between variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ServiceOutcome {
+    /// The submission ran; see the report's [`SubmissionOutcome`] for
+    /// whether it was tuned, profiled, or served degraded (load shedding
+    /// lands here, as `Degraded`).
+    Served(SubmissionReport),
+    /// The submission ran into a hard error (hostile cluster beyond the
+    /// degradation policy, unrecoverable store failure). Counted against
+    /// the tenant's circuit breaker and dead-lettered.
+    Failed { job_id: String, error: DaemonError },
+    /// The submission never ran: the tenant's circuit breaker was open
+    /// (or the service shut down first). Dead-lettered.
+    Rejected { job_id: String, reason: String },
+}
+
+/// One dead-lettered submission.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Per-tenant monotonic sequence number.
+    pub seq: u64,
+    pub job_id: String,
+    pub seed: u64,
+    /// Why it was dead-lettered (breaker state or the error text).
+    pub reason: String,
+}
+
+/// A handle to one accepted submission; [`Ticket::wait`] blocks until
+/// the service resolves it.
+pub struct Ticket {
+    rx: mpsc::Receiver<ServiceOutcome>,
+    tenant: String,
+    job_id: String,
+}
+
+impl Ticket {
+    /// Block until the submission resolves. Every accepted submission
+    /// resolves — shutdown drains the queue first.
+    pub fn wait(self) -> ServiceOutcome {
+        let job_id = self.job_id;
+        self.rx.recv().unwrap_or(ServiceOutcome::Rejected {
+            job_id,
+            reason: "service shut down before the submission was processed".to_string(),
+        })
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    pub fn job_id(&self) -> &str {
+        &self.job_id
+    }
+}
+
+/// A counting semaphore over `Mutex<u64>` (the vendored `parking_lot`
+/// shim has no `Condvar`, and admission never blocks — exhausted permits
+/// shed instead of waiting — so try/release is the whole API).
+struct Semaphore {
+    capacity: u64,
+    available: Mutex<u64>,
+}
+
+impl Semaphore {
+    fn new(capacity: u64) -> Self {
+        Semaphore {
+            capacity,
+            available: Mutex::new(capacity),
+        }
+    }
+
+    fn try_acquire(&self, n: u64) -> bool {
+        let mut avail = self.available.lock().unwrap();
+        if *avail >= n {
+            *avail -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&self, n: u64) {
+        let mut avail = self.available.lock().unwrap();
+        *avail = (*avail + n).min(self.capacity);
+    }
+
+    fn in_use(&self) -> u64 {
+        self.capacity - *self.available.lock().unwrap()
+    }
+}
+
+/// Per-tenant circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Serving normally; `failures` consecutive hard failures so far.
+    Closed { failures: u32 },
+    /// Fast-failing; `remaining` more submissions are dead-lettered
+    /// before the breaker goes half-open.
+    Open { remaining: u32 },
+    /// The next submission runs as a trial: success closes the breaker,
+    /// failure re-opens it for a full cooldown.
+    HalfOpen,
+}
+
+/// One queued submission.
+struct Request {
+    tenant: String,
+    spec: JobSpec,
+    dataset: Dataset,
+    seed: u64,
+    /// Per-request fault override (the chaos tests' hostile-tenant
+    /// hook); `None` runs with the service cluster's faults.
+    faults: Option<FaultSpec>,
+    reply: mpsc::Sender<ServiceOutcome>,
+}
+
+struct TenantQueue {
+    items: VecDeque<Request>,
+    /// Whether this tenant is in `ready` or claimed by a worker. An
+    /// active tenant is never re-enqueued into `ready`, which is what
+    /// serializes each tenant's submissions.
+    active: bool,
+}
+
+struct Sched {
+    queues: HashMap<String, TenantQueue>,
+    /// Tenants with pending work, none of which is currently claimed.
+    ready: VecDeque<String>,
+    /// Total queued (not yet claimed) requests, bounded by `queue_depth`.
+    queued: usize,
+    /// Requests currently being processed by workers.
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct TenantState {
+    daemon: Mutex<PStorM>,
+    breaker: Mutex<Breaker>,
+    /// `(next seq, entries)`; bounded by `dlq_capacity`.
+    dlq: Mutex<(u64, VecDeque<DeadLetter>)>,
+}
+
+struct Inner {
+    sched: Mutex<Sched>,
+    /// Workers wait here for ready tenants.
+    work_cv: Condvar,
+    /// `quiesce` waits here for the queue and workers to drain.
+    idle_cv: Condvar,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    tasks: Semaphore,
+    memory: Semaphore,
+    cfg: ServiceConfig,
+    cluster: ClusterSpec,
+    base: ProfileStore,
+    obs: obs::Registry,
+}
+
+/// The concurrent multi-tenant tuning front-end. See the module docs.
+pub struct TuningService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TuningService {
+    /// A service over `store` (tenant views are derived from it) and
+    /// `cluster`, with no tracing.
+    pub fn new(store: ProfileStore, cluster: ClusterSpec, cfg: ServiceConfig) -> Self {
+        Self::with_obs(store, cluster, cfg, obs::Registry::disabled())
+    }
+
+    /// [`Self::new`] recording service + tenant metrics into `reg`. The
+    /// registry is attached to the store before any tenant view exists,
+    /// so backend `cfstore.*` counters land in the same trace.
+    pub fn with_obs(
+        mut store: ProfileStore,
+        cluster: ClusterSpec,
+        cfg: ServiceConfig,
+        reg: obs::Registry,
+    ) -> Self {
+        store.set_obs(reg.clone());
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(Sched {
+                queues: HashMap::new(),
+                ready: VecDeque::new(),
+                queued: 0,
+                in_flight: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            tenants: Mutex::new(HashMap::new()),
+            tasks: Semaphore::new(cfg.max_in_flight.max(1) as u64),
+            memory: Semaphore::new(cfg.memory_budget_bytes),
+            cfg,
+            cluster,
+            base: store,
+            obs: reg,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        TuningService {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Submit a job on behalf of `tenant`. Returns a [`Ticket`]
+    /// immediately; the submission is processed asynchronously, in FIFO
+    /// order relative to the same tenant's other submissions.
+    ///
+    /// When the request queue is full the submission is shed **on the
+    /// caller's thread** (backpressure): it runs the degradation ladder
+    /// against the service cluster and resolves as
+    /// [`SubmissionOutcome::Degraded`], without entering the tenant's
+    /// pipeline. Errors here mean an invalid tenant id, never overload.
+    ///
+    /// # Examples
+    ///
+    /// Two tenants submit the same job; each profiles and stores its own
+    /// first sighting because their store namespaces are disjoint:
+    ///
+    /// ```
+    /// use pstorm::service::{ServiceConfig, ServiceOutcome, TuningService};
+    /// use pstorm::{ProfileStore, SubmissionOutcome};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let svc = TuningService::new(
+    ///     ProfileStore::new()?,
+    ///     mrsim::ClusterSpec::ec2_c1_medium_16(),
+    ///     ServiceConfig::default(),
+    /// );
+    /// let spec = mrjobs::jobs::word_count();
+    /// let ds = datagen::corpus::random_text_1g();
+    ///
+    /// let acme = svc.submit("acme", &spec, &ds, 1)?;
+    /// let zen = svc.submit("zen", &spec, &ds, 1)?;
+    /// for ticket in [acme, zen] {
+    ///     match ticket.wait() {
+    ///         ServiceOutcome::Served(report) => assert!(matches!(
+    ///             report.outcome,
+    ///             SubmissionOutcome::ProfiledAndStored { .. }
+    ///         )),
+    ///         other => panic!("expected a served submission, got {other:?}"),
+    ///     }
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn submit(
+        &self,
+        tenant: &str,
+        spec: &JobSpec,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> Result<Ticket, ProfileStoreError> {
+        self.submit_with_faults(tenant, spec, dataset, seed, None)
+    }
+
+    /// [`Self::submit`] with a per-request fault override — the chaos
+    /// tests' hook for making one tenant's cluster hostile without
+    /// touching anyone else's.
+    pub fn submit_with_faults(
+        &self,
+        tenant: &str,
+        spec: &JobSpec,
+        dataset: &Dataset,
+        seed: u64,
+        faults: Option<FaultSpec>,
+    ) -> Result<Ticket, ProfileStoreError> {
+        cfstore::encoding::validate_tenant(tenant).map_err(ProfileStoreError::Codec)?;
+        let inner = &self.inner;
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            rx,
+            tenant: tenant.to_string(),
+            job_id: spec.job_id(),
+        };
+
+        let accepted = {
+            let mut sched = inner.sched.lock().unwrap();
+            let shutdown = sched.shutdown;
+            let tq = sched
+                .queues
+                .entry(tenant.to_string())
+                .or_insert_with(|| TenantQueue {
+                    items: VecDeque::new(),
+                    active: false,
+                });
+            if shutdown || tq.items.len() >= inner.cfg.queue_depth {
+                false
+            } else {
+                tq.items.push_back(Request {
+                    tenant: tenant.to_string(),
+                    spec: spec.clone(),
+                    dataset: dataset.clone(),
+                    seed,
+                    faults,
+                    reply: tx.clone(),
+                });
+                let wake = !tq.active;
+                tq.active = true;
+                sched.queued += 1;
+                if wake {
+                    sched.ready.push_back(tenant.to_string());
+                    inner.work_cv.notify_one();
+                }
+                let depth = sched.queued as f64;
+                inner.obs.set_gauge("service.queue.depth", depth);
+                inner.obs.max_gauge("service.queue.peak_depth", depth);
+                true
+            }
+        };
+
+        if accepted {
+            inner.obs.incr("service.queue.enqueued", 1);
+            return Ok(ticket);
+        }
+
+        // Queue full (or shutting down): shed on the caller's thread.
+        // The job still runs — straight down the ladder, against the
+        // service cluster, outside the tenant pipeline — and resolves as
+        // Degraded, so overload is never an error.
+        inner.obs.incr("service.queue.shed", 1);
+        inner.obs.incr(&format!("tenant.{tenant}.shed"), 1);
+        let submitted = mrsim::JobConfig::submitted(spec);
+        let outcome = match run_degradation_ladder(
+            &inner.cluster,
+            &inner.cfg.policy,
+            &obs::Registry::disabled(),
+            spec,
+            dataset,
+            &submitted,
+            None,
+            seed,
+        ) {
+            Ok((config, run, rung)) => ServiceOutcome::Served(SubmissionReport {
+                job_id: spec.job_id(),
+                outcome: SubmissionOutcome::Degraded {
+                    config,
+                    reason: format!("request queue full; shed without tuning; {rung}"),
+                },
+                run,
+                sampling_ms: 0.0,
+            }),
+            Err(error) => ServiceOutcome::Failed {
+                job_id: spec.job_id(),
+                error,
+            },
+        };
+        let _ = tx.send(outcome);
+        Ok(ticket)
+    }
+
+    /// Block until every queued submission has been processed and all
+    /// workers are idle. Tickets resolved before `quiesce` returns.
+    pub fn quiesce(&self) {
+        let mut sched = self.inner.sched.lock().unwrap();
+        while sched.queued > 0 || sched.in_flight > 0 {
+            sched = self.inner.idle_cv.wait(sched).unwrap();
+        }
+    }
+
+    /// A tenant's dead-letter queue, oldest first.
+    pub fn dead_letters(&self, tenant: &str) -> Vec<DeadLetter> {
+        let tenants = self.inner.tenants.lock().unwrap();
+        match tenants.get(tenant) {
+            Some(state) => state.dlq.lock().unwrap().1.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A fresh read view of a tenant's namespace in the backing store
+    /// (for inspection; the service keeps using its own views).
+    pub fn store_view(&self, tenant: &str) -> Result<ProfileStore, ProfileStoreError> {
+        self.inner.base.tenant_view(tenant)
+    }
+
+    /// The registry service metrics are recorded into.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.inner.obs
+    }
+
+    /// Flush the backing store (bounds WAL replay on durable backends).
+    pub fn flush(&self) -> Result<(), ProfileStoreError> {
+        self.inner.base.flush()
+    }
+}
+
+impl Drop for TuningService {
+    /// Graceful shutdown: stop accepting, drain everything already
+    /// queued (every ticket resolves), then join the workers.
+    fn drop(&mut self) {
+        {
+            let mut sched = self.inner.sched.lock().unwrap();
+            sched.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let req = {
+            let mut sched = inner.sched.lock().unwrap();
+            loop {
+                if let Some(tenant) = sched.ready.pop_front() {
+                    let tq = sched.queues.get_mut(&tenant).expect("ready tenant queued");
+                    let req = tq.items.pop_front().expect("ready tenant has work");
+                    sched.queued -= 1;
+                    sched.in_flight += 1;
+                    inner
+                        .obs
+                        .set_gauge("service.queue.depth", sched.queued as f64);
+                    // The tenant stays `active` (claimed) until this
+                    // request finishes — its later submissions wait.
+                    break req;
+                }
+                if sched.shutdown {
+                    return;
+                }
+                sched = inner.work_cv.wait(sched).unwrap();
+            }
+        };
+
+        let tenant = req.tenant.clone();
+        process(inner, req);
+
+        let mut sched = inner.sched.lock().unwrap();
+        sched.in_flight -= 1;
+        let tq = sched
+            .queues
+            .get_mut(&tenant)
+            .expect("processed tenant queued");
+        if tq.items.is_empty() {
+            tq.active = false;
+        } else {
+            sched.ready.push_back(tenant);
+            inner.work_cv.notify_one();
+        }
+        if sched.queued == 0 && sched.in_flight == 0 {
+            inner.idle_cv.notify_all();
+        }
+    }
+}
+
+fn tenant_state(inner: &Inner, tenant: &str) -> Arc<TenantState> {
+    let mut tenants = inner.tenants.lock().unwrap();
+    if let Some(state) = tenants.get(tenant) {
+        return Arc::clone(state);
+    }
+    let view = inner
+        .base
+        .tenant_view(tenant)
+        .expect("tenant id validated at submit");
+    let mut daemon = PStorM::with_store(view, inner.cluster.clone());
+    daemon.matcher = inner.cfg.matcher;
+    daemon.cbo = inner.cfg.cbo.clone();
+    daemon.policy = inner.cfg.policy;
+    daemon.set_obs(inner.obs.clone());
+    let state = Arc::new(TenantState {
+        daemon: Mutex::new(daemon),
+        breaker: Mutex::new(Breaker::Closed { failures: 0 }),
+        dlq: Mutex::new((0, VecDeque::new())),
+    });
+    tenants.insert(tenant.to_string(), Arc::clone(&state));
+    inner.obs.set_gauge("service.tenants", tenants.len() as f64);
+    state
+}
+
+fn dead_letter(inner: &Inner, state: &TenantState, tenant: &str, req: &Request, reason: &str) {
+    let mut dlq = state.dlq.lock().unwrap();
+    let seq = dlq.0;
+    dlq.0 += 1;
+    dlq.1.push_back(DeadLetter {
+        seq,
+        job_id: req.spec.job_id(),
+        seed: req.seed,
+        reason: reason.to_string(),
+    });
+    if dlq.1.len() > inner.cfg.dlq_capacity {
+        dlq.1.pop_front();
+        inner.obs.incr(&format!("tenant.{tenant}.dlq.dropped"), 1);
+    }
+    inner
+        .obs
+        .set_gauge(&format!("tenant.{tenant}.dlq.depth"), dlq.1.len() as f64);
+    inner.obs.incr(&format!("tenant.{tenant}.dlq.enqueued"), 1);
+}
+
+/// Process one claimed request: breaker gate → admission → run.
+fn process(inner: &Inner, req: Request) {
+    let tenant = req.tenant.clone();
+    let state = tenant_state(inner, &tenant);
+    inner.obs.incr(&format!("tenant.{tenant}.submissions"), 1);
+
+    // Circuit breaker: while open, fast-fail without touching the
+    // cluster or consuming admission permits.
+    let half_open_trial = {
+        let mut breaker = state.breaker.lock().unwrap();
+        match *breaker {
+            Breaker::Open { remaining } => {
+                *breaker = if remaining <= 1 {
+                    Breaker::HalfOpen
+                } else {
+                    Breaker::Open {
+                        remaining: remaining - 1,
+                    }
+                };
+                inner
+                    .obs
+                    .incr(&format!("tenant.{tenant}.breaker.fast_fail"), 1);
+                dead_letter(inner, &state, &tenant, &req, "circuit breaker open");
+                inner.obs.incr(&format!("tenant.{tenant}.rejected"), 1);
+                let _ = req.reply.send(ServiceOutcome::Rejected {
+                    job_id: req.spec.job_id(),
+                    reason: "circuit breaker open; submission dead-lettered".to_string(),
+                });
+                return;
+            }
+            Breaker::HalfOpen => true,
+            Breaker::Closed { .. } => false,
+        }
+    };
+
+    // Admission: a full tuning pipeline needs one task permit and its
+    // memory charge. Either one exhausted → shed through the tenant's
+    // own daemon (still serialized with its other submissions).
+    let mem = inner.cfg.submission_memory_bytes;
+    let admitted = inner.tasks.try_acquire(1) && {
+        if inner.memory.try_acquire(mem) {
+            true
+        } else {
+            inner.tasks.release(1);
+            false
+        }
+    };
+    inner.obs.set_gauge(
+        "service.admission.tasks_in_flight",
+        inner.tasks.in_use() as f64,
+    );
+    inner.obs.set_gauge(
+        "service.admission.memory_in_use",
+        inner.memory.in_use() as f64,
+    );
+
+    let result = {
+        let mut daemon = state.daemon.lock().unwrap();
+        daemon.cluster.faults = req
+            .faults
+            .clone()
+            .unwrap_or_else(|| inner.cluster.faults.clone());
+        if admitted {
+            daemon.submit(&req.spec, &req.dataset, req.seed)
+        } else {
+            inner.obs.incr("service.admission.shed", 1);
+            inner.obs.incr(&format!("tenant.{tenant}.shed"), 1);
+            daemon.submit_untuned(
+                &req.spec,
+                &req.dataset,
+                req.seed,
+                "admission control: no free tuning slot; shed under overload",
+            )
+        }
+    };
+    if admitted {
+        inner.tasks.release(1);
+        inner.memory.release(mem);
+        inner.obs.set_gauge(
+            "service.admission.tasks_in_flight",
+            inner.tasks.in_use() as f64,
+        );
+        inner.obs.set_gauge(
+            "service.admission.memory_in_use",
+            inner.memory.in_use() as f64,
+        );
+    }
+
+    let outcome = match result {
+        Ok(report) => {
+            {
+                let mut breaker = state.breaker.lock().unwrap();
+                if half_open_trial {
+                    inner
+                        .obs
+                        .incr(&format!("tenant.{tenant}.breaker.closed"), 1);
+                }
+                *breaker = Breaker::Closed { failures: 0 };
+            }
+            let label = match &report.outcome {
+                SubmissionOutcome::Tuned { .. } => "tuned",
+                SubmissionOutcome::ProfiledAndStored { .. } => "profiled",
+                SubmissionOutcome::Degraded { .. } => "degraded",
+            };
+            inner.obs.incr(&format!("tenant.{tenant}.{label}"), 1);
+            ServiceOutcome::Served(report)
+        }
+        Err(error) => {
+            let tripped = {
+                let mut breaker = state.breaker.lock().unwrap();
+                let failures = match *breaker {
+                    Breaker::Closed { failures } => failures + 1,
+                    // A failed half-open trial re-opens immediately.
+                    Breaker::HalfOpen => inner.cfg.breaker_max_failures.max(1),
+                    Breaker::Open { .. } => unreachable!("open breakers fast-fail above"),
+                };
+                if failures >= inner.cfg.breaker_max_failures.max(1) {
+                    *breaker = Breaker::Open {
+                        remaining: inner.cfg.breaker_cooldown.max(1),
+                    };
+                    true
+                } else {
+                    *breaker = Breaker::Closed { failures };
+                    false
+                }
+            };
+            if tripped {
+                inner.obs.incr(&format!("tenant.{tenant}.breaker.trips"), 1);
+                inner.obs.event(
+                    "service.breaker.open",
+                    &[
+                        ("tenant", tenant.as_str().into()),
+                        ("cooldown", inner.cfg.breaker_cooldown.into()),
+                    ],
+                );
+            }
+            inner.obs.incr(&format!("tenant.{tenant}.failed"), 1);
+            dead_letter(inner, &state, &tenant, &req, &error.to_string());
+            ServiceOutcome::Failed {
+                job_id: req.spec.job_id(),
+                error,
+            }
+        }
+    };
+    let _ = req.reply.send(outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::corpus;
+    use mrjobs::jobs;
+    use optimizer::CboOptions;
+
+    fn small_service(cfg: ServiceConfig) -> TuningService {
+        TuningService::with_obs(
+            ProfileStore::new().unwrap(),
+            ClusterSpec::ec2_c1_medium_16(),
+            cfg,
+            obs::Registry::new(),
+        )
+    }
+
+    fn counter(svc: &TuningService, name: &str) -> u64 {
+        *svc.obs().snapshot().counters.get(name).unwrap_or(&0)
+    }
+
+    #[test]
+    fn tenants_profile_and_tune_independently() {
+        let svc = small_service(ServiceConfig::default());
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+
+        // Both tenants' first submissions profile-and-store; their second
+        // submissions tune — against their own stored profile.
+        for round in 0..2u64 {
+            let tickets: Vec<Ticket> = ["acme", "zen"]
+                .iter()
+                .map(|t| svc.submit(t, &spec, &ds, round + 1).unwrap())
+                .collect();
+            for ticket in tickets {
+                match ticket.wait() {
+                    ServiceOutcome::Served(report) => match (round, report.outcome) {
+                        (0, SubmissionOutcome::ProfiledAndStored { .. }) => {}
+                        (1, SubmissionOutcome::Tuned { .. }) => {}
+                        (r, other) => panic!("round {r}: unexpected outcome {other:?}"),
+                    },
+                    other => panic!("expected served, got {other:?}"),
+                }
+            }
+        }
+        svc.quiesce();
+        assert_eq!(svc.store_view("acme").unwrap().len().unwrap(), 1);
+        assert_eq!(svc.store_view("zen").unwrap().len().unwrap(), 1);
+        assert_eq!(counter(&svc, "tenant.acme.tuned"), 1);
+        assert_eq!(counter(&svc, "tenant.zen.profiled"), 1);
+    }
+
+    #[test]
+    fn per_tenant_submissions_resolve_in_fifo_order() {
+        let svc = small_service(ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        // First submission must profile, the rest must tune — which can
+        // only happen if the tenant's queue is processed strictly FIFO
+        // even with multiple workers available.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| svc.submit("acme", &spec, &ds, 10 + i).unwrap())
+            .collect();
+        let outcomes: Vec<ServiceOutcome> = tickets.into_iter().map(Ticket::wait).collect();
+        match &outcomes[0] {
+            ServiceOutcome::Served(r) => {
+                assert!(matches!(
+                    r.outcome,
+                    SubmissionOutcome::ProfiledAndStored { .. }
+                ))
+            }
+            other => panic!("first submission: {other:?}"),
+        }
+        for o in &outcomes[1..] {
+            match o {
+                ServiceOutcome::Served(r) => {
+                    assert!(matches!(r.outcome, SubmissionOutcome::Tuned { .. }))
+                }
+                other => panic!("later submission: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn overload_sheds_as_degraded_never_errors() {
+        // One worker, one tuning slot, a 2-deep queue: flooding it must
+        // resolve every ticket as Served (some Degraded via shedding),
+        // never Failed/panic.
+        let svc = small_service(ServiceConfig {
+            workers: 1,
+            queue_depth: 2,
+            max_in_flight: 1,
+            ..ServiceConfig::default()
+        });
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| svc.submit("flood", &spec, &ds, 100 + i).unwrap())
+            .collect();
+        let mut degraded = 0;
+        for ticket in tickets {
+            match ticket.wait() {
+                ServiceOutcome::Served(report) => {
+                    if matches!(report.outcome, SubmissionOutcome::Degraded { .. }) {
+                        degraded += 1;
+                    }
+                }
+                other => panic!("overload must never error: {other:?}"),
+            }
+        }
+        assert!(degraded > 0, "expected queue-full shedding");
+        assert!(counter(&svc, "service.queue.shed") > 0);
+        let snap = svc.obs().snapshot();
+        assert!(snap.gauges.contains_key("service.queue.depth"));
+        assert!(snap.gauges["service.queue.peak_depth"] >= 1.0);
+    }
+
+    #[test]
+    fn memory_exhaustion_sheds_through_the_ladder() {
+        // Tasks are plentiful but the memory budget fits nothing: every
+        // submission sheds through the tenant's daemon (admission shed,
+        // not queue shed) and still serves.
+        let svc = small_service(ServiceConfig {
+            workers: 2,
+            memory_budget_bytes: 1,
+            ..ServiceConfig::default()
+        });
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        let t = svc.submit("acme", &spec, &ds, 7).unwrap();
+        match t.wait() {
+            ServiceOutcome::Served(report) => match report.outcome {
+                SubmissionOutcome::Degraded { ref reason, .. } => {
+                    assert!(reason.contains("admission control"), "{reason}")
+                }
+                other => panic!("expected degraded, got {other:?}"),
+            },
+            other => panic!("expected served, got {other:?}"),
+        }
+        assert_eq!(counter(&svc, "service.admission.shed"), 1);
+        // Nothing was stored: the shed path skips the feedback loop.
+        assert_eq!(svc.store_view("acme").unwrap().len().unwrap(), 0);
+    }
+
+    #[test]
+    fn breaker_trips_dead_letters_and_recovers() {
+        let hostile = FaultSpec {
+            node_loss_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        let mut cfg = ServiceConfig {
+            workers: 2,
+            breaker_max_failures: 2,
+            breaker_cooldown: 3,
+            dlq_capacity: 8,
+            ..ServiceConfig::default()
+        };
+        cfg.queue_depth = 64;
+        let svc = small_service(cfg);
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+
+        // Two hard failures trip the breaker…
+        for seed in 0..2 {
+            match svc
+                .submit_with_faults("bad", &spec, &ds, seed, Some(hostile.clone()))
+                .unwrap()
+                .wait()
+            {
+                ServiceOutcome::Failed { .. } => {}
+                other => panic!("hostile tenant should fail hard: {other:?}"),
+            }
+        }
+        // …the next `cooldown` submissions are rejected fast…
+        for seed in 2..5 {
+            match svc.submit("bad", &spec, &ds, seed).unwrap().wait() {
+                ServiceOutcome::Rejected { reason, .. } => {
+                    assert!(reason.contains("circuit breaker"), "{reason}")
+                }
+                other => panic!("expected fast rejection, got {other:?}"),
+            }
+        }
+        // …and a healthy half-open trial closes it again.
+        match svc.submit("bad", &spec, &ds, 50).unwrap().wait() {
+            ServiceOutcome::Served(_) => {}
+            other => panic!("half-open trial should serve: {other:?}"),
+        }
+        // Meanwhile a healthy tenant was never affected.
+        match svc.submit("good", &spec, &ds, 1).unwrap().wait() {
+            ServiceOutcome::Served(_) => {}
+            other => panic!("healthy tenant must serve: {other:?}"),
+        }
+
+        let dlq = svc.dead_letters("bad");
+        assert_eq!(dlq.len(), 5, "2 failures + 3 fast-fails: {dlq:?}");
+        assert!(dlq.iter().any(|d| d.reason.contains("circuit breaker")));
+        assert!(svc.dead_letters("good").is_empty());
+        assert_eq!(counter(&svc, "tenant.bad.breaker.trips"), 1);
+        assert_eq!(counter(&svc, "tenant.bad.breaker.fast_fail"), 3);
+        assert_eq!(counter(&svc, "tenant.bad.breaker.closed"), 1);
+        assert_eq!(counter(&svc, "tenant.good.failed"), 0);
+    }
+
+    #[test]
+    fn dlq_is_bounded_and_drops_oldest() {
+        let hostile = FaultSpec {
+            node_loss_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        let svc = small_service(ServiceConfig {
+            workers: 1,
+            breaker_max_failures: u32::MAX, // never trip: every failure dead-letters via the error path
+            dlq_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        for seed in 0..4 {
+            let _ = svc
+                .submit_with_faults("bad", &spec, &ds, seed, Some(hostile.clone()))
+                .unwrap()
+                .wait();
+        }
+        let dlq = svc.dead_letters("bad");
+        assert_eq!(dlq.len(), 2);
+        assert_eq!(dlq[0].seq, 2, "oldest entries dropped: {dlq:?}");
+        assert_eq!(counter(&svc, "tenant.bad.dlq.dropped"), 2);
+    }
+
+    #[test]
+    fn invalid_tenant_is_a_typed_error() {
+        let svc = small_service(ServiceConfig::default());
+        let spec = jobs::word_count();
+        let ds = corpus::random_text_1g();
+        assert!(matches!(
+            svc.submit("no/slash", &spec, &ds, 1),
+            Err(ProfileStoreError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn service_outcomes_match_a_solo_daemon_bit_for_bit() {
+        // The single-tenant equivalence check: a tenant's outcomes under
+        // the concurrent service equal a solo PStorM run on its own
+        // store, including the predicted runtime's exact bits.
+        let spec = jobs::word_cooccurrence_pairs(2);
+        let ds = corpus::random_text_1g();
+
+        let solo = PStorM::new().unwrap();
+        let s1 = solo.submit(&spec, &ds, 1).unwrap();
+        let s2 = solo.submit(&spec, &ds, 2).unwrap();
+
+        let svc = small_service(ServiceConfig::default());
+        // A noisy neighbour runs concurrently the whole time.
+        let noise: Vec<Ticket> = (0..3)
+            .map(|i| {
+                svc.submit("noisy", &jobs::sort(), &corpus::teragen_1g(), i)
+                    .unwrap()
+            })
+            .collect();
+        let v1 = svc.submit("quiet", &spec, &ds, 1).unwrap().wait();
+        let v2 = svc.submit("quiet", &spec, &ds, 2).unwrap().wait();
+        for t in noise {
+            let _ = t.wait();
+        }
+
+        let (ServiceOutcome::Served(r1), ServiceOutcome::Served(r2)) = (v1, v2) else {
+            panic!("quiet tenant must serve");
+        };
+        assert!(matches!(
+            r1.outcome,
+            SubmissionOutcome::ProfiledAndStored { .. }
+        ));
+        assert_eq!(r1.run.runtime_ms.to_bits(), s1.run.runtime_ms.to_bits());
+        match (&r2.outcome, &s2.outcome) {
+            (
+                SubmissionOutcome::Tuned {
+                    matched: m_svc,
+                    predicted_ms: p_svc,
+                    tuned_config: c_svc,
+                },
+                SubmissionOutcome::Tuned {
+                    matched: m_solo,
+                    predicted_ms: p_solo,
+                    tuned_config: c_solo,
+                },
+            ) => {
+                assert_eq!(m_svc.map.source_job, m_solo.map.source_job);
+                assert_eq!(p_svc.to_bits(), p_solo.to_bits());
+                assert_eq!(c_svc, c_solo);
+            }
+            other => panic!("expected tuned on both paths: {other:?}"),
+        }
+        assert_eq!(r2.run.runtime_ms.to_bits(), s2.run.runtime_ms.to_bits());
+    }
+
+    #[test]
+    fn cbo_options_reachable_through_default_daemon() {
+        // Guard: tenant daemons are built with default CboOptions; this
+        // pins the assumption the equivalence test above relies on.
+        let solo = PStorM::new().unwrap();
+        let d = CboOptions::default();
+        assert_eq!(solo.cbo.budget, d.budget);
+        assert_eq!(solo.cbo.rounds, d.rounds);
+    }
+}

@@ -14,6 +14,13 @@
 //! The prefix keeps all rows of one feature type contiguous, so each
 //! matching stage scans exactly one key range with a pushed-down filter —
 //! the locality argument of §5.1.
+//!
+//! Multi-tenancy (DESIGN.md §14) namespaces this whole layout per tenant:
+//! a [`ProfileStore::tenant_view`] shares the backing store but prepends
+//! `t/<tenant>/` (see [`cfstore::encoding::tenant_prefix`]) to every row
+//! key it reads or writes, so each tenant sees a private copy of the
+//! table above. The default tenant's prefix is empty — single-tenant
+//! callers keep the exact legacy key layout, bit for bit.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -212,9 +219,20 @@ impl Backend {
 
 /// The PStorM profile store.
 pub struct ProfileStore {
-    store: Backend,
+    /// Shared with every [`Self::tenant_view`] of the same backing store.
+    store: Arc<Backend>,
+    /// Row-key namespace prefix: `""` for the default tenant (legacy
+    /// layout), `t/<tenant>/` otherwise. Every key this store builds and
+    /// every prefix it scans goes through [`Self::key`] / [`Self::pfx`],
+    /// which prepend it.
+    ns: String,
+    /// The tenant this view is scoped to
+    /// ([`cfstore::encoding::DEFAULT_TENANT`] unless created by
+    /// [`Self::tenant_view`]).
+    tenant: String,
     /// Columnar in-memory projection of the numeric feature rows, rebuilt
-    /// lazily after writes. See [`ColumnarIndex`].
+    /// lazily after writes. Per-view: each tenant view caches only its
+    /// own namespace. See [`ColumnarIndex`].
     index: RwLock<Option<Arc<ColumnarIndex>>>,
     /// Decoded `Meta/normalization` row, invalidated on every insert.
     bounds_cache: RwLock<Option<NormalizationBounds>>,
@@ -230,7 +248,9 @@ impl ProfileStore {
         let store = Backend::Single(MiniStore::new());
         store.create_table(TABLE, &[FAMILY])?;
         Ok(ProfileStore {
-            store,
+            store: Arc::new(store),
+            ns: String::new(),
+            tenant: cfstore::encoding::DEFAULT_TENANT.to_string(),
             index: RwLock::new(None),
             bounds_cache: RwLock::new(None),
             obs: obs::Registry::disabled(),
@@ -314,7 +334,9 @@ impl ProfileStore {
             Err(e) => return Err(e.into()),
         }
         let ps = ProfileStore {
-            store,
+            store: Arc::new(store),
+            ns: String::new(),
+            tenant: cfstore::encoding::DEFAULT_TENANT.to_string(),
             index: RwLock::new(None),
             bounds_cache: RwLock::new(None),
             obs: obs::Registry::disabled(),
@@ -323,6 +345,54 @@ impl ProfileStore {
         // half-recovered row inconsistency now rather than mid-match.
         ps.columnar_index()?;
         Ok(ps)
+    }
+
+    /// A view of the same backing store scoped to `tenant`: every row key
+    /// it builds is namespaced under the tenant's prefix, so the matcher,
+    /// columnar index, and normalization bounds running on the view see
+    /// **only** that tenant's rows (DESIGN.md §14). Views share the
+    /// backend (and its WAL/segments/shards) but carry their own index
+    /// and bounds caches; create one view per tenant and route all of
+    /// that tenant's traffic through it. Viewing
+    /// [`cfstore::encoding::DEFAULT_TENANT`] yields the legacy key layout
+    /// unchanged.
+    pub fn tenant_view(&self, tenant: &str) -> Result<ProfileStore, ProfileStoreError> {
+        let ns = cfstore::encoding::tenant_prefix(tenant)?;
+        Ok(ProfileStore {
+            store: Arc::clone(&self.store),
+            ns,
+            tenant: tenant.to_string(),
+            index: RwLock::new(None),
+            bounds_cache: RwLock::new(None),
+            obs: self.obs.clone(),
+        })
+    }
+
+    /// The tenant this store is scoped to
+    /// ([`cfstore::encoding::DEFAULT_TENANT`] for stores not created via
+    /// [`Self::tenant_view`]).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Row key `<ns><feature>/<job_id>`.
+    fn key(&self, feature: &str, job_id: &str) -> Bytes {
+        Bytes::from(format!("{}{feature}/{job_id}", self.ns))
+    }
+
+    /// Scan prefix `<ns><feature>/`.
+    fn pfx(&self, feature: &str) -> Vec<u8> {
+        format!("{}{feature}/", self.ns).into_bytes()
+    }
+
+    /// Bytes to strip from a scanned row key to recover the job id.
+    fn skip(&self, feature: &str) -> usize {
+        self.ns.len() + feature.len() + 1
+    }
+
+    /// The per-tenant normalization-bounds row.
+    fn meta_key(&self) -> Bytes {
+        Bytes::from(format!("{}Meta/normalization", self.ns))
     }
 
     /// Flush the underlying store's memstores to segment files (no-op for
@@ -346,8 +416,15 @@ impl ProfileStore {
     /// Route this store's (and the underlying [`MiniStore`]'s) metrics
     /// into `reg`. Pass a clone of the daemon's registry to collect one
     /// coherent trace; see DESIGN.md §10.
+    ///
+    /// Attach the registry **before** creating tenant views: once views
+    /// share the backend, the backend-level `cfstore.*` counters keep
+    /// whatever registry they already had (only this view's `store.*`
+    /// counters are redirected).
     pub fn set_obs(&mut self, reg: obs::Registry) {
-        self.store.set_obs(reg.clone());
+        if let Some(store) = Arc::get_mut(&mut self.store) {
+            store.set_obs(reg.clone());
+        }
         self.obs = reg;
     }
 
@@ -360,9 +437,12 @@ impl ProfileStore {
     /// Chaos hook: bit-flip one stored cell (e.g. `Profile/<job>`'s
     /// `PROFILE` column) without updating its checksum, so the next read
     /// surfaces [`cfstore::StoreError::Corruption`] through
-    /// [`ProfileStoreError::Store`]. Returns whether a cell was hit.
+    /// [`ProfileStoreError::Store`]. Returns whether a cell was hit. The
+    /// row is namespace-relative: on a tenant view it corrupts that
+    /// tenant's copy of the row.
     pub fn corrupt_cell(&self, row: &[u8], column: &[u8]) -> Result<bool, ProfileStoreError> {
-        Ok(self.store.corrupt_cell(TABLE, row, FAMILY, column)?)
+        let full = [self.ns.as_bytes(), row].concat();
+        Ok(self.store.corrupt_cell(TABLE, &full, FAMILY, column)?)
     }
 
     /// Insert (or replace) a job's profile and features, maintaining the
@@ -409,6 +489,7 @@ impl ProfileStore {
         let mut puts: Vec<Put> = Vec::new();
 
         // Static/<job>: categorical features + CFG cells.
+        let static_key = self.key("Static", job_id);
         for (name, value) in statics
             .map
             .categorical
@@ -416,7 +497,7 @@ impl ProfileStore {
             .chain(&statics.reduce.categorical)
         {
             puts.push(Put::new(
-                row_key("Static", job_id),
+                static_key.clone(),
                 FAMILY,
                 Bytes::copy_from_slice(name.as_bytes()),
                 Bytes::copy_from_slice(value.as_bytes()),
@@ -424,7 +505,7 @@ impl ProfileStore {
         }
         if let Some(cfg) = &statics.map.cfg {
             puts.push(Put::new(
-                row_key("Static", job_id),
+                static_key.clone(),
                 FAMILY,
                 "MAP_CFG",
                 encode_cfg(cfg),
@@ -432,7 +513,7 @@ impl ProfileStore {
         }
         if let Some(cfg) = &statics.reduce.cfg {
             puts.push(Put::new(
-                row_key("Static", job_id),
+                static_key.clone(),
                 FAMILY,
                 "RED_CFG",
                 encode_cfg(cfg),
@@ -440,42 +521,42 @@ impl ProfileStore {
         }
 
         // Dynamic/<job>: dataflow statistics + input size + reduce flag.
+        let dynamic_key = self.key("Dynamic", job_id);
         let map_dyn = profile.map.dynamic_features();
         for (name, v) in MAP_DYNAMIC_COLUMNS.iter().zip(&map_dyn) {
-            puts.push(f64_put("Dynamic", job_id, name, *v));
+            puts.push(f64_put(dynamic_key.clone(), name, *v));
         }
         if let Some(red) = &profile.reduce {
             for (name, v) in RED_DYNAMIC_COLUMNS
                 .iter()
                 .zip(red.dynamic_features().iter())
             {
-                puts.push(f64_put("Dynamic", job_id, name, *v));
+                puts.push(f64_put(dynamic_key.clone(), name, *v));
             }
         }
         puts.push(f64_put(
-            "Dynamic",
-            job_id,
+            dynamic_key.clone(),
             INPUT_BYTES_COLUMN,
             profile.input_bytes,
         ));
         puts.push(f64_put(
-            "Dynamic",
-            job_id,
+            dynamic_key,
             HAS_REDUCE_COLUMN,
             profile.reduce.is_some() as u8 as f64,
         ));
 
         // CostFactor/<job>.
+        let cost_key = self.key("CostFactor", job_id);
         for (name, v) in CostFactors::names()
             .iter()
             .zip(profile.map.cost_factors.as_vec())
         {
-            puts.push(f64_put("CostFactor", job_id, name, v));
+            puts.push(f64_put(cost_key.clone(), name, v));
         }
 
         // Profile/<job>: the full blob.
         puts.push(Put::new(
-            row_key("Profile", job_id),
+            self.key("Profile", job_id),
             FAMILY,
             "blob",
             encode_profile(profile),
@@ -492,20 +573,21 @@ impl ProfileStore {
         bounds.map_dyn.observe(&map_dyn);
         bounds.red_dyn.observe(&red_dyn);
         bounds.cost.observe(&cost);
+        let meta_key = self.meta_key();
         puts.push(Put::new(
-            "Meta/normalization",
+            meta_key.clone(),
             FAMILY,
             "map_dyn",
             encode_bounds(&bounds.map_dyn),
         ));
         puts.push(Put::new(
-            "Meta/normalization",
+            meta_key.clone(),
             FAMILY,
             "red_dyn",
             encode_bounds(&bounds.red_dyn),
         ));
         puts.push(Put::new(
-            "Meta/normalization",
+            meta_key,
             FAMILY,
             "cost",
             encode_bounds(&bounds.cost),
@@ -534,7 +616,7 @@ impl ProfileStore {
     }
 
     fn read_normalization_bounds(&self) -> Result<NormalizationBounds, ProfileStoreError> {
-        let row = self.store.get(TABLE, b"Meta/normalization")?;
+        let row = self.store.get(TABLE, self.meta_key().as_ref())?;
         let decode = |row: &RowResult,
                       col: &str,
                       dim: usize|
@@ -561,7 +643,9 @@ impl ProfileStore {
     /// Fetch the full profile of a job.
     pub fn get_profile(&self, job_id: &str) -> Result<Option<JobProfile>, ProfileStoreError> {
         self.obs.incr("store.get_profile", 1);
-        let row = self.store.get(TABLE, row_key("Profile", job_id).as_ref())?;
+        let row = self
+            .store
+            .get(TABLE, self.key("Profile", job_id).as_ref())?;
         match row {
             Some(row) => {
                 let blob = row.value(FAMILY, b"blob").ok_or_else(|| {
@@ -581,7 +665,7 @@ impl ProfileStore {
         for prefix in ["Static", "Dynamic", "CostFactor", "Profile"] {
             any |= self
                 .store
-                .delete_row(TABLE, row_key(prefix, job_id).as_ref())?;
+                .delete_row(TABLE, self.key(prefix, job_id).as_ref())?;
         }
         if any {
             *self.index.write() = None;
@@ -591,10 +675,13 @@ impl ProfileStore {
 
     /// All stored job ids (scans the `Profile/` prefix).
     pub fn job_ids(&self) -> Result<Vec<String>, ProfileStoreError> {
-        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(b"Profile/"))?;
+        let (rows, _) = self
+            .store
+            .scan(TABLE, &Scan::prefix(&self.pfx("Profile")))?;
+        let skip = self.skip("Profile");
         rows.iter()
             .map(|r| {
-                std::str::from_utf8(&r.row["Profile/".len()..])
+                std::str::from_utf8(&r.row[skip..])
                     .map(str::to_string)
                     .map_err(|_| ProfileStoreError::Corrupt("non-UTF8 job id".to_string()))
             })
@@ -618,21 +705,26 @@ impl ProfileStore {
         &self,
         predicate: impl Fn(&DynamicRow) -> bool + Send + Sync + 'static,
     ) -> Result<(Vec<DynamicRow>, ScanMetrics), ProfileStoreError> {
-        let scan = Scan::prefix(b"Dynamic/").with_filter(Box::new(cfstore::PredicateFilter {
-            name: "dynamic-feature filter".to_string(),
-            pred: move |row: &RowResult| match DynamicRow::parse(row) {
-                Some(d) => predicate(&d),
-                None => false,
-            },
-        }));
+        let skip = self.skip("Dynamic");
+        let scan =
+            Scan::prefix(&self.pfx("Dynamic")).with_filter(Box::new(cfstore::PredicateFilter {
+                name: "dynamic-feature filter".to_string(),
+                pred: move |row: &RowResult| match DynamicRow::parse(row, skip) {
+                    Some(d) => predicate(&d),
+                    None => false,
+                },
+            }));
         let (rows, metrics) = self.store.scan(TABLE, &scan)?;
-        let parsed = rows.iter().filter_map(DynamicRow::parse).collect();
+        let parsed = rows
+            .iter()
+            .filter_map(|r| DynamicRow::parse(r, skip))
+            .collect();
         Ok((parsed, metrics))
     }
 
     /// Fetch a job's stored static features.
     pub fn get_statics(&self, job_id: &str) -> Result<Option<StoredStatics>, ProfileStoreError> {
-        let Some(row) = self.store.get(TABLE, row_key("Static", job_id).as_ref())? else {
+        let Some(row) = self.store.get(TABLE, self.key("Static", job_id).as_ref())? else {
             return Ok(None);
         };
         Ok(Some(decode_statics(&row)?))
@@ -643,10 +735,11 @@ impl ProfileStore {
     /// [`Self::get_statics`] point-gets when a matching stage needs most
     /// of the table anyway.
     pub fn all_statics(&self) -> Result<HashMap<String, StoredStatics>, ProfileStoreError> {
-        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(b"Static/"))?;
+        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(&self.pfx("Static")))?;
+        let skip = self.skip("Static");
         rows.iter()
             .map(|row| {
-                let id = job_id_of(&row.row, "Static/")?;
+                let id = job_id_of(&row.row, skip)?;
                 Ok((id, decode_statics(row)?))
             })
             .collect()
@@ -656,7 +749,7 @@ impl ProfileStore {
     pub fn get_cost_factors(&self, job_id: &str) -> Result<Option<Vec<f64>>, ProfileStoreError> {
         let Some(row) = self
             .store
-            .get(TABLE, row_key("CostFactor", job_id).as_ref())?
+            .get(TABLE, self.key("CostFactor", job_id).as_ref())?
         else {
             return Ok(None);
         };
@@ -666,10 +759,13 @@ impl ProfileStore {
     /// Fetch the cost factors of every stored job with a single
     /// `CostFactor/` prefix scan (batched alternative to point-gets).
     pub fn all_cost_factors(&self) -> Result<HashMap<String, Vec<f64>>, ProfileStoreError> {
-        let (rows, _) = self.store.scan(TABLE, &Scan::prefix(b"CostFactor/"))?;
+        let (rows, _) = self
+            .store
+            .scan(TABLE, &Scan::prefix(&self.pfx("CostFactor")))?;
+        let skip = self.skip("CostFactor");
         rows.iter()
             .map(|row| {
-                let id = job_id_of(&row.row, "CostFactor/")?;
+                let id = job_id_of(&row.row, skip)?;
                 let v = decode_cost_factors(row, &id)?;
                 Ok((id, v))
             })
@@ -692,7 +788,10 @@ impl ProfileStore {
     }
 
     fn build_columnar_index(&self) -> Result<ColumnarIndex, ProfileStoreError> {
-        let (dyn_rows, _) = self.store.scan(TABLE, &Scan::prefix(b"Dynamic/"))?;
+        let (dyn_rows, _) = self
+            .store
+            .scan(TABLE, &Scan::prefix(&self.pfx("Dynamic")))?;
+        let skip = self.skip("Dynamic");
         let mut statics = self.all_statics()?;
         let mut costs = self.all_cost_factors()?;
 
@@ -710,7 +809,7 @@ impl ProfileStore {
             statics: Vec::with_capacity(n),
         };
         for row in &dyn_rows {
-            let parsed = DynamicRow::parse(row).ok_or_else(|| {
+            let parsed = DynamicRow::parse(row, skip).ok_or_else(|| {
                 ProfileStoreError::Corrupt(format!(
                     "undecodable Dynamic row {}",
                     String::from_utf8_lossy(&row.row)
@@ -746,7 +845,7 @@ impl ProfileStore {
     /// on single-store backends; sharded stores have no single inner
     /// [`MiniStore`] — use [`Self::sharded`] instead.
     pub fn inner(&self) -> &MiniStore {
-        match &self.store {
+        match &*self.store {
             Backend::Single(s) => s,
             Backend::Sharded(_) => {
                 panic!("ProfileStore::inner() on a sharded backend; use sharded()")
@@ -757,21 +856,27 @@ impl ProfileStore {
     /// The underlying sharded store, when this store was opened with
     /// [`Self::reopen_sharded`] (`None` for single-store backends).
     pub fn sharded(&self) -> Option<&ShardedStore> {
-        match &self.store {
+        match &*self.store {
             Backend::Sharded(s) => Some(s),
             Backend::Single(_) => None,
         }
     }
 
     /// Backend-routed raw single-cell put into the `Jobs` table (the
-    /// workflow layer's plan rows ride on this).
-    pub(crate) fn raw_put(&self, put: Put) -> Result<(), ProfileStoreError> {
+    /// workflow layer's plan rows ride on this). The row key is
+    /// namespace-relative; tenant views write into their own prefix.
+    pub(crate) fn raw_put(&self, mut put: Put) -> Result<(), ProfileStoreError> {
+        if !self.ns.is_empty() {
+            put.row = Bytes::from([self.ns.as_bytes(), put.row.as_ref()].concat());
+        }
         Ok(self.store.put(TABLE, put)?)
     }
 
-    /// Backend-routed raw row get from the `Jobs` table.
+    /// Backend-routed raw row get from the `Jobs` table
+    /// (namespace-relative, like [`Self::raw_put`]).
     pub(crate) fn raw_get(&self, row: &[u8]) -> Result<Option<RowResult>, ProfileStoreError> {
-        Ok(self.store.get(TABLE, row)?)
+        let full = [self.ns.as_bytes(), row].concat();
+        Ok(self.store.get(TABLE, &full)?)
     }
 }
 
@@ -993,8 +1098,8 @@ impl ColumnarIndex {
     }
 }
 
-fn job_id_of(row_key: &[u8], prefix: &str) -> Result<String, ProfileStoreError> {
-    std::str::from_utf8(&row_key[prefix.len()..])
+fn job_id_of(row_key: &[u8], skip: usize) -> Result<String, ProfileStoreError> {
+    std::str::from_utf8(&row_key[skip..])
         .map(str::to_string)
         .map_err(|_| ProfileStoreError::Corrupt("non-UTF8 job id".to_string()))
 }
@@ -1065,8 +1170,10 @@ pub struct DynamicRow {
 }
 
 impl DynamicRow {
-    fn parse(row: &RowResult) -> Option<DynamicRow> {
-        let job_id = std::str::from_utf8(row.row.get("Dynamic/".len()..)?).ok()?;
+    /// `skip` is the namespace + `Dynamic/` prefix length of the view
+    /// that scanned the row ([`ProfileStore::skip`]).
+    fn parse(row: &RowResult, skip: usize) -> Option<DynamicRow> {
+        let job_id = std::str::from_utf8(row.row.get(skip..)?).ok()?;
         let mut map_dyn = Vec::with_capacity(MAP_DYNAMIC_COLUMNS.len());
         for c in MAP_DYNAMIC_COLUMNS {
             map_dyn.push(decode_f64(row.value(FAMILY, c.as_bytes())?).ok()?);
@@ -1122,13 +1229,9 @@ fn decode_bounds(bytes: &[u8]) -> Result<MinMaxNormalizer, ProfileStoreError> {
     })
 }
 
-fn row_key(prefix: &str, job_id: &str) -> Bytes {
-    Bytes::from(format!("{prefix}/{job_id}"))
-}
-
-fn f64_put(prefix: &str, job_id: &str, column: &str, v: f64) -> Put {
+fn f64_put(row: Bytes, column: &str, v: f64) -> Put {
     Put::new(
-        row_key(prefix, job_id),
+        row,
         FAMILY,
         Bytes::copy_from_slice(column.as_bytes()),
         encode_f64(v),
@@ -1178,8 +1281,8 @@ mod tests {
         let (statics, profile) = profile_of(&jobs::word_count(), &corpus::random_text_1g());
         store.put_profile(&statics, &profile).unwrap();
 
-        let row = row_key("Profile", &profile.job_id);
-        assert!(store.corrupt_cell(row.as_ref(), b"blob").unwrap());
+        let row = format!("Profile/{}", profile.job_id);
+        assert!(store.corrupt_cell(row.as_bytes(), b"blob").unwrap());
         match store.get_profile(&profile.job_id) {
             Err(ProfileStoreError::Store(StoreError::Corruption { row, column })) => {
                 assert!(row.starts_with("Profile/"));
@@ -1408,6 +1511,61 @@ mod tests {
         assert_eq!(bounds_after.map_dyn.maxs, bounds_before.map_dyn.maxs);
         assert_eq!(bounds_after.cost.maxs, bounds_before.cost.maxs);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tenant_views_are_disjoint_namespaces() {
+        let base = ProfileStore::new().unwrap();
+        let acme = base.tenant_view("acme").unwrap();
+        let zen = base.tenant_view("zen").unwrap();
+        assert_eq!(acme.tenant(), "acme");
+        let text = corpus::random_text_1g();
+        let (s1, p1) = profile_of(&jobs::word_count(), &text);
+        let (s2, p2) = profile_of(&jobs::word_cooccurrence_pairs(2), &text);
+
+        acme.put_profile(&s1, &p1).unwrap();
+        zen.put_profile(&s2, &p2).unwrap();
+        base.put_profile(&s1, &p1).unwrap();
+
+        // Each view sees exactly its own rows.
+        assert_eq!(acme.job_ids().unwrap(), vec![p1.job_id.clone()]);
+        assert_eq!(zen.job_ids().unwrap(), vec![p2.job_id.clone()]);
+        assert_eq!(base.job_ids().unwrap(), vec![p1.job_id.clone()]);
+        assert!(acme.get_profile(&p2.job_id).unwrap().is_none());
+        assert!(zen.get_profile(&p1.job_id).unwrap().is_none());
+        assert_eq!(acme.get_profile(&p1.job_id).unwrap().unwrap(), p1);
+
+        // Columnar index and normalization bounds are per tenant: zen's
+        // bounds never observed p1's features.
+        assert_eq!(acme.columnar_index().unwrap().len(), 1);
+        assert_eq!(zen.columnar_index().unwrap().len(), 1);
+        let zb = zen.normalization_bounds().unwrap();
+        let ab = acme.normalization_bounds().unwrap();
+        assert_eq!(zb.map_dyn.maxs, {
+            let mut b = identity_bounds(MAP_DYNAMIC_COLUMNS.len());
+            b.observe(&p2.map.dynamic_features());
+            b.maxs
+        });
+        assert_eq!(ab.map_dyn.maxs, {
+            let mut b = identity_bounds(MAP_DYNAMIC_COLUMNS.len());
+            b.observe(&p1.map.dynamic_features());
+            b.maxs
+        });
+
+        // A tenant's corruption stays inside its namespace.
+        let row = format!("Profile/{}", p1.job_id);
+        assert!(acme.corrupt_cell(row.as_bytes(), b"blob").unwrap());
+        assert!(acme.get_profile(&p1.job_id).is_err());
+        assert_eq!(base.get_profile(&p1.job_id).unwrap().unwrap(), p1);
+
+        // Default-tenant view = the legacy layout of the same store.
+        let default_view = base.tenant_view(cfstore::encoding::DEFAULT_TENANT).unwrap();
+        assert_eq!(default_view.get_profile(&p1.job_id).unwrap().unwrap(), p1);
+
+        assert!(matches!(
+            base.tenant_view("no/slash"),
+            Err(ProfileStoreError::Codec(_))
+        ));
     }
 
     #[test]

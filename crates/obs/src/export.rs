@@ -23,6 +23,10 @@ pub struct TraceSnapshot {
     pub events: Vec<EventData>,
     /// Counters, name-sorted.
     pub counters: BTreeMap<String, u64>,
+    /// Gauges (last-write-wins levels), name-sorted. Exported only when
+    /// non-empty, so traces that never set a gauge serialize to the same
+    /// bytes they did before gauges existed.
+    pub gauges: BTreeMap<String, f64>,
     /// Histograms, name-sorted.
     pub histograms: BTreeMap<String, Histogram>,
 }
@@ -98,8 +102,9 @@ impl TraceSnapshot {
     /// Serialize the snapshot as canonical single-line JSON.
     ///
     /// Key order is fixed (`clock_ns`, `spans`, `events`, `counters`,
-    /// `histograms`); within each section the ordering rules in the
-    /// module docs apply. Two snapshots of identical recordings produce
+    /// `histograms`, then `gauges` — the last appearing only when a gauge
+    /// was set); within each section the ordering rules in the module
+    /// docs apply. Two snapshots of identical recordings produce
     /// identical bytes.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
@@ -171,7 +176,20 @@ impl TraceSnapshot {
             json_f64(h.sum, &mut out);
             out.push('}');
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.gauges.is_empty() {
+            out.push_str(",\"gauges\":{");
+            for (i, (k, v)) in self.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_json(k, &mut out);
+                out.push(':');
+                json_f64(*v, &mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -242,6 +260,12 @@ impl TraceSnapshot {
                 let _ = writeln!(out, "  {k} = {v}");
             }
         }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
         if !self.histograms.is_empty() {
             out.push_str("histograms:\n");
             for (k, h) in &self.histograms {
@@ -304,6 +328,21 @@ mod tests {
         assert!(text.contains("  - matcher.match @2.000 ms"));
         assert!(text.contains("store.gets = 4"));
         assert!(text.contains("h: count=1"));
+    }
+
+    #[test]
+    fn gauges_export_only_when_set() {
+        let reg = Registry::new();
+        reg.incr("c", 1);
+        // No gauge set: the legacy five-section layout, byte for byte.
+        assert!(!reg.snapshot().to_json().contains("gauges"));
+        reg.set_gauge("service.queue.depth", 2.0);
+        let json = reg.snapshot().to_json();
+        assert!(json.ends_with(",\"gauges\":{\"service.queue.depth\":2}}"));
+        assert!(reg
+            .snapshot()
+            .render_text()
+            .contains("service.queue.depth = 2"));
     }
 
     #[test]

@@ -152,6 +152,7 @@ pub(crate) struct State {
     pub(crate) open: Vec<u64>,
     pub(crate) events: Vec<EventData>,
     pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
     pub(crate) histograms: BTreeMap<String, Histogram>,
 }
 
@@ -285,6 +286,29 @@ impl Registry {
         }
     }
 
+    /// Set a gauge to its current level (created on first use). Unlike
+    /// counters, gauges are *last-write-wins* instantaneous levels —
+    /// queue depths, in-flight permits, bytes in use. Gauges appear in
+    /// exports only when at least one was set, so traces recorded before
+    /// gauges existed keep their exact bytes.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Raise a gauge to `v` if `v` exceeds its current level (high-water
+    /// marks such as peak queue depth).
+    pub fn max_gauge(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock().unwrap();
+            let slot = st.gauges.entry(name.to_string()).or_insert(v);
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+
     /// Record an observation into the named fixed-bucket histogram
     /// (decade buckets 10⁻³..10⁸; see [`Registry::observe_with_bounds`]
     /// for custom bounds).
@@ -317,6 +341,7 @@ impl Registry {
                     spans: st.spans.clone(),
                     events: st.events.clone(),
                     counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
                     histograms: st
                         .histograms
                         .iter()
@@ -429,6 +454,7 @@ mod tests {
         reg.incr("c", 1);
         reg.observe("h", 1.0);
         reg.event("e", &[]);
+        reg.set_gauge("g", 1.0);
         reg.advance_ms(10.0);
         drop(span);
         assert_eq!(reg.now_ns(), 0);
@@ -436,6 +462,19 @@ mod tests {
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.events.is_empty());
+        assert!(snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_with_high_water_marks() {
+        let reg = Registry::new();
+        reg.set_gauge("service.queue.depth", 3.0);
+        reg.set_gauge("service.queue.depth", 1.0);
+        reg.max_gauge("service.queue.peak", 3.0);
+        reg.max_gauge("service.queue.peak", 2.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["service.queue.depth"], 1.0);
+        assert_eq!(snap.gauges["service.queue.peak"], 3.0);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Documentation link checker (run by scripts/ci.sh):
+#   1. every `DESIGN.md §N` reference anywhere in the repo must resolve
+#      to an actual `## N.` section heading in DESIGN.md;
+#   2. every relative markdown link in the top-level docs must point at
+#      a file that exists.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+docs=(README.md OPERATIONS.md CONTRIBUTING.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md)
+
+# --- 1. DESIGN.md section references -------------------------------------
+sections=$(grep -oE '^## [0-9]+' DESIGN.md | awk '{print $2}')
+refs=$(grep -rhoE 'DESIGN\.md §[0-9]+' "${docs[@]}" CHANGES.md crates tests scripts examples 2>/dev/null \
+  | grep -oE '[0-9]+$' | sort -un)
+checked=0
+for n in $refs; do
+  checked=$((checked + 1))
+  if ! printf '%s\n' "$sections" | grep -qx "$n"; then
+    echo "ERROR: 'DESIGN.md §$n' is referenced but DESIGN.md has no '## $n.' section" >&2
+    fail=1
+  fi
+done
+echo "check_docs: $checked distinct DESIGN.md § reference(s) checked"
+
+# --- 2. relative links in the docs ---------------------------------------
+links=0
+for f in "${docs[@]}"; do
+  [ -f "$f" ] || continue
+  # [text](target) links, minus URLs and pure #anchors
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    links=$((links + 1))
+    if [ ! -e "${target%%#*}" ]; then
+      echo "ERROR: $f links to missing file: $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//' | grep -v '^#' || true)
+done
+echo "check_docs: $links relative link(s) checked"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK"

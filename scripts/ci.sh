@@ -57,4 +57,17 @@ cargo test -q -p pstorm-tests --test property_shards
 echo "==> bounded shard-chaos sweep"
 cargo test -q -p pstorm-tests --test property_shards -- --ignored
 
+# Multi-tenant isolation sweep (PR 8): ≥1000 seeds of interleaved
+# tenants — hostile, flooding, and cell-corrupting — with every clean
+# tenant's outcomes pinned bit-identical to a solo single-tenant daemon
+# and every acked profile served back. The flood/durable tests run in
+# the plain suite above; the `--ignored` test is the full sweep.
+echo "==> multi-tenant isolation sweep"
+cargo test -q -p pstorm-tests --test property_tenants -- --ignored
+
+# Documentation gate 2: every `DESIGN.md §N` reference in the repo must
+# resolve to a real section, and relative doc links must not dangle.
+echo "==> doc link check"
+./scripts/check_docs.sh
+
 echo "CI OK"

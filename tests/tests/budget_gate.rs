@@ -311,6 +311,97 @@ fn shard_heal_budgets_hold() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Cross-tenant scan ceiling (PR 8): a tenant's match may scan only its
+/// own namespace. Tenant `b` holds several times tenant `a`'s rows; a
+/// full matcher run for `a` must cost a number of scanned rows bounded
+/// by `a`'s own physical row count — and strictly below `b`'s row count
+/// alone, so any prefix leak across the `t/<tenant>/` envelope blows the
+/// gate immediately.
+#[test]
+fn cross_tenant_rows_scanned_stays_inside_the_tenant() {
+    use mrsim::{ClusterSpec, JobConfig};
+    use profiler::SampleSize;
+    use pstorm::matcher::{match_profile, MatcherConfig, SubmittedJob};
+    use pstorm::ProfileStore;
+    use staticanalysis::StaticFeatures;
+
+    let cluster = ClusterSpec::ec2_c1_medium_16();
+    let ds = datagen::corpus::random_text_1g();
+    let reg = obs::Registry::new();
+    let mut base = ProfileStore::new().unwrap();
+    // Attach before creating views so backend counters land in `reg`.
+    base.set_obs(reg.clone());
+    let a = base.tenant_view("a").unwrap();
+    let b = base.tenant_view("b").unwrap();
+
+    let put = |view: &ProfileStore, spec: &mrjobs::JobSpec| {
+        let config = JobConfig::submitted(spec);
+        let (profile, _) = profiler::collect_full_profile(spec, &ds, &cluster, &config, 7).unwrap();
+        view.put_profile(&StaticFeatures::extract(spec), &profile)
+            .unwrap();
+    };
+    put(&a, &mrjobs::jobs::word_count());
+    put(&a, &mrjobs::jobs::sort());
+    for window in 1..=12 {
+        put(&b, &mrjobs::jobs::word_cooccurrence_pairs(window));
+    }
+
+    // Physical rows per namespace, straight off the backing store.
+    let rows_in = |pfx: &str| {
+        base.inner()
+            .scan("Jobs", &cfstore::Scan::prefix(pfx.as_bytes()))
+            .unwrap()
+            .0
+            .len() as u64
+    };
+    let a_rows = rows_in("t/a/");
+    let b_rows = rows_in("t/b/");
+    assert!(
+        b_rows >= 5 * a_rows,
+        "scenario needs a lopsided store: a={a_rows} b={b_rows}"
+    );
+
+    let spec = mrjobs::jobs::word_count();
+    let config = JobConfig::submitted(&spec);
+    let sample =
+        profiler::collect_sample_profile(&spec, &ds, &cluster, &config, SampleSize::OneTask, 3)
+            .unwrap();
+    let q = SubmittedJob {
+        spec: spec.clone(),
+        statics: StaticFeatures::extract(&spec),
+        sample: sample.profile,
+        input_bytes: ds.logical_bytes,
+    };
+    let scanned = || {
+        reg.snapshot()
+            .counters
+            .get("cfstore.rows_scanned")
+            .copied()
+            .unwrap_or(0)
+    };
+    let before = scanned();
+    match_profile(&a, &q, &MatcherConfig::default())
+        .unwrap()
+        .expect("a's own stored job must match");
+    let delta = scanned() - before;
+
+    assert!(delta >= 1, "a match must scan something");
+    // Ceiling: the whole multi-stage match may visit each of the
+    // tenant's rows a bounded number of times (emptiness probe, stage-1
+    // dynamic sweep, columnar index build, cost-factor fallback).
+    assert!(
+        delta <= 8 * a_rows,
+        "tenant a's match scanned {delta} rows — over its 8x-own-rows ceiling ({a_rows} rows)"
+    );
+    // The leak detector: scanning even one neighbour namespace in full
+    // would clear b's row count on its own.
+    assert!(
+        delta < b_rows,
+        "tenant a's match scanned {delta} rows — at least one cross-tenant \
+         scan leaked past the t/a/ envelope (b alone holds {b_rows})"
+    );
+}
+
 /// Per-region read amplification (PR 4): the per-region counters must be
 /// present in enabled traces and must sum to the store-wide totals.
 #[test]
