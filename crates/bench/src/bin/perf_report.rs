@@ -2,9 +2,11 @@
 //! scan vs lane-vectorized columnar sweep vs the scalar reference sweep)
 //! at several store sizes, full `match_profile` latency on both paths,
 //! segment block reads through the bounded cache (cold vs warm), put
-//! latency with inline vs background flushing, and CBO what-if search
-//! throughput on the legacy per-candidate path vs the planned/memoized
-//! search. Writes `BENCH_tuning_latency.json` at the repo root.
+//! latency with inline vs background flushing, online-resharding cost
+//! (rows moved per second by a grow migration, matcher latency with a
+//! migration in flight vs quiesced), and CBO what-if search throughput
+//! on the legacy per-candidate path vs the planned/memoized search.
+//! Writes `BENCH_tuning_latency.json` at the repo root.
 //!
 //! Every "legacy" variant here is the pre-optimization code path, still
 //! live behind a flag (`MatcherConfig::use_columnar_index = false`,
@@ -97,7 +99,9 @@ fn store_of(size: usize, seeds: &[(StaticFeatures, JobProfile)]) -> ProfileStore
     store
 }
 
-fn bench_matcher(entries: &mut Vec<Entry>, seeds: &[(StaticFeatures, JobProfile)]) {
+/// The canonical incoming job every matcher bench queries with: a
+/// word-count submission carrying a one-task sample profile.
+fn matcher_query() -> SubmittedJob {
     let text = corpus::random_text_1g();
     let spec = jobs::word_count();
     let sample = collect_sample_profile(
@@ -109,12 +113,16 @@ fn bench_matcher(entries: &mut Vec<Entry>, seeds: &[(StaticFeatures, JobProfile)
         9,
     )
     .unwrap();
-    let q = SubmittedJob {
+    SubmittedJob {
         statics: StaticFeatures::extract(&spec),
         spec,
         sample: sample.profile,
         input_bytes: text.logical_bytes,
-    };
+    }
+}
+
+fn bench_matcher(entries: &mut Vec<Entry>, seeds: &[(StaticFeatures, JobProfile)]) {
+    let q = matcher_query();
     let q_dyn = q.sample.map.dynamic_features();
 
     for size in STORE_SIZES {
@@ -452,6 +460,104 @@ fn bench_sharded(entries: &mut Vec<Entry>) -> (u64, u64, u64, u128) {
     (metrics.rows_scanned, ROWS as u64, healed, rebuild_ns)
 }
 
+/// Online-resharding costs (PR 9): rows moved per second by a full
+/// grow migration (copy + verify + cutover + GC, timed one-shot), and
+/// what a migration in flight charges the matcher — `match_profile`
+/// p50 on the same sharded profile store quiesced vs mid-copy
+/// (dual-apply armed, reads pinned to the old epoch). Returns
+/// `(rows_moved, grow_ms, mid_over_quiesced)` for the summary.
+fn bench_reshard(
+    entries: &mut Vec<Entry>,
+    seeds: &[(StaticFeatures, JobProfile)],
+) -> (u64, f64, f64) {
+    use cfstore::{Reshard, ReshardPhase};
+
+    let dir = std::env::temp_dir().join(format!("pstorm-perf-reshard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let size = STORE_SIZES[1];
+
+    let (store, _) = ProfileStore::reopen_sharded(&dir).unwrap();
+    for i in 0..size {
+        let (statics, profile) = &seeds[i % seeds.len()];
+        let mut p = profile.clone();
+        p.job_id = format!("{}#{}", p.job_id, i);
+        p.map.size_selectivity *= 1.0 + (i as f64) * 1e-4;
+        store.put_profile(statics, &p).unwrap();
+    }
+    store.flush().unwrap();
+    let q = matcher_query();
+    let cfg = MatcherConfig::default();
+    let cps = |p50: u128| Some(size as f64 / (p50 as f64 * 1e-9));
+
+    // Matcher baseline with no migration in flight.
+    let samples = sample_ns(
+        || {
+            let _ = std::hint::black_box(match_profile(&store, &q, &cfg).unwrap());
+        },
+        20,
+        2_000,
+    );
+    let quiesced_p50 = percentile(&samples, 0.50);
+    entries.push(Entry {
+        op: "reshard",
+        variant: "matcher_quiesced",
+        store_size: size,
+        p50_ns: quiesced_p50,
+        p95_ns: percentile(&samples, 0.95),
+        candidates_per_sec: cps(quiesced_p50),
+    });
+
+    // One-shot: grow 3×2 → 4×2, timing the whole migration from the
+    // journaled Begin through copy, verify, cutover, and GC.
+    let t = Instant::now();
+    let status = store.reshard(Reshard::to(4, 2)).unwrap();
+    let grow_ns = t.elapsed().as_nanos();
+    assert!(matches!(status.phase, ReshardPhase::Done));
+    let rows_moved = status.rows_copied;
+    entries.push(Entry {
+        op: "reshard",
+        variant: "grow_3x2_to_4x2",
+        store_size: size,
+        p50_ns: grow_ns,
+        p95_ns: grow_ns,
+        candidates_per_sec: Some(rows_moved as f64 / (grow_ns as f64 * 1e-9)),
+    });
+
+    // Mid-migration: start shrinking back toward 3×2 and pause after
+    // the first copy unit — dual-apply armed, reads still served by the
+    // 4×2 epoch — then sample the matcher in exactly that state.
+    let sharded = store.sharded().expect("store is sharded");
+    sharded.begin_reshard(Reshard::to(3, 2)).unwrap();
+    sharded.reshard_step().unwrap();
+    let samples = sample_ns(
+        || {
+            let _ = std::hint::black_box(match_profile(&store, &q, &cfg).unwrap());
+        },
+        20,
+        2_000,
+    );
+    let mid_p50 = percentile(&samples, 0.50);
+    entries.push(Entry {
+        op: "reshard",
+        variant: "matcher_mid_migration",
+        store_size: size,
+        p50_ns: mid_p50,
+        p95_ns: percentile(&samples, 0.95),
+        candidates_per_sec: cps(mid_p50),
+    });
+    let done = store
+        .resume_reshard()
+        .unwrap()
+        .expect("migration in flight");
+    assert!(matches!(done.phase, ReshardPhase::Done));
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let grow_ms = grow_ns as f64 * 1e-6;
+    let mid_over_quiesced = mid_p50 as f64 / quiesced_p50 as f64;
+    (rows_moved, grow_ms, mid_over_quiesced)
+}
+
 fn bench_cbo(entries: &mut Vec<Entry>) {
     let text = corpus::random_text_1g();
     let spec = jobs::word_count();
@@ -581,6 +687,9 @@ fn main() {
     eprintln!("benchmarking sharded store...");
     let (shard_scanned, shard_returned, shard_healed, shard_rebuild_ns) =
         bench_sharded(&mut entries);
+    eprintln!("benchmarking online resharding...");
+    let (reshard_rows_moved, reshard_grow_ms, reshard_matcher_ratio) =
+        bench_reshard(&mut entries, &seeds);
     eprintln!("benchmarking CBO...");
     bench_cbo(&mut entries);
 
@@ -618,7 +727,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"summary\": {{\n    \"matcher_stage1_speedup_at_1000\": {stage1_speedup:.1},\n    \"matcher_stage1_columnar_p50_at_1000_ns\": {stage1_p50:.0},\n    \"sweep_lane_vs_scalar_speedup_at_1000\": {lane_speedup:.1},\n    \"reopen_segment_blocks_indexed\": {reopen_blocks},\n    \"reopen_segment_blocks_read\": {reopen_blocks_read},\n    \"put_p95_inline_over_background\": {put_tail_ratio:.1},\n    \"shard_scan_rows_scanned\": {shard_scanned},\n    \"shard_scan_rows_returned\": {shard_returned},\n    \"shard_rebuild_healed_rows\": {shard_healed},\n    \"shard_rebuild_ms\": {shard_rebuild_ms:.1},\n    \"cbo_search_candidates_per_sec_speedup\": {cbo_speedup:.1},\n    \"cbo_search_legacy_candidates_per_sec\": {legacy_cps:.1},\n    \"cbo_search_current_candidates_per_sec\": {current_cps:.1}\n  }}\n}}\n"
+        "  ],\n  \"summary\": {{\n    \"matcher_stage1_speedup_at_1000\": {stage1_speedup:.1},\n    \"matcher_stage1_columnar_p50_at_1000_ns\": {stage1_p50:.0},\n    \"sweep_lane_vs_scalar_speedup_at_1000\": {lane_speedup:.1},\n    \"reopen_segment_blocks_indexed\": {reopen_blocks},\n    \"reopen_segment_blocks_read\": {reopen_blocks_read},\n    \"put_p95_inline_over_background\": {put_tail_ratio:.1},\n    \"shard_scan_rows_scanned\": {shard_scanned},\n    \"shard_scan_rows_returned\": {shard_returned},\n    \"shard_rebuild_healed_rows\": {shard_healed},\n    \"shard_rebuild_ms\": {shard_rebuild_ms:.1},\n    \"reshard_grow_rows_moved\": {reshard_rows_moved},\n    \"reshard_grow_ms\": {reshard_grow_ms:.1},\n    \"reshard_matcher_p50_mid_over_quiesced\": {reshard_matcher_ratio:.2},\n    \"cbo_search_candidates_per_sec_speedup\": {cbo_speedup:.1},\n    \"cbo_search_legacy_candidates_per_sec\": {legacy_cps:.1},\n    \"cbo_search_current_candidates_per_sec\": {current_cps:.1}\n  }}\n}}\n"
     );
 
     let path = concat!(
@@ -636,5 +745,7 @@ fn main() {
         "sharded scan read amplification: {shard_scanned} scanned for {shard_returned} returned"
     );
     println!("whole-shard rebuild: {shard_healed} rows healed in {shard_rebuild_ms:.1} ms");
+    println!("reshard grow 3x2->4x2: {reshard_rows_moved} rows moved in {reshard_grow_ms:.1} ms");
+    println!("matcher p50 mid-migration / quiesced: {reshard_matcher_ratio:.2}x");
     println!("CBO search throughput speedup: {cbo_speedup:.1}x");
 }

@@ -1,272 +1,25 @@
 //! `store_fsck` — scrub a durable cfstore directory and print what a
-//! recovery would find (DESIGN.md §11, §13).
+//! recovery would find (DESIGN.md §11, §13, §15).
 //!
 //! ```text
-//! store_fsck <dir>            # read-only scrub: manifest, segments, WAL
+//! store_fsck <dir>            # read-only scrub: manifest, segments, WAL,
+//!                             # SHARDS catalog vs. shard dirs, TOPOLOGY
 //! store_fsck <dir> --repair   # additionally run real recovery, which
 //!                             # truncates torn WAL tails in place (and,
-//!                             # for sharded stores, rebuilds lost shards
-//!                             # and aborts uncommitted batches)
+//!                             # for sharded stores, rebuilds lost shards,
+//!                             # aborts uncommitted batches, and resumes
+//!                             # an in-flight reshard to completion)
 //! ```
 //!
-//! The scrub never mutates the directory: segments are checksum-verified
-//! block by block *and* cell by cell, the WAL is scanned up to its first
-//! torn/corrupt frame, and the resulting report is rendered exactly as
-//! the daemon logs it on startup. A directory whose root holds a
-//! `SHARDS` catalog is scrubbed shard by shard and the per-shard reports
-//! aggregated.
-//!
-//! Exit status:
-//!
-//! * `0` — clean: nothing a `--repair` run would change.
-//! * `1` — unrecoverable: corrupt manifest or corrupt referenced
-//!   segment in a single store (in a sharded store those make the shard
-//!   *lost*, which `--repair` heals from its replicas).
-//! * `2` — usage error.
-//! * `3` — corruption detected and `--repair` not given: torn WAL
-//!   tail, cell checksum mismatch, lost shard. The directory still
-//!   recovers — rerun with `--repair` to make it so on disk.
-//!
-//! Orphan segments (partial flushes a crash left behind) are expected
-//! crash artifacts, reported but never an error.
+//! The scrub never mutates the directory. Exit codes (also documented
+//! in OPERATIONS.md): `0` clean, `1` unrecoverable, `2` usage, `3`
+//! corruption findings without `--repair` — including a `TOPOLOGY`
+//! journal that cannot be resolved against the `SHARDS` catalog. All
+//! the logic lives in [`pstorm_bench::fsck`] so the property tests
+//! assert these codes in-process.
 
-use cfstore::recovery::{read_manifest, RecoveryReport};
-use cfstore::segment::verify_segment_deep;
-use cfstore::shard::{read_shards_file, SHARDS_FILE};
-use cfstore::wal::{read_wal, WAL_FILE};
-use cfstore::{BlockCache, MiniStore, SegmentReader, ShardedStore};
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::Arc;
-
-/// What one directory scrub concluded.
-struct Scrub {
-    report: RecoveryReport,
-    /// Anything a `--repair` run would change or heal: torn WAL tail,
-    /// cell-level checksum mismatch, lost shard.
-    corruption: Vec<String>,
-}
-
-fn scrub(dir: &Path, label: &str) -> Result<Scrub, String> {
-    let mut report = RecoveryReport::default();
-    let mut corruption = Vec::new();
-
-    // 1. The manifest: which segments and flush mark do we trust?
-    let manifest = match read_manifest(dir) {
-        Ok(m) => m,
-        Err(e) => return Err(format!("manifest: {e}")),
-    };
-    let (flushed_lsn, trusted): (u64, Vec<String>) = match &manifest {
-        Some(m) => {
-            println!(
-                "{label}manifest            : generation {}, flushed_lsn {}, {} table(s), {} segment(s)",
-                m.generation,
-                m.flushed_lsn,
-                m.tables.len(),
-                m.segments.len()
-            );
-            (m.flushed_lsn, m.segments.clone())
-        }
-        None => {
-            println!("{label}manifest            : none (store never flushed)");
-            (0, Vec::new())
-        }
-    };
-
-    // 2. Every trusted segment must verify end to end. The scrub goes
-    // through the exact production read path: open lazily (header +
-    // trailer CRC only), then fetch every block body via the bounded
-    // block cache — cold pass fills and CRC-verifies each block, warm
-    // pass must be served entirely from cache. A deep pass then checks
-    // every retained cell version against its write-time CRC, catching
-    // corruption introduced *before* the block frame was written.
-    let cache = Arc::new(BlockCache::new(8 << 20));
-    let obs = obs::Registry::new();
-    cache.set_obs(obs.clone());
-    for name in &trusted {
-        let reader = match SegmentReader::open(&dir.join(name)) {
-            Ok(r) => Arc::new(r),
-            Err(e) => return Err(format!("segment {name}: {e}")),
-        };
-        let meta = reader.meta().clone();
-        for pass in ["cold", "warm"] {
-            let mut rows = 0u64;
-            for idx in 0..reader.block_count() {
-                match cache.get_or_load(&reader, idx) {
-                    Ok(block) => rows += block.len() as u64,
-                    Err(e) => return Err(format!("segment {name} block {idx} ({pass}): {e}")),
-                }
-            }
-            if rows != meta.row_count {
-                return Err(format!(
-                    "segment {name} ({pass}): trailer says {} row(s), blocks hold {rows}",
-                    meta.row_count
-                ));
-            }
-        }
-        let deep = match verify_segment_deep(&dir.join(name)) {
-            Ok(_) => "cells ok",
-            Err(e) => {
-                corruption.push(format!("segment {name}: {e}"));
-                "CELL CORRUPTION"
-            }
-        };
-        println!(
-            "{label}segment {name}: {deep} — table {}, region {}, {} row(s), {} block(s)",
-            meta.table,
-            meta.region_id,
-            meta.row_count,
-            meta.blocks.len()
-        );
-        report.segments_loaded += 1;
-        report.segment_rows += meta.row_count;
-        report.segment_blocks += meta.blocks.len() as u64;
-        report.segment_blocks_read += meta.blocks.len() as u64;
-    }
-    if !trusted.is_empty() {
-        let counters = obs.snapshot().counters;
-        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
-        println!(
-            "{label}block cache         : {} miss(es) cold, {} hit(s) warm, {} fill byte(s), {} eviction(s)",
-            get("cfstore.block_cache.misses"),
-            get("cfstore.block_cache.hits"),
-            get("cfstore.block_cache.fill_bytes"),
-            get("cfstore.block_cache.evictions"),
-        );
-    }
-
-    // 3. Orphans: segment files a crashed flush left behind. Not trusted,
-    // not an error — the WAL still covers their contents.
-    if let Ok(entries) = std::fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if name.starts_with("seg-") && name.ends_with(".seg") && !trusted.contains(&name) {
-                report.orphan_segments.push(name);
-            }
-        }
-        report.orphan_segments.sort();
-    }
-
-    // 4. The WAL tail: count what replays and what a crash tore off.
-    let scan = read_wal(&dir.join(WAL_FILE)).map_err(|e| format!("wal: {e}"))?;
-    report.wal_bytes_valid = scan.valid_bytes;
-    report.wal_bytes_dropped = scan.total_bytes - scan.valid_bytes;
-    report.truncation = scan.truncation;
-    if let Some(t) = &report.truncation {
-        corruption.push(format!(
-            "wal: torn tail ({t}; {} byte(s) to truncate)",
-            report.wal_bytes_dropped
-        ));
-    }
-    for frame in &scan.frames {
-        if frame.lsn <= flushed_lsn {
-            report.frames_skipped += 1;
-        } else {
-            report.frames_replayed += 1;
-            report.records_replayed += frame.records.len() as u64;
-        }
-    }
-
-    Ok(Scrub { report, corruption })
-}
-
-/// Scrub a single-store directory; with `--repair`, run real recovery.
-fn run_single(dir: &Path, repair: bool) -> ExitCode {
-    let scrubbed = match scrub(dir, "") {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("store_fsck: unrecoverable: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    print!("{}", scrubbed.report.render_text());
-
-    if repair {
-        // Real recovery: replays the WAL and truncates the torn tail.
-        match MiniStore::open(dir) {
-            Ok((store, rep)) => {
-                println!("--- repair (recovery) ---");
-                print!("{}", rep.render_text());
-                for entry in store.meta_entries() {
-                    println!("{entry:?}");
-                }
-            }
-            Err(e) => {
-                eprintln!("store_fsck: recovery failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        return ExitCode::SUCCESS;
-    }
-    verdict(&scrubbed.corruption)
-}
-
-/// Scrub a sharded store directory shard by shard; with `--repair`, run
-/// shard-aware recovery (rebuilds lost shards, aborts uncommitted
-/// cross-shard batches).
-fn run_sharded(dir: &Path, shards: u32, replication: u32, repair: bool) -> ExitCode {
-    println!("sharded store       : {shards} shard(s), replication {replication}");
-    let mut corruption: Vec<String> = Vec::new();
-    let mut total = RecoveryReport::default();
-    for g in 0..shards {
-        let shard_dir = dir.join(format!("shard-{g:03}"));
-        println!("-- shard {g} ({}) --", shard_dir.display());
-        if !shard_dir.is_dir() {
-            corruption.push(format!("shard {g}: directory missing (lost shard)"));
-            println!("  LOST: directory missing");
-            continue;
-        }
-        match scrub(&shard_dir, "  ") {
-            Ok(s) => {
-                total.merge(&s.report);
-                corruption.extend(s.corruption.into_iter().map(|c| format!("shard {g}: {c}")));
-            }
-            // Unrecoverable for a single store = lost for a shard: the
-            // replicas can rebuild it.
-            Err(e) => {
-                corruption.push(format!("shard {g}: {e} (lost shard)"));
-                println!("  LOST: {e}");
-            }
-        }
-    }
-    println!("---- aggregate across shards ----");
-    print!("{}", total.render_text());
-
-    if repair {
-        match ShardedStore::open(dir) {
-            Ok((store, rep)) => {
-                println!("--- repair (shard-aware recovery) ---");
-                print!("{}", rep.render_text());
-                let meta = store.meta();
-                for (shard, entry) in &meta.regions {
-                    println!("shard {shard}: {entry:?}");
-                }
-            }
-            Err(e) => {
-                eprintln!("store_fsck: sharded recovery failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        return ExitCode::SUCCESS;
-    }
-    verdict(&corruption)
-}
-
-fn verdict(corruption: &[String]) -> ExitCode {
-    if corruption.is_empty() {
-        println!("verdict             : clean");
-        ExitCode::SUCCESS
-    } else {
-        println!(
-            "verdict             : {} corruption finding(s); rerun with --repair",
-            corruption.len()
-        );
-        for c in corruption {
-            eprintln!("store_fsck: corruption: {c}");
-        }
-        ExitCode::from(3)
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -283,14 +36,5 @@ fn main() -> ExitCode {
         eprintln!("store_fsck: {} is not a directory", dir.display());
         return ExitCode::from(2);
     }
-
-    println!("scrubbing {}", dir.display());
-    match read_shards_file(dir) {
-        Ok(Some((shards, replication))) => run_sharded(dir, shards, replication, repair),
-        Ok(None) => run_single(dir, repair),
-        Err(e) => {
-            eprintln!("store_fsck: {SHARDS_FILE} catalog: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    ExitCode::from(pstorm_bench::fsck::run(dir, repair))
 }

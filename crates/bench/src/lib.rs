@@ -21,4 +21,5 @@
 //! Criterion microbenchmarks live in `benches/`.
 
 pub mod accuracy;
+pub mod fsck;
 pub mod harness;

@@ -27,7 +27,8 @@
 //! * [`region`] — sorted row partitions with scan metrics and splits.
 //! * [`store`] — tables, META, the client API, durable mode.
 //! * [`shard`] — N replicated store shards behind one API: commit rule,
-//!   read-path healing, whole-shard rebuild (DESIGN.md §13).
+//!   read-path healing, whole-shard rebuild (DESIGN.md §13), and
+//!   crash-safe online resharding (DESIGN.md §15).
 //! * [`wal`] — the length+CRC-framed write-ahead log and crash injection.
 //! * [`segment`] — immutable sorted segment files with block checksums.
 //! * [`blockcache`] — the bounded deterministic LRU over segment blocks.
@@ -53,6 +54,7 @@ pub use kv::{CellVersion, Put, RowResult};
 pub use recovery::{Manifest, RecoveryError, RecoveryReport};
 pub use region::{KeyRange, Region, RowData, ScanMetrics};
 pub use segment::{SegmentError, SegmentReader};
+pub use shard::resharding::{Reshard, ReshardPhase, ReshardStatus, Topology};
 pub use shard::{ShardOptions, ShardedMeta, ShardedRecoveryReport, ShardedStore};
 pub use store::{MetaEntry, MiniStore, Scan, StoreError, StoreOptions};
 pub use wal::{CrashSpec, SyncPolicy, WalTruncation};

@@ -42,7 +42,21 @@
 //! peers, then flushes everything so stale cross-shard gsn bookkeeping
 //! can never resurface.
 //!
+//! ## Elastic topology
+//!
+//! The shard count, replication factor, and per-slot placement live in
+//! an epoch-stamped [`resharding::Topology`]. A [`resharding::Reshard`]
+//! plan changes it **online** — grow/shrink N, change R, or rebalance
+//! hot slots — via the journaled state machine in [`resharding`]
+//! (DESIGN.md §15): reads stay on the old placement until the journaled
+//! `Cutover` record, writes are dual-applied to both placements under
+//! the same gsn, and a crash at any byte of any WAL or of the
+//! `TOPOLOGY` journal reopens into exactly one epoch with the migration
+//! resumable.
+//!
 //! [`Region::install_rows`]: crate::region::Region
+
+pub mod resharding;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -60,10 +74,12 @@ use crate::store::{
 };
 use crate::wal::{self, CrashSpec, SyncPolicy, WalRecord, WAL_FILE};
 
+use resharding::{Catalog, JournalRecord, JournalWriter, Migration, Resolution, Topology};
+
 /// The shard catalog file at the root of a sharded store directory.
 pub const SHARDS_FILE: &str = "SHARDS";
 /// `"SHD1"` — magic prefix of the catalog file.
-const SHARDS_MAGIC: u32 = 0x5348_4431;
+pub(crate) const SHARDS_MAGIC: u32 = 0x5348_4431;
 
 /// LSN stride between consecutive gsns. Frame `gsn` lands at
 /// `gsn × LSN_STRIDE` in every participant's WAL; the split frames a
@@ -110,6 +126,11 @@ pub struct ShardOptions {
     /// Inject a crash into one shard: `(shard, spec)`. The chaos
     /// harness uses this to kill each shard at every WAL byte.
     pub crash_shard: Option<(u32, CrashSpec)>,
+    /// Inject a crash into the resharding journal: tear the `TOPOLOGY`
+    /// append that crosses this many cumulative bytes (this session).
+    /// The chaos harness uses this to kill a migration at every
+    /// journal byte.
+    pub crash_topology: Option<u64>,
 }
 
 impl Default for ShardOptions {
@@ -120,6 +141,7 @@ impl Default for ShardOptions {
             block_cache_bytes: 8 << 20,
             background_flush_wal_bytes: None,
             crash_shard: None,
+            crash_topology: None,
         }
     }
 }
@@ -151,6 +173,9 @@ pub struct ShardedRecoveryReport {
     pub aborted_batches: u64,
     /// Rows copied from peers while rebuilding lost shards.
     pub healed_rows: u64,
+    /// A resharding migration (by epoch) was found in flight and is
+    /// resumable via [`ShardedStore::resume_reshard`].
+    pub reshard_in_flight: Option<u64>,
 }
 
 impl ShardedRecoveryReport {
@@ -158,6 +183,11 @@ impl ShardedRecoveryReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("shards              : {}\n", self.shards.len()));
+        if let Some(epoch) = self.reshard_in_flight {
+            out.push_str(&format!(
+                "reshard in flight   : epoch {epoch} (resumable from TOPOLOGY journal)\n"
+            ));
+        }
         if self.lost_shards.is_empty() {
             out.push_str("lost shards         : none\n");
         } else {
@@ -193,6 +223,8 @@ struct ShardFlusherShared {
 /// state. One lock serializes all batches so gsn order == WAL order on
 /// every shard — the commit rule depends on that.
 struct GlobalState {
+    /// Length = the active shard count, or `max(old, new)` while a
+    /// migration is in flight (dual-apply needs both placements open).
     shards: Vec<MiniStore>,
     /// `table → (families, split_threshold)`, mirrored on every shard.
     schemas: BTreeMap<String, (Vec<String>, usize)>,
@@ -203,21 +235,63 @@ struct GlobalState {
     /// A crash fired mid-protocol: refuse further mutations (reads and
     /// heals keep serving), force a reopen to re-establish invariants.
     poisoned: bool,
+    /// The epoch-current placement. Reads always use this; it swaps to
+    /// the target topology at the journaled `Cutover` record.
+    active: Topology,
+    /// The active topology's epoch (0 until the first reshard commits).
+    epoch: u64,
+    /// In-flight reshard, if any (DESIGN.md §15).
+    migration: Option<Migration>,
+}
+
+impl GlobalState {
+    /// The shards a write to `row` must reach: the active replica set,
+    /// plus — while a migration is pre-cutover — the target replica set
+    /// (dual-apply, so already-copied units stay current).
+    fn write_replicas(&self, row: &[u8]) -> Vec<u32> {
+        let mut reps = self.active.replicas_of_row(row);
+        if let Some(m) = &self.migration {
+            if !m.cut_over {
+                for g in m.target.replicas_of_row(row) {
+                    if !reps.contains(&g) {
+                        reps.push(g);
+                    }
+                }
+            }
+        }
+        reps
+    }
 }
 
 struct ShardedInner {
     dir: PathBuf,
-    n: u32,
-    r: u32,
     state: Mutex<GlobalState>,
     obs: RwLock<obs::Registry>,
     flush_shared: Option<Arc<ShardFlusherShared>>,
     background_flush_wal_bytes: Option<u64>,
+    block_cache_bytes: u64,
+    crash_shard: Option<(u32, CrashSpec)>,
+    crash_topology: Option<u64>,
 }
 
 impl ShardedInner {
     fn obs(&self) -> obs::Registry {
         self.obs.read().clone()
+    }
+
+    /// Per-shard open options (also used when a grow creates shards at
+    /// runtime). Shard-level flushers stay off: the sharded flusher
+    /// drives per-shard flushes so they serialize under the global lock.
+    fn store_opts(&self, g: u32) -> StoreOptions {
+        StoreOptions {
+            sync: SyncPolicy::EveryOp,
+            crash: match &self.crash_shard {
+                Some((victim, spec)) if *victim == g => spec.clone(),
+                _ => CrashSpec::default(),
+            },
+            block_cache_bytes: self.block_cache_bytes,
+            background_flush_wal_bytes: None,
+        }
     }
 }
 
@@ -232,56 +306,15 @@ pub struct ShardedStore {
 // SHARDS catalog file
 // ---------------------------------------------------------------------
 
-fn write_shards_file(dir: &Path, shards: u32, replication: u32) -> std::io::Result<()> {
-    let mut body = Vec::with_capacity(8);
-    body.extend_from_slice(&shards.to_be_bytes());
-    body.extend_from_slice(&replication.to_be_bytes());
-    let mut buf = Vec::with_capacity(20);
-    buf.extend_from_slice(&SHARDS_MAGIC.to_be_bytes());
-    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&crate::encoding::crc32(&body).to_be_bytes());
-    buf.extend_from_slice(&body);
-    let tmp = dir.join("SHARDS.tmp");
-    std::fs::write(&tmp, &buf)?;
-    std::fs::rename(&tmp, dir.join(SHARDS_FILE))
-}
-
 /// Read the shard catalog: `Ok(None)` when absent (fresh directory),
-/// `(shards, replication)` when present and intact.
+/// `(shards, replication)` when present and intact. Compatibility
+/// wrapper over [`resharding::read_catalog`], which also exposes the
+/// epoch and per-slot overrides.
 pub fn read_shards_file(dir: &Path) -> Result<Option<(u32, u32)>, RecoveryError> {
-    let path = dir.join(SHARDS_FILE);
-    let data = match std::fs::read(&path) {
-        Ok(d) => d,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => {
-            return Err(RecoveryError::Io {
-                path: path.display().to_string(),
-                source: e,
-            })
-        }
-    };
-    let corrupt = |detail: &str| RecoveryError::ManifestCorrupt {
-        path: path.display().to_string(),
-        detail: detail.to_string(),
-    };
-    if data.len() < 12 || data[0..4] != SHARDS_MAGIC.to_be_bytes() {
-        return Err(corrupt("bad magic or truncated header"));
-    }
-    let len = u32::from_be_bytes(data[4..8].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_be_bytes(data[8..12].try_into().expect("4 bytes"));
-    if data.len() != 12 + len || len != 8 {
-        return Err(corrupt("bad body length"));
-    }
-    let body = &data[12..];
-    if crate::encoding::crc32(body) != crc {
-        return Err(corrupt("body checksum mismatch"));
-    }
-    let shards = u32::from_be_bytes(body[0..4].try_into().expect("4 bytes"));
-    let replication = u32::from_be_bytes(body[4..8].try_into().expect("4 bytes"));
-    Ok(Some((shards, replication)))
+    Ok(resharding::read_catalog(dir)?.map(|c| (c.topology.shards, c.topology.replication)))
 }
 
-fn shard_dir_name(shard: u32) -> String {
+pub(crate) fn shard_dir_name(shard: u32) -> String {
     format!("shard-{shard:03}")
 }
 
@@ -363,26 +396,141 @@ impl ShardedStore {
             path: dir.display().to_string(),
             source: e,
         })?;
-        // The on-disk catalog wins over the options: shard count and
-        // replication factor are fixed at creation.
-        let (n, r) = match read_shards_file(dir)? {
-            Some(pair) => pair,
+        let topo_path = dir.join(resharding::TOPOLOGY_FILE);
+        let topo_corrupt = |detail: String| RecoveryError::ManifestCorrupt {
+            path: topo_path.display().to_string(),
+            detail,
+        };
+        // The on-disk catalog wins over the options: the topology only
+        // changes through the journaled reshard protocol.
+        let journal = resharding::read_journal(dir)?;
+        let catalog = match resharding::read_catalog(dir)? {
+            Some(c) => c,
             None => {
-                let pair = (opts.shards, opts.replication);
-                write_shards_file(dir, pair.0, pair.1).map_err(|e| RecoveryError::Io {
+                if journal.is_some() {
+                    return Err(topo_corrupt(
+                        "TOPOLOGY journal present without a SHARDS catalog".to_string(),
+                    ));
+                }
+                let c = Catalog {
+                    topology: Topology::uniform(opts.shards, opts.replication),
+                    epoch: 0,
+                };
+                c.topology
+                    .validate()
+                    .map_err(|detail| RecoveryError::InconsistentLog { detail })?;
+                resharding::write_catalog(dir, &c).map_err(|e| RecoveryError::Io {
                     path: dir.join(SHARDS_FILE).display().to_string(),
                     source: e,
                 })?;
-                pair
+                c
             }
         };
-        if n == 0 || r == 0 || r > n {
-            return Err(RecoveryError::InconsistentLog {
-                detail: format!("invalid shard layout: {n} shards, replication {r}"),
-            });
+        catalog
+            .topology
+            .validate()
+            .map_err(|detail| RecoveryError::InconsistentLog { detail })?;
+
+        // ---- Resolve the resharding journal against the catalog ----
+        enum Pending {
+            None,
+            Pre {
+                epoch: u64,
+                target: Topology,
+                copied: BTreeSet<u32>,
+                verified: bool,
+                valid_bytes: u64,
+            },
+            Post {
+                epoch: u64,
+                target: Topology,
+                swapped: bool,
+                valid_bytes: u64,
+            },
         }
+        let mut pending = Pending::None;
+        if let Some(scan) = journal {
+            if scan.valid_bytes < scan.total_bytes {
+                // Torn tail: truncate it away before any writer appends.
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&topo_path)
+                    .map_err(|e| RecoveryError::Io {
+                        path: topo_path.display().to_string(),
+                        source: e,
+                    })?;
+                f.set_len(scan.valid_bytes)
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| RecoveryError::Io {
+                        path: topo_path.display().to_string(),
+                        source: e,
+                    })?;
+            }
+            match resharding::resolve_journal(&scan.records).map_err(topo_corrupt)? {
+                Resolution::None => {
+                    // A crash tore the header or the Begin record: no
+                    // migration ever started; drop the empty journal.
+                    std::fs::remove_file(&topo_path).map_err(|e| RecoveryError::Io {
+                        path: topo_path.display().to_string(),
+                        source: e,
+                    })?;
+                }
+                Resolution::PreCutover {
+                    epoch,
+                    old,
+                    new,
+                    copied,
+                    verified,
+                } => {
+                    if old != catalog.topology || epoch != catalog.epoch + 1 {
+                        return Err(topo_corrupt(format!(
+                            "TOPOLOGY Begin (epoch {epoch}) disagrees with the \
+                             SHARDS catalog (epoch {})",
+                            catalog.epoch
+                        )));
+                    }
+                    pending = Pending::Pre {
+                        epoch,
+                        target: new,
+                        copied,
+                        verified,
+                        valid_bytes: scan.valid_bytes,
+                    };
+                }
+                Resolution::PostCutover { epoch, old, new } => {
+                    let swapped = if catalog.topology == new && catalog.epoch == epoch {
+                        true
+                    } else if catalog.topology == old && epoch == catalog.epoch + 1 {
+                        false
+                    } else {
+                        return Err(topo_corrupt(
+                            "TOPOLOGY Cutover matches neither the old nor the new \
+                             topology in the SHARDS catalog"
+                                .to_string(),
+                        ));
+                    };
+                    pending = Pending::Post {
+                        epoch,
+                        target: new,
+                        swapped,
+                        valid_bytes: scan.valid_bytes,
+                    };
+                }
+            }
+        }
+        // The placement reads use, and how many shard dirs to probe.
+        let (active, active_epoch) = match &pending {
+            Pending::None => (catalog.topology.clone(), catalog.epoch),
+            Pending::Pre { .. } => (catalog.topology.clone(), catalog.epoch),
+            Pending::Post { epoch, target, .. } => (target.clone(), *epoch),
+        };
+        let n_total = match &pending {
+            Pending::Pre { target, .. } => active.shards.max(target.shards),
+            _ => active.shards,
+        };
 
         // ---- Phase A: raw pre-pass — commit rule, WAL truncation ----
+        let n = n_total;
         let mut probes = Vec::with_capacity(n as usize);
         for g in 0..n {
             probes.push(probe_shard(&dir.join(shard_dir_name(g)))?);
@@ -499,16 +647,16 @@ impl ShardedStore {
             }
         }
 
-        // Every slot must keep at least one surviving replica, or data
-        // is unrecoverable and pretending otherwise would be silent loss.
+        // Every *active* slot must keep at least one surviving replica,
+        // or data is unrecoverable and pretending otherwise would be
+        // silent loss. (Losing a target-only shard pre-cutover is fine:
+        // its unit is invalidated and re-copied from the active epoch.)
         if any_nonempty {
-            for s in 0..n {
-                if replica_set(s, n, r).iter().all(|g| lost.contains(g)) {
+            for s in 0..active.shards {
+                let reps = active.replicas(s);
+                if reps.iter().all(|g| lost.contains(g)) {
                     return Err(RecoveryError::InconsistentLog {
-                        detail: format!(
-                            "slot {s} lost all {r} replicas ({:?}); cannot rebuild",
-                            replica_set(s, n, r)
-                        ),
+                        detail: format!("slot {s} lost all replicas ({reps:?}); cannot rebuild"),
                     });
                 }
             }
@@ -559,7 +707,10 @@ impl ShardedStore {
                 source: std::io::Error::other(format!("shard rebuild: {e}")),
             };
             // Donor exports cached per (donor, table): one verified full
-            // read per donor feeds every lost shard.
+            // read per donor feeds every lost shard. A rebuilt shard
+            // receives its *active*-topology ownership; target-epoch
+            // content it held pre-crash is restored by re-copying its
+            // unit (journaled as `Invalidated` below).
             let mut exports: BTreeMap<(u32, String), BTreeMap<Bytes, RowData>> = BTreeMap::new();
             for &b in &lost {
                 for (table, (families, threshold)) in &schemas {
@@ -568,8 +719,8 @@ impl ShardedStore {
                         .create_table_with_threshold(table, &fams, *threshold)
                         .map_err(io)?;
                     let mut rows: BTreeMap<Bytes, RowData> = BTreeMap::new();
-                    for s in 0..n {
-                        let reps = replica_set(s, n, r);
+                    for s in 0..active.shards {
+                        let reps = active.replicas(s);
                         if !reps.contains(&b) {
                             continue;
                         }
@@ -590,7 +741,7 @@ impl ShardedStore {
                             }
                             let donor = &exports[&key];
                             for (row, data) in donor {
-                                if slot_of(row, n) == s {
+                                if active.slot_of_row(row) == s {
                                     rows.insert(row.clone(), data.clone());
                                 }
                             }
@@ -608,11 +759,13 @@ impl ShardedStore {
                     healed_rows += shards[b as usize].heal_table(table, rows).map_err(io)?;
                 }
                 reg.incr(&format!("cfstore.shard.{b}.heal.rebuilds"), 1);
+                reg.incr("cfstore.shard.heal.rebuilds", 1);
             }
             if healed_rows > 0 {
                 for &b in &lost {
                     reg.incr(&format!("cfstore.shard.{b}.heal.rows"), healed_rows);
                 }
+                reg.incr("cfstore.shard.heal.rows", healed_rows);
             }
             // Flush EVERYTHING: survivors may still hold WAL frames whose
             // participant sets name the rebuilt shards. The rebuilt WALs
@@ -637,12 +790,79 @@ impl ShardedStore {
         for rep in &reports {
             total.merge(rep);
         }
+
+        // ---- Reconstruct the in-flight migration from the journal ----
+        let io_store = |e: StoreError| RecoveryError::Io {
+            path: topo_path.display().to_string(),
+            source: std::io::Error::other(format!("resharding journal: {e}")),
+        };
+        let migration = match pending {
+            Pending::None => None,
+            Pending::Pre {
+                epoch,
+                target,
+                mut copied,
+                mut verified,
+                valid_bytes,
+            } => {
+                let mut journal =
+                    JournalWriter::open_existing(dir, valid_bytes, opts.crash_topology)
+                        .map_err(io_store)?;
+                // A lost shard was rebuilt with active-epoch content
+                // only: any `Copied` claim it held is now false, so
+                // journal the invalidation and re-copy on resume.
+                for &b in &lost {
+                    if copied.remove(&b) {
+                        journal
+                            .append(&JournalRecord::Invalidated { epoch, unit: b })
+                            .map_err(io_store)?;
+                        verified = false;
+                    }
+                }
+                Some(Migration {
+                    epoch,
+                    target,
+                    copied,
+                    verified,
+                    cut_over: false,
+                    gc_pruned: false,
+                    catalog_swapped: false,
+                    rows_copied: 0,
+                    journal,
+                })
+            }
+            Pending::Post {
+                epoch,
+                target,
+                swapped,
+                valid_bytes,
+            } => {
+                let journal = JournalWriter::open_existing(dir, valid_bytes, opts.crash_topology)
+                    .map_err(io_store)?;
+                Some(Migration {
+                    epoch,
+                    copied: (0..target.shards).collect(),
+                    target,
+                    verified: true,
+                    cut_over: true,
+                    gc_pruned: swapped,
+                    catalog_swapped: swapped,
+                    rows_copied: 0,
+                    journal,
+                })
+            }
+        };
+        let reshard_in_flight = migration.as_ref().map(|m| m.epoch);
+        if reshard_in_flight.is_some() {
+            reg.incr("cfstore.reshard.resumes", 1);
+        }
         let report = ShardedRecoveryReport {
             shards: reports,
             total,
             lost_shards: lost.iter().copied().collect(),
             aborted_batches: aborted.len() as u64,
             healed_rows,
+            reshard_in_flight,
         };
 
         let flush_shared = opts.background_flush_wal_bytes.map(|_| {
@@ -653,18 +873,22 @@ impl ShardedStore {
         });
         let inner = Arc::new(ShardedInner {
             dir: dir.to_path_buf(),
-            n,
-            r,
             state: Mutex::new(GlobalState {
                 shards,
                 schemas,
                 next_gsn,
                 clock,
                 poisoned: false,
+                active,
+                epoch: active_epoch,
+                migration,
             }),
             obs: RwLock::new(reg),
             flush_shared: flush_shared.clone(),
             background_flush_wal_bytes: opts.background_flush_wal_bytes,
+            block_cache_bytes: opts.block_cache_bytes,
+            crash_shard: opts.crash_shard.clone(),
+            crash_topology: opts.crash_topology,
         });
         let flusher = flush_shared.map(|shared| {
             let inner = inner.clone();
@@ -701,7 +925,9 @@ impl ShardedStore {
             return Err(StoreError::TableExists(name.to_string()));
         }
         let fams: Vec<String> = families.iter().map(|f| f.to_string()).collect();
-        let participants: Vec<u32> = (0..inner.n).collect();
+        // Every open shard, including migration targets: a table born
+        // mid-migration must exist in both epochs.
+        let participants: Vec<u32> = (0..st.shards.len() as u32).collect();
         let ops = vec![ShardOp::CreateTable {
             name: name.to_string(),
             families: fams.clone(),
@@ -749,7 +975,10 @@ impl ShardedStore {
         for put in puts {
             let ts = st.clock;
             st.clock += 1;
-            for g in replica_set(slot_of(&put.row, inner.n), inner.n, inner.r) {
+            // Dual-apply during a migration: the same stamped cell goes
+            // to the old and new replica sets under one gsn, so every
+            // copy — either epoch — stays bit-identical.
+            for g in st.write_replicas(&put.row) {
                 per_shard.entry(g).or_default().push(ShardOp::Put {
                     table: table.to_string(),
                     put: put.clone(),
@@ -772,9 +1001,9 @@ impl ShardedStore {
             if let Err(e) = st.shards[g as usize].prepare_rows(table, &rows) {
                 match e {
                     StoreError::Corruption { .. } | StoreError::SegmentCorrupt { .. } => {
-                        inner
-                            .obs()
-                            .incr(&format!("cfstore.shard.{g}.heal.reads"), 1);
+                        let o = inner.obs();
+                        o.incr(&format!("cfstore.shard.{g}.heal.reads"), 1);
+                        o.incr("cfstore.shard.heal.reads", 1);
                         Self::heal_shard_table(inner, &mut st, g, table)?;
                         st.shards[g as usize].prepare_rows(table, &rows)?;
                     }
@@ -801,7 +1030,7 @@ impl ShardedStore {
         if !existed {
             return Ok(false);
         }
-        let participants = replica_set(slot_of(row, inner.n), inner.n, inner.r);
+        let participants = st.write_replicas(row);
         let ops = vec![ShardOp::DeleteRow {
             table: table.to_string(),
             row: Bytes::copy_from_slice(row),
@@ -834,13 +1063,15 @@ impl ShardedStore {
         row: &[u8],
     ) -> Result<Option<RowResult>, StoreError> {
         let mut last_err: Option<StoreError> = None;
-        for g in replica_set(slot_of(row, inner.n), inner.n, inner.r) {
+        // Reads consult the active placement only: pre-cutover that is
+        // the old epoch, making the cutover record the visibility switch.
+        for g in st.active.replicas_of_row(row) {
             match st.shards[g as usize].get(table, row) {
                 Ok(res) => return Ok(res),
                 Err(e @ (StoreError::Corruption { .. } | StoreError::SegmentCorrupt { .. })) => {
-                    inner
-                        .obs()
-                        .incr(&format!("cfstore.shard.{g}.heal.reads"), 1);
+                    let o = inner.obs();
+                    o.incr(&format!("cfstore.shard.{g}.heal.reads"), 1);
+                    o.incr("cfstore.shard.heal.reads", 1);
                     match Self::heal_shard_table(inner, st, g, table) {
                         Ok(_) => match st.shards[g as usize].get(table, row) {
                             Ok(res) => return Ok(res),
@@ -875,7 +1106,10 @@ impl ShardedStore {
         if !st.schemas.contains_key(table) {
             return Err(StoreError::NoSuchTable(table.to_string()));
         }
-        let n = inner.n;
+        // Active shards only: pre-cutover, migration targets are
+        // invisible to reads (their superset rows never leak because
+        // slot resolution below only consults active replicas anyway).
+        let n = st.active.shards;
         let mut per_shard: Vec<Option<Vec<RowResult>>> = (0..n).map(|_| None).collect();
         let mut metrics = ScanMetrics::default();
         let mut last_err: Option<StoreError> = None;
@@ -883,9 +1117,9 @@ impl ShardedStore {
             let outcome = match st.shards[g as usize].scan(table, scan) {
                 Ok(ok) => Some(ok),
                 Err(e @ (StoreError::Corruption { .. } | StoreError::SegmentCorrupt { .. })) => {
-                    inner
-                        .obs()
-                        .incr(&format!("cfstore.shard.{g}.heal.reads"), 1);
+                    let o = inner.obs();
+                    o.incr(&format!("cfstore.shard.{g}.heal.reads"), 1);
+                    o.incr("cfstore.shard.heal.reads", 1);
                     match Self::heal_shard_table(inner, &mut st, g, table) {
                         Ok(_) => match st.shards[g as usize].scan(table, scan) {
                             Ok(ok) => Some(ok),
@@ -910,7 +1144,9 @@ impl ShardedStore {
         // Resolve each slot from its first scannable replica.
         let mut source_for_slot: Vec<Option<u32>> = (0..n).map(|_| None).collect();
         for s in 0..n {
-            source_for_slot[s as usize] = replica_set(s, n, inner.r)
+            source_for_slot[s as usize] = st
+                .active
+                .replicas(s)
                 .into_iter()
                 .find(|&g| per_shard[g as usize].is_some());
             if source_for_slot[s as usize].is_none() {
@@ -923,7 +1159,7 @@ impl ShardedStore {
         for (g, rows) in per_shard.into_iter().enumerate() {
             let Some(rows) = rows else { continue };
             for row in rows {
-                let s = slot_of(&row.row, n);
+                let s = st.active.slot_of_row(&row.row);
                 if source_for_slot[s as usize] == Some(g as u32) {
                     merged.insert(row.row.clone(), row);
                 }
@@ -942,14 +1178,14 @@ impl ShardedStore {
         column: &[u8],
     ) -> Result<bool, StoreError> {
         let st = self.inner.state.lock();
-        let g = slot_of(row, self.inner.n);
+        let g = st.active.replicas_of_row(row)[0];
         st.shards[g as usize].corrupt_cell(table, row, family, column)
     }
 
     /// Flush every shard.
     pub fn flush(&self) -> Result<(), StoreError> {
         let mut st = self.inner.state.lock();
-        for g in 0..self.inner.n as usize {
+        for g in 0..st.shards.len() {
             if let Err(e) = st.shards[g].flush() {
                 if e == StoreError::Crashed {
                     st.poisoned = true;
@@ -961,13 +1197,15 @@ impl ShardedStore {
     }
 
     /// The sharded META catalog: placement plus every region entry.
+    /// Placement reflects the *active* topology — mid-migration the
+    /// old epoch stays authoritative until cutover.
     pub fn meta(&self) -> ShardedMeta {
         let st = self.inner.state.lock();
-        let n = self.inner.n;
+        let n = st.active.shards;
         ShardedMeta {
             shards: n,
-            replication: self.inner.r,
-            placement: (0..n).map(|s| replica_set(s, n, self.inner.r)).collect(),
+            replication: st.active.replication,
+            placement: (0..n).map(|s| st.active.replicas(s)).collect(),
             regions: st
                 .shards
                 .iter()
@@ -1000,14 +1238,14 @@ impl ShardedStore {
         *self.inner.obs.write() = reg;
     }
 
-    /// Number of shards N.
+    /// Number of shards N in the active topology.
     pub fn shard_count(&self) -> u32 {
-        self.inner.n
+        self.inner.state.lock().active.shards
     }
 
-    /// Replication factor R.
+    /// Replication factor R of the active topology.
     pub fn replication(&self) -> u32 {
-        self.inner.r
+        self.inner.state.lock().active.replication
     }
 
     /// The directory of one shard (tests reach in to kill/corrupt it).
@@ -1015,14 +1253,22 @@ impl ShardedStore {
         self.inner.dir.join(shard_dir_name(shard))
     }
 
-    /// The primary shard a row lives on.
-    pub fn primary_shard(&self, row: &[u8]) -> u32 {
-        slot_of(row, self.inner.n)
+    /// Cumulative WAL bytes one shard wrote this session, across flush
+    /// truncations — the currency [`CrashSpec::after_wal_bytes`] counts,
+    /// so the crash sweeps measure a clean run and tear every byte.
+    pub fn shard_wal_bytes_written(&self, shard: u32) -> u64 {
+        let st = self.inner.state.lock();
+        st.shards[shard as usize].wal_bytes_written()
     }
 
-    /// The full replica set of a row.
+    /// The primary shard a row lives on (active topology).
+    pub fn primary_shard(&self, row: &[u8]) -> u32 {
+        self.inner.state.lock().active.replicas_of_row(row)[0]
+    }
+
+    /// The full replica set of a row (active topology).
     pub fn replica_shards(&self, row: &[u8]) -> Vec<u32> {
-        replica_set(slot_of(row, self.inner.n), self.inner.n, self.inner.r)
+        self.inner.state.lock().active.replicas_of_row(row)
     }
 
     /// Scan one shard directly, bypassing placement resolution — the
@@ -1087,41 +1333,30 @@ impl ShardedStore {
         bad: u32,
         table: &str,
     ) -> Result<u64, StoreError> {
-        let (n, r) = (inner.n, inner.r);
+        let active = st.active.clone();
+        // Pre-cutover, a migration target shard also holds dual-applied
+        // and copied rows it owns under the *new* topology; the heal
+        // must restore those too or a completed Copy unit would lose
+        // rows silently. Post-cutover (and with no migration) the
+        // active topology is the only owner set.
+        let target_pre = st
+            .migration
+            .as_ref()
+            .filter(|m| !m.cut_over)
+            .map(|m| m.target.clone());
         let mut rows: BTreeMap<Bytes, RowData> = BTreeMap::new();
-        let mut exports: BTreeMap<u32, Result<BTreeMap<Bytes, RowData>, StoreError>> =
-            BTreeMap::new();
-        for s in 0..n {
-            let reps = replica_set(s, n, r);
-            if !reps.contains(&bad) {
+        let mut exports: BTreeMap<(u32, String), BTreeMap<Bytes, RowData>> = BTreeMap::new();
+        for s in 0..active.shards {
+            let bad_active = active.replicas(s).contains(&bad);
+            if !bad_active && target_pre.is_none() {
                 continue;
             }
-            let mut copied = false;
-            let mut last_err: Option<StoreError> = None;
-            for &d in reps.iter().filter(|&&d| d != bad) {
-                let export = exports
-                    .entry(d)
-                    .or_insert_with(|| st.shards[d as usize].export_table_rows(table));
-                match export {
-                    Ok(map) => {
-                        for (row, data) in map.iter() {
-                            if slot_of(row, n) == s {
-                                rows.insert(row.clone(), data.clone());
-                            }
-                        }
-                        copied = true;
-                        break;
-                    }
-                    Err(e) => last_err = Some(e.clone()),
+            let slot_rows =
+                resharding::export_slot_from_peers(st, &active, s, table, Some(bad), &mut exports)?;
+            for (row, data) in slot_rows {
+                if bad_active || target_pre.as_ref().is_some_and(|t| t.owns(bad, &row)) {
+                    rows.insert(row, data);
                 }
-            }
-            if !copied {
-                return Err(last_err.unwrap_or_else(|| {
-                    StoreError::Io(format!(
-                        "shard {bad} has no peer replica to heal table `{table}` from \
-                         (replication factor {r})"
-                    ))
-                }));
             }
         }
         let healed = st.shards[bad as usize].heal_table(table, rows)?;
@@ -1131,6 +1366,8 @@ impl ShardedStore {
         let o = inner.obs();
         o.incr(&format!("cfstore.shard.{bad}.heal.repairs"), 1);
         o.incr(&format!("cfstore.shard.{bad}.heal.rows"), healed);
+        o.incr("cfstore.shard.heal.repairs", 1);
+        o.incr("cfstore.shard.heal.rows", healed);
         Ok(healed)
     }
 
@@ -1196,7 +1433,7 @@ fn shard_flusher_loop(inner: Arc<ShardedInner>, shared: Arc<ShardFlusherShared>)
         if st.poisoned {
             continue;
         }
-        for g in 0..inner.n as usize {
+        for g in 0..st.shards.len() {
             if st.shards[g].wal_bytes_since_flush() >= threshold {
                 match st.shards[g].flush() {
                     Ok(()) => inner.obs().incr("cfstore.shard.flush.background", 1),

@@ -602,6 +602,19 @@ impl MiniStore {
         self.inner.heal_table(table, rows)
     }
 
+    /// Merge rows into a table *without* disturbing rows outside the
+    /// given set — the resharding copier installs a unit's backlog
+    /// while dual-applied writes the target already holds survive.
+    /// Like [`MiniStore::heal_table`], not WAL-logged; the caller
+    /// flushes immediately after. Returns the number of rows merged.
+    pub(crate) fn merge_table_rows(
+        &self,
+        table: &str,
+        rows: BTreeMap<Bytes, crate::region::RowData>,
+    ) -> Result<u64, StoreError> {
+        self.inner.merge_table_rows(table, rows)
+    }
+
     /// Export a table's full contents — every row, every retained cell
     /// version — verifying each version's checksum so a heal never copies
     /// corruption from its donor.
@@ -635,6 +648,18 @@ impl MiniStore {
                 let d = m.lock();
                 d.wal.bytes_written() - d.wal_bytes_at_reset
             })
+            .unwrap_or(0)
+    }
+
+    /// Cumulative WAL bytes written this session, *across* flush
+    /// truncations — the same currency [`CrashSpec::after_wal_bytes`]
+    /// budgets count, so the crash harnesses can measure a clean run
+    /// and sweep every byte of it. Zero for an in-memory store.
+    pub fn wal_bytes_written(&self) -> u64 {
+        self.inner
+            .durable
+            .as_ref()
+            .map(|m| m.lock().wal.bytes_written())
             .unwrap_or(0)
     }
 }
@@ -1271,6 +1296,40 @@ impl StoreInner {
             region.install_rows(mine);
         }
         Ok(healed)
+    }
+
+    fn merge_table_rows(
+        &self,
+        table: &str,
+        rows: BTreeMap<Bytes, crate::region::RowData>,
+    ) -> Result<u64, StoreError> {
+        let t = self.table(table)?;
+        // Same durability story as heal_table: not WAL-logged, the
+        // caller flushes right after. Unlike a heal, existing rows
+        // outside `rows` survive — a migration target keeps its
+        // dual-applied writes while the copier installs the backlog.
+        let _durable = self.durable.as_ref().map(|m| m.lock());
+        let regions = t.regions.read();
+        let merged = rows.len() as u64;
+        for region in regions.iter() {
+            let range = region.range();
+            let lower = std::ops::Bound::Included(range.start.clone());
+            let upper = match &range.end {
+                Some(end) => std::ops::Bound::Excluded(end.clone()),
+                None => std::ops::Bound::Unbounded,
+            };
+            let mine: BTreeMap<Bytes, crate::region::RowData> = rows
+                .range::<Bytes, _>((lower, upper))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let mut all = region.export_rows()?;
+            all.extend(mine);
+            region.install_rows(all);
+        }
+        Ok(merged)
     }
 
     fn export_table_rows(

@@ -258,6 +258,16 @@ impl PStorM {
         &self.obs
     }
 
+    /// Run a full topology change on a sharded backing store while the
+    /// daemon keeps serving (DESIGN.md §15). Errors on single-store
+    /// backends — open with [`ProfileStore::reopen_sharded`] first.
+    pub fn reshard(
+        &self,
+        plan: cfstore::Reshard,
+    ) -> Result<cfstore::ReshardStatus, ProfileStoreError> {
+        self.store.reshard(plan)
+    }
+
     /// Pre-load a full profile (e.g. from a prior profiling run).
     pub fn load_profile(
         &self,

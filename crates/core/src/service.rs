@@ -498,6 +498,24 @@ impl TuningService {
     pub fn flush(&self) -> Result<(), ProfileStoreError> {
         self.inner.base.flush()
     }
+
+    /// Run a full topology change on the shared sharded backend while
+    /// the service keeps serving (DESIGN.md §15). Tenant submissions
+    /// interleave freely with the migration: each `reshard_step` holds
+    /// the store's global lock only as long as one batch would, and
+    /// reads stay on the old placement until the journaled cutover.
+    /// Errors on single-store backends.
+    pub fn reshard(
+        &self,
+        plan: cfstore::Reshard,
+    ) -> Result<cfstore::ReshardStatus, ProfileStoreError> {
+        self.inner.base.reshard(plan)
+    }
+
+    /// The in-flight migration on the backing store, if any.
+    pub fn reshard_status(&self) -> Option<cfstore::ReshardStatus> {
+        self.inner.base.reshard_status()
+    }
 }
 
 impl Drop for TuningService {

@@ -32,8 +32,8 @@ use parking_lot::RwLock;
 use cfstore::encoding::{decode_f64, decode_f64_vec, encode_f64, encode_f64_vec};
 use cfstore::wal::{CrashSpec, SyncPolicy};
 use cfstore::{
-    MiniStore, Put, RecoveryError, RecoveryReport, RowResult, Scan, ScanMetrics, ShardOptions,
-    ShardedRecoveryReport, ShardedStore, StoreError, StoreOptions,
+    MiniStore, Put, RecoveryError, RecoveryReport, Reshard, ReshardStatus, RowResult, Scan,
+    ScanMetrics, ShardOptions, ShardedRecoveryReport, ShardedStore, StoreError, StoreOptions,
 };
 use mlmatch::{DimPrep, MinMaxNormalizer};
 use profiler::{CostFactors, JobProfile};
@@ -860,6 +860,34 @@ impl ProfileStore {
             Backend::Sharded(s) => Some(s),
             Backend::Single(_) => None,
         }
+    }
+
+    fn sharded_or_err(&self) -> Result<&ShardedStore, ProfileStoreError> {
+        self.sharded().ok_or_else(|| {
+            ProfileStoreError::Store(StoreError::Io(
+                "reshard requires a sharded backend (ProfileStore::reopen_sharded)".to_string(),
+            ))
+        })
+    }
+
+    /// Run a full topology change on a sharded backend (DESIGN.md §15):
+    /// begin, copy every unit, verify, cut over, GC. The store keeps
+    /// serving reads and writes throughout — tenants submitting through
+    /// the service never see the migration except in the counters.
+    pub fn reshard(&self, plan: Reshard) -> Result<ReshardStatus, ProfileStoreError> {
+        Ok(self.sharded_or_err()?.reshard(plan)?)
+    }
+
+    /// Resume a migration a crash left in flight (`Ok(None)` when the
+    /// journal shows nothing to resume).
+    pub fn resume_reshard(&self) -> Result<Option<ReshardStatus>, ProfileStoreError> {
+        Ok(self.sharded_or_err()?.resume_reshard()?)
+    }
+
+    /// The in-flight migration, if any (`None` also on single-store
+    /// backends, which cannot reshard).
+    pub fn reshard_status(&self) -> Option<ReshardStatus> {
+        self.sharded().and_then(|s| s.reshard_status())
     }
 
     /// Backend-routed raw single-cell put into the `Jobs` table (the

@@ -65,6 +65,14 @@ cargo test -q -p pstorm-tests --test property_shards -- --ignored
 echo "==> multi-tenant isolation sweep"
 cargo test -q -p pstorm-tests --test property_tenants -- --ignored
 
+# Elastic-resharding gate (PR 9): crash at every TOPOLOGY journal byte
+# and at swept mid-migration WAL bytes for grow/shrink/R-change plans,
+# pause-at-every-step fsck/resume checks, override placement, matcher
+# stability mid-migration, and fsck exit codes — all in the plain suite
+# above; the `--ignored` test is the bounded randomized chaos pass.
+echo "==> bounded reshard-chaos sweep"
+cargo test -q -p pstorm-tests --test property_reshard -- --ignored
+
 # Documentation gate 2: every `DESIGN.md §N` reference in the repo must
 # resolve to a real section, and relative doc links must not dangle.
 echo "==> doc link check"

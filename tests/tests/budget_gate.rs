@@ -217,6 +217,24 @@ fn shard_heal_budgets_hold() {
             .filter(|(k, _)| k.starts_with("cfstore.shard.") && k.contains(".heal."))
             .collect()
     };
+    // The store-level rollups (`cfstore.shard.heal.<what>`, PR 9) must
+    // equal the per-shard sums exactly — they exist for low-cardinality
+    // alerting, never as an independent count.
+    let rollups_match = |c: &BTreeMap<String, u64>| {
+        for what in ["reads", "repairs", "rows", "rebuilds"] {
+            let rollup = format!("cfstore.shard.heal.{what}");
+            let sum: u64 = c
+                .iter()
+                .filter(|(k, _)| k.ends_with(&format!(".heal.{what}")) && **k != rollup)
+                .map(|(_, v)| *v)
+                .sum();
+            assert_eq!(
+                c.get(&rollup).copied().unwrap_or(0),
+                sum,
+                "rollup {rollup} must equal the per-shard sum: {c:?}"
+            );
+        }
+    };
 
     // 1. A healthy store heals nothing: writes, scans, flush, reopen —
     //    not one heal counter may move.
@@ -265,6 +283,7 @@ fn shard_heal_budgets_hold() {
         healed >= 1 && healed <= rows as u64,
         "heal copied {healed} rows — outside [1, {rows}]"
     );
+    rollups_match(&c);
     // The heal is durable: a full scan afterwards repairs nothing more.
     assert_eq!(
         store.scan("t", &Scan::all()).unwrap().0.len(),
@@ -291,11 +310,12 @@ fn shard_heal_budgets_hold() {
     );
     assert_eq!(
         c.iter()
-            .filter(|(k, _)| k.ends_with(".heal.rebuilds"))
+            .filter(|(k, _)| k.ends_with(".heal.rebuilds") && *k != "cfstore.shard.heal.rebuilds")
             .count(),
         1,
         "exactly one shard may rebuild: {c:?}"
     );
+    rollups_match(&c);
     assert!(!c.contains_key(&format!("cfstore.shard.{lost}.heal.reads")));
     let before = heal_counters(&reg);
     assert_eq!(

@@ -1,0 +1,60 @@
+//! Regression test for the `mrsim::trace::record_report` clock-assert
+//! relaxation (PR 8): the multi-tenant service's workers record reports
+//! into ONE shared registry, so the virtual clock can advance *between*
+//! a recorder's `now_ns` read and its closing assertion. The original
+//! `debug_assert_eq!(now, end)` panicked under that interleaving; the
+//! relaxed form (`now >= end`) must not, and the clock must still come
+//! out exactly monotone: the shared clock ends at the sum of every
+//! recorded runtime, regardless of interleaving.
+
+use std::sync::Arc;
+
+use mrsim::trace::record_report;
+use mrsim::{simulate, ClusterSpec, JobConfig};
+use obs::ms_to_ns;
+
+#[test]
+fn concurrent_recorders_share_one_registry_without_panicking() {
+    let spec = mrjobs::jobs::word_count();
+    let ds = datagen::corpus::random_text_1g();
+    let cl = ClusterSpec::ec2_c1_medium_16();
+    // Two distinct deterministic reports, so the two workers advance the
+    // clock by different amounts.
+    let report_a = Arc::new(simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), 7).unwrap());
+    let report_b = Arc::new(simulate(&spec, &ds, &cl, &JobConfig::submitted(&spec), 11).unwrap());
+
+    const ROUNDS: usize = 25;
+    let reg = obs::Registry::new();
+    let workers: Vec<_> = [report_a.clone(), report_b.clone()]
+        .into_iter()
+        .map(|report| {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    // A panic here (the old strict clock assert) fails
+                    // the join below.
+                    record_report(&reg, &report);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("recorder worker must not panic");
+    }
+
+    // Monotone and exact: the shared clock advanced by precisely the
+    // sum of all recorded runtimes, however the threads interleaved.
+    let expected = ms_to_ns(report_a.runtime_ms) * ROUNDS as u64
+        + ms_to_ns(report_b.runtime_ms) * ROUNDS as u64;
+    let snap = reg.snapshot();
+    assert_eq!(snap.clock_ns, expected);
+    assert_eq!(snap.counters["sim.jobs"], 2 * ROUNDS as u64);
+    // Every sim.job span closed, and none ends after the final clock.
+    let jobs: Vec<_> = snap.spans.iter().filter(|s| s.name == "sim.job").collect();
+    assert_eq!(jobs.len(), 2 * ROUNDS);
+    for s in &jobs {
+        let end = s.end_ns.expect("sim.job span left open");
+        assert!(end <= snap.clock_ns);
+        assert!(s.start_ns <= end);
+    }
+}
